@@ -1,0 +1,31 @@
+//! Criterion bench: the Fig. 4c nine-brick design-space sweep.
+//!
+//! The paper quotes ~2 s of wall clock for this exploration; the bench
+//! pins down our number (expected: well under a millisecond per sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lim::dse::{explore, pareto_front};
+use lim_tech::Technology;
+
+fn bench_fig4c_sweep(c: &mut Criterion) {
+    let tech = Technology::cmos65();
+    c.bench_function("fig4c_nine_brick_sweep", |b| {
+        b.iter(|| {
+            let points =
+                explore(&tech, &[(128, 8), (128, 16), (128, 32)], &[16, 32, 64]).unwrap();
+            std::hint::black_box(pareto_front(&points).len())
+        })
+    });
+
+    c.bench_function("fine_grained_sweep_16_points", |b| {
+        b.iter(|| {
+            let mems: Vec<(usize, usize)> =
+                [64usize, 128, 256, 512].iter().map(|&w| (w, 16)).collect();
+            let points = explore(&tech, &mems, &[8, 16, 32, 64]).unwrap();
+            std::hint::black_box(points.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig4c_sweep);
+criterion_main!(benches);

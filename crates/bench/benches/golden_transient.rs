@@ -1,0 +1,31 @@
+//! Criterion bench: analytic estimator vs golden transient solve.
+//!
+//! Quantifies the speed gap that justifies the paper's methodology — the
+//! estimator must be orders of magnitude cheaper than the SPICE-class
+//! reference while staying within the Table 1 error bands.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lim_brick::golden::measure_bank;
+use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
+use lim_tech::Technology;
+
+fn bench_tool_vs_golden(c: &mut Criterion) {
+    let tech = Technology::cmos65();
+    let brick = BrickCompiler::new(&tech)
+        .compile(&BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap())
+        .unwrap();
+
+    c.bench_function("estimator_16x10_x4", |b| {
+        b.iter(|| std::hint::black_box(brick.estimate_bank(4).unwrap()))
+    });
+
+    let mut group = c.benchmark_group("golden");
+    group.sample_size(10);
+    group.bench_function("golden_16x10_x4", |b| {
+        b.iter(|| std::hint::black_box(measure_bank(&brick, 4).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tool_vs_golden);
+criterion_main!(benches);

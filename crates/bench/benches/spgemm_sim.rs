@@ -1,0 +1,32 @@
+//! Criterion bench: accelerator simulation throughput on the Fig. 6
+//! suite (small scale) — one benchmark per chip per matrix class.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lim_spgemm::accel::heap::HeapAccelerator;
+use lim_spgemm::accel::lim_cam::LimCamAccelerator;
+use lim_spgemm::suite::{fig6_suite, SuiteScale};
+
+fn bench_accelerators(c: &mut Criterion) {
+    let suite = fig6_suite(SuiteScale::Small);
+    let lim = LimCamAccelerator::paper_chip();
+    let heap = HeapAccelerator::paper_chip();
+
+    let mut group = c.benchmark_group("spgemm_sim");
+    group.sample_size(10);
+    for bench in suite.iter().filter(|b| ["er_d8", "rmat", "hubs"].contains(&b.name)) {
+        group.bench_with_input(
+            BenchmarkId::new("lim_cam", bench.name),
+            &bench.matrix,
+            |b, m| b.iter(|| std::hint::black_box(lim.multiply(m, m).unwrap().stats.cycles)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("heap", bench.name),
+            &bench.matrix,
+            |b, m| b.iter(|| std::hint::black_box(heap.multiply(m, m).unwrap().stats.cycles)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_accelerators);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates the §3 algorithm–hardware co-design loop: sweep the
+//! SpGEMM core's architectural knobs, price each with the brick
+//! estimator, and benchmark each on a power-law workload. The paper's
+//! silicon point (N = 32, 16-entry CAMs) should sit on or near the
+//! latency/area pareto front.
+//!
+//! Run with `cargo run --release -p lim-bench --bin codesign_sweep`.
+
+use lim_bench::{row, rule};
+use lim_spgemm::codesign::{sweep, CodesignCandidate};
+use lim_spgemm::gen::MatrixGen;
+use lim_tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos65();
+    let workload = MatrixGen::rmat(1024, 16 * 1024, 0.57, 0.19, 0.19, 99).to_csc();
+
+    let candidates: Vec<CodesignCandidate> = [8usize, 16, 32, 64]
+        .into_iter()
+        .flat_map(|n| {
+            [8usize, 16, 32].into_iter().map(move |e| CodesignCandidate {
+                n_columns: n,
+                cam_entries: e,
+                key_bits: 10,
+            })
+        })
+        .collect();
+
+    let (points, front) = sweep(&tech, &candidates, &workload)?;
+
+    println!("Algorithm-hardware co-design sweep (R-MAT 1024, 16k edges, squared)\n");
+    let widths = [8usize, 9, 11, 12, 12, 12, 7];
+    println!(
+        "{}",
+        row(
+            &[
+                "N".into(),
+                "entries".into(),
+                "period".into(),
+                "cycles".into(),
+                "latency".into(),
+                "area[µm²]".into(),
+                "pareto".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for (i, p) in points.iter().enumerate() {
+        let is_paper =
+            p.candidate.n_columns == 32 && p.candidate.cam_entries == 16;
+        println!(
+            "{}{}",
+            row(
+                &[
+                    format!("{}", p.candidate.n_columns),
+                    format!("{}", p.candidate.cam_entries),
+                    format!("{:.0} ps", p.period.value()),
+                    format!("{}k", p.workload_cycles / 1000),
+                    format!("{:.0} µs", p.latency_us),
+                    format!("{:.0}", p.core_area.value()),
+                    if front.contains(&i) { "*".into() } else { "".into() },
+                ],
+                &widths
+            ),
+            if is_paper { "  <- paper's silicon point" } else { "" }
+        );
+    }
+    println!("\n* = pareto-optimal in (latency, core area)");
+    Ok(())
+}

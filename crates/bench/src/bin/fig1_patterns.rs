@@ -1,0 +1,54 @@
+//! Regenerates the Fig. 1 observation as a rule-check table: which cell
+//! abutments print cleanly under restrictive patterning, and what the
+//! guard spacing costs when they do not.
+//!
+//! Run with `cargo run --release -p lim-bench --bin fig1_patterns`.
+
+use lim_bench::{row, rule};
+use lim_tech::patterns::{PatternClass, PatternRules};
+
+fn label(c: PatternClass) -> &'static str {
+    match c {
+        PatternClass::BitcellArray => "bitcell array",
+        PatternClass::RegularLogic => "pattern logic",
+        PatternClass::ConventionalLogic => "conventional",
+    }
+}
+
+fn main() {
+    let rules = PatternRules::cmos65();
+    println!("Fig. 1 — restrictive-patterning abutment legality (65 nm rules)\n");
+    let widths = [15usize, 15, 10, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "left cell".into(),
+                "right cell".into(),
+                "prints?".into(),
+                "guard [µm]".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for a in PatternClass::all() {
+        for b in PatternClass::all() {
+            let chk = rules.check(a, b);
+            println!(
+                "{}",
+                row(
+                    &[
+                        label(a).into(),
+                        label(b).into(),
+                        if chk.compatible { "yes" } else { "HOTSPOT" }.into(),
+                        format!("{:.1}", chk.required_spacing.value()),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    println!("\npaper Fig. 1: (a) bitcell|bitcell prints; (b) conventional|bitcell");
+    println!("hotspots; (c) pattern-construct logic|bitcell prints — enabling LiM.");
+}

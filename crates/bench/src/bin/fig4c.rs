@@ -1,0 +1,93 @@
+//! Regenerates Fig. 4c: rapid design-space exploration over nine bricks.
+//!
+//! 128x{8,16,32}-bit single-partition SRAMs built from {16,32,64}xN-bit
+//! bricks (stacked 8x/4x/2x). The paper compiles all nine bricks and
+//! estimates performance, energy and area "within 2 seconds of wall clock
+//! time" — the binary times itself against the same budget.
+//!
+//! Run with `cargo run --release -p lim-bench --bin fig4c`.
+
+use lim::dse::{explore, normalized, pareto_front};
+use lim_bench::{row, rule};
+use lim_tech::Technology;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos65();
+
+    let start = Instant::now();
+    let points = explore(&tech, &[(128, 8), (128, 16), (128, 32)], &[16, 32, 64])?;
+    let elapsed = start.elapsed();
+
+    println!("Fig. 4c — design-space exploration: 9 bricks for 128xN SRAMs");
+    println!(
+        "compiled + estimated in {:.1} ms (paper: within 2 s)\n",
+        elapsed.as_secs_f64() * 1e3
+    );
+
+    let norm = normalized(&points);
+    let front = pareto_front(&points);
+
+    let widths = [22usize, 11, 11, 11, 8, 8, 8, 7];
+    println!(
+        "{}",
+        row(
+            &[
+                "configuration".into(),
+                "delay[ps]".into(),
+                "energy[pJ]".into(),
+                "area[µm²]".into(),
+                "norm d".into(),
+                "norm e".into(),
+                "norm a".into(),
+                "pareto".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    for (i, p) in points.iter().enumerate() {
+        let (d, e, a) = norm[i];
+        println!(
+            "{}",
+            row(
+                &[
+                    p.label.clone(),
+                    format!("{:.0}", p.delay.value()),
+                    format!("{:.2}", p.energy.to_picojoules().value()),
+                    format!("{:.0}", p.area.value()),
+                    format!("{d:.2}"),
+                    format!("{e:.2}"),
+                    format!("{a:.2}"),
+                    if front.contains(&i) { "*".into() } else { "".into() },
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!("\npaper observations to check:");
+    println!(" - within a memory size, larger bricks: slower, less energy, less area");
+    let find = |bits: usize, bw: usize| {
+        points
+            .iter()
+            .find(|p| p.bits == bits && p.brick_words == bw)
+            .expect("present")
+    };
+    let a = find(16, 16);
+    let b = find(8, 64);
+    println!(
+        " - 128x16 @ 16x16 ({:.0} ps) faster than 128x8 @ 64x8 ({:.0} ps): {}",
+        a.delay.value(),
+        b.delay.value(),
+        a.delay < b.delay
+    );
+    let c = find(32, 64);
+    println!(
+        " - energy 128x16 @ 16x16 ({:.2} pJ) ≈ 128x32 @ 64x32 ({:.2} pJ), ratio {:.2}",
+        a.energy.to_picojoules().value(),
+        c.energy.to_picojoules().value(),
+        a.energy.value() / c.energy.value()
+    );
+    Ok(())
+}

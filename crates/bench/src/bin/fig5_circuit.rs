@@ -1,0 +1,98 @@
+//! Regenerates the circuit-level CAM-vs-SRAM comparison of §5 (the
+//! numbers behind Fig. 5's architecture):
+//!
+//! * CAM brick area ≈ 83 % larger than the SRAM brick (same 16x10 array),
+//! * CAM read ≈ 26 % slower,
+//! * per-brick power at 0.8 GHz: SRAM read 0.73 mW; CAM read 0.87 mW and
+//!   match 1.94 mW.
+//!
+//! Run with `cargo run --release -p lim-bench --bin fig5_circuit`.
+
+use lim_bench::{pct, row, rule};
+use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
+use lim_tech::units::Megahertz;
+use lim_tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos65();
+    let compiler = BrickCompiler::new(&tech);
+    let f = Megahertz::new(800.0); // paper quotes powers at 0.8 GHz
+
+    let sram = compiler.compile(&BrickSpec::new(BitcellKind::Sram8T, 16, 10)?)?;
+    let cam = compiler.compile(&BrickSpec::new(BitcellKind::Cam, 16, 10)?)?;
+    let se = sram.estimate_bank(1)?;
+    let ce = cam.estimate_bank(1)?;
+
+    println!("Fig. 5 / §5 — CAM brick vs SRAM brick, 16x10b arrays @ {f}\n");
+    let widths = [16usize, 12, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["metric".into(), "SRAM".into(), "CAM".into(), "delta".into()],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+
+    let area_ratio = ce.area.value() / se.area.value() - 1.0;
+    println!(
+        "{}",
+        row(
+            &[
+                "area [µm²]".into(),
+                format!("{:.1}", se.area.value()),
+                format!("{:.1}", ce.area.value()),
+                format!("{} (paper +83%)", pct(area_ratio)),
+            ],
+            &widths
+        )
+    );
+    let delay_ratio = ce.read_delay.value() / se.read_delay.value() - 1.0;
+    println!(
+        "{}",
+        row(
+            &[
+                "read delay [ps]".into(),
+                format!("{:.0}", se.read_delay.value()),
+                format!("{:.0}", ce.read_delay.value()),
+                format!("{} (paper +26%)", pct(delay_ratio)),
+            ],
+            &widths
+        )
+    );
+    let s_read = se.read_energy.average_power(f);
+    let c_read = ce.read_energy.average_power(f);
+    println!(
+        "{}",
+        row(
+            &[
+                "read power [mW]".into(),
+                format!("{:.2}", s_read.value()),
+                format!("{:.2}", c_read.value()),
+                "paper 0.73/0.87".into(),
+            ],
+            &widths
+        )
+    );
+    let c_match = ce
+        .match_energy
+        .expect("CAM has a match arc")
+        .average_power(f);
+    println!(
+        "{}",
+        row(
+            &[
+                "match power [mW]".into(),
+                "-".into(),
+                format!("{:.2}", c_match.value()),
+                "paper 1.94".into(),
+            ],
+            &widths
+        )
+    );
+    println!(
+        "\nmatch/read power ratio: {:.2} (paper: 1.94/0.87 = 2.23)",
+        c_match.value() / c_read.value()
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Regenerates Fig. 6: latency and energy of the LiM CAM-SpGEMM chip vs
+//! the heap/FIFO baseline across the sparse-matrix benchmark suite.
+//!
+//! Paper silicon: LiM 475 MHz / 72 mW, baseline 725 MHz / 96 mW;
+//! completion 7x–250x faster and 10x–310x more energy-efficient for LiM.
+//!
+//! Run with `cargo run --release -p lim-bench --bin fig6`.
+//! Pass `--self-derived` to use operating points from our own physical
+//! synthesis of the two cores instead of the paper's measured silicon.
+
+use lim::cam::SpgemmCoreConfig;
+use lim::flow::LimFlow;
+use lim_bench::{row, rule};
+use lim_spgemm::accel::heap::HeapAccelerator;
+use lim_spgemm::accel::lim_cam::LimCamAccelerator;
+use lim_spgemm::energy::{ChipComparison, ChipPowerModel};
+use lim_spgemm::suite::{fig6_suite, SuiteScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let self_derived = std::env::args().any(|a| a == "--self-derived");
+
+    let (lim_chip, heap_chip) = if self_derived {
+        eprintln!("synthesizing both cores (32 columns, 16x10b CAMs)...");
+        let mut flow = LimFlow::cmos65();
+        flow.options.effort = lim_physical::place::PlaceEffort(0.2);
+        let cfg = SpgemmCoreConfig::paper();
+        let lim_block = flow.synthesize_lim_spgemm(&cfg)?;
+        let heap_block = flow.synthesize_heap_spgemm(&cfg)?;
+        eprintln!(
+            "  LiM core:  {:.0} MHz, {:.1} mW   (paper: 475 MHz, 72 mW)",
+            lim_block.report.fmax.value(),
+            lim_block.report.power.total().value()
+        );
+        eprintln!(
+            "  heap core: {:.0} MHz, {:.1} mW   (paper: 725 MHz, 96 mW)",
+            heap_block.report.fmax.value(),
+            heap_block.report.power.total().value()
+        );
+        (
+            ChipPowerModel::from_block(&lim_block),
+            ChipPowerModel::from_block(&heap_block),
+        )
+    } else {
+        (ChipPowerModel::paper_lim(), ChipPowerModel::paper_heap())
+    };
+
+    let lim_accel = LimCamAccelerator::paper_chip();
+    let heap_accel = HeapAccelerator::paper_chip();
+
+    println!("Fig. 6 — SpGEMM completion latency & energy, LiM vs non-LiM");
+    println!(
+        "chips: LiM {:.0} MHz / {:.1} mW | baseline {:.0} MHz / {:.1} mW",
+        lim_chip.fmax.value(),
+        lim_chip.power.value(),
+        heap_chip.fmax.value(),
+        heap_chip.power.value()
+    );
+    println!("paper bands: speedup 7x-250x | energy saving 10x-310x\n");
+
+    let widths = [9usize, 8, 10, 11, 11, 11, 11, 9, 9];
+    println!(
+        "{}",
+        row(
+            &[
+                "bench".into(),
+                "n".into(),
+                "nnz".into(),
+                "maxcol".into(),
+                "limcyc".into(),
+                "heapcyc".into(),
+                "lim[µs]".into(),
+                "speedup".into(),
+                "energy".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+
+    let mut speedups = Vec::new();
+    let mut savings = Vec::new();
+    for bench in fig6_suite(SuiteScale::Full) {
+        let m = &bench.matrix;
+        let lim = lim_accel.multiply(m, m)?;
+        let heap = heap_accel.multiply(m, m)?;
+        assert!(
+            lim.product.approx_eq(&heap.product, 1e-9),
+            "accelerators disagree on {}",
+            bench.name
+        );
+        let cmp = ChipComparison::new(&lim_chip, lim.stats.cycles, &heap_chip, heap.stats.cycles);
+        speedups.push(cmp.speedup());
+        savings.push(cmp.energy_saving());
+        let stats = bench.stats();
+        println!(
+            "{}",
+            row(
+                &[
+                    bench.name.into(),
+                    format!("{}", stats.n),
+                    format!("{}", stats.nnz),
+                    format!("{}", stats.max_col_nnz),
+                    format!("{}", lim.stats.cycles),
+                    format!("{}", heap.stats.cycles),
+                    format!("{:.1}", cmp.lim_latency_us),
+                    format!("{:.1}x", cmp.speedup()),
+                    format!("{:.1}x", cmp.energy_saving()),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let min_s = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_s = speedups.iter().cloned().fold(0.0, f64::max);
+    let min_e = savings.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_e = savings.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nmeasured range: speedup {min_s:.1}x – {max_s:.1}x (paper 7x-250x), \
+         energy {min_e:.1}x – {max_e:.1}x (paper 10x-310x)"
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Regenerates Table 1: tool estimation vs SPICE (golden transient) for
+//! read delay and read/write energy, on 16x10 b and 32x12 b 8T bricks at
+//! 1x / 4x / 8x stacking, reading a word of alternating bits.
+//!
+//! Run with `cargo run --release -p lim-bench --bin table1`.
+
+use lim_bench::{pct, row, rule};
+use lim_brick::golden::compare;
+use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
+use lim_tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos65();
+    let compiler = BrickCompiler::new(&tech);
+
+    let bricks = [
+        BrickSpec::new(BitcellKind::Sram8T, 16, 10)?,
+        BrickSpec::new(BitcellKind::Sram8T, 32, 12)?,
+    ];
+    let stacks = [1usize, 4, 8];
+
+    println!("Table 1 — Tool estimation vs golden transient (\"SPICE\")");
+    println!("Paper bands: delay 2-7% | read energy 0-4% | write energy 0-2%\n");
+
+    let widths = [14usize, 6, 11, 11, 7, 11, 11, 7, 7];
+    println!(
+        "{}",
+        row(
+            &[
+                "brick".into(),
+                "stack".into(),
+                "tool[ps]".into(),
+                "gold[ps]".into(),
+                "err".into(),
+                "toolE[pJ]".into(),
+                "goldE[pJ]".into(),
+                "errR".into(),
+                "errW".into(),
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+
+    for spec in &bricks {
+        let brick = compiler.compile(spec)?;
+        for &stack in &stacks {
+            let cmp = compare(&brick, stack)?;
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{}x{}b", spec.words(), spec.bits()),
+                        format!("{stack}x"),
+                        format!("{:.0}", cmp.tool.read_delay.value()),
+                        format!("{:.0}", cmp.golden.read_delay.value()),
+                        pct(cmp.delay_error()),
+                        format!("{:.2}", cmp.tool.read_energy.to_picojoules().value()),
+                        format!("{:.2}", cmp.golden.read_energy.to_picojoules().value()),
+                        pct(cmp.read_energy_error()),
+                        pct(cmp.write_energy_error()),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Benchmark harness for the LiM synthesis reproduction.
+//!
+//! Each binary in this crate regenerates one table or figure of the DAC'15
+//! paper (see `DESIGN.md` for the experiment index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — tool vs SPICE on two bricks, three stack depths |
+//! | `fig1_patterns` | Fig. 1 — restrictive-patterning abutment legality |
+//! | `fig4b` | Fig. 4b — chip measurement vs library simulation, configs A–E |
+//! | `fig4c` | Fig. 4c — 9-brick design-space exploration |
+//! | `fig5_circuit` | Fig. 5 / §5 — CAM vs SRAM brick circuit comparison |
+//! | `fig6` | Fig. 6 — SpGEMM latency & energy, LiM vs non-LiM |
+//! | `ablation_brick_size` | §6 — brick granularity sweep |
+//! | `ablation_partition` | §6 — partitioning sweep |
+//!
+//! The library part holds small table-formatting helpers shared by the
+//! binaries.
+
+/// Formats a row of fixed-width columns for console tables.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Formats a separator line matching [`row`] geometry.
+pub fn rule(widths: &[usize]) -> String {
+    widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("--")
+}
+
+/// Formats a signed percentage with one decimal, e.g. `+4.9%`.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn rule_length() {
+        assert_eq!(rule(&[3, 4]).len(), 9);
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.049), "+4.9%");
+        assert_eq!(pct(-0.02), "-2.0%");
+    }
+}

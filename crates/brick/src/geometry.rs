@@ -1,0 +1,250 @@
+//! Pitch-matched brick layout generation.
+//!
+//! The layout generator "first form\[s\] a bitcell array with respect to the
+//! user input parameters, and then array\[s\] the modified leaf cells around
+//! the bitcell arrays" (§3). Three leaf cells exist: the wordline driver
+//! (one per row, pitch-matched to the cell height, on the left edge), the
+//! local sense (one per column, pitch-matched to the cell width, on the
+//! bottom edge) and the control block (bottom-left corner). Leaf cell
+//! dimensions stretch with the drive strengths the compiler assigns.
+
+use crate::bitcell::BitcellKind;
+use lim_tech::patterns::PatternClass;
+use lim_tech::units::{Microns, SquareMicrons};
+
+/// Where a pin sits on the brick outline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinSide {
+    /// Left edge (wordline inputs).
+    West,
+    /// Top edge (write bitline inputs).
+    North,
+    /// Bottom edge (array read bitline outputs, clock, enable).
+    South,
+}
+
+/// A named pin with its position on the brick outline (brick-local
+/// coordinates, origin at the bottom-left corner).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pin {
+    /// Pin name, e.g. `dwl[3]`.
+    pub name: String,
+    /// Edge the pin lies on.
+    pub side: PinSide,
+    /// X offset from the brick origin.
+    pub x: Microns,
+    /// Y offset from the brick origin.
+    pub y: Microns,
+}
+
+/// Generated layout of one brick: outline, leaf-cell strips and pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrickLayout {
+    /// Bitcell flavor this layout was generated for.
+    pub bitcell: BitcellKind,
+    /// Width of the wordline-driver strip on the left edge.
+    pub wl_driver_strip: Microns,
+    /// Height of the local-sense strip on the bottom edge.
+    pub sense_strip: Microns,
+    /// Height of the control-block row (stacked under the sense strip).
+    pub control_strip: Microns,
+    /// Bitcell array width (bits · cell width).
+    pub array_width: Microns,
+    /// Bitcell array height (words · cell height).
+    pub array_height: Microns,
+    /// Pins on the outline.
+    pub pins: Vec<Pin>,
+}
+
+impl BrickLayout {
+    /// Generates the layout for an array of `words x bits` cells with the
+    /// given leaf-cell drive strengths.
+    ///
+    /// Leaf cells are pitch-matched: the WL driver strip spans exactly the
+    /// array height; its width grows with the driver drive. The sense
+    /// strip spans the array width; its height grows with the sense drive.
+    pub fn generate(
+        bitcell: BitcellKind,
+        words: usize,
+        bits: usize,
+        wl_driver_drive: f64,
+        sense_drive: f64,
+    ) -> Self {
+        Self::generate_with_cell(
+            bitcell,
+            &bitcell.electrical(),
+            words,
+            bits,
+            wl_driver_drive,
+            sense_drive,
+            1.0,
+        )
+    }
+
+    /// Like [`generate`](Self::generate) with explicit (possibly
+    /// technology-scaled) cell electricals and a leaf-cell strip scale —
+    /// the entry the compiler uses when porting nodes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn generate_with_cell(
+        bitcell: BitcellKind,
+        cell: &lim_tech::params::BitcellElectrical,
+        words: usize,
+        bits: usize,
+        wl_driver_drive: f64,
+        sense_drive: f64,
+        strip_scale: f64,
+    ) -> Self {
+        let array_width = cell.width * bits as f64;
+        let array_height = cell.height * words as f64;
+
+        // Leaf-cell stretch: a base footprint plus a linear term in drive,
+        // amortized over the rows/columns sharing the strip.
+        let wl_driver_strip = Microns::new((1.0 + 0.06 * wl_driver_drive) * strip_scale);
+        let sense_strip = Microns::new((1.2 + 0.05 * sense_drive) * strip_scale);
+        let control_strip = Microns::new(1.4 * strip_scale);
+
+        let mut layout = BrickLayout {
+            bitcell,
+            wl_driver_strip,
+            sense_strip,
+            control_strip,
+            array_width,
+            array_height,
+            pins: Vec::new(),
+        };
+        layout.place_pins(words, bits, cell.height.value(), cell.width.value());
+        layout
+    }
+
+    fn place_pins(&mut self, words: usize, bits: usize, cell_h: f64, cell_w: f64) {
+        let strip = self.wl_driver_strip.value();
+        let bottom = (self.sense_strip + self.control_strip).value();
+        // Decoded wordline inputs on the west edge, one per row.
+        for w in 0..words {
+            self.pins.push(Pin {
+                name: format!("dwl[{w}]"),
+                side: PinSide::West,
+                x: Microns::ZERO,
+                y: Microns::new(bottom + (w as f64 + 0.5) * cell_h),
+            });
+        }
+        // Write bitlines on the north edge, one per column.
+        for b in 0..bits {
+            self.pins.push(Pin {
+                name: format!("wbl[{b}]"),
+                side: PinSide::North,
+                x: Microns::new(strip + (b as f64 + 0.5) * cell_w),
+                y: self.height(),
+            });
+        }
+        // Array read bitline outputs plus clock/enable on the south edge.
+        for b in 0..bits {
+            self.pins.push(Pin {
+                name: format!("arbl[{b}]"),
+                side: PinSide::South,
+                x: Microns::new(strip + (b as f64 + 0.5) * cell_w),
+                y: Microns::ZERO,
+            });
+        }
+        for (i, name) in ["clk", "en"].iter().enumerate() {
+            self.pins.push(Pin {
+                name: (*name).to_owned(),
+                side: PinSide::South,
+                x: Microns::new(0.2 + 0.4 * i as f64),
+                y: Microns::ZERO,
+            });
+        }
+    }
+
+    /// Total brick width.
+    pub fn width(&self) -> Microns {
+        Microns::new(self.wl_driver_strip.value() + self.array_width.value())
+    }
+
+    /// Total brick height.
+    pub fn height(&self) -> Microns {
+        Microns::new(
+            self.array_height.value() + self.sense_strip.value() + self.control_strip.value(),
+        )
+    }
+
+    /// Footprint area.
+    pub fn area(&self) -> SquareMicrons {
+        self.width() * self.height()
+    }
+
+    /// Fraction of the footprint occupied by bitcells (array efficiency).
+    pub fn array_efficiency(&self) -> f64 {
+        (self.array_width * self.array_height) / self.area()
+    }
+
+    /// Lithography pattern class of the whole macro: bricks are drawn in
+    /// bitcell patterns, so they may abut pattern-compatible logic freely.
+    pub fn pattern_class(&self) -> PatternClass {
+        PatternClass::BitcellArray
+    }
+
+    /// Looks up a pin by name.
+    pub fn pin(&self, name: &str) -> Option<&Pin> {
+        self.pins.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout_16x10() -> BrickLayout {
+        BrickLayout::generate(BitcellKind::Sram8T, 16, 10, 12.0, 6.0)
+    }
+
+    #[test]
+    fn dimensions_compose() {
+        let l = layout_16x10();
+        // Array: 10 · 1.4 = 14 µm wide, 16 · 0.7 = 11.2 µm tall.
+        assert!((l.array_width.value() - 14.0).abs() < 1e-9);
+        assert!((l.array_height.value() - 11.2).abs() < 1e-9);
+        assert!(l.width().value() > l.array_width.value());
+        assert!(l.height().value() > l.array_height.value());
+        let a = l.area().value();
+        assert!((a - l.width().value() * l.height().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_below_one_and_improves_with_size() {
+        let small = BrickLayout::generate(BitcellKind::Sram8T, 16, 10, 12.0, 6.0);
+        let big = BrickLayout::generate(BitcellKind::Sram8T, 64, 32, 12.0, 6.0);
+        assert!(small.array_efficiency() < 1.0);
+        assert!(big.array_efficiency() > small.array_efficiency());
+    }
+
+    #[test]
+    fn pin_count_and_lookup() {
+        let l = layout_16x10();
+        // 16 dwl + 10 wbl + 10 arbl + clk + en.
+        assert_eq!(l.pins.len(), 16 + 10 + 10 + 2);
+        let p = l.pin("dwl[0]").unwrap();
+        assert_eq!(p.side, PinSide::West);
+        assert!(l.pin("nonexistent").is_none());
+    }
+
+    #[test]
+    fn wider_drive_widens_strip() {
+        let narrow = BrickLayout::generate(BitcellKind::Sram8T, 16, 10, 4.0, 4.0);
+        let wide = BrickLayout::generate(BitcellKind::Sram8T, 16, 10, 32.0, 4.0);
+        assert!(wide.wl_driver_strip > narrow.wl_driver_strip);
+        assert!(wide.area() > narrow.area());
+    }
+
+    #[test]
+    fn cam_brick_is_wider() {
+        let sram = BrickLayout::generate(BitcellKind::Sram8T, 16, 10, 12.0, 6.0);
+        let cam = BrickLayout::generate(BitcellKind::Cam, 16, 10, 12.0, 6.0);
+        assert!(cam.width() > sram.width());
+    }
+
+    #[test]
+    fn pattern_class_is_bitcell() {
+        assert_eq!(layout_16x10().pattern_class(), PatternClass::BitcellArray);
+    }
+}

@@ -1,0 +1,168 @@
+//! Memory brick compiler: the lowest physical abstraction of the LiM flow.
+//!
+//! A *memory brick* (paper §3) is a bitcell array with simplified local
+//! periphery — wordline drivers, a local sense strip and a control block —
+//! but **no** decoder or write driver, so that those can be synthesized in
+//! standard cells together with any smart-memory customization. Bricks are
+//! stackable: a bank of `S` stacked bricks shares write bitlines and array
+//! read bitlines (ARBL).
+//!
+//! This crate reproduces the paper's automated brick generation:
+//!
+//! * [`bitcell`] — the supported bitcell flavors (6T, 8T, CAM, eDRAM,
+//!   dual-port) with their calibrated 65 nm electricals.
+//! * [`compiler`] — logical-effort based sizing of the peripheral blocks
+//!   from the user parameters (bitcell type, words x bits, stack count).
+//! * [`geometry`] — pitch-matched layout generation: leaf cells arrayed
+//!   around the bitcell array; area, blockage and pin model.
+//! * [`estimator`] — the fast analytic performance-estimation tool
+//!   (critical path, read/write energy, setup/hold). This is the "Tool"
+//!   column of the paper's Table 1.
+//! * [`golden`] — the RC-extracted transient reference (the "SPICE"
+//!   column of Table 1), built on `lim-circuit`.
+//! * [`lut`] — bilinearly interpolated look-up-table models fitted from
+//!   estimator sweeps, as used in the generated libraries.
+//! * [`library`] — the dynamically generated brick library consumed by
+//!   logic/physical synthesis.
+//! * [`verilog`] — Verilog stubs for brick instantiation at the RTL
+//!   (paper Fig. 3).
+//!
+//! # Examples
+//!
+//! Compile the paper's 16x10 b 8T brick and estimate a 4x-stacked bank:
+//!
+//! ```
+//! use lim_brick::{BrickSpec, BitcellKind, compiler::BrickCompiler};
+//! use lim_tech::Technology;
+//!
+//! # fn main() -> Result<(), lim_brick::BrickError> {
+//! let tech = Technology::cmos65();
+//! let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10)?;
+//! let brick = BrickCompiler::new(&tech).compile(&spec)?;
+//! let est = brick.estimate_bank(4)?;
+//! assert!(est.read_delay.value() > 0.0);
+//! assert!(est.read_energy.value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bitcell;
+pub mod compiler;
+pub mod error;
+pub mod estimator;
+pub mod geometry;
+pub mod golden;
+pub mod liberty;
+pub mod library;
+pub mod lut;
+pub mod verilog;
+
+pub use bitcell::BitcellKind;
+pub use compiler::{BrickCompiler, CompiledBrick};
+pub use error::BrickError;
+pub use estimator::BankEstimate;
+pub use geometry::BrickLayout;
+pub use golden::GoldenMeasurement;
+pub use library::{BrickLibrary, LibraryEntry};
+
+use std::fmt;
+
+/// User-facing brick parameters: bitcell flavor and array size.
+///
+/// Per the paper, "taking the memory type, array size (words x bits), and
+/// number of bricks to be stacked in a bank as user input parameters, a
+/// netlist of a brick is automatically generated".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BrickSpec {
+    bitcell: BitcellKind,
+    words: usize,
+    bits: usize,
+}
+
+impl BrickSpec {
+    /// Maximum supported words per brick.
+    pub const MAX_WORDS: usize = 1024;
+    /// Maximum supported bits per word.
+    pub const MAX_BITS: usize = 256;
+
+    /// Creates a spec, validating the array dimensions.
+    ///
+    /// Non-power-of-two and non-multiple-of-8 sizes are explicitly allowed
+    /// (the paper calls this out as a feature of the flow).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrickError::InvalidArraySize`] when either dimension is
+    /// zero or exceeds the supported maximum.
+    pub fn new(bitcell: BitcellKind, words: usize, bits: usize) -> Result<Self, BrickError> {
+        if words == 0 || bits == 0 || words > Self::MAX_WORDS || bits > Self::MAX_BITS {
+            return Err(BrickError::InvalidArraySize { words, bits });
+        }
+        Ok(BrickSpec {
+            bitcell,
+            words,
+            bits,
+        })
+    }
+
+    /// The bitcell flavor.
+    pub fn bitcell(&self) -> BitcellKind {
+        self.bitcell
+    }
+
+    /// Rows (words) in the array.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Columns (bits per word).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Total bitcell count.
+    pub fn cells(&self) -> usize {
+        self.words * self.bits
+    }
+
+    /// Canonical instance name, e.g. `brick_8t_16_10`.
+    pub fn instance_name(&self) -> String {
+        format!(
+            "brick_{}_{}_{}",
+            self.bitcell.short_name(),
+            self.words,
+            self.bits
+        )
+    }
+}
+
+impl fmt::Display for BrickSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}x{}b", self.bitcell, self.words, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        assert!(BrickSpec::new(BitcellKind::Sram8T, 16, 10).is_ok());
+        assert!(BrickSpec::new(BitcellKind::Sram8T, 0, 10).is_err());
+        assert!(BrickSpec::new(BitcellKind::Sram8T, 16, 0).is_err());
+        assert!(BrickSpec::new(BitcellKind::Sram8T, 2048, 10).is_err());
+        // Non-multiples of 8 are allowed.
+        assert!(BrickSpec::new(BitcellKind::Cam, 17, 11).is_ok());
+    }
+
+    #[test]
+    fn spec_accessors_and_name() {
+        let s = BrickSpec::new(BitcellKind::Sram8T, 32, 12).unwrap();
+        assert_eq!(s.words(), 32);
+        assert_eq!(s.bits(), 12);
+        assert_eq!(s.cells(), 384);
+        assert_eq!(s.instance_name(), "brick_8t_32_12");
+        assert_eq!(s.to_string(), "8T SRAM 32x12b");
+    }
+}

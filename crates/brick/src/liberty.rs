@@ -1,0 +1,170 @@
+//! Liberty (`.lib`) emission for generated brick libraries.
+//!
+//! "Bricks are integrated … by library files at the gate netlist (.lib
+//! that includes timing, power, and area)" (§3). This module serializes a
+//! [`BrickLibrary`] into Liberty text so the generated models can be
+//! inspected, diffed, or handed to an external flow. The subset emitted
+//! is the NLDM core: cell area, leakage, pin capacitances, setup/hold
+//! constraints and the clock-to-output `table_lookup` delay arcs.
+
+use crate::library::{BrickLibrary, LibraryEntry};
+use std::fmt::Write as _;
+
+/// Serializes the whole library as Liberty text.
+pub fn emit_library(name: &str, library: &BrickLibrary) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "/* auto-generated brick library: {name} */");
+    let _ = writeln!(s, "library ({name}) {{");
+    let _ = writeln!(s, "  delay_model : table_lookup;");
+    let _ = writeln!(s, "  time_unit : \"1ps\";");
+    let _ = writeln!(s, "  capacitive_load_unit (1, ff);");
+    let _ = writeln!(s, "  leakage_power_unit : \"1mW\";");
+    let _ = writeln!(s, "  voltage_unit : \"1V\";");
+    for entry in library.entries() {
+        s.push_str(&emit_cell(entry));
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Serializes one entry as a Liberty `cell` group.
+pub fn emit_cell(entry: &LibraryEntry) -> String {
+    let mut s = String::new();
+    let est = &entry.estimate;
+    let _ = writeln!(s, "  cell ({}) {{", entry.name);
+    let _ = writeln!(s, "    /* {} x{} bank */", est.spec, entry.stack);
+    let _ = writeln!(s, "    area : {:.2};", est.area.value());
+    let _ = writeln!(s, "    is_macro_cell : true;");
+    let _ = writeln!(s, "    cell_leakage_power : {:.6};", est.leakage.value());
+
+    // Clock pin.
+    let _ = writeln!(s, "    pin (clk) {{");
+    let _ = writeln!(s, "      direction : input;");
+    let _ = writeln!(s, "      clock : true;");
+    let _ = writeln!(s, "      capacitance : {:.3};", entry.clk_pin_cap.value());
+    let _ = writeln!(s, "    }}");
+
+    // Representative decoded-wordline input with the setup/hold arc.
+    let _ = writeln!(s, "    pin (dwl) {{");
+    let _ = writeln!(s, "      direction : input;");
+    let _ = writeln!(s, "      capacitance : {:.3};", entry.dwl_pin_cap.value());
+    let _ = writeln!(s, "      timing () {{");
+    let _ = writeln!(s, "        related_pin : \"clk\";");
+    let _ = writeln!(s, "        timing_type : setup_rising;");
+    let _ = writeln!(
+        s,
+        "        rise_constraint (scalar) {{ values (\"{:.1}\"); }}",
+        est.setup.value()
+    );
+    let _ = writeln!(s, "      }}");
+    let _ = writeln!(s, "      timing () {{");
+    let _ = writeln!(s, "        related_pin : \"clk\";");
+    let _ = writeln!(s, "        timing_type : hold_rising;");
+    let _ = writeln!(
+        s,
+        "        rise_constraint (scalar) {{ values (\"{:.1}\"); }}",
+        est.hold.value()
+    );
+    let _ = writeln!(s, "      }}");
+    let _ = writeln!(s, "    }}");
+
+    // Output with the NLDM clk→q table.
+    let lut = &entry.clk_to_q;
+    let fmt_axis = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(s, "    pin (arbl) {{");
+    let _ = writeln!(s, "      direction : output;");
+    let _ = writeln!(s, "      timing () {{");
+    let _ = writeln!(s, "        related_pin : \"clk\";");
+    let _ = writeln!(s, "        timing_type : rising_edge;");
+    let _ = writeln!(s, "        cell_rise (clk_to_q_template) {{");
+    let _ = writeln!(s, "          index_1 (\"{}\"); /* load fF */", fmt_axis(lut.xs()));
+    let _ = writeln!(s, "          index_2 (\"{}\"); /* slew ps */", fmt_axis(lut.ys()));
+    let _ = writeln!(s, "          values ( \\");
+    for &slew in lut.ys() {
+        let row: Vec<String> = lut
+            .xs()
+            .iter()
+            .map(|&load| format!("{:.1}", lut.lookup(load, slew)))
+            .collect();
+        let _ = writeln!(s, "            \"{}\", \\", row.join(", "));
+    }
+    let _ = writeln!(s, "          );");
+    let _ = writeln!(s, "        }}");
+    let _ = writeln!(s, "      }}");
+    let _ = writeln!(s, "    }}");
+
+    // Per-operation energies as internal power annotations.
+    let _ = writeln!(
+        s,
+        "    /* read energy {:.1} fJ, write energy {:.1} fJ */",
+        est.read_energy.value(),
+        est.write_energy.value()
+    );
+    if let (Some(md), Some(me)) = (est.match_delay, est.match_energy) {
+        let _ = writeln!(
+            s,
+            "    /* CAM match: delay {:.1} ps, energy {:.1} fJ */",
+            md.value(),
+            me.value()
+        );
+    }
+    let _ = writeln!(s, "  }}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitcell::BitcellKind;
+    use crate::BrickSpec;
+    use lim_tech::Technology;
+
+    fn library() -> BrickLibrary {
+        let tech = Technology::cmos65();
+        let specs = [
+            BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap(),
+            BrickSpec::new(BitcellKind::Cam, 16, 10).unwrap(),
+        ];
+        BrickLibrary::generate(&tech, &specs, &[1, 4]).unwrap()
+    }
+
+    #[test]
+    fn emits_all_cells_with_balanced_braces() {
+        let lib = library();
+        let text = emit_library("lim_bricks", &lib);
+        assert!(text.contains("library (lim_bricks)"));
+        for entry in lib.entries() {
+            assert!(text.contains(&format!("cell ({})", entry.name)), "{}", entry.name);
+        }
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes, "unbalanced braces");
+    }
+
+    #[test]
+    fn nldm_table_has_full_grid() {
+        let lib = library();
+        let entry = lib.get("brick_8t_16_10_x4").unwrap();
+        let text = emit_cell(entry);
+        // One value row per slew index.
+        let rows = text.lines().filter(|l| l.trim_start().starts_with('"')).count();
+        assert_eq!(rows, entry.clk_to_q.ys().len());
+        assert!(text.contains("index_1"));
+        assert!(text.contains("setup_rising"));
+        assert!(text.contains("hold_rising"));
+    }
+
+    #[test]
+    fn cam_cells_note_match_arcs() {
+        let lib = library();
+        let cam = lib.get("brick_cam_16_10_x1").unwrap();
+        assert!(emit_cell(cam).contains("CAM match"));
+        let sram = lib.get("brick_8t_16_10_x1").unwrap();
+        assert!(!emit_cell(sram).contains("CAM match"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Dynamically generated brick libraries.
+//!
+//! "Once the corresponding netlist has been generated, a parameterized
+//! library model for the brick is created that includes the critical path,
+//! energy, area, and setup & hold times that are needed for use in the
+//! subsequent synthesis flow" (§3). A [`BrickLibrary`] is that artifact:
+//! one [`LibraryEntry`] per (spec, stack) pair, with NLDM-style
+//! clock-to-output LUTs, energies, pin capacitances, area and blockage,
+//! ready for `lim-rtl` mapping and `lim-physical` timing.
+
+use crate::compiler::{BrickCompiler, CLK_LOAD_PER_BRICK, DWL_PIN_CAP};
+use crate::error::BrickError;
+use crate::estimator::BankEstimate;
+use crate::lut::Lut2D;
+use crate::{BrickSpec, CompiledBrick};
+use lim_tech::patterns::PatternClass;
+use lim_tech::units::{Femtofarads, Microns, Picoseconds};
+use lim_tech::Technology;
+
+/// One generated library cell: a bank of stacked bricks as a macro.
+#[derive(Debug, Clone)]
+pub struct LibraryEntry {
+    /// Macro name, e.g. `brick_8t_16_10_x4`.
+    pub name: String,
+    /// The compiled brick this entry models.
+    pub brick: CompiledBrick,
+    /// Stack count of the bank.
+    pub stack: usize,
+    /// The scalar estimate (delay/energy/area/setup/hold/leakage).
+    pub estimate: BankEstimate,
+    /// Clock-to-output delay vs (output load fF, input slew ps).
+    pub clk_to_q: Lut2D,
+    /// Clock pin capacitance of the whole bank.
+    pub clk_pin_cap: Femtofarads,
+    /// Capacitance of one decoded-wordline input pin.
+    pub dwl_pin_cap: Femtofarads,
+    /// Bank outline width.
+    pub width: Microns,
+    /// Bank outline height.
+    pub height: Microns,
+}
+
+impl LibraryEntry {
+    /// Lithography pattern class (always bitcell-array for bricks).
+    pub fn pattern_class(&self) -> PatternClass {
+        PatternClass::BitcellArray
+    }
+
+    /// Clock-to-output delay for a given load and input slew.
+    pub fn clk_to_q(&self, load: Femtofarads, slew: Picoseconds) -> Picoseconds {
+        Picoseconds::new(self.clk_to_q.lookup(load.value(), slew.value()))
+    }
+}
+
+/// A collection of generated brick macros, addressable by name.
+#[derive(Debug, Clone, Default)]
+pub struct BrickLibrary {
+    entries: Vec<LibraryEntry>,
+}
+
+impl BrickLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Generates a library covering every `(spec, stack)` combination.
+    ///
+    /// This is the paper's "instantaneous generation of the necessary
+    /// synthesis files": each entry compiles the brick, runs the
+    /// estimator and tabulates the NLDM LUTs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and estimator failures.
+    pub fn generate(
+        tech: &Technology,
+        specs: &[BrickSpec],
+        stacks: &[usize],
+    ) -> Result<Self, BrickError> {
+        let compiler = BrickCompiler::new(tech);
+        let mut entries = Vec::with_capacity(specs.len() * stacks.len());
+        for spec in specs {
+            let brick = compiler.compile(spec)?;
+            for &stack in stacks {
+                entries.push(Self::entry(&brick, stack)?);
+            }
+        }
+        Ok(BrickLibrary { entries })
+    }
+
+    fn entry(brick: &CompiledBrick, stack: usize) -> Result<LibraryEntry, BrickError> {
+        let estimate = brick.estimate_bank(stack)?;
+        let loads = vec![2.0, 8.0, 24.0, 64.0, 160.0];
+        let slews = vec![0.0, 40.0, 120.0, 300.0];
+        // Tabulate the estimator across the grid (errors inside the closure
+        // are impossible once the base estimate succeeded, but guard
+        // anyway by falling back to the scalar estimate). CAM bricks time
+        // their slower match operation, which is what downstream logic
+        // waits for.
+        let base = estimate.read_delay;
+        let cam_offset = estimate
+            .match_delay
+            .map(|m| (m.value() - estimate.read_delay.value()).max(0.0))
+            .unwrap_or(0.0);
+        let clk_to_q = Lut2D::tabulate(loads, slews, |load, slew| {
+            brick
+                .read_delay_with(stack, Femtofarads::new(load), Picoseconds::new(slew))
+                .map(|d| d.value() + cam_offset)
+                .unwrap_or_else(|_| base.value() + cam_offset)
+        })
+        .expect("static axes are well-formed");
+
+        let layout = &brick.layout;
+        Ok(LibraryEntry {
+            name: format!("{}_x{}", brick.spec().instance_name(), stack),
+            brick: brick.clone(),
+            stack,
+            estimate,
+            clk_to_q,
+            clk_pin_cap: CLK_LOAD_PER_BRICK * stack as f64,
+            dwl_pin_cap: DWL_PIN_CAP,
+            width: layout.width(),
+            height: Microns::new(layout.height().value() * stack as f64),
+        })
+    }
+
+    /// Adds a single entry for `(spec, stack)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and estimator failures.
+    pub fn add(
+        &mut self,
+        tech: &Technology,
+        spec: &BrickSpec,
+        stack: usize,
+    ) -> Result<&LibraryEntry, BrickError> {
+        let brick = BrickCompiler::new(tech).compile(spec)?;
+        self.entries.push(Self::entry(&brick, stack)?);
+        Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[LibraryEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the library holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by macro name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BrickError::UnknownEntry`] when absent.
+    pub fn get(&self, name: &str) -> Result<&LibraryEntry, BrickError> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| BrickError::UnknownEntry(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitcell::BitcellKind;
+
+    fn tech() -> Technology {
+        Technology::cmos65()
+    }
+
+    #[test]
+    fn generate_cross_product() {
+        let specs = [
+            BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap(),
+            BrickSpec::new(BitcellKind::Sram8T, 32, 12).unwrap(),
+        ];
+        let lib = BrickLibrary::generate(&tech(), &specs, &[1, 4, 8]).unwrap();
+        assert_eq!(lib.len(), 6);
+        let e = lib.get("brick_8t_16_10_x4").unwrap();
+        assert_eq!(e.stack, 4);
+        assert!(lib.get("missing").is_err());
+    }
+
+    #[test]
+    fn lut_consistent_with_estimate_at_nominal() {
+        let specs = [BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap()];
+        let lib = BrickLibrary::generate(&tech(), &specs, &[1]).unwrap();
+        let e = &lib.entries()[0];
+        // At the nominal load (8 · c_unit = 11.2 fF) and zero slew the LUT
+        // should reproduce the scalar estimate closely.
+        let got = e.clk_to_q(Femtofarads::new(11.2), Picoseconds::ZERO);
+        let expect = e.estimate.read_delay;
+        assert!(
+            (got.value() - expect.value()).abs() / expect.value() < 0.05,
+            "lut {got} vs estimate {expect}"
+        );
+        // Heavier load is slower, slower input slew is slower.
+        assert!(e.clk_to_q(Femtofarads::new(160.0), Picoseconds::ZERO) > got);
+        assert!(e.clk_to_q(Femtofarads::new(11.2), Picoseconds::new(300.0)) > got);
+    }
+
+    #[test]
+    fn bank_height_scales_with_stack() {
+        let specs = [BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap()];
+        let lib = BrickLibrary::generate(&tech(), &specs, &[1, 8]).unwrap();
+        let h1 = lib.get("brick_8t_16_10_x1").unwrap().height;
+        let h8 = lib.get("brick_8t_16_10_x8").unwrap().height;
+        assert!((h8.value() / h1.value() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incremental_add() {
+        let mut lib = BrickLibrary::new();
+        assert!(lib.is_empty());
+        let spec = BrickSpec::new(BitcellKind::Cam, 16, 10).unwrap();
+        let name = lib.add(&tech(), &spec, 1).unwrap().name.clone();
+        assert_eq!(name, "brick_cam_16_10_x1");
+        assert_eq!(lib.len(), 1);
+        assert!(lib.get(&name).unwrap().estimate.match_delay.is_some());
+    }
+}

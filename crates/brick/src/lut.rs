@@ -1,0 +1,216 @@
+//! Bilinearly interpolated look-up tables.
+//!
+//! "The gate components within the brick netlist are each represented by
+//! look-up table (LUT) models based on bilinear interpolation and curve
+//! fitting for delay and energy as a function of fanout and slew rate"
+//! (§3). [`Lut2D`] is that model: an NLDM-style table over two axes
+//! (typically output load and input slew) with bilinear interpolation
+//! inside the grid and clamping outside it.
+
+use std::fmt;
+
+/// A 2-D look-up table with bilinear interpolation.
+///
+/// # Examples
+///
+/// ```
+/// use lim_brick::lut::Lut2D;
+///
+/// let lut = Lut2D::tabulate(
+///     vec![0.0, 10.0],
+///     vec![0.0, 100.0],
+///     |x, y| x + y,
+/// ).expect("axes are valid");
+/// assert_eq!(lut.lookup(5.0, 50.0), 55.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lut2D {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Row-major: `values[iy * xs.len() + ix]`.
+    values: Vec<f64>,
+}
+
+/// Error building a [`Lut2D`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LutError {
+    /// An axis had fewer than two points or was not strictly increasing.
+    BadAxis {
+        /// `"x"` or `"y"`.
+        axis: &'static str,
+    },
+    /// The value grid does not match `xs.len() * ys.len()`.
+    WrongValueCount {
+        /// Expected number of values.
+        expected: usize,
+        /// Provided number of values.
+        got: usize,
+    },
+}
+
+impl fmt::Display for LutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutError::BadAxis { axis } => {
+                write!(f, "{axis} axis must have ≥ 2 strictly increasing points")
+            }
+            LutError::WrongValueCount { expected, got } => {
+                write!(f, "expected {expected} grid values, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LutError {}
+
+fn check_axis(axis: &'static str, v: &[f64]) -> Result<(), LutError> {
+    if v.len() < 2 || v.windows(2).any(|w| w[1] <= w[0]) {
+        return Err(LutError::BadAxis { axis });
+    }
+    Ok(())
+}
+
+impl Lut2D {
+    /// Builds a LUT from explicit axes and a row-major value grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError`] for malformed axes or a mismatched grid.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, values: Vec<f64>) -> Result<Self, LutError> {
+        check_axis("x", &xs)?;
+        check_axis("y", &ys)?;
+        let expected = xs.len() * ys.len();
+        if values.len() != expected {
+            return Err(LutError::WrongValueCount {
+                expected,
+                got: values.len(),
+            });
+        }
+        Ok(Lut2D { xs, ys, values })
+    }
+
+    /// Builds a LUT by evaluating `f` at every grid point — the "curve
+    /// fitting" step of library generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LutError`] for malformed axes.
+    pub fn tabulate(
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<Self, LutError> {
+        check_axis("x", &xs)?;
+        check_axis("y", &ys)?;
+        let mut values = Vec::with_capacity(xs.len() * ys.len());
+        for &y in &ys {
+            for &x in &xs {
+                values.push(f(x, y));
+            }
+        }
+        Ok(Lut2D { xs, ys, values })
+    }
+
+    /// X-axis knots.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Y-axis knots.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    fn bracket(axis: &[f64], v: f64) -> (usize, f64) {
+        if v <= axis[0] {
+            return (0, 0.0);
+        }
+        let last = axis.len() - 1;
+        if v >= axis[last] {
+            return (last - 1, 1.0);
+        }
+        let i = axis.partition_point(|&a| a <= v) - 1;
+        let frac = (v - axis[i]) / (axis[i + 1] - axis[i]);
+        (i, frac)
+    }
+
+    /// Bilinear lookup, clamped to the table's rectangle.
+    pub fn lookup(&self, x: f64, y: f64) -> f64 {
+        let (ix, fx) = Self::bracket(&self.xs, x);
+        let (iy, fy) = Self::bracket(&self.ys, y);
+        let w = self.xs.len();
+        let v00 = self.values[iy * w + ix];
+        let v10 = self.values[iy * w + ix + 1];
+        let v01 = self.values[(iy + 1) * w + ix];
+        let v11 = self.values[(iy + 1) * w + ix + 1];
+        let a = v00 * (1.0 - fx) + v10 * fx;
+        let b = v01 * (1.0 - fx) + v11 * fx;
+        a * (1.0 - fy) + b * fy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planar() -> Lut2D {
+        // f(x, y) = 2x + 3y + 1: bilinear interpolation is exact on planes.
+        Lut2D::tabulate(vec![0.0, 4.0, 10.0], vec![0.0, 5.0, 20.0], |x, y| {
+            2.0 * x + 3.0 * y + 1.0
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_at_knots() {
+        let lut = planar();
+        for &x in lut.xs().to_vec().iter() {
+            for &y in lut.ys().to_vec().iter() {
+                assert!((lut.lookup(x, y) - (2.0 * x + 3.0 * y + 1.0)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_planes_between_knots() {
+        let lut = planar();
+        for (x, y) in [(1.0, 1.0), (3.3, 4.9), (7.2, 12.0)] {
+            assert!((lut.lookup(x, y) - (2.0 * x + 3.0 * y + 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clamps_outside_grid() {
+        let lut = planar();
+        assert_eq!(lut.lookup(-5.0, -5.0), lut.lookup(0.0, 0.0));
+        assert_eq!(lut.lookup(99.0, 99.0), lut.lookup(10.0, 20.0));
+    }
+
+    #[test]
+    fn rejects_bad_axes() {
+        assert_eq!(
+            Lut2D::new(vec![1.0], vec![0.0, 1.0], vec![0.0, 0.0]).unwrap_err(),
+            LutError::BadAxis { axis: "x" }
+        );
+        assert_eq!(
+            Lut2D::new(vec![0.0, 0.0], vec![0.0, 1.0], vec![0.0; 4]).unwrap_err(),
+            LutError::BadAxis { axis: "x" }
+        );
+        assert_eq!(
+            Lut2D::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0; 3]).unwrap_err(),
+            LutError::WrongValueCount {
+                expected: 4,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn row_major_orientation() {
+        // values[iy * w + ix]: distinguish x and y.
+        let lut = Lut2D::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![0.0, 10.0, 100.0, 110.0])
+            .unwrap();
+        assert_eq!(lut.lookup(1.0, 0.0), 10.0);
+        assert_eq!(lut.lookup(0.0, 1.0), 100.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! First-moment (Elmore) analysis of RC trees.
+//!
+//! The fast path of the brick estimator uses closed-form ladder formulas
+//! from `lim-tech::wire`; this module provides the general tree version,
+//! used for arbitrary extracted topologies and for cross-checking the
+//! transient solver in tests (Elmore is a provable upper bound on the 50 %
+//! step-response delay of an RC tree).
+
+use lim_tech::units::{Femtofarads, KiloOhms, Picoseconds};
+
+/// Index of a tree node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeNodeId(usize);
+
+#[derive(Debug, Clone, PartialEq)]
+struct TreeNode {
+    parent: Option<usize>,
+    /// Resistance from the parent (or from the driver, for the root).
+    r_up: f64,
+    /// Grounded capacitance at this node.
+    c: f64,
+}
+
+/// An RC tree rooted at a driver.
+///
+/// # Examples
+///
+/// ```
+/// use lim_circuit::RcTree;
+/// use lim_tech::units::{Femtofarads, KiloOhms};
+///
+/// let mut tree = RcTree::new();
+/// let root = tree.add_root(KiloOhms::new(1.0), Femtofarads::new(2.0));
+/// let leaf = tree.add_child(root, KiloOhms::new(1.0), Femtofarads::new(2.0));
+/// // Elmore: 1k·4fF + 1k·2fF = 6 ps.
+/// assert!((tree.elmore_delay(leaf).value() - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RcTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RcTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds the root node, connected to the driver through `r_up`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root already exists.
+    pub fn add_root(&mut self, r_up: KiloOhms, c: Femtofarads) -> TreeNodeId {
+        assert!(self.nodes.is_empty(), "tree already has a root");
+        self.nodes.push(TreeNode {
+            parent: None,
+            r_up: r_up.value(),
+            c: c.value(),
+        });
+        TreeNodeId(0)
+    }
+
+    /// Adds a child of `parent` through resistance `r_up` with grounded
+    /// capacitance `c`.
+    pub fn add_child(&mut self, parent: TreeNodeId, r_up: KiloOhms, c: Femtofarads) -> TreeNodeId {
+        assert!(parent.0 < self.nodes.len(), "unknown parent node");
+        self.nodes.push(TreeNode {
+            parent: Some(parent.0),
+            r_up: r_up.value(),
+            c: c.value(),
+        });
+        TreeNodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds extra grounded capacitance to an existing node.
+    pub fn add_cap(&mut self, node: TreeNodeId, c: Femtofarads) {
+        self.nodes[node.0].c += c.value();
+    }
+
+    /// Total capacitance hanging below (and at) each node.
+    fn downstream_caps(&self) -> Vec<f64> {
+        let mut down: Vec<f64> = self.nodes.iter().map(|n| n.c).collect();
+        // Children always have larger indices than parents, so a reverse
+        // sweep accumulates bottom-up.
+        for i in (0..self.nodes.len()).rev() {
+            if let Some(p) = self.nodes[i].parent {
+                down[p] += down[i];
+            }
+        }
+        down
+    }
+
+    /// Elmore delay from the driver to `node`:
+    /// `Σ_{edges on path} R_edge · C_downstream(edge)`.
+    pub fn elmore_delay(&self, node: TreeNodeId) -> Picoseconds {
+        let down = self.downstream_caps();
+        let mut delay = 0.0;
+        let mut cur = Some(node.0);
+        while let Some(i) = cur {
+            delay += self.nodes[i].r_up * down[i];
+            cur = self.nodes[i].parent;
+        }
+        Picoseconds::new(delay)
+    }
+
+    /// Total capacitance of the tree.
+    pub fn total_cap(&self) -> Femtofarads {
+        Femtofarads::new(self.nodes.iter().map(|n| n.c).sum())
+    }
+
+    /// Resistance of the common path-to-root shared by `a` and `b`
+    /// (the `R_ik` of moment analysis).
+    fn shared_resistance(&self, a: usize, b: usize) -> f64 {
+        let chain = |mut i: usize| -> Vec<usize> {
+            let mut v = vec![i];
+            while let Some(p) = self.nodes[i].parent {
+                v.push(p);
+                i = p;
+            }
+            v
+        };
+        let ca = chain(a);
+        let cb = chain(b);
+        let set: std::collections::HashSet<usize> = cb.into_iter().collect();
+        ca.into_iter()
+            .filter(|i| set.contains(i))
+            .map(|i| self.nodes[i].r_up)
+            .sum()
+    }
+
+    /// Second moment of the impulse response at `node`:
+    /// `m₂(i) = Σ_k R_ik · C_k · m₁(k)`. Together with the Elmore first
+    /// moment this gives a two-moment (AWE-style) response estimate.
+    pub fn second_moment(&self, node: TreeNodeId) -> f64 {
+        let m1: Vec<f64> = (0..self.nodes.len())
+            .map(|k| self.elmore_delay(TreeNodeId(k)).value())
+            .collect();
+        (0..self.nodes.len())
+            .map(|k| self.shared_resistance(node.0, k) * self.nodes[k].c * m1[k])
+            .sum()
+    }
+
+    /// Two-moment 10–90 % slew estimate at `node`, after matching the
+    /// first two moments to a single dominant pole with a delay offset:
+    /// the pole is `τ² = 2·m₂ − m₁²` (variance of the impulse response),
+    /// and a single pole's 10–90 % transition is `ln 9 · τ`.
+    pub fn slew_estimate(&self, node: TreeNodeId) -> Picoseconds {
+        let m1 = self.elmore_delay(node).value();
+        let m2 = self.second_moment(node);
+        let var = (2.0 * m2 - m1 * m1).max(0.0);
+        Picoseconds::new(9.0f64.ln() * var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_closed_form() {
+        // Uniform 4-stage ladder driven through r_d.
+        let (rd, rs, cs) = (0.5, 1.0, 2.5);
+        let mut tree = RcTree::new();
+        let mut prev = tree.add_root(KiloOhms::new(rd + rs), Femtofarads::new(cs));
+        // NOTE: fold driver resistance into the first edge.
+        let mut last = prev;
+        for _ in 1..4 {
+            let n = tree.add_child(prev, KiloOhms::new(rs), Femtofarads::new(cs));
+            prev = n;
+            last = n;
+        }
+        // Closed form: (rd+rs)·4c + rs·3c + rs·2c + rs·1c
+        let expect = (rd + rs) * 4.0 * cs + rs * cs * (3.0 + 2.0 + 1.0);
+        assert!((tree.elmore_delay(last).value() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_caps_count_once() {
+        let mut tree = RcTree::new();
+        let root = tree.add_root(KiloOhms::new(1.0), Femtofarads::new(1.0));
+        let a = tree.add_child(root, KiloOhms::new(1.0), Femtofarads::new(1.0));
+        let _b = tree.add_child(root, KiloOhms::new(1.0), Femtofarads::new(5.0));
+        // Path to a: root edge sees all 7 fF, a's edge sees only 1 fF.
+        assert!((tree.elmore_delay(a).value() - (7.0 + 1.0)).abs() < 1e-9);
+        assert!((tree.total_cap().value() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_cap_increases_delay() {
+        let mut tree = RcTree::new();
+        let root = tree.add_root(KiloOhms::new(2.0), Femtofarads::new(3.0));
+        let before = tree.elmore_delay(root);
+        tree.add_cap(root, Femtofarads::new(1.0));
+        assert!(tree.elmore_delay(root) > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a root")]
+    fn double_root_panics() {
+        let mut tree = RcTree::new();
+        tree.add_root(KiloOhms::new(1.0), Femtofarads::new(1.0));
+        tree.add_root(KiloOhms::new(1.0), Femtofarads::new(1.0));
+    }
+
+    #[test]
+    fn single_pole_moments_are_exact() {
+        // One RC: m1 = RC, m2 = (RC)², variance = (RC)², slew = ln9·RC.
+        let mut tree = RcTree::new();
+        let n = tree.add_root(KiloOhms::new(2.0), Femtofarads::new(5.0));
+        let rc = 10.0;
+        assert!((tree.elmore_delay(n).value() - rc).abs() < 1e-9);
+        assert!((tree.second_moment(n) - rc * rc).abs() < 1e-9);
+        assert!((tree.slew_estimate(n).value() - 9.0f64.ln() * rc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_moment_slew_tracks_transient() {
+        use crate::netlist::Circuit;
+        use crate::transient::TransientSim;
+        use crate::waveform::Edge;
+        use lim_tech::units::{Picoseconds, Volts};
+
+        // A 6-stage ladder: compare the analytic slew estimate against
+        // the solver's measured 10-90 % at the far node.
+        let (r, c) = (1.0, 2.0);
+        let mut tree = RcTree::new();
+        let mut prev = tree.add_root(KiloOhms::new(r), Femtofarads::new(c));
+        let mut last = prev;
+        for _ in 1..6 {
+            last = tree.add_child(prev, KiloOhms::new(r), Femtofarads::new(c));
+            prev = last;
+        }
+        let est = tree.slew_estimate(last);
+
+        let mut ckt = Circuit::new();
+        let mut nodes = vec![ckt.add_node("n0")];
+        ckt.add_cap(nodes[0], Femtofarads::new(c));
+        for i in 1..6 {
+            let n = ckt.add_node(format!("n{i}"));
+            ckt.add_resistor(nodes[i - 1], n, KiloOhms::new(r));
+            ckt.add_cap(n, Femtofarads::new(c));
+            nodes.push(n);
+        }
+        let drv = ckt.add_node("drv");
+        ckt.add_resistor(drv, nodes[0], KiloOhms::new(r));
+        let src = ckt.add_source(drv, KiloOhms::new(1e-3), Volts::ZERO);
+        ckt.schedule(src, Picoseconds::ZERO, Volts::new(1.0));
+        let res = TransientSim::new(&ckt)
+            .run(Picoseconds::new(300.0), Picoseconds::new(0.02))
+            .unwrap();
+        let measured = res
+            .slew(nodes[5], Volts::ZERO, Volts::new(1.0), Edge::Rising)
+            .unwrap();
+        let err = (est.value() - measured.value()).abs() / measured.value();
+        assert!(
+            err < 0.30,
+            "two-moment slew {est} vs transient {measured} ({:.0}% off)",
+            err * 100.0
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for circuit construction and simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A node id referenced an element that does not exist.
+    UnknownNode(usize),
+    /// An element value that must be strictly positive was not.
+    NonPositiveValue {
+        /// What kind of element carried the bad value.
+        element: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The simulation time step or end time is invalid.
+    BadTimeStep {
+        /// Requested step, in ps.
+        dt: f64,
+        /// Requested end time, in ps.
+        t_end: f64,
+    },
+    /// The conductance system was singular (a node with no DC path and no
+    /// capacitance cannot be solved).
+    SingularSystem {
+        /// Index of the pivot that vanished.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            CircuitError::NonPositiveValue { element, value } => {
+                write!(f, "{element} value must be positive, got {value}")
+            }
+            CircuitError::BadTimeStep { dt, t_end } => {
+                write!(f, "invalid simulation window: dt = {dt} ps, t_end = {t_end} ps")
+            }
+            CircuitError::SingularSystem { pivot } => {
+                write!(f, "singular conductance system at pivot {pivot}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(CircuitError::UnknownNode(3).to_string(), "unknown node id 3");
+        assert!(CircuitError::BadTimeStep { dt: 0.0, t_end: 1.0 }
+            .to_string()
+            .contains("invalid simulation window"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Backward-Euler transient solver.
+//!
+//! The solver discretizes the node equations `C dv/dt = −G v + I(t)` with
+//! the unconditionally stable backward-Euler rule
+//! `(G + C/Δt) v_{n+1} = (C/Δt) v_n + I(t_{n+1})` and solves the dense
+//! system by LU factorization. The factorization is reused across steps and
+//! refreshed only when a switch changes state (conductance topology
+//! change), which makes long RC-ladder simulations cheap.
+//!
+//! Supply energy is integrated alongside: every driver's delivered energy
+//! is `∫ v_target · i dt`, which for a full charge of capacitance C to Vdd
+//! converges to the textbook `C·Vdd²`.
+
+use crate::error::CircuitError;
+use crate::netlist::{Circuit, NodeId, SourceId, SwitchControl, SwitchTerminal};
+use crate::waveform::{Edge, Waveform};
+use lim_tech::units::{Femtojoules, Picoseconds, Volts};
+
+/// A transient simulation of a [`Circuit`].
+#[derive(Debug, Clone)]
+pub struct TransientSim<'a> {
+    circuit: &'a Circuit,
+}
+
+impl<'a> TransientSim<'a> {
+    /// Prepares a simulation of `circuit`.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        TransientSim { circuit }
+    }
+
+    /// Integrates from `t = 0` to `t_end` with fixed step `dt`, recording
+    /// every node's waveform.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BadTimeStep`] when `dt ≤ 0` or `t_end < dt`.
+    /// * [`CircuitError::SingularSystem`] when some node has neither a DC
+    ///   path to a driver nor capacitance.
+    /// * Any validation error from [`Circuit::validate`].
+    pub fn run(&self, t_end: Picoseconds, dt: Picoseconds) -> Result<TransientResult, CircuitError> {
+        self.circuit.validate()?;
+        let (dt_v, t_end_v) = (dt.value(), t_end.value());
+        if dt_v <= 0.0 || t_end_v < dt_v || !dt_v.is_finite() || !t_end_v.is_finite() {
+            return Err(CircuitError::BadTimeStep {
+                dt: dt_v,
+                t_end: t_end_v,
+            });
+        }
+
+        let ckt = self.circuit;
+        let n = ckt.node_count();
+        let steps = (t_end_v / dt_v).ceil() as usize;
+
+        let mut v: Vec<f64> = ckt.initial_v.clone();
+        let mut traces: Vec<Vec<f64>> = (0..n).map(|i| vec![v[i]]).collect();
+
+        // Static conductance stamp: resistors + source series conductances.
+        let mut g_static = vec![vec![0.0; n]; n];
+        for r in &ckt.resistors {
+            let g = 1.0 / r.r;
+            g_static[r.a][r.a] += g;
+            g_static[r.b][r.b] += g;
+            g_static[r.a][r.b] -= g;
+            g_static[r.b][r.a] -= g;
+        }
+        for s in &ckt.sources {
+            g_static[s.node][s.node] += 1.0 / s.r_series;
+        }
+
+        let mut lu: Option<(Vec<Vec<f64>>, Vec<usize>)> = None;
+        let mut prev_switch_state: Option<Vec<bool>> = None;
+        // Voltage-controlled switches latch once triggered.
+        let mut latched = vec![false; ckt.switches.len()];
+
+        let mut supply_energy = 0.0;
+        let mut source_energy = vec![0.0; ckt.sources.len()];
+
+        let mut rhs = vec![0.0; n];
+        for step in 1..=steps {
+            let t = step as f64 * dt_v;
+
+            // Refresh factorization when the switch population changes.
+            let sw_state: Vec<bool> = ckt
+                .switches
+                .iter()
+                .enumerate()
+                .map(|(i, s)| match s.control {
+                    SwitchControl::Timed { .. } => {
+                        s.is_closed_at(t).expect("timed switch resolves by time")
+                    }
+                    SwitchControl::VoltageAbove { node, threshold } => {
+                        if v[node] >= threshold {
+                            latched[i] = true;
+                        }
+                        latched[i]
+                    }
+                    SwitchControl::VoltageBelow { node, threshold } => {
+                        if v[node] <= threshold {
+                            latched[i] = true;
+                        }
+                        latched[i]
+                    }
+                })
+                .collect();
+            if prev_switch_state.as_ref() != Some(&sw_state) {
+                let mut a = g_static.clone();
+                for (sw, closed) in ckt.switches.iter().zip(&sw_state) {
+                    if *closed {
+                        let g = 1.0 / sw.r_on;
+                        match sw.b {
+                            SwitchTerminal::Ground => a[sw.a][sw.a] += g,
+                            SwitchTerminal::Node(b) => {
+                                a[sw.a][sw.a] += g;
+                                a[b][b] += g;
+                                a[sw.a][b] -= g;
+                                a[b][sw.a] -= g;
+                            }
+                        }
+                    }
+                }
+                for i in 0..n {
+                    a[i][i] += ckt.caps[i] / dt_v;
+                }
+                let perm = lu_factor(&mut a)?;
+                lu = Some((a, perm));
+                prev_switch_state = Some(sw_state);
+            }
+
+            // RHS: history term + source currents at t.
+            for i in 0..n {
+                rhs[i] = ckt.caps[i] / dt_v * v[i];
+            }
+            for s in &ckt.sources {
+                rhs[s.node] += s.target_at(t) / s.r_series;
+            }
+
+            let (a, perm) = lu.as_ref().expect("factorization exists");
+            lu_solve(a, perm, &rhs, &mut v);
+
+            // Energy delivered by each driver over this step.
+            for (k, s) in ckt.sources.iter().enumerate() {
+                let vt = s.target_at(t);
+                let i_out = (vt - v[s.node]) / s.r_series; // mA
+                let e = vt * i_out * dt_v; // fJ
+                source_energy[k] += e;
+                supply_energy += e;
+            }
+
+            for i in 0..n {
+                traces[i].push(v[i]);
+            }
+        }
+
+        let waveforms = traces
+            .into_iter()
+            .map(|s| Waveform::new(Picoseconds::ZERO, dt, s))
+            .collect();
+
+        Ok(TransientResult {
+            waveforms,
+            supply_energy: Femtojoules::new(supply_energy),
+            source_energy: source_energy.into_iter().map(Femtojoules::new).collect(),
+        })
+    }
+}
+
+/// The outcome of a transient run: one waveform per node plus integrated
+/// supply energy.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    waveforms: Vec<Waveform>,
+    supply_energy: Femtojoules,
+    source_energy: Vec<Femtojoules>,
+}
+
+impl TransientResult {
+    /// Waveform of `node`.
+    pub fn waveform(&self, node: NodeId) -> &Waveform {
+        &self.waveforms[node.0]
+    }
+
+    /// First crossing of `threshold` at `node` in direction `edge`.
+    pub fn cross_time(&self, node: NodeId, threshold: Volts, edge: Edge) -> Option<Picoseconds> {
+        self.waveform(node).cross_time(threshold, edge)
+    }
+
+    /// 10–90 % slew of `node` over the `v_low..v_high` swing.
+    pub fn slew(&self, node: NodeId, v_low: Volts, v_high: Volts, edge: Edge) -> Option<Picoseconds> {
+        self.waveform(node).slew(v_low, v_high, edge)
+    }
+
+    /// Node voltage at time `t` (interpolated).
+    pub fn voltage(&self, node: NodeId, t: Picoseconds) -> Volts {
+        self.waveform(node).voltage(t)
+    }
+
+    /// Final voltage of `node`.
+    pub fn final_voltage(&self, node: NodeId) -> Volts {
+        self.waveform(node).final_voltage()
+    }
+
+    /// Total energy delivered by all drivers.
+    pub fn supply_energy(&self) -> Femtojoules {
+        self.supply_energy
+    }
+
+    /// Energy delivered by one driver.
+    pub fn source_energy(&self, source: SourceId) -> Femtojoules {
+        self.source_energy[source.0]
+    }
+}
+
+/// In-place LU factorization with partial pivoting. Returns the row
+/// permutation.
+fn lu_factor(a: &mut [Vec<f64>]) -> Result<Vec<usize>, CircuitError> {
+    let n = a.len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Pivot.
+        let mut best = col;
+        let mut best_mag = a[col][col].abs();
+        for row in col + 1..n {
+            let mag = a[row][col].abs();
+            if mag > best_mag {
+                best = row;
+                best_mag = mag;
+            }
+        }
+        if best_mag < 1e-18 {
+            return Err(CircuitError::SingularSystem { pivot: col });
+        }
+        if best != col {
+            a.swap(best, col);
+            perm.swap(best, col);
+        }
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            a[row][col] = factor;
+            if factor != 0.0 {
+                // Split the row pair to satisfy the borrow checker.
+                let (upper, lower) = a.split_at_mut(row);
+                let (prow, crow) = (&upper[col], &mut lower[0]);
+                for k in col + 1..n {
+                    crow[k] -= factor * prow[k];
+                }
+            }
+        }
+    }
+    Ok(perm)
+}
+
+/// Solves `A x = b` given the LU factorization and permutation from
+/// [`lu_factor`]. The solution lands in `x`; `b` is left untouched.
+fn lu_solve(a: &[Vec<f64>], perm: &[usize], b: &[f64], x: &mut [f64]) {
+    let n = a.len();
+    // Apply permutation and forward-substitute.
+    for i in 0..n {
+        x[i] = b[perm[i]];
+    }
+    for i in 0..n {
+        for k in 0..i {
+            x[i] -= a[i][k] * x[k];
+        }
+    }
+    // Back-substitute.
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            x[i] -= a[i][k] * x[k];
+        }
+        x[i] /= a[i][i];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_tech::units::{Femtofarads, KiloOhms};
+
+    const VDD: f64 = 1.2;
+
+    fn charge_circuit(r: f64, c: f64) -> (Circuit, NodeId, SourceId) {
+        let mut ckt = Circuit::new();
+        let n = ckt.add_node("out");
+        ckt.add_cap(n, Femtofarads::new(c));
+        let s = ckt.add_source(n, KiloOhms::new(r), Volts::ZERO);
+        ckt.schedule(s, Picoseconds::ZERO, Volts::new(VDD));
+        (ckt, n, s)
+    }
+
+    #[test]
+    fn single_pole_step_response_matches_closed_form() {
+        let (ckt, n, _) = charge_circuit(2.0, 10.0); // tau = 20 ps
+        let res = TransientSim::new(&ckt)
+            .run(Picoseconds::new(200.0), Picoseconds::new(0.02))
+            .unwrap();
+        // v(t) = Vdd (1 - e^{-t/tau}); check several points.
+        for t in [5.0, 20.0, 60.0, 140.0] {
+            let expect = VDD * (1.0 - (-t / 20.0f64).exp());
+            let got = res.voltage(n, Picoseconds::new(t)).value();
+            assert!(
+                (got - expect).abs() < 0.01,
+                "at t={t}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn charge_energy_is_c_vdd_squared() {
+        let (ckt, _, s) = charge_circuit(1.0, 10.0);
+        let res = TransientSim::new(&ckt)
+            .run(Picoseconds::new(500.0), Picoseconds::new(0.05))
+            .unwrap();
+        let expect = 10.0 * VDD * VDD; // fJ
+        let got = res.source_energy(s).value();
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "supply energy {got} vs C·Vdd² = {expect}"
+        );
+    }
+
+    #[test]
+    fn switch_discharges_precharged_node() {
+        let mut ckt = Circuit::new();
+        let n = ckt.add_node("bl");
+        ckt.add_cap(n, Femtofarads::new(20.0));
+        ckt.set_initial(n, Volts::new(VDD));
+        ckt.add_switch_to_ground(n, KiloOhms::new(5.0), Picoseconds::new(50.0));
+        let res = TransientSim::new(&ckt)
+            .run(Picoseconds::new(600.0), Picoseconds::new(0.1))
+            .unwrap();
+        // Held high before the switch closes.
+        assert!((res.voltage(n, Picoseconds::new(49.0)).value() - VDD).abs() < 1e-6);
+        // Falls with tau = 100 ps after.
+        let t50 = res
+            .cross_time(n, Volts::new(VDD / 2.0), Edge::Falling)
+            .unwrap();
+        let expect = 50.0 + 100.0 * 2.0f64.ln();
+        assert!(
+            (t50.value() - expect).abs() < 1.0,
+            "t50 {t50} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn rc_ladder_slower_than_lumped() {
+        // 4-segment ladder vs a single lumped RC with the same totals: the
+        // distributed line is faster at 50% (Elmore overestimates).
+        let mut ladder = Circuit::new();
+        let mut prev = ladder.add_node("n0");
+        let src = ladder.add_source(prev, KiloOhms::new(0.5), Volts::ZERO);
+        ladder.schedule(src, Picoseconds::ZERO, Volts::new(VDD));
+        ladder.add_cap(prev, Femtofarads::new(2.5));
+        let mut last = prev;
+        for i in 1..4 {
+            let n = ladder.add_node(format!("n{i}"));
+            ladder.add_resistor(prev, n, KiloOhms::new(1.0));
+            ladder.add_cap(n, Femtofarads::new(2.5));
+            prev = n;
+            last = n;
+        }
+        let res = TransientSim::new(&ladder)
+            .run(Picoseconds::new(150.0), Picoseconds::new(0.02))
+            .unwrap();
+        let t50 = res
+            .cross_time(last, Volts::new(VDD / 2.0), Edge::Rising)
+            .unwrap();
+        assert!(t50.value() > 0.0 && t50.value() < 150.0);
+        // Elmore delay for this ladder:
+        // driver: 0.5 kΩ × 10 fF = 5 ps; segments: 1·(7.5) + 1·(5) + 1·(2.5).
+        let elmore = 5.0 + 7.5 + 5.0 + 2.5;
+        // The 50 % point of an RC ladder is ~0.7–1.0× Elmore.
+        assert!(
+            t50.value() < elmore && t50.value() > 0.4 * elmore,
+            "t50 = {t50}, elmore = {elmore}"
+        );
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut ckt = Circuit::new();
+        let _ = ckt.add_node("float"); // no cap, no path
+        let err = TransientSim::new(&ckt)
+            .run(Picoseconds::new(1.0), Picoseconds::new(0.1))
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::SingularSystem { .. }));
+    }
+
+    #[test]
+    fn bad_time_step_rejected() {
+        let (ckt, _, _) = charge_circuit(1.0, 1.0);
+        let err = TransientSim::new(&ckt)
+            .run(Picoseconds::new(1.0), Picoseconds::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::BadTimeStep { .. }));
+    }
+
+    #[test]
+    fn node_to_node_switch_equalizes_charge() {
+        let mut ckt = Circuit::new();
+        let a = ckt.add_node("a");
+        let b = ckt.add_node("b");
+        ckt.add_cap(a, Femtofarads::new(10.0));
+        ckt.add_cap(b, Femtofarads::new(10.0));
+        ckt.set_initial(a, Volts::new(VDD));
+        ckt.add_switch(a, b, KiloOhms::new(1.0), Picoseconds::new(10.0));
+        let res = TransientSim::new(&ckt)
+            .run(Picoseconds::new(300.0), Picoseconds::new(0.05))
+            .unwrap();
+        // Charge sharing: both settle at Vdd/2.
+        assert!((res.final_voltage(a).value() - VDD / 2.0).abs() < 0.01);
+        assert!((res.final_voltage(b).value() - VDD / 2.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,170 @@
+//! Sampled waveforms and timing measurements.
+
+use lim_tech::units::{Picoseconds, Volts};
+
+/// Direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Crossing from below to above the threshold.
+    Rising,
+    /// Crossing from above to below the threshold.
+    Falling,
+}
+
+/// A uniformly sampled node voltage trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    t0: f64,
+    dt: f64,
+    samples: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from uniform samples starting at `t0` with step
+    /// `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn new(t0: Picoseconds, dt: Picoseconds, samples: Vec<f64>) -> Self {
+        assert!(dt.value() > 0.0, "sample step must be positive");
+        Waveform {
+            t0: t0.value(),
+            dt: dt.value(),
+            samples,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the waveform holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Voltage at sample index `i`.
+    pub fn at(&self, i: usize) -> Volts {
+        Volts::new(self.samples[i])
+    }
+
+    /// Linear interpolated voltage at time `t`; clamps outside the window.
+    pub fn voltage(&self, t: Picoseconds) -> Volts {
+        if self.samples.is_empty() {
+            return Volts::ZERO;
+        }
+        let x = (t.value() - self.t0) / self.dt;
+        if x <= 0.0 {
+            return Volts::new(self.samples[0]);
+        }
+        let last = self.samples.len() - 1;
+        if x >= last as f64 {
+            return Volts::new(self.samples[last]);
+        }
+        let i = x.floor() as usize;
+        let frac = x - i as f64;
+        Volts::new(self.samples[i] * (1.0 - frac) + self.samples[i + 1] * frac)
+    }
+
+    /// First time the waveform crosses `threshold` in the given direction,
+    /// linearly interpolated between samples. `None` if it never does.
+    pub fn cross_time(&self, threshold: Volts, edge: Edge) -> Option<Picoseconds> {
+        let th = threshold.value();
+        for i in 1..self.samples.len() {
+            let (a, b) = (self.samples[i - 1], self.samples[i]);
+            let crossed = match edge {
+                Edge::Rising => a < th && b >= th,
+                Edge::Falling => a > th && b <= th,
+            };
+            if crossed {
+                let frac = if (b - a).abs() < 1e-30 {
+                    0.0
+                } else {
+                    (th - a) / (b - a)
+                };
+                return Some(Picoseconds::new(self.t0 + (i as f64 - 1.0 + frac) * self.dt));
+            }
+        }
+        None
+    }
+
+    /// 10 %–90 % transition time for a swing between `v_low` and `v_high`,
+    /// in the given direction. `None` if either threshold is never crossed.
+    pub fn slew(&self, v_low: Volts, v_high: Volts, edge: Edge) -> Option<Picoseconds> {
+        let swing = v_high.value() - v_low.value();
+        let t10 = Volts::new(v_low.value() + 0.1 * swing);
+        let t90 = Volts::new(v_low.value() + 0.9 * swing);
+        let (first, second) = match edge {
+            Edge::Rising => (t10, t90),
+            Edge::Falling => (t90, t10),
+        };
+        let a = self.cross_time(first, edge)?;
+        let b = self.cross_time(second, edge)?;
+        Some(Picoseconds::new((b.value() - a.value()).abs()))
+    }
+
+    /// Final sampled voltage.
+    pub fn final_voltage(&self) -> Volts {
+        Volts::new(*self.samples.last().unwrap_or(&0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        // 0 → 1.2 V linear over 12 samples of 1 ps.
+        let samples: Vec<f64> = (0..=12).map(|i| i as f64 * 0.1).collect();
+        Waveform::new(Picoseconds::ZERO, Picoseconds::new(1.0), samples)
+    }
+
+    #[test]
+    fn crossing_interpolates() {
+        let w = ramp();
+        let t = w.cross_time(Volts::new(0.65), Edge::Rising).unwrap();
+        assert!((t.value() - 6.5).abs() < 1e-9);
+        assert!(w.cross_time(Volts::new(0.65), Edge::Falling).is_none());
+    }
+
+    #[test]
+    fn slew_10_90() {
+        let w = ramp();
+        let s = w.slew(Volts::ZERO, Volts::new(1.2), Edge::Rising).unwrap();
+        // 10% = 0.12 V at 1.2 ps, 90% = 1.08 V at 10.8 ps.
+        assert!((s.value() - 9.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_lookup_clamps() {
+        let w = ramp();
+        assert_eq!(w.voltage(Picoseconds::new(-5.0)).value(), 0.0);
+        assert!((w.voltage(Picoseconds::new(100.0)).value() - 1.2).abs() < 1e-12);
+        assert!((w.voltage(Picoseconds::new(3.5)).value() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falling_crossing() {
+        let samples: Vec<f64> = (0..=12).map(|i| 1.2 - i as f64 * 0.1).collect();
+        let w = Waveform::new(Picoseconds::ZERO, Picoseconds::new(1.0), samples);
+        let t = w.cross_time(Volts::new(0.6), Edge::Falling).unwrap();
+        assert!((t.value() - 6.0).abs() < 1e-9);
+        let s = w.slew(Volts::ZERO, Volts::new(1.2), Edge::Falling).unwrap();
+        assert!((s.value() - 9.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_waveform_behaves() {
+        let w = Waveform::new(Picoseconds::ZERO, Picoseconds::new(1.0), vec![]);
+        assert!(w.is_empty());
+        assert_eq!(w.voltage(Picoseconds::new(1.0)), Volts::ZERO);
+        assert!(w.cross_time(Volts::new(0.5), Edge::Rising).is_none());
+    }
+}

@@ -1,0 +1,223 @@
+//! Silicon emulation: sampling "fabricated chips" from a synthesized
+//! block.
+//!
+//! Fig. 4b compares chip measurements (averaged over multiple dies, with
+//! min/max bars) against library-based simulation corners. The paper's
+//! testbed is fabricated 65 nm silicon; our substitute samples die-to-die
+//! process variation and measurement noise around the physically
+//! synthesized block's nominal figures, using the technology's calibrated
+//! sigma values. Sampling is seeded and deterministic.
+
+use lim_physical::BlockReport;
+use lim_tech::units::{Femtojoules, Megahertz};
+use lim_tech::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One sampled die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipSample {
+    /// Measured maximum frequency of this die.
+    pub fmax: Megahertz,
+    /// Measured energy per cycle at fmax.
+    pub energy_per_cycle: Femtojoules,
+}
+
+/// Aggregated measurements over a lot of dies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LotSummary {
+    /// Mean fmax.
+    pub fmax_mean: Megahertz,
+    /// Slowest die.
+    pub fmax_min: Megahertz,
+    /// Fastest die.
+    pub fmax_max: Megahertz,
+    /// Mean energy per cycle.
+    pub energy_mean: Femtojoules,
+    /// Lowest-energy die.
+    pub energy_min: Femtojoules,
+    /// Highest-energy die.
+    pub energy_max: Femtojoules,
+}
+
+/// The corner spread the library-based simulation reports (best /
+/// nominal / worst), mirroring Fig. 4b's simulation bars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationCorners {
+    /// Fast corner fmax.
+    pub best: Megahertz,
+    /// Typical corner fmax.
+    pub nominal: Megahertz,
+    /// Slow corner fmax.
+    pub worst: Megahertz,
+}
+
+/// The silicon emulator.
+#[derive(Debug, Clone)]
+pub struct SiliconEmulation {
+    speed_sigma: f64,
+    power_sigma: f64,
+    /// Multiplicative measurement noise (tester repeatability).
+    measurement_sigma: f64,
+    seed: u64,
+}
+
+impl SiliconEmulation {
+    /// Creates an emulator using the technology's variation model.
+    pub fn new(tech: &Technology, seed: u64) -> Self {
+        SiliconEmulation {
+            speed_sigma: tech.speed_sigma,
+            power_sigma: tech.power_sigma,
+            measurement_sigma: 0.01,
+            seed,
+        }
+    }
+
+    /// Samples `n` dies of the given block.
+    pub fn sample(&self, report: &BlockReport, n: usize) -> Vec<ChipSample> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..n)
+            .map(|_| {
+                let speed = 1.0 + self.speed_sigma * gaussian(&mut rng);
+                let power = 1.0 + self.power_sigma * gaussian(&mut rng);
+                let meas = 1.0 + self.measurement_sigma * gaussian(&mut rng);
+                ChipSample {
+                    fmax: report.fmax * (speed * meas).max(0.5),
+                    energy_per_cycle: report.energy_per_cycle * (power * meas).max(0.5),
+                }
+            })
+            .collect()
+    }
+
+    /// Samples a lot and summarizes it.
+    pub fn measure_lot(&self, report: &BlockReport, dies: usize) -> LotSummary {
+        let samples = self.sample(report, dies.max(1));
+        let n = samples.len() as f64;
+        let fmax_mean = samples.iter().map(|s| s.fmax.value()).sum::<f64>() / n;
+        let e_mean = samples.iter().map(|s| s.energy_per_cycle.value()).sum::<f64>() / n;
+        LotSummary {
+            fmax_mean: Megahertz::new(fmax_mean),
+            fmax_min: samples
+                .iter()
+                .map(|s| s.fmax)
+                .fold(samples[0].fmax, Megahertz::min),
+            fmax_max: samples
+                .iter()
+                .map(|s| s.fmax)
+                .fold(samples[0].fmax, Megahertz::max),
+            energy_mean: Femtojoules::new(e_mean),
+            energy_min: samples
+                .iter()
+                .map(|s| s.energy_per_cycle)
+                .fold(samples[0].energy_per_cycle, Femtojoules::min),
+            energy_max: samples
+                .iter()
+                .map(|s| s.energy_per_cycle)
+                .fold(samples[0].energy_per_cycle, Femtojoules::max),
+        }
+    }
+
+    /// Parametric yield: the fraction of `dies` sampled dies whose fmax
+    /// meets `target` — the speed-binning curve a product team would draw
+    /// from the Fig. 4b measurements.
+    pub fn yield_at(&self, report: &BlockReport, dies: usize, target: Megahertz) -> f64 {
+        let samples = self.sample(report, dies.max(1));
+        samples.iter().filter(|s| s.fmax.value() >= target.value()).count() as f64
+            / samples.len() as f64
+    }
+
+    /// The simulation corner spread for a block: ±3σ process speed around
+    /// the nominal STA result.
+    pub fn simulation_corners(&self, report: &BlockReport) -> SimulationCorners {
+        SimulationCorners {
+            best: report.fmax * (1.0 + 3.0 * self.speed_sigma),
+            nominal: report.fmax,
+            worst: report.fmax * (1.0 - 3.0 * self.speed_sigma),
+        }
+    }
+}
+
+/// Standard normal via Box–Muller (rand 0.8 has no normal distribution
+/// without the `rand_distr` crate).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_brick::BrickLibrary;
+    use lim_physical::flow::{FlowOptions, PhysicalSynthesis};
+    use lim_rtl::generators::decoder;
+
+    fn block() -> BlockReport {
+        let tech = Technology::cmos65();
+        let lib = BrickLibrary::new();
+        let dec = decoder("dec", 4, 16, true).unwrap();
+        PhysicalSynthesis::new(&tech, &lib)
+            .run(&dec, &FlowOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn lot_brackets_nominal() {
+        let tech = Technology::cmos65();
+        let rep = block();
+        let emu = SiliconEmulation::new(&tech, 99);
+        let lot = emu.measure_lot(&rep, 20);
+        assert!(lot.fmax_min <= lot.fmax_mean && lot.fmax_mean <= lot.fmax_max);
+        // Nominal should be inside (or near) the observed spread.
+        assert!(rep.fmax.value() > lot.fmax_min.value() * 0.9);
+        assert!(rep.fmax.value() < lot.fmax_max.value() * 1.1);
+        assert!(lot.energy_min <= lot.energy_mean && lot.energy_mean <= lot.energy_max);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_spread_nonzero() {
+        let tech = Technology::cmos65();
+        let rep = block();
+        let a = SiliconEmulation::new(&tech, 7).sample(&rep, 10);
+        let b = SiliconEmulation::new(&tech, 7).sample(&rep, 10);
+        let c = SiliconEmulation::new(&tech, 8).sample(&rep, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Dies differ from each other.
+        assert!(a.windows(2).any(|w| w[0].fmax != w[1].fmax));
+    }
+
+    #[test]
+    fn yield_curve_is_monotone_and_anchored() {
+        let tech = Technology::cmos65();
+        let rep = block();
+        let emu = SiliconEmulation::new(&tech, 5);
+        let nominal = rep.fmax.value();
+        let easy = emu.yield_at(&rep, 200, Megahertz::new(nominal * 0.8));
+        let mid = emu.yield_at(&rep, 200, Megahertz::new(nominal));
+        let hard = emu.yield_at(&rep, 200, Megahertz::new(nominal * 1.2));
+        assert!(easy >= mid && mid >= hard, "{easy} {mid} {hard}");
+        assert!(easy > 0.99, "4σ below nominal should all pass: {easy}");
+        assert!(hard < 0.01, "4σ above nominal should all fail: {hard}");
+        assert!(mid > 0.2 && mid < 0.8, "nominal splits the lot: {mid}");
+    }
+
+    #[test]
+    fn corners_ordered() {
+        let tech = Technology::cmos65();
+        let rep = block();
+        let c = SiliconEmulation::new(&tech, 1).simulation_corners(&rep);
+        assert!(c.worst < c.nominal && c.nominal < c.best);
+    }
+
+    #[test]
+    fn gaussian_has_roughly_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

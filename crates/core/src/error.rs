@@ -1,0 +1,76 @@
+//! Error type for the LiM synthesis flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while generating or synthesizing LiM blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LimError {
+    /// A smart-memory configuration is inconsistent.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Brick compilation or library generation failed.
+    Brick(lim_brick::BrickError),
+    /// RTL generation failed.
+    Rtl(lim_rtl::RtlError),
+    /// Physical synthesis failed.
+    Physical(lim_physical::PhysicalError),
+}
+
+impl fmt::Display for LimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimError::BadConfig { reason } => write!(f, "bad smart-memory config: {reason}"),
+            LimError::Brick(e) => write!(f, "brick error: {e}"),
+            LimError::Rtl(e) => write!(f, "rtl error: {e}"),
+            LimError::Physical(e) => write!(f, "physical synthesis error: {e}"),
+        }
+    }
+}
+
+impl Error for LimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LimError::Brick(e) => Some(e),
+            LimError::Rtl(e) => Some(e),
+            LimError::Physical(e) => Some(e),
+            LimError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<lim_brick::BrickError> for LimError {
+    fn from(e: lim_brick::BrickError) -> Self {
+        LimError::Brick(e)
+    }
+}
+
+impl From<lim_rtl::RtlError> for LimError {
+    fn from(e: lim_rtl::RtlError) -> Self {
+        LimError::Rtl(e)
+    }
+}
+
+impl From<lim_physical::PhysicalError> for LimError {
+    fn from(e: lim_physical::PhysicalError) -> Self {
+        LimError::Physical(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LimError::BadConfig {
+            reason: "128 words not divisible".into(),
+        };
+        assert!(e.to_string().contains("divisible"));
+        assert!(e.source().is_none());
+        let w = LimError::from(lim_rtl::RtlError::UnknownNet(0));
+        assert!(w.source().is_some());
+    }
+}

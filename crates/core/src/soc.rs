@@ -1,0 +1,158 @@
+//! Full-chip assembly (paper §4): compute core plus on-chip source
+//! memories.
+//!
+//! "The resulting LiM based SpGEMM chip area is 1.3 mm², with a 0.39 mm²
+//! LiM computation core block. A second chip … consumed 1.24 mm² total
+//! area and a 0.33 mm² computation core block. On-chip SRAM blocks for
+//! storing source matrices A and B are the same in both chips for a fair
+//! comparison." This module performs that composition: a synthesized
+//! compute core is combined with estimator-priced source SRAM blocks into
+//! chip-level area and power totals.
+
+use crate::error::LimError;
+use crate::flow::{LimBlock, LimFlow};
+use crate::sram::SramConfig;
+use lim_tech::units::{Milliwatts, SquareMicrons};
+
+/// One assembled chip: core + source memories.
+#[derive(Debug, Clone)]
+pub struct ChipAssembly {
+    /// Chip name.
+    pub name: String,
+    /// Compute-core die area.
+    pub core_area: SquareMicrons,
+    /// Combined area of the source-matrix SRAM blocks.
+    pub source_area: SquareMicrons,
+    /// Whole-chip area (core + sources + integration overhead).
+    pub total_area: SquareMicrons,
+    /// Core power at its fmax.
+    pub core_power: Milliwatts,
+    /// Source-memory leakage + access power estimate.
+    pub source_power: Milliwatts,
+}
+
+impl ChipAssembly {
+    /// Whole-chip power.
+    pub fn total_power(&self) -> Milliwatts {
+        self.core_power + self.source_power
+    }
+
+    /// Core fraction of the die.
+    pub fn core_fraction(&self) -> f64 {
+        self.core_area.value() / self.total_area.value()
+    }
+}
+
+/// Top-level integration overhead (pad ring share, global routing,
+/// power grid) as a fraction of the summed block area.
+pub const INTEGRATION_OVERHEAD: f64 = 0.12;
+
+/// Assembles a chip around `core`, with `source_configs` describing the
+/// on-chip A/B SRAM blocks (identical across chips for fair comparison).
+///
+/// # Errors
+///
+/// Propagates source-memory generation/synthesis failures.
+pub fn assemble(
+    flow: &mut LimFlow,
+    name: &str,
+    core: &LimBlock,
+    source_configs: &[SramConfig],
+) -> Result<ChipAssembly, LimError> {
+    let mut source_area = 0.0f64;
+    let mut source_power = 0.0f64;
+    for cfg in source_configs {
+        let block = flow.synthesize_sram(cfg)?;
+        source_area += block.report.die_area.value();
+        source_power += block.report.power.total().value();
+    }
+    let blocks = core.report.die_area.value() + source_area;
+    Ok(ChipAssembly {
+        name: name.to_owned(),
+        core_area: core.report.die_area,
+        source_area: SquareMicrons::new(source_area),
+        total_area: SquareMicrons::new(blocks * (1.0 + INTEGRATION_OVERHEAD)),
+        core_power: core.report.power.total(),
+        source_power: Milliwatts::new(source_power),
+    })
+}
+
+/// The paper's source-memory complement: two matrix stores (A and B).
+///
+/// # Errors
+///
+/// Propagates configuration validation.
+pub fn paper_source_memories() -> Result<Vec<SramConfig>, LimError> {
+    // Two 1024x32b stores, 4 banks each, from 64x32b bricks.
+    Ok(vec![
+        SramConfig::new(1024, 32, 4, 64)?,
+        SramConfig::new(1024, 32, 4, 64)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cam::{CamConfig, SpgemmCoreConfig};
+
+    fn mini_core_cfg() -> SpgemmCoreConfig {
+        SpgemmCoreConfig {
+            n_columns: 4,
+            cam: CamConfig {
+                entries: 8,
+                key_bits: 6,
+                data_bits: 6,
+            },
+        }
+    }
+
+    #[test]
+    fn chips_assemble_with_identical_sources() {
+        let mut flow = LimFlow::cmos65();
+        let cfg = mini_core_cfg();
+        let lim_core = flow.synthesize_lim_spgemm(&cfg).unwrap();
+        let heap_core = flow.synthesize_heap_spgemm(&cfg).unwrap();
+        // Small sources to keep the test fast.
+        let sources = vec![SramConfig::new(128, 16, 1, 16).unwrap()];
+        let lim_chip = assemble(&mut flow, "lim", &lim_core, &sources).unwrap();
+        let heap_chip = assemble(&mut flow, "heap", &heap_core, &sources).unwrap();
+
+        // Same source complement on both chips.
+        assert_eq!(
+            lim_chip.source_area.value(),
+            heap_chip.source_area.value()
+        );
+        // The CAM-based core is the bigger one (paper: 0.39 vs 0.33 mm²,
+        // "the LiM computation core block consumes 20% more area").
+        assert!(
+            lim_chip.core_area.value() > heap_chip.core_area.value(),
+            "lim {} vs heap {}",
+            lim_chip.core_area,
+            heap_chip.core_area
+        );
+        // At this toy scale the per-lane MACs dominate the LiM core, so
+        // the ratio overshoots the silicon's 1.18 (measured at 32 columns
+        // where the heap's comparator tree catches up); just require the
+        // right direction and a sane bound.
+        let ratio = lim_chip.core_area.value() / heap_chip.core_area.value();
+        assert!(
+            (1.02..3.5).contains(&ratio),
+            "core ratio {ratio} (paper ≈ 1.18 at full scale)"
+        );
+        // Totals stay close because the shared sources dominate less here
+        // than on silicon, but the LiM chip is still the larger one.
+        assert!(lim_chip.total_area > heap_chip.total_area);
+        assert!(lim_chip.core_fraction() > 0.0 && lim_chip.core_fraction() < 1.0);
+        assert!(lim_chip.total_power().value() > 0.0);
+    }
+
+    #[test]
+    fn paper_sources_validate() {
+        let sources = paper_source_memories().unwrap();
+        assert_eq!(sources.len(), 2);
+        for s in sources {
+            assert_eq!(s.words(), 1024);
+            assert_eq!(s.bits(), 32);
+        }
+    }
+}

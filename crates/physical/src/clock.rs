@@ -1,0 +1,205 @@
+//! Clock-tree synthesis model.
+//!
+//! The flow's STA assumes an ideal clock; this module makes the clock
+//! network explicit: a buffered fanout tree from the clock root to every
+//! sequential sink (flip-flop clock pins and brick macro clock pins),
+//! with level-by-level logical-effort sizing, an insertion-delay and skew
+//! estimate from placement spread, and the wire + buffer capacitance that
+//! the power analysis charges to the clock.
+
+use crate::floorplan::Floorplan;
+use crate::place::Placement;
+use crate::route::NetRoute;
+use lim_brick::BrickLibrary;
+use lim_rtl::{CellKind, Netlist};
+use lim_tech::units::{Femtofarads, Microns, Picoseconds};
+use lim_tech::Technology;
+
+/// Maximum sinks per clock buffer.
+pub const CLOCK_FANOUT: usize = 16;
+
+/// Result of clock-tree construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockTreeReport {
+    /// Clocked sinks (DFF + macro clock pins).
+    pub sinks: usize,
+    /// Buffers inserted.
+    pub buffers: usize,
+    /// Tree depth in buffer levels.
+    pub levels: usize,
+    /// Total clock network capacitance (sink pins + buffers + wire).
+    pub total_cap: Femtofarads,
+    /// Estimated insertion delay from clock root to sinks.
+    pub insertion_delay: Picoseconds,
+    /// Estimated worst skew between any two sinks.
+    pub skew: Picoseconds,
+    /// Estimated clock wirelength.
+    pub wirelength: Microns,
+}
+
+/// Builds the clock-tree estimate for a placed design.
+///
+/// Returns `None` when the design has no clock or no sequential sinks.
+pub fn build(
+    tech: &Technology,
+    netlist: &Netlist,
+    placement: &Placement,
+    floorplan: &Floorplan,
+    library: &BrickLibrary,
+) -> Result<Option<ClockTreeReport>, crate::PhysicalError> {
+    let Some(_clk) = netlist.clock() else {
+        return Ok(None);
+    };
+
+    // Gather sink positions and pin caps.
+    let mut sinks: Vec<((f64, f64), f64)> = Vec::new();
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        match &cell.kind {
+            CellKind::Gate { kind, drive } if kind.is_sequential() => {
+                let pos = placement.cell_pos[i].unwrap_or((0.0, 0.0));
+                sinks.push((pos, kind.clock_cap(tech, *drive).value()));
+            }
+            CellKind::Macro { lib_name } => {
+                let entry = library.get(lib_name)?;
+                let pos = floorplan
+                    .macros
+                    .iter()
+                    .find(|m| m.instance == cell.name)
+                    .map(|m| {
+                        let (x, y) = m.center();
+                        (x.value(), y.value())
+                    })
+                    .unwrap_or((0.0, 0.0));
+                sinks.push((pos, entry.clk_pin_cap.value()));
+            }
+            _ => {}
+        }
+    }
+    if sinks.is_empty() {
+        return Ok(None);
+    }
+
+    // Level structure: group sinks CLOCK_FANOUT at a time until one root
+    // buffer remains.
+    let mut level_count = 0usize;
+    let mut buffers = 0usize;
+    let mut nodes = sinks.len();
+    while nodes > 1 {
+        nodes = nodes.div_ceil(CLOCK_FANOUT);
+        buffers += nodes;
+        level_count += 1;
+    }
+    if level_count == 0 {
+        level_count = 1;
+        buffers = 1;
+    }
+
+    // Wirelength estimate: each level spans a fraction of the die
+    // half-perimeter; leaf level reaches every sink.
+    let die_hp = floorplan.width.value() + floorplan.height.value();
+    let sink_spread = {
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for ((x, y), _) in &sinks {
+            x0 = x0.min(*x);
+            x1 = x1.max(*x);
+            y0 = y0.min(*y);
+            y1 = y1.max(*y);
+        }
+        ((x1 - x0) + (y1 - y0)).max(1.0)
+    };
+    let wirelength = sink_spread + die_hp * level_count as f64 * 0.5;
+
+    // Capacitance: sink pins + buffer input caps (4x buffers) + wire.
+    let buffer_drive = 4.0;
+    let pin_cap: f64 = sinks.iter().map(|(_, c)| c).sum();
+    let buf_cap = buffers as f64 * tech.c_unit.value() * buffer_drive;
+    let wire_cap = tech.wire_c_per_um.value() * wirelength;
+    let total_cap = Femtofarads::new(pin_cap + buf_cap + wire_cap);
+
+    // Insertion delay: per level, a 4x buffer driving ~CLOCK_FANOUT
+    // buffer inputs plus its share of wire.
+    let per_level_load = Femtofarads::new(
+        CLOCK_FANOUT as f64 * tech.c_unit.value() * buffer_drive
+            + wire_cap / level_count.max(1) as f64,
+    );
+    let r_buf = tech.drive_resistance(buffer_drive);
+    let per_level =
+        Picoseconds::new(r_buf.value() * per_level_load.value()) + tech.tau * tech.p_inv * 2.0;
+    let insertion_delay = per_level * level_count as f64;
+
+    // Skew: mismatch between shortest and longest branch, dominated by
+    // the leaf-level wire spread (empirical 10 % of insertion + RC of the
+    // spread wire).
+    let spread_rc = Picoseconds::new(
+        tech.wire_r_per_um.value() * sink_spread * tech.wire_c_per_um.value() * sink_spread / 2.0,
+    );
+    let skew = insertion_delay * 0.10 + spread_rc;
+
+    Ok(Some(ClockTreeReport {
+        sinks: sinks.len(),
+        buffers,
+        levels: level_count,
+        total_cap,
+        insertion_delay,
+        skew,
+        wirelength: Microns::new(wirelength),
+    }))
+}
+
+/// The clock capacitance to use in power analysis when a tree report is
+/// available (replaces the bare clock-net estimate).
+pub fn clock_cap_for_power(report: &ClockTreeReport, fallback: &NetRoute) -> Femtofarads {
+    report.total_cap.max(fallback.total_cap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::FloorplanOptions;
+    use crate::place::{place, PlaceEffort};
+    use lim_rtl::generators::register;
+
+    fn placed(bits: usize) -> (Netlist, Floorplan, Placement, BrickLibrary) {
+        let tech = Technology::cmos65();
+        let lib = BrickLibrary::new();
+        let n = register("regs", bits).unwrap();
+        let fp = Floorplan::build(&tech, &n, &lib, &FloorplanOptions::default()).unwrap();
+        let pl = place(&tech, &n, &fp, 9, PlaceEffort::default()).unwrap();
+        (n, fp, pl, lib)
+    }
+
+    #[test]
+    fn tree_covers_all_sinks() {
+        let tech = Technology::cmos65();
+        let (n, fp, pl, lib) = placed(40);
+        let rep = build(&tech, &n, &pl, &fp, &lib).unwrap().unwrap();
+        assert_eq!(rep.sinks, 40);
+        assert!(rep.buffers >= 40usize.div_ceil(CLOCK_FANOUT));
+        assert!(rep.levels >= 1);
+        assert!(rep.total_cap.value() > 0.0);
+        assert!(rep.insertion_delay.value() > 0.0);
+        assert!(rep.skew < rep.insertion_delay);
+    }
+
+    #[test]
+    fn more_sinks_more_tree() {
+        let tech = Technology::cmos65();
+        let (n1, fp1, pl1, lib) = placed(8);
+        let (n2, fp2, pl2, _) = placed(128);
+        let small = build(&tech, &n1, &pl1, &fp1, &lib).unwrap().unwrap();
+        let big = build(&tech, &n2, &pl2, &fp2, &lib).unwrap().unwrap();
+        assert!(big.buffers > small.buffers);
+        assert!(big.total_cap > small.total_cap);
+        assert!(big.levels >= small.levels);
+    }
+
+    #[test]
+    fn pure_combinational_design_has_no_tree() {
+        let tech = Technology::cmos65();
+        let lib = BrickLibrary::new();
+        let n = lim_rtl::generators::decoder("dec", 3, 8, false).unwrap();
+        let fp = Floorplan::build(&tech, &n, &lib, &FloorplanOptions::default()).unwrap();
+        let pl = place(&tech, &n, &fp, 9, PlaceEffort::default()).unwrap();
+        assert!(build(&tech, &n, &pl, &fp, &lib).unwrap().is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the physical synthesis flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by floorplanning, placement, timing or power analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalError {
+    /// The netlist failed validation.
+    Rtl(lim_rtl::RtlError),
+    /// A macro instance references a brick-library entry that is missing.
+    Brick(lim_brick::BrickError),
+    /// The die cannot fit the requested content at the given utilization.
+    DoesNotFit {
+        /// Area demanded, µm².
+        demand: f64,
+        /// Area available, µm².
+        capacity: f64,
+    },
+    /// Timing analysis found no clocked endpoint to constrain.
+    NoEndpoints,
+    /// A flow option was out of range.
+    BadOption {
+        /// Option name.
+        name: &'static str,
+        /// Rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PhysicalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysicalError::Rtl(e) => write!(f, "netlist error: {e}"),
+            PhysicalError::Brick(e) => write!(f, "brick library error: {e}"),
+            PhysicalError::DoesNotFit { demand, capacity } => {
+                write!(f, "design needs {demand:.0} µm² but die offers {capacity:.0} µm²")
+            }
+            PhysicalError::NoEndpoints => write!(f, "no clocked endpoints to constrain timing"),
+            PhysicalError::BadOption { name, value } => {
+                write!(f, "flow option `{name}` out of range: {value}")
+            }
+        }
+    }
+}
+
+impl Error for PhysicalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PhysicalError::Rtl(e) => Some(e),
+            PhysicalError::Brick(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lim_rtl::RtlError> for PhysicalError {
+    fn from(e: lim_rtl::RtlError) -> Self {
+        PhysicalError::Rtl(e)
+    }
+}
+
+impl From<lim_brick::BrickError> for PhysicalError {
+    fn from(e: lim_brick::BrickError) -> Self {
+        PhysicalError::Brick(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PhysicalError::DoesNotFit {
+            demand: 100.0,
+            capacity: 50.0,
+        };
+        assert!(e.to_string().contains("100"));
+        let wrapped = PhysicalError::from(lim_rtl::RtlError::UnknownNet(3));
+        assert!(wrapped.source().is_some());
+    }
+}

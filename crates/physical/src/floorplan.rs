@@ -1,0 +1,337 @@
+//! Die sizing, macro legalization and standard-cell rows.
+//!
+//! Brick banks are placed as macros along the left (west) side of the die,
+//! stacked bottom-up; the remaining area becomes standard-cell rows. The
+//! LiM flow's cells are pattern-compatible with bitcells, so no guard
+//! spacing is charged between macros and logic; a conventional-ASIC
+//! comparison can opt into guard bands via
+//! [`FloorplanOptions::conventional_logic`], which inserts the
+//! restrictive-patterning hotspot spacing of `lim-tech::patterns` at each
+//! memory/logic boundary — one of the two sources of the paper's area
+//! advantage.
+
+use crate::error::PhysicalError;
+use lim_brick::BrickLibrary;
+use lim_rtl::{CellKind, Netlist};
+use lim_tech::patterns::{PatternClass, PatternRules};
+use lim_tech::units::{Microns, SquareMicrons};
+use lim_tech::Technology;
+
+/// Routing-channel gap legalized between adjacent macros (two cell rows):
+/// every extra bank pays for its access wiring.
+pub const MACRO_CHANNEL: Microns = Microns::new(3.6);
+
+/// A placed macro (brick bank).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedMacro {
+    /// Instance name from the netlist.
+    pub instance: String,
+    /// Library entry name.
+    pub lib_name: String,
+    /// Lower-left x.
+    pub x: Microns,
+    /// Lower-left y.
+    pub y: Microns,
+    /// Width.
+    pub width: Microns,
+    /// Height.
+    pub height: Microns,
+}
+
+impl PlacedMacro {
+    /// Center point, used as the pin position for wire estimation.
+    pub fn center(&self) -> (Microns, Microns) {
+        (
+            Microns::new(self.x.value() + self.width.value() / 2.0),
+            Microns::new(self.y.value() + self.height.value() / 2.0),
+        )
+    }
+}
+
+/// One standard-cell row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    /// Row baseline y.
+    pub y: Microns,
+    /// Left x of the usable span.
+    pub x_start: Microns,
+    /// Right x of the usable span.
+    pub x_end: Microns,
+}
+
+impl Row {
+    /// Usable width.
+    pub fn width(&self) -> Microns {
+        Microns::new(self.x_end.value() - self.x_start.value())
+    }
+}
+
+/// Floorplanning options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloorplanOptions {
+    /// Standard-cell row utilization target (0, 1].
+    pub utilization: f64,
+    /// Treat the logic as conventional (non-pattern-construct) cells:
+    /// guard spacing is charged around every macro (the non-LiM flow).
+    pub conventional_logic: bool,
+}
+
+impl Default for FloorplanOptions {
+    fn default() -> Self {
+        FloorplanOptions {
+            utilization: 0.7,
+            conventional_logic: false,
+        }
+    }
+}
+
+/// The computed floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Die width.
+    pub width: Microns,
+    /// Die height.
+    pub height: Microns,
+    /// Placed macros.
+    pub macros: Vec<PlacedMacro>,
+    /// Standard-cell rows.
+    pub rows: Vec<Row>,
+    /// Guard area charged for pattern incompatibility (zero for LiM).
+    pub guard_area: SquareMicrons,
+}
+
+impl Floorplan {
+    /// Builds a floorplan for `netlist` using macros from `library`.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhysicalError::BadOption`] for a utilization outside (0, 1].
+    /// * [`PhysicalError::Brick`] when a macro has no library entry.
+    /// * [`PhysicalError::DoesNotFit`] when rows cannot host the cells.
+    pub fn build(
+        tech: &Technology,
+        netlist: &Netlist,
+        library: &BrickLibrary,
+        options: &FloorplanOptions,
+    ) -> Result<Self, PhysicalError> {
+        if !(options.utilization > 0.0 && options.utilization <= 1.0) {
+            return Err(PhysicalError::BadOption {
+                name: "utilization",
+                value: options.utilization,
+            });
+        }
+
+        // Gather macro footprints.
+        let rules = PatternRules::cmos65();
+        let guard = if options.conventional_logic {
+            rules
+                .check(PatternClass::BitcellArray, PatternClass::ConventionalLogic)
+                .required_spacing
+        } else {
+            Microns::ZERO
+        };
+
+        let mut macro_dims: Vec<(String, String, Microns, Microns)> = Vec::new();
+        for cell in netlist.cells() {
+            if let CellKind::Macro { lib_name } = &cell.kind {
+                let entry = library.get(lib_name)?;
+                macro_dims.push((
+                    cell.name.clone(),
+                    lib_name.clone(),
+                    entry.width,
+                    entry.height,
+                ));
+            }
+        }
+
+        let std_area = netlist.stdcell_area(tech).value() / options.utilization;
+        let macro_col_width = macro_dims
+            .iter()
+            .map(|(_, _, w, _)| w.value() + 2.0 * guard.value())
+            .fold(0.0f64, f64::max);
+        let macro_col_height: f64 = macro_dims
+            .iter()
+            .map(|(_, _, _, h)| h.value() + 2.0 * guard.value() + MACRO_CHANNEL.value())
+            .sum::<f64>()
+            - if macro_dims.is_empty() {
+                0.0
+            } else {
+                MACRO_CHANNEL.value()
+            };
+
+        // Die shape: near-square for the std-cell region next to the
+        // macro column.
+        let row_height = tech.row_height.value();
+        let min_height = macro_col_height.max(4.0 * row_height);
+        let std_width = (std_area / min_height).max(4.0);
+        let width = Microns::new(macro_col_width + std_width + 2.0);
+        let height = Microns::new(min_height.max(std_area / std_width));
+
+        // Stack macros bottom-up in the left column.
+        let mut macros = Vec::with_capacity(macro_dims.len());
+        let mut y = guard.value();
+        for (instance, lib_name, w, h) in macro_dims {
+            macros.push(PlacedMacro {
+                instance,
+                lib_name,
+                x: Microns::new(guard.value()),
+                y: Microns::new(y),
+                width: w,
+                height: h,
+            });
+            y += h.value() + 2.0 * guard.value() + MACRO_CHANNEL.value();
+        }
+
+        // Rows fill the region right of the macro column.
+        let x_start = Microns::new(macro_col_width + 1.0);
+        let x_end = Microns::new(width.value() - 1.0);
+        let n_rows = (height.value() / row_height).floor() as usize;
+        let rows: Vec<Row> = (0..n_rows)
+            .map(|i| Row {
+                y: Microns::new(i as f64 * row_height),
+                x_start,
+                x_end,
+            })
+            .collect();
+
+        let capacity: f64 = rows.iter().map(|r| r.width().value() * row_height).sum();
+        let demand = netlist.stdcell_area(tech).value();
+        if demand > capacity {
+            return Err(PhysicalError::DoesNotFit { demand, capacity });
+        }
+
+        let guard_area = SquareMicrons::new(if options.conventional_logic {
+            macros
+                .iter()
+                .map(|m| {
+                    (m.width.value() + 2.0 * guard.value()) * (m.height.value() + 2.0 * guard.value())
+                        - m.width.value() * m.height.value()
+                })
+                .sum()
+        } else {
+            0.0
+        });
+
+        Ok(Floorplan {
+            width,
+            height,
+            macros,
+            rows,
+            guard_area,
+        })
+    }
+
+    /// Die area.
+    pub fn die_area(&self) -> SquareMicrons {
+        self.width * self.height
+    }
+
+    /// Macro area (without guards).
+    pub fn macro_area(&self) -> SquareMicrons {
+        SquareMicrons::new(
+            self.macros
+                .iter()
+                .map(|m| m.width.value() * m.height.value())
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_brick::{BitcellKind, BrickSpec};
+    use lim_rtl::generators::decoder;
+
+    fn lib_with_brick(tech: &Technology) -> BrickLibrary {
+        let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
+        BrickLibrary::generate(tech, &[spec], &[2]).unwrap()
+    }
+
+    #[test]
+    fn pure_logic_floorplan() {
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 5, 32, true).unwrap();
+        let fp = Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        assert!(fp.rows.len() >= 4);
+        assert!(fp.die_area().value() > dec.stdcell_area(&tech).value());
+        assert_eq!(fp.macros.len(), 0);
+        assert_eq!(fp.guard_area.value(), 0.0);
+    }
+
+    #[test]
+    fn macro_floorplan_stacks_bricks() {
+        let tech = Technology::cmos65();
+        let lib = lib_with_brick(&tech);
+        let mut n = Netlist::new("mem");
+        let clk = n.add_clock("clk");
+        let outs1 = n.add_macro("u_b0", "brick_8t_16_10_x2", &[clk], 10, "a0");
+        let outs2 = n.add_macro("u_b1", "brick_8t_16_10_x2", &[clk], 10, "a1");
+        for o in outs1.into_iter().chain(outs2) {
+            n.mark_output(o);
+        }
+        let fp = Floorplan::build(&tech, &n, &lib, &FloorplanOptions::default()).unwrap();
+        assert_eq!(fp.macros.len(), 2);
+        // Stacked: second macro sits above the first.
+        assert!(fp.macros[1].y > fp.macros[0].y);
+        assert!(fp.height.value() >= fp.macros[1].y.value() + fp.macros[1].height.value());
+    }
+
+    #[test]
+    fn conventional_logic_pays_guard_area() {
+        let tech = Technology::cmos65();
+        let lib = lib_with_brick(&tech);
+        let mut n = Netlist::new("mem");
+        let clk = n.add_clock("clk");
+        let outs = n.add_macro("u_b0", "brick_8t_16_10_x2", &[clk], 10, "a0");
+        for o in outs {
+            n.mark_output(o);
+        }
+        let lim = Floorplan::build(&tech, &n, &lib, &FloorplanOptions::default()).unwrap();
+        let conv = Floorplan::build(
+            &tech,
+            &n,
+            &lib,
+            &FloorplanOptions {
+                conventional_logic: true,
+                ..FloorplanOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(lim.guard_area.value(), 0.0);
+        assert!(conv.guard_area.value() > 0.0);
+        assert!(conv.die_area() > lim.die_area());
+    }
+
+    #[test]
+    fn missing_macro_entry_is_an_error() {
+        let tech = Technology::cmos65();
+        let mut n = Netlist::new("mem");
+        let clk = n.add_clock("clk");
+        let outs = n.add_macro("u_b0", "no_such_brick", &[clk], 4, "a");
+        for o in outs {
+            n.mark_output(o);
+        }
+        let err = Floorplan::build(&tech, &n, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, PhysicalError::Brick(_)));
+    }
+
+    #[test]
+    fn bad_utilization_rejected() {
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 3, 8, false).unwrap();
+        let err = Floorplan::build(
+            &tech,
+            &dec,
+            &BrickLibrary::new(),
+            &FloorplanOptions {
+                utilization: 0.0,
+                ..FloorplanOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PhysicalError::BadOption { .. }));
+    }
+}

@@ -1,0 +1,57 @@
+//! Physical synthesis for LiM designs: the ICC/Encounter + PrimeTime
+//! stand-in.
+//!
+//! "Memory bricks are used as macro cells in the conventional physical
+//! synthesis flow, with synthesis files supplied by the dynamically
+//! generated brick library" (§3). This crate takes a mapped gate-level
+//! netlist (from `lim-rtl`), a brick library (from `lim-brick`) and a
+//! switching-activity profile, and produces placement, wire estimates,
+//! timing and power:
+//!
+//! * [`floorplan`] — die sizing, macro (brick bank) legalization, standard
+//!   cell rows, restrictive-patterning guard-space accounting.
+//! * [`place`] — seeded simulated-annealing placement minimizing
+//!   half-perimeter wirelength.
+//! * [`route`] — per-net Steiner-factor wire estimates with RC
+//!   parasitics (the `.spef` of the flow).
+//! * [`sta`] — NLDM-style static timing analysis: slew-aware arrival
+//!   propagation through gates and brick macros, setup checks, critical
+//!   path and fmax.
+//! * [`power`] — activity-based dynamic power plus leakage, per block.
+//! * [`flow`] — the one-call pipeline producing a [`BlockReport`].
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_physical::flow::{PhysicalSynthesis, FlowOptions};
+//! use lim_rtl::generators::decoder;
+//! use lim_brick::BrickLibrary;
+//! use lim_tech::Technology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Technology::cmos65();
+//! let lib = BrickLibrary::new(); // no macros in this design
+//! let dec = decoder("dec5to32", 5, 32, true)?;
+//! let report = PhysicalSynthesis::new(&tech, &lib)
+//!     .run(&dec, &FlowOptions::default())?;
+//! assert!(report.fmax.value() > 0.0);
+//! assert!(report.die_area.value() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod clock;
+pub mod error;
+pub mod floorplan;
+pub mod flow;
+pub mod place;
+pub mod power;
+pub mod report;
+pub mod route;
+pub mod sta;
+pub mod svg;
+
+pub use clock::ClockTreeReport;
+pub use error::PhysicalError;
+pub use flow::{BlockReport, FlowOptions, PhysicalSynthesis};
+pub use sta::TimingReport;

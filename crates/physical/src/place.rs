@@ -1,0 +1,404 @@
+//! Simulated-annealing standard-cell placement.
+//!
+//! Cells occupy uniform slots on the floorplan's rows; the annealer swaps
+//! cells (or moves them to empty slots) to minimize total half-perimeter
+//! wirelength. Seeded for reproducibility.
+
+use crate::error::PhysicalError;
+use crate::floorplan::Floorplan;
+use lim_rtl::{CellKind, NetId, Netlist};
+use lim_tech::units::Microns;
+use lim_tech::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where every pin of the design sits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Per-cell position (cell index → center), `None` for macros (their
+    /// position lives in the floorplan).
+    pub cell_pos: Vec<Option<(f64, f64)>>,
+    /// Per-macro-instance position, parallel to the floorplan macro list.
+    pub macro_centers: Vec<(String, (f64, f64))>,
+    /// Positions of primary-input pins (net index → position).
+    pub input_pins: Vec<(NetId, (f64, f64))>,
+    /// Positions of primary-output pins.
+    pub output_pins: Vec<(NetId, (f64, f64))>,
+    /// Final total HPWL in µm.
+    pub hpwl: f64,
+    /// Annealer moves attempted.
+    pub moves: usize,
+}
+
+impl Placement {
+    /// Position of the pin that `net` presents at cell `cell_idx`; the
+    /// cell center for std cells, the macro center for macros.
+    pub fn position_of_cell(&self, cell_idx: usize, floorplan: &Floorplan) -> (f64, f64) {
+        if let Some(p) = self.cell_pos[cell_idx] {
+            p
+        } else {
+            // Macro: find by order.
+            let m = &floorplan.macros;
+            let idx = self
+                .macro_centers
+                .iter()
+                .position(|(name, _)| m.iter().any(|pm| &pm.instance == name))
+                .unwrap_or(0);
+            self.macro_centers
+                .get(idx)
+                .map(|(_, p)| *p)
+                .unwrap_or((0.0, 0.0))
+        }
+    }
+}
+
+/// Placement effort: multiplier on the number of annealing moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaceEffort(pub f64);
+
+impl Default for PlaceEffort {
+    fn default() -> Self {
+        PlaceEffort(1.0)
+    }
+}
+
+/// Places `netlist` on `floorplan`.
+///
+/// # Errors
+///
+/// Returns [`PhysicalError::DoesNotFit`] when the rows offer fewer slots
+/// than there are placeable cells.
+pub fn place(
+    tech: &Technology,
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    seed: u64,
+    effort: PlaceEffort,
+) -> Result<Placement, PhysicalError> {
+    let cells = netlist.cells();
+    let placeable: Vec<usize> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !matches!(c.kind, CellKind::Macro { .. }))
+        .map(|(i, _)| i)
+        .collect();
+
+    // Uniform slot grid across the rows, sized from the average cell
+    // footprint; shrink if rounding leaves too few slots.
+    let total_area = netlist.stdcell_area(tech).value();
+    let avg_width = if placeable.is_empty() {
+        1.0
+    } else {
+        (total_area / placeable.len() as f64 / tech.row_height.value()).max(0.2)
+    };
+    let mut slot_w = avg_width;
+    let build_slots = |slot_w: f64| -> Vec<(f64, f64)> {
+        let mut slots = Vec::new();
+        for row in &floorplan.rows {
+            let usable = row.width().value();
+            let n = (usable / slot_w).floor() as usize;
+            for k in 0..n {
+                slots.push((
+                    row.x_start.value() + (k as f64 + 0.5) * slot_w,
+                    row.y.value() + tech.row_height.value() / 2.0,
+                ));
+            }
+        }
+        slots
+    };
+    let mut slots = build_slots(slot_w);
+    while slots.len() < placeable.len() && slot_w > 0.05 {
+        slot_w *= 0.8;
+        slots = build_slots(slot_w);
+    }
+    if slots.len() < placeable.len() {
+        return Err(PhysicalError::DoesNotFit {
+            demand: placeable.len() as f64,
+            capacity: slots.len() as f64,
+        });
+    }
+
+    // cell -> slot assignment (initial: in order).
+    let mut slot_of: Vec<usize> = (0..placeable.len()).collect();
+    // slot -> Option<cell ordinal>
+    let mut cell_in_slot: Vec<Option<usize>> = vec![None; slots.len()];
+    for (ord, &slot) in slot_of.iter().enumerate() {
+        cell_in_slot[slot] = Some(ord);
+    }
+
+    // Static pin positions.
+    let macro_centers: Vec<(String, (f64, f64))> = floorplan
+        .macros
+        .iter()
+        .map(|m| (m.instance.clone(), {
+            let (x, y) = m.center();
+            (x.value(), y.value())
+        }))
+        .collect();
+    let n_pi = netlist.primary_inputs().len().max(1);
+    let input_pins: Vec<(NetId, (f64, f64))> = netlist
+        .primary_inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            (
+                n,
+                (
+                    0.0,
+                    floorplan.height.value() * (i as f64 + 0.5) / n_pi as f64,
+                ),
+            )
+        })
+        .collect();
+    let n_po = netlist.primary_outputs().len().max(1);
+    let output_pins: Vec<(NetId, (f64, f64))> = netlist
+        .primary_outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            (
+                n,
+                (
+                    floorplan.width.value(),
+                    floorplan.height.value() * (i as f64 + 0.5) / n_po as f64,
+                ),
+            )
+        })
+        .collect();
+
+    // Net membership for incremental cost.
+    let mut nets_of_cell: Vec<Vec<usize>> = vec![Vec::new(); placeable.len()];
+    let mut pins_of_net: Vec<Vec<PinRef>> = vec![Vec::new(); netlist.net_count()];
+    for (ord, &ci) in placeable.iter().enumerate() {
+        for &net in cells[ci].inputs.iter().chain(cells[ci].outputs.iter()) {
+            nets_of_cell[ord].push(net.index());
+            pins_of_net[net.index()].push(PinRef::Cell(ord));
+        }
+    }
+    for (i, m) in floorplan.macros.iter().enumerate() {
+        let cell = cells
+            .iter()
+            .find(|c| c.name == m.instance)
+            .expect("macro instance exists in netlist");
+        for &net in cell.inputs.iter().chain(cell.outputs.iter()) {
+            pins_of_net[net.index()].push(PinRef::Macro(i));
+        }
+    }
+    for (i, (net, _)) in input_pins.iter().enumerate() {
+        pins_of_net[net.index()].push(PinRef::Input(i));
+    }
+    for (i, (net, _)) in output_pins.iter().enumerate() {
+        pins_of_net[net.index()].push(PinRef::Output(i));
+    }
+
+    let pin_pos = |pin: &PinRef, slot_of: &[usize]| -> (f64, f64) {
+        match *pin {
+            PinRef::Cell(ord) => slots[slot_of[ord]],
+            PinRef::Macro(i) => macro_centers[i].1,
+            PinRef::Input(i) => input_pins[i].1,
+            PinRef::Output(i) => output_pins[i].1,
+        }
+    };
+    let net_hpwl = |net: usize, slot_of: &[usize]| -> f64 {
+        let pins = &pins_of_net[net];
+        if pins.len() < 2 {
+            return 0.0;
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for p in pins {
+            let (x, y) = pin_pos(p, slot_of);
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        (x1 - x0) + (y1 - y0)
+    };
+
+    let total_hpwl =
+        |slot_of: &[usize]| -> f64 { (0..netlist.net_count()).map(|n| net_hpwl(n, slot_of)).sum() };
+
+    // Annealing.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cost = total_hpwl(&slot_of);
+    let n_moves = if placeable.len() < 2 {
+        0
+    } else {
+        ((placeable.len() * 60) as f64 * effort.0) as usize
+    };
+    let t0 = (cost / (placeable.len().max(1) as f64)).max(1.0);
+    let mut best_cost = cost;
+    let mut best_slot_of = slot_of.clone();
+    for step in 0..n_moves {
+        let t = t0 * (1.0 - step as f64 / n_moves as f64).max(0.01);
+        let a = rng.gen_range(0..placeable.len());
+        let target_slot = rng.gen_range(0..slots.len());
+        let b = cell_in_slot[target_slot];
+        if b == Some(a) {
+            continue;
+        }
+        // Affected nets.
+        let mut nets: Vec<usize> = nets_of_cell[a].clone();
+        if let Some(b) = b {
+            nets.extend(&nets_of_cell[b]);
+        }
+        nets.sort_unstable();
+        nets.dedup();
+        let before: f64 = nets.iter().map(|&n| net_hpwl(n, &slot_of)).sum();
+        // Apply move.
+        let old_slot = slot_of[a];
+        slot_of[a] = target_slot;
+        if let Some(b) = b {
+            slot_of[b] = old_slot;
+        }
+        cell_in_slot[old_slot] = b;
+        cell_in_slot[target_slot] = Some(a);
+        let after: f64 = nets.iter().map(|&n| net_hpwl(n, &slot_of)).sum();
+        let delta = after - before;
+        if delta > 0.0 && rng.gen::<f64>() >= (-delta / t).exp() {
+            // Revert.
+            slot_of[a] = old_slot;
+            if let Some(b) = b {
+                slot_of[b] = target_slot;
+            }
+            cell_in_slot[old_slot] = Some(a);
+            cell_in_slot[target_slot] = b;
+        } else {
+            cost += delta;
+            if cost < best_cost {
+                best_cost = cost;
+                best_slot_of.copy_from_slice(&slot_of);
+            }
+        }
+    }
+    // Keep the best assignment seen (annealing may end on an uphill walk).
+    slot_of = best_slot_of;
+    let final_cost = total_hpwl(&slot_of);
+
+    // Emit positions.
+    let mut cell_pos: Vec<Option<(f64, f64)>> = vec![None; cells.len()];
+    for (ord, &ci) in placeable.iter().enumerate() {
+        cell_pos[ci] = Some(slots[slot_of[ord]]);
+    }
+
+    Ok(Placement {
+        cell_pos,
+        macro_centers,
+        input_pins,
+        output_pins,
+        hpwl: final_cost,
+        moves: n_moves,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PinRef {
+    Cell(usize),
+    Macro(usize),
+    Input(usize),
+    Output(usize),
+}
+
+/// Returns the position of every pin of `net` under `placement`
+/// (cells at their centers, macros at theirs, ports at the die edge).
+pub fn net_pin_positions(
+    netlist: &Netlist,
+    placement: &Placement,
+    floorplan: &Floorplan,
+    net: NetId,
+) -> Vec<(f64, f64)> {
+    let mut pins = Vec::new();
+    for (i, cell) in netlist.cells().iter().enumerate() {
+        if cell.inputs.contains(&net) || cell.outputs.contains(&net) {
+            if let Some(p) = placement.cell_pos[i] {
+                pins.push(p);
+            } else if let Some((_, p)) = placement
+                .macro_centers
+                .iter()
+                .find(|(name, _)| name == &cell.name)
+            {
+                pins.push(*p);
+            } else if let Some(m) = floorplan.macros.iter().find(|m| m.instance == cell.name) {
+                let (x, y) = m.center();
+                pins.push((x.value(), y.value()));
+            }
+        }
+    }
+    for (n, p) in &placement.input_pins {
+        if *n == net {
+            pins.push(*p);
+        }
+    }
+    for (n, p) in &placement.output_pins {
+        if *n == net {
+            pins.push(*p);
+        }
+    }
+    pins
+}
+
+/// Half-perimeter wirelength of one net.
+pub fn hpwl(pins: &[(f64, f64)]) -> Microns {
+    if pins.len() < 2 {
+        return Microns::ZERO;
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in pins {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    Microns::new((x1 - x0) + (y1 - y0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::FloorplanOptions;
+    use lim_brick::BrickLibrary;
+    use lim_rtl::generators::decoder;
+
+    #[test]
+    fn placement_fits_and_improves() {
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 4, 16, true).unwrap();
+        let fp = Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let seeded = place(&tech, &dec, &fp, 42, PlaceEffort::default()).unwrap();
+        assert!(seeded.hpwl > 0.0);
+        // All std cells have positions inside the die.
+        for (i, pos) in seeded.cell_pos.iter().enumerate() {
+            let p = pos.unwrap_or_else(|| panic!("cell {i} unplaced"));
+            assert!(p.0 >= 0.0 && p.0 <= fp.width.value());
+            assert!(p.1 >= 0.0 && p.1 <= fp.height.value());
+        }
+        // Annealed placement beats the trivial ordered placement.
+        let unannealed = place(&tech, &dec, &fp, 42, PlaceEffort(0.0)).unwrap();
+        assert!(
+            seeded.hpwl <= unannealed.hpwl * 1.001,
+            "annealed {} vs initial {}",
+            seeded.hpwl,
+            unannealed.hpwl
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 3, 8, false).unwrap();
+        let fp = Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let p1 = place(&tech, &dec, &fp, 7, PlaceEffort::default()).unwrap();
+        let p2 = place(&tech, &dec, &fp, 7, PlaceEffort::default()).unwrap();
+        assert_eq!(p1.cell_pos, p2.cell_pos);
+        assert_eq!(p1.hpwl, p2.hpwl);
+    }
+
+    #[test]
+    fn hpwl_of_rectangle() {
+        let pins = [(0.0, 0.0), (3.0, 4.0), (1.0, 1.0)];
+        assert!((hpwl(&pins).value() - 7.0).abs() < 1e-12);
+        assert_eq!(hpwl(&[(1.0, 1.0)]).value(), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Human-readable report formatting (the `report_timing` /
+//! `report_power` of the flow).
+
+use crate::flow::BlockReport;
+use std::fmt::Write as _;
+
+/// Formats the block report as a classic sign-off summary.
+pub fn block_summary(report: &BlockReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "==== Block report: {} ====", report.name);
+    let _ = writeln!(s, "Timing");
+    let _ = writeln!(s, "  min period     : {:.1}", report.min_period);
+    let _ = writeln!(
+        s,
+        "  fmax           : {:.3} GHz",
+        report.fmax.to_gigahertz().value()
+    );
+    let _ = writeln!(s, "  worst endpoint : {}", report.timing.worst_endpoint);
+    if let Some(hold) = report.timing.worst_hold_slack {
+        let _ = writeln!(
+            s,
+            "  hold slack     : {:.1} ({})",
+            hold,
+            if hold.value() >= 0.0 { "MET" } else { "VIOLATED" }
+        );
+    }
+    let _ = writeln!(s, "  critical path  :");
+    for (i, stage) in report.timing.critical_path.iter().enumerate() {
+        let _ = writeln!(s, "    {i:>2}. {stage}");
+    }
+    let _ = writeln!(s, "Area");
+    let _ = writeln!(s, "  die            : {:.1}", report.die_area);
+    let _ = writeln!(s, "  macros         : {:.1}", report.macro_area);
+    let _ = writeln!(s, "  std cells      : {:.1}", report.stdcell_area);
+    if report.guard_area.value() > 0.0 {
+        let _ = writeln!(s, "  litho guards   : {:.1}", report.guard_area);
+    }
+    let _ = writeln!(s, "  wirelength     : {:.1}", report.wirelength);
+    let _ = writeln!(s, "Power @ fmax");
+    let _ = writeln!(s, "  logic          : {:.3}", report.power.logic_dynamic);
+    let _ = writeln!(s, "  clock          : {:.3}", report.power.clock);
+    let _ = writeln!(s, "  macros         : {:.3}", report.power.macros);
+    let _ = writeln!(s, "  leakage        : {:.3}", report.power.leakage);
+    let _ = writeln!(s, "  total          : {:.3}", report.power.total());
+    let _ = writeln!(
+        s,
+        "  energy/cycle   : {:.1} fJ",
+        report.energy_per_cycle.value()
+    );
+    if let Some(ct) = &report.clock_tree {
+        let _ = writeln!(s, "Clock tree");
+        let _ = writeln!(
+            s,
+            "  {} sinks, {} buffers, {} levels",
+            ct.sinks, ct.buffers, ct.levels
+        );
+        let _ = writeln!(
+            s,
+            "  insertion {:.1}, skew {:.1}",
+            ct.insertion_delay, ct.skew
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowOptions, PhysicalSynthesis};
+    use lim_brick::BrickLibrary;
+    use lim_rtl::generators::register;
+    use lim_tech::Technology;
+
+    #[test]
+    fn summary_contains_all_sections() {
+        let tech = Technology::cmos65();
+        let lib = BrickLibrary::new();
+        let reg = register("regs", 8).unwrap();
+        let report = PhysicalSynthesis::new(&tech, &lib)
+            .run(&reg, &FlowOptions::default())
+            .unwrap();
+        let text = block_summary(&report);
+        for needle in [
+            "Block report: regs",
+            "min period",
+            "fmax",
+            "critical path",
+            "die",
+            "wirelength",
+            "energy/cycle",
+            "Clock tree",
+            "hold slack",
+            "MET",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn combinational_summary_skips_sequential_sections() {
+        let tech = Technology::cmos65();
+        let lib = BrickLibrary::new();
+        let dec = lim_rtl::generators::decoder("dec", 3, 8, false).unwrap();
+        let report = PhysicalSynthesis::new(&tech, &lib)
+            .run(&dec, &FlowOptions::default())
+            .unwrap();
+        let text = block_summary(&report);
+        assert!(!text.contains("Clock tree"));
+        assert!(!text.contains("hold slack"));
+    }
+}

@@ -1,0 +1,126 @@
+//! SVG rendering of floorplans and placements.
+//!
+//! The paper's Fig. 4a is a die photo; the closest offline artifact is a
+//! vector rendering of the synthesized layout: die outline, brick macros,
+//! cell rows and placed standard cells. The output is plain SVG text,
+//! viewable in any browser.
+
+use crate::floorplan::Floorplan;
+use crate::place::Placement;
+use lim_rtl::Netlist;
+use std::fmt::Write as _;
+
+/// Pixels per micron in the rendering.
+const SCALE: f64 = 8.0;
+
+/// Renders the floorplan and placement as an SVG document.
+pub fn render(netlist: &Netlist, floorplan: &Floorplan, placement: &Placement) -> String {
+    let w = floorplan.width.value() * SCALE;
+    let h = floorplan.height.value() * SCALE;
+    // SVG y grows downward; flip so the die origin is bottom-left.
+    let y = |v: f64| h - v * SCALE;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"##,
+        w + 2.0,
+        h + 2.0,
+        w + 2.0,
+        h + 2.0
+    );
+    let _ = writeln!(
+        s,
+        r##"<rect x="0" y="0" width="{w:.1}" height="{h:.1}" fill="#fdfdf6" stroke="#333" stroke-width="1"/>"##
+    );
+
+    // Standard-cell rows.
+    for row in &floorplan.rows {
+        let _ = writeln!(
+            s,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="1" fill="#e8e8e8"/>"##,
+            row.x_start.value() * SCALE,
+            y(row.y.value()),
+            row.width().value() * SCALE
+        );
+    }
+
+    // Macros (brick banks).
+    for m in &floorplan.macros {
+        let _ = writeln!(
+            s,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#7fb3d5" stroke="#1a5276" stroke-width="0.8"/>"##,
+            m.x.value() * SCALE,
+            y(m.y.value() + m.height.value()),
+            m.width.value() * SCALE,
+            m.height.value() * SCALE
+        );
+        let _ = writeln!(
+            s,
+            r##"<text x="{:.1}" y="{:.1}" font-size="8" fill="#1a5276">{}</text>"##,
+            m.x.value() * SCALE + 2.0,
+            y(m.y.value() + m.height.value() / 2.0),
+            m.instance
+        );
+    }
+
+    // Placed standard cells.
+    for (i, pos) in placement.cell_pos.iter().enumerate() {
+        if let Some((x, cy)) = pos {
+            let seq = netlist.cells()[i].kind.is_sequential();
+            let color = if seq { "#c0392b" } else { "#58d68d" };
+            let _ = writeln!(
+                s,
+                r##"<rect x="{:.1}" y="{:.1}" width="2.4" height="2.4" fill="{color}"/>"##,
+                x * SCALE - 1.2,
+                y(*cy) - 1.2
+            );
+        }
+    }
+
+    let _ = writeln!(s, "</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::FloorplanOptions;
+    use crate::place::{place, PlaceEffort};
+    use lim_brick::{BitcellKind, BrickLibrary, BrickSpec};
+    use lim_tech::Technology;
+
+    #[test]
+    fn svg_renders_cells_rows_and_macros() {
+        let tech = Technology::cmos65();
+        let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
+        let lib = BrickLibrary::generate(&tech, &[spec], &[2]).unwrap();
+        let mut n = Netlist::new("svg_test");
+        let clk = n.add_clock("clk");
+        let d = n.add_input("d");
+        let q = n.add_dff(d, 1.0, "q");
+        let inv = n
+            .add_gate(lim_rtl::StdCellKind::Inv, 1.0, &[q], "inv")
+            .unwrap();
+        n.mark_output(inv);
+        let outs = n.add_macro("u_bank", "brick_8t_16_10_x2", &[clk, d], 10, "arbl");
+        for o in outs {
+            n.mark_output(o);
+        }
+        let fp = Floorplan::build(&tech, &n, &lib, &FloorplanOptions::default()).unwrap();
+        let pl = place(&tech, &n, &fp, 3, PlaceEffort::default()).unwrap();
+        let svg = render(&n, &fp, &pl);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("u_bank"));
+        // One red (sequential) and one green (combinational) cell.
+        assert!(svg.contains("#c0392b"));
+        assert!(svg.contains("#58d68d"));
+        // Macro fill present.
+        assert!(svg.contains("#7fb3d5"));
+        // Every placed cell rendered.
+        let cell_rects = svg.matches(r##"width="2.4""##).count();
+        let placed = pl.cell_pos.iter().filter(|p| p.is_some()).count();
+        assert_eq!(cell_rects, placed);
+    }
+}

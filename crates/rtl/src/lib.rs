@@ -1,0 +1,57 @@
+//! Structural RTL infrastructure for the LiM flow.
+//!
+//! The LiM methodology expresses smart memories as RTL that instantiates
+//! memory bricks next to synthesized standard-cell logic (decoders, bank
+//! enables, compute blocks). This crate is the logic-synthesis side of the
+//! picture:
+//!
+//! * [`ir`] — a flat gate-level structural netlist ([`Netlist`]) with
+//!   validation (single driver per net, no dangling pins, no
+//!   combinational loops).
+//! * [`stdcell`] — the pattern-construct standard-cell library: logical
+//!   effort parameters, pin capacitances, area, leakage, and Boolean
+//!   evaluation for simulation.
+//! * [`generators`] — parameterized netlist generators for the blocks the
+//!   paper's flow synthesizes around bricks: decoders with predecoding,
+//!   mux trees, comparators, priority encoders, adders, array multipliers
+//!   and sequencers.
+//! * [`mapping`] — netlist cleanup passes (constant propagation, dead-gate
+//!   sweep, fanout buffering), the equivalent of the paper's Design
+//!   Compiler step.
+//! * [`sim`] — an event-driven two-value gate simulator with DFF support,
+//!   producing per-net switching activity (the SAIF file of the paper's
+//!   flow) for power analysis.
+//! * [`verilog`] — structural Verilog emission.
+//!
+//! # Examples
+//!
+//! Generate and exercise the paper's 5-to-32 decoder:
+//!
+//! ```
+//! use lim_rtl::generators::decoder;
+//! use lim_rtl::sim::Simulator;
+//!
+//! # fn main() -> Result<(), lim_rtl::RtlError> {
+//! let dec = decoder("dec5to32", 5, 32, true)?;
+//! let mut sim = Simulator::new(&dec)?;
+//! // Address 13 = 0b01101 (LSB first: 1,0,1,1,0), enabled.
+//! let outs = sim.eval(&[true, false, true, true, false, /*en*/ true])?;
+//! assert_eq!(outs.iter().filter(|&&b| b).count(), 1);
+//! assert!(outs[13]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod generators;
+pub mod ir;
+pub mod mapping;
+pub mod sim;
+pub mod stats;
+pub mod stdcell;
+pub mod verilog;
+
+pub use error::RtlError;
+pub use ir::{CellId, CellKind, NetId, Netlist};
+pub use sim::{Simulator, SwitchingActivity};
+pub use stdcell::StdCellKind;

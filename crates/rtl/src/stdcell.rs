@@ -1,0 +1,348 @@
+//! The pattern-construct standard-cell library.
+//!
+//! Cells are drawn from the same restricted pattern set as the memory
+//! bricks ([`PatternClass::RegularLogic`]), which is what lets the LiM
+//! flow abut logic and bitcells without guard spacing (paper Fig. 1c).
+//! Each kind carries logical-effort timing parameters, pin capacitance,
+//! area, leakage, and a Boolean evaluator for simulation.
+
+use lim_tech::patterns::PatternClass;
+use lim_tech::units::{Femtofarads, Picoseconds, SquareMicrons};
+use lim_tech::Technology;
+use std::fmt;
+
+/// Combinational and sequential standard cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StdCellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// AND-OR-invert: `!(a & b | c)`.
+    Aoi21,
+    /// OR-AND-invert: `!((a | b) & c)`.
+    Oai21,
+    /// 2:1 mux: `s ? b : a` (inputs `a, b, s`).
+    Mux2,
+    /// Full adder sum output: `a ^ b ^ cin`.
+    FaSum,
+    /// Full adder carry output: majority(a, b, cin).
+    FaCarry,
+    /// Positive-edge D flip-flop.
+    Dff,
+    /// Positive-edge D flip-flop with enable (inputs `d, en`).
+    DffEn,
+}
+
+impl StdCellKind {
+    /// All kinds, for table-driven tests.
+    pub fn all() -> [StdCellKind; 17] {
+        use StdCellKind::*;
+        [
+            Inv, Buf, Nand2, Nand3, Nor2, Nor3, And2, Or2, Xor2, Xnor2, Aoi21, Oai21, Mux2,
+            FaSum, FaCarry, Dff, DffEn,
+        ]
+    }
+
+    /// Library cell name.
+    pub fn name(self) -> &'static str {
+        use StdCellKind::*;
+        match self {
+            Inv => "INV",
+            Buf => "BUF",
+            Nand2 => "NAND2",
+            Nand3 => "NAND3",
+            Nor2 => "NOR2",
+            Nor3 => "NOR3",
+            And2 => "AND2",
+            Or2 => "OR2",
+            Xor2 => "XOR2",
+            Xnor2 => "XNOR2",
+            Aoi21 => "AOI21",
+            Oai21 => "OAI21",
+            Mux2 => "MUX2",
+            FaSum => "FASUM",
+            FaCarry => "FACARRY",
+            Dff => "DFF",
+            DffEn => "DFFEN",
+        }
+    }
+
+    /// Number of data input pins (excluding the implicit clock on
+    /// sequential cells).
+    pub fn input_count(self) -> usize {
+        use StdCellKind::*;
+        match self {
+            Inv | Buf | Dff => 1,
+            Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 | DffEn => 2,
+            Nand3 | Nor3 | Aoi21 | Oai21 | Mux2 | FaSum | FaCarry => 3,
+        }
+    }
+
+    /// True for clocked cells.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, StdCellKind::Dff | StdCellKind::DffEn)
+    }
+
+    /// Logical effort `g` of the worst input (γ = 2 textbook values;
+    /// compound cells use their decomposition's path effort).
+    pub fn logical_effort(self) -> f64 {
+        use StdCellKind::*;
+        match self {
+            Inv => 1.0,
+            Buf => 1.0,
+            Nand2 => 4.0 / 3.0,
+            Nand3 => 5.0 / 3.0,
+            Nor2 => 5.0 / 3.0,
+            Nor3 => 7.0 / 3.0,
+            And2 | Or2 => 4.0 / 3.0,
+            Xor2 | Xnor2 => 4.0,
+            Aoi21 | Oai21 => 5.0 / 3.0,
+            Mux2 => 2.0,
+            FaSum => 4.0,
+            FaCarry => 2.0,
+            Dff | DffEn => 1.5,
+        }
+    }
+
+    /// Parasitic delay `p` in τ units.
+    pub fn parasitic(self) -> f64 {
+        use StdCellKind::*;
+        match self {
+            Inv => 1.0,
+            Buf => 2.0,
+            Nand2 => 2.0,
+            Nand3 => 3.0,
+            Nor2 => 2.0,
+            Nor3 => 3.0,
+            And2 | Or2 => 3.0,
+            Xor2 | Xnor2 => 4.0,
+            Aoi21 | Oai21 => 7.0 / 3.0,
+            Mux2 => 4.0,
+            FaSum => 6.0,
+            FaCarry => 4.5,
+            Dff | DffEn => 4.0, // clock-to-q parasitic
+        }
+    }
+
+    /// Relative layout footprint in unit-inverter equivalents.
+    fn area_units(self) -> f64 {
+        use StdCellKind::*;
+        match self {
+            Inv => 1.0,
+            Buf => 1.8,
+            Nand2 | Nor2 => 1.5,
+            Nand3 | Nor3 => 2.2,
+            And2 | Or2 => 2.0,
+            Xor2 | Xnor2 => 3.2,
+            Aoi21 | Oai21 => 2.4,
+            Mux2 => 3.0,
+            FaSum => 5.5,
+            FaCarry => 4.0,
+            Dff => 6.0,
+            DffEn => 7.0,
+        }
+    }
+
+    /// Layout area of this cell at drive strength `drive`.
+    pub fn area(self, tech: &Technology, drive: f64) -> SquareMicrons {
+        SquareMicrons::new(tech.area_per_unit_drive.value() * self.area_units() * drive.max(1.0))
+    }
+
+    /// Input pin capacitance at drive strength `drive`.
+    pub fn input_cap(self, tech: &Technology, drive: f64) -> Femtofarads {
+        Femtofarads::new(tech.c_unit.value() * self.logical_effort() * drive.max(1.0))
+    }
+
+    /// Clock pin capacitance (sequential cells only; zero otherwise).
+    pub fn clock_cap(self, tech: &Technology, drive: f64) -> Femtofarads {
+        if self.is_sequential() {
+            Femtofarads::new(tech.c_unit.value() * 1.2 * drive.max(1.0))
+        } else {
+            Femtofarads::ZERO
+        }
+    }
+
+    /// Propagation (or clock-to-q) delay with load `c_load` and input slew
+    /// `slew`: `τ (g·h + p) + 0.12·slew`, the NLDM-lite model shared with
+    /// the physical STA.
+    pub fn delay(
+        self,
+        tech: &Technology,
+        drive: f64,
+        c_load: Femtofarads,
+        slew: Picoseconds,
+    ) -> Picoseconds {
+        let c_in = tech.c_unit.value() * drive.max(1.0);
+        let h = c_load.value() / c_in;
+        tech.tau * (self.logical_effort() * h + self.parasitic()) + slew * 0.12
+    }
+
+    /// Output slew (10–90 %) with load `c_load`: `2 τ h + p τ / 2`.
+    pub fn output_slew(self, tech: &Technology, drive: f64, c_load: Femtofarads) -> Picoseconds {
+        let c_in = tech.c_unit.value() * drive.max(1.0);
+        let h = c_load.value() / c_in;
+        tech.tau * (2.0 * h + self.parasitic() / 2.0)
+    }
+
+    /// Internal switched capacitance per output toggle (drives the
+    /// internal-power term of the power analysis).
+    pub fn internal_cap(self, tech: &Technology, drive: f64) -> Femtofarads {
+        Femtofarads::new(tech.c_unit.value() * self.parasitic() * 0.5 * drive.max(1.0))
+    }
+
+    /// Leakage in nanowatts at drive strength `drive`.
+    pub fn leakage_nw(self, tech: &Technology, drive: f64) -> f64 {
+        tech.leakage_per_unit_drive_nw * self.area_units() * drive.max(1.0)
+    }
+
+    /// Lithography pattern class — always pattern-construct logic.
+    pub fn pattern_class(self) -> PatternClass {
+        PatternClass::RegularLogic
+    }
+
+    /// Boolean function of the cell (combinational kinds only).
+    ///
+    /// Input order matters for [`Aoi21`](Self::Aoi21) (`a, b, c`),
+    /// [`Oai21`](Self::Oai21) (`a, b, c`) and [`Mux2`](Self::Mux2)
+    /// (`a, b, s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a sequential cell or with the wrong number of
+    /// inputs.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        use StdCellKind::*;
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "{} takes {} inputs",
+            self.name(),
+            self.input_count()
+        );
+        match self {
+            Inv => !inputs[0],
+            Buf => inputs[0],
+            Nand2 => !(inputs[0] && inputs[1]),
+            Nand3 => !(inputs[0] && inputs[1] && inputs[2]),
+            Nor2 => !(inputs[0] || inputs[1]),
+            Nor3 => !(inputs[0] || inputs[1] || inputs[2]),
+            And2 => inputs[0] && inputs[1],
+            Or2 => inputs[0] || inputs[1],
+            Xor2 => inputs[0] ^ inputs[1],
+            Xnor2 => !(inputs[0] ^ inputs[1]),
+            Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            Oai21 => !((inputs[0] || inputs[1]) && inputs[2]),
+            Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            FaSum => inputs[0] ^ inputs[1] ^ inputs[2],
+            FaCarry => {
+                (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2])
+            }
+            Dff | DffEn => panic!("sequential cell {} has no combinational eval", self.name()),
+        }
+    }
+}
+
+impl fmt::Display for StdCellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::cmos65()
+    }
+
+    #[test]
+    fn truth_tables() {
+        use StdCellKind::*;
+        assert!(Nand2.eval(&[true, false]));
+        assert!(!Nand2.eval(&[true, true]));
+        assert!(!Nor2.eval(&[true, false]));
+        assert!(Xor2.eval(&[true, false]));
+        assert!(!Xor2.eval(&[true, true]));
+        assert!(!Aoi21.eval(&[true, true, false]));
+        assert!(Aoi21.eval(&[true, false, false]));
+        assert!(!Oai21.eval(&[true, false, true]));
+        assert!(Mux2.eval(&[false, true, true]));
+        assert!(!Mux2.eval(&[false, true, false]));
+        assert!(FaSum.eval(&[true, true, true]));
+        assert!(FaCarry.eval(&[true, true, false]));
+        assert!(!FaCarry.eval(&[true, false, false]));
+    }
+
+    #[test]
+    fn delay_grows_with_load_and_slew() {
+        let t = tech();
+        let d1 = StdCellKind::Nand2.delay(&t, 1.0, Femtofarads::new(4.0), Picoseconds::ZERO);
+        let d2 = StdCellKind::Nand2.delay(&t, 1.0, Femtofarads::new(16.0), Picoseconds::ZERO);
+        let d3 = StdCellKind::Nand2.delay(&t, 1.0, Femtofarads::new(4.0), Picoseconds::new(100.0));
+        assert!(d2 > d1);
+        assert!(d3 > d1);
+        // Stronger drive is faster at the same load.
+        let d4 = StdCellKind::Nand2.delay(&t, 4.0, Femtofarads::new(16.0), Picoseconds::ZERO);
+        assert!(d4 < d2);
+    }
+
+    #[test]
+    fn sequential_flags_and_clock_cap() {
+        let t = tech();
+        assert!(StdCellKind::Dff.is_sequential());
+        assert!(!StdCellKind::Nand2.is_sequential());
+        assert!(StdCellKind::Dff.clock_cap(&t, 1.0).value() > 0.0);
+        assert_eq!(StdCellKind::Inv.clock_cap(&t, 1.0).value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no combinational eval")]
+    fn dff_eval_panics() {
+        StdCellKind::Dff.eval(&[true]);
+    }
+
+    #[test]
+    fn all_cells_have_positive_physicals() {
+        let t = tech();
+        for k in StdCellKind::all() {
+            assert!(k.area(&t, 1.0).value() > 0.0, "{k}");
+            assert!(k.input_cap(&t, 1.0).value() > 0.0, "{k}");
+            assert!(k.leakage_nw(&t, 1.0) > 0.0, "{k}");
+            assert_eq!(k.pattern_class(), PatternClass::RegularLogic);
+        }
+    }
+
+    #[test]
+    fn input_counts_match_eval_arity() {
+        for k in StdCellKind::all() {
+            if !k.is_sequential() {
+                let inputs = vec![false; k.input_count()];
+                let _ = k.eval(&inputs); // must not panic
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Structural Verilog emission for gate-level netlists.
+//!
+//! Complements `lim-brick::verilog` (which writes brick stubs): this
+//! module dumps the synthesized standard-cell logic so a full design can
+//! be inspected or shipped to an external flow.
+
+use crate::ir::{CellKind, Netlist};
+
+/// Sanitizes a net name into a Verilog identifier (`[`/`]` → `_`).
+fn ident(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+/// Emits the netlist as structural Verilog.
+pub fn emit(netlist: &Netlist) -> String {
+    use std::fmt::Write as _;
+    let mut v = String::new();
+    let _ = writeln!(v, "// Auto-generated structural netlist: {}", netlist.name());
+    let _ = writeln!(v, "module {} (", ident(netlist.name()));
+    let mut ports: Vec<String> = Vec::new();
+    for &pi in netlist.primary_inputs() {
+        ports.push(format!("  input  wire {}", ident(netlist.net_name(pi))));
+    }
+    for &po in netlist.primary_outputs() {
+        ports.push(format!("  output wire {}", ident(netlist.net_name(po))));
+    }
+    let _ = writeln!(v, "{}", ports.join(",\n"));
+    let _ = writeln!(v, ");");
+
+    // Internal wires: everything that isn't a port.
+    for i in 0..netlist.net_count() {
+        let id = crate::ir::NetId::from_index(i);
+        if !netlist.primary_inputs().contains(&id) && !netlist.primary_outputs().contains(&id) {
+            let _ = writeln!(v, "  wire {};", ident(netlist.net_name(id)));
+        }
+    }
+
+    for cell in netlist.cells() {
+        match &cell.kind {
+            CellKind::Gate { kind, drive } => {
+                let pins: Vec<String> = cell
+                    .inputs
+                    .iter()
+                    .map(|&n| ident(netlist.net_name(n)))
+                    .chain(cell.outputs.iter().map(|&n| ident(netlist.net_name(n))))
+                    .collect();
+                let _ = writeln!(
+                    v,
+                    "  {}_X{} {} ({});",
+                    kind.name(),
+                    (*drive).round() as i64,
+                    ident(&cell.name),
+                    pins.join(", ")
+                );
+            }
+            CellKind::Macro { lib_name } => {
+                let pins: Vec<String> = cell
+                    .inputs
+                    .iter()
+                    .chain(cell.outputs.iter())
+                    .map(|&n| ident(netlist.net_name(n)))
+                    .collect();
+                let _ = writeln!(
+                    v,
+                    "  {} {} ({});",
+                    ident(lib_name),
+                    ident(&cell.name),
+                    pins.join(", ")
+                );
+            }
+            CellKind::Tie { value } => {
+                let _ = writeln!(
+                    v,
+                    "  assign {} = 1'b{};",
+                    ident(netlist.net_name(cell.outputs[0])),
+                    *value as u8
+                );
+            }
+        }
+    }
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::decoder;
+
+    #[test]
+    fn emits_ports_and_instances() {
+        let dec = decoder("dec2to4", 2, 4, true).unwrap();
+        let v = emit(&dec);
+        assert!(v.contains("module dec2to4 ("));
+        assert!(v.contains("input  wire addr_0_"));
+        assert!(v.contains("input  wire en"));
+        assert!(v.contains("output wire out_3_"));
+        assert!(v.contains("INV_X2"));
+        assert!(v.contains("AND2_X1"));
+        assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn every_cell_appears_once() {
+        let dec = decoder("dec3to8", 3, 8, false).unwrap();
+        let v = emit(&dec);
+        let instances = v.lines().filter(|l| l.trim_start().starts_with("AND2")).count();
+        let and_cells = dec
+            .cells()
+            .iter()
+            .filter(|c| matches!(&c.kind, CellKind::Gate { kind, .. } if kind.name() == "AND2"))
+            .count();
+        assert_eq!(instances, and_cells);
+    }
+}

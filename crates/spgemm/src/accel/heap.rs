@@ -1,0 +1,253 @@
+//! The heap/FIFO-based non-LiM SpGEMM baseline, cycle level.
+//!
+//! The conventional column-by-column implementation (paper §4, after
+//! Buluç & Gilbert): each result column is formed by a multi-way merge of
+//! the scaled A-columns selected by B's column, using a priority queue
+//! built from FIFO SRAMs. The FIFO keeps its entries sorted, so every
+//! insertion shifts the tail sequentially — one read plus one write per
+//! shifted entry — and the queue is torn down and rebuilt at every column.
+//! That sequential shifting is exactly the latency and energy sink the
+//! paper measures against.
+
+use crate::accel::{AccelResult, AccelStats};
+use crate::error::SpgemmError;
+use crate::matrix::{Csc, Triplets};
+use crate::semiring::{Arithmetic, Semiring};
+
+/// Cycle-level model of the FIFO-heap SpGEMM chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapAccelerator {
+    /// Capacity of the sorted FIFO (bounds the shift distance).
+    pub fifo_capacity: usize,
+    /// Fixed per-column FIFO re-arrangement overhead, cycles
+    /// ("re-arrangement of FIFO based SRAM arrays at every column
+    /// computation").
+    pub column_setup_cycles: u64,
+}
+
+impl HeapAccelerator {
+    /// The paper's baseline silicon configuration.
+    pub fn paper_chip() -> Self {
+        HeapAccelerator {
+            fifo_capacity: 512,
+            column_setup_cycles: 24,
+        }
+    }
+
+    /// Creates a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgemmError::BadAccelerator`] for a zero-capacity FIFO.
+    pub fn new(fifo_capacity: usize, column_setup_cycles: u64) -> Result<Self, SpgemmError> {
+        if fifo_capacity == 0 {
+            return Err(SpgemmError::BadAccelerator {
+                reason: "FIFO capacity must be non-zero".into(),
+            });
+        }
+        Ok(HeapAccelerator {
+            fifo_capacity,
+            column_setup_cycles,
+        })
+    }
+
+    /// Runs `C = A · B`, returning the exact product and the cycle/event
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgemmError::DimensionMismatch`] when shapes disagree.
+    pub fn multiply(&self, a: &Csc, b: &Csc) -> Result<AccelResult, SpgemmError> {
+        self.multiply_with(Arithmetic, a, b)
+    }
+
+    /// Like [`multiply`](Self::multiply) over an arbitrary [`Semiring`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgemmError::DimensionMismatch`] when shapes disagree.
+    pub fn multiply_with<S: Semiring>(
+        &self,
+        s: S,
+        a: &Csc,
+        b: &Csc,
+    ) -> Result<AccelResult, SpgemmError> {
+        if a.cols() != b.rows() {
+            return Err(SpgemmError::DimensionMismatch {
+                left_cols: a.cols(),
+                right_rows: b.rows(),
+            });
+        }
+        let mut stats = AccelStats::default();
+        let mut out = Triplets::new(a.rows(), b.cols());
+
+        for j in 0..b.cols() {
+            // Ways of the merge: one per nonzero of B(:, j).
+            struct Way {
+                rows: Vec<usize>,
+                vals: Vec<f64>,
+                pos: usize,
+                scale: f64,
+            }
+            let mut ways: Vec<Way> = Vec::new();
+            for (k, bv) in b.column(j) {
+                stats.mem_reads += 1;
+                let (rows, vals): (Vec<usize>, Vec<f64>) = a.column(k).unzip();
+                if !rows.is_empty() {
+                    ways.push(Way {
+                        rows,
+                        vals,
+                        pos: 0,
+                        scale: bv,
+                    });
+                }
+            }
+            if ways.is_empty() {
+                continue;
+            }
+            stats.cycles += self.column_setup_cycles;
+
+            // Sorted FIFO of way heads: (row, way index), smallest row at
+            // the back for O(1) pop. An insertion shifts everything below
+            // the insertion point: 2 cycles (read + write) per entry, with
+            // the shift distance bounded by the FIFO capacity.
+            let mut fifo: Vec<(usize, usize)> = Vec::new();
+            let insert = |fifo: &mut Vec<(usize, usize)>, stats: &mut AccelStats, row: usize, way: usize| {
+                let pos = fifo
+                    .binary_search_by(|probe: &(usize, usize)| row.cmp(&probe.0))
+                    .unwrap_or_else(|p| p);
+                // Every entry with a larger row sits between the insertion
+                // point and the far end of the shift register and must move
+                // one slot to open the gap. Merge insertions land near the
+                // minimum, so this is nearly the whole queue — the
+                // sequential-shifting cost the paper calls out.
+                let shift = pos.min(self.fifo_capacity) as u64;
+                stats.cycles += 1 + 2 * shift;
+                stats.shift_cycles += 2 * shift;
+                fifo.insert(pos, (row, way));
+                stats.new_entries += 1;
+            };
+            for (w, way) in ways.iter().enumerate() {
+                insert(&mut fifo, &mut stats, way.rows[0], w);
+            }
+
+            // Merge: pop the minimum, accumulate runs of equal rows.
+            let mut cur_row: Option<usize> = None;
+            let mut acc = s.zero();
+            while let Some((row, w)) = fifo.pop() {
+                stats.cycles += 1; // pop + MAC issue
+                let way = &mut ways[w];
+                let product = s.times(way.vals[way.pos], way.scale);
+                stats.multiplies += 1;
+                stats.mem_reads += 1;
+                match cur_row {
+                    Some(r) if r == row => acc = s.plus(acc, product),
+                    Some(r) => {
+                        if !s.is_zero(acc) {
+                            out.push(r, j, acc).expect("in range");
+                        }
+                        stats.mem_writes += 1;
+                        cur_row = Some(row);
+                        acc = product;
+                    }
+                    None => {
+                        cur_row = Some(row);
+                        acc = product;
+                    }
+                }
+                way.pos += 1;
+                if way.pos < way.rows.len() {
+                    let next_row = way.rows[way.pos];
+                    insert(&mut fifo, &mut stats, next_row, w);
+                }
+            }
+            if let Some(r) = cur_row {
+                if !s.is_zero(acc) {
+                    out.push(r, j, acc).expect("in range");
+                }
+                stats.mem_writes += 1;
+            }
+        }
+
+        Ok(AccelResult {
+            product: out.to_csc(),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::lim_cam::LimCamAccelerator;
+    use crate::gen::MatrixGen;
+    use crate::reference::spgemm;
+
+    #[test]
+    fn product_matches_reference() {
+        let a = MatrixGen::erdos_renyi(96, 6.0, 31).to_csc();
+        let b = MatrixGen::erdos_renyi(96, 6.0, 32).to_csc();
+        let expect = spgemm(&a, &b).unwrap();
+        let got = HeapAccelerator::paper_chip().multiply(&a, &b).unwrap();
+        assert!(got.product.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn both_accelerators_agree_exactly() {
+        let a = MatrixGen::rmat(256, 2048, 0.57, 0.19, 0.19, 17).to_csc();
+        let lim = LimCamAccelerator::paper_chip().multiply(&a, &a).unwrap();
+        let heap = HeapAccelerator::paper_chip().multiply(&a, &a).unwrap();
+        assert!(lim.product.approx_eq(&heap.product, 1e-9));
+        assert_eq!(lim.stats.multiplies, heap.stats.multiplies);
+    }
+
+    #[test]
+    fn shifting_dominates_on_wide_merges() {
+        // Hub columns force wide merges: shifting should dwarf the
+        // useful MAC work.
+        let a = MatrixGen::hub(256, 4.0, 2, 128, 5).to_csc();
+        let res = HeapAccelerator::paper_chip().multiply(&a, &a).unwrap();
+        assert!(
+            res.stats.shift_cycles > res.stats.multiplies,
+            "shifts {} vs mults {}",
+            res.stats.shift_cycles,
+            res.stats.multiplies
+        );
+    }
+
+    #[test]
+    fn lim_wins_and_gap_grows_with_merge_width() {
+        let chip_lim = LimCamAccelerator::paper_chip();
+        let chip_heap = HeapAccelerator::paper_chip();
+        let narrow = MatrixGen::banded(128, 2, 7).to_csc();
+        let wide = MatrixGen::hub(256, 4.0, 6, 200, 7).to_csc();
+        let ratio = |m: &crate::matrix::Csc| {
+            let l = chip_lim.multiply(m, m).unwrap().stats.cycles as f64;
+            let h = chip_heap.multiply(m, m).unwrap().stats.cycles as f64;
+            h / l
+        };
+        let narrow_ratio = ratio(&narrow);
+        let wide_ratio = ratio(&wide);
+        assert!(narrow_ratio > 1.0, "narrow {narrow_ratio}");
+        assert!(
+            wide_ratio > 2.0 * narrow_ratio,
+            "wide {wide_ratio} vs narrow {narrow_ratio}"
+        );
+    }
+
+    #[test]
+    fn fifo_capacity_bounds_shift_cost() {
+        let a = MatrixGen::hub(256, 4.0, 2, 200, 9).to_csc();
+        let capped = HeapAccelerator::new(32, 24).unwrap().multiply(&a, &a).unwrap();
+        let uncapped = HeapAccelerator::new(100_000, 24)
+            .unwrap()
+            .multiply(&a, &a)
+            .unwrap();
+        assert!(capped.stats.cycles <= uncapped.stats.cycles);
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(HeapAccelerator::new(0, 10).is_err());
+    }
+}

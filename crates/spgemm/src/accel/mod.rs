@@ -1,0 +1,77 @@
+//! Cycle-level accelerator simulators.
+//!
+//! Both chips implement column-by-column SpGEMM and produce bit-identical
+//! products; they differ in how a column's partial results are merged:
+//!
+//! * [`lim_cam`] — the LiM chip: content-addressable index matching in a
+//!   single cycle per product term (paper Fig. 5).
+//! * [`heap`] — the baseline chip: FIFO-SRAM priority queue whose sorted
+//!   insertion shifts entries sequentially (the latency/energy sink the
+//!   paper identifies).
+//!
+//! The shared [`AccelStats`] makes the two cost models directly
+//! comparable.
+
+pub mod heap;
+pub mod lim_cam;
+
+use crate::matrix::Csc;
+
+/// Hardware event counts accumulated over one multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccelStats {
+    /// Total clock cycles.
+    pub cycles: u64,
+    /// Multiply–accumulate operations (equal for both chips on the same
+    /// input).
+    pub multiplies: u64,
+    /// CAM match operations (LiM chip only).
+    pub cam_matches: u64,
+    /// New-entry insertions into an accumulator structure.
+    pub new_entries: u64,
+    /// Cycles burned shifting FIFO contents (baseline chip only).
+    pub shift_cycles: u64,
+    /// Accumulator overflow flushes (LiM chip only).
+    pub overflow_flushes: u64,
+    /// Words read from the on-chip source matrix SRAMs.
+    pub mem_reads: u64,
+    /// Result words written out.
+    pub mem_writes: u64,
+}
+
+impl AccelStats {
+    /// Cycles per useful multiply — the architecture-efficiency figure.
+    pub fn cycles_per_multiply(&self) -> f64 {
+        if self.multiplies == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.multiplies as f64
+        }
+    }
+}
+
+/// A completed accelerator run: the (exact) product and its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccelResult {
+    /// The computed product.
+    pub product: Csc,
+    /// Hardware event counts.
+    pub stats: AccelStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_per_multiply_handles_zero() {
+        let s = AccelStats::default();
+        assert_eq!(s.cycles_per_multiply(), 0.0);
+        let s = AccelStats {
+            cycles: 30,
+            multiplies: 10,
+            ..AccelStats::default()
+        };
+        assert!((s.cycles_per_multiply() - 3.0).abs() < 1e-12);
+    }
+}

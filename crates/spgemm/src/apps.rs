@@ -1,0 +1,418 @@
+//! Graph kernels on the SpGEMM accelerators.
+//!
+//! The paper motivates SpGEMM as "a core primitive in graph processing
+//! applications such as graph contraction or shortest-path algorithms"
+//! (§1, after Kepner & Gilbert). This module expresses those kernels in
+//! the language of linear algebra and runs them through the cycle-level
+//! chips, so whole-application latency and energy can be compared — not
+//! just the raw primitive.
+
+use crate::accel::heap::HeapAccelerator;
+use crate::accel::lim_cam::LimCamAccelerator;
+use crate::accel::AccelStats;
+use crate::error::SpgemmError;
+use crate::matrix::{Csc, Triplets};
+use crate::semiring::MinPlus;
+
+/// Which chip executes a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chip {
+    /// The LiM CAM accelerator.
+    LimCam,
+    /// The heap/FIFO baseline.
+    Heap,
+}
+
+/// A kernel run: the numerical result plus accumulated hardware events
+/// over every SpGEMM invocation the kernel made.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRun<T> {
+    /// The kernel's answer.
+    pub result: T,
+    /// Event counts accumulated over all accelerator calls.
+    pub stats: AccelStats,
+}
+
+fn run_product(chip: Chip, a: &Csc, b: &Csc) -> Result<(Csc, AccelStats), SpgemmError> {
+    match chip {
+        Chip::LimCam => {
+            let r = LimCamAccelerator::paper_chip().multiply(a, b)?;
+            Ok((r.product, r.stats))
+        }
+        Chip::Heap => {
+            let r = HeapAccelerator::paper_chip().multiply(a, b)?;
+            Ok((r.product, r.stats))
+        }
+    }
+}
+
+fn add_stats(total: &mut AccelStats, s: &AccelStats) {
+    total.cycles += s.cycles;
+    total.multiplies += s.multiplies;
+    total.cam_matches += s.cam_matches;
+    total.new_entries += s.new_entries;
+    total.shift_cycles += s.shift_cycles;
+    total.overflow_flushes += s.overflow_flushes;
+    total.mem_reads += s.mem_reads;
+    total.mem_writes += s.mem_writes;
+}
+
+/// Sparse matrix–vector product `y = A·x` on the accelerator (the vector
+/// rides as a one-column matrix).
+///
+/// # Errors
+///
+/// Returns [`SpgemmError::DimensionMismatch`] when `x.len() != A.cols()`.
+pub fn spmv(chip: Chip, a: &Csc, x: &[f64]) -> Result<KernelRun<Vec<f64>>, SpgemmError> {
+    if x.len() != a.cols() {
+        return Err(SpgemmError::DimensionMismatch {
+            left_cols: a.cols(),
+            right_rows: x.len(),
+        });
+    }
+    let mut t = Triplets::new(x.len(), 1);
+    for (i, &v) in x.iter().enumerate() {
+        if v != 0.0 {
+            t.push(i, 0, v)?;
+        }
+    }
+    let (product, stats) = run_product(chip, a, &t.to_csc())?;
+    let mut y = vec![0.0; a.rows()];
+    for (r, v) in product.column(0) {
+        y[r] = v;
+    }
+    Ok(KernelRun { result: y, stats })
+}
+
+/// Graph contraction `C = Sᵀ · A · S` (the paper's named application):
+/// `clusters[v]` assigns vertex `v` to a supervertex; the result is the
+/// contracted adjacency with summed edge weights. Two accelerator
+/// products.
+///
+/// # Errors
+///
+/// Returns [`SpgemmError::DimensionMismatch`] on a wrong-length cluster
+/// map or [`SpgemmError::IndexOutOfBounds`] for an out-of-range cluster.
+pub fn graph_contraction(
+    chip: Chip,
+    adjacency: &Csc,
+    clusters: &[usize],
+    n_clusters: usize,
+) -> Result<KernelRun<Csc>, SpgemmError> {
+    if clusters.len() != adjacency.cols() {
+        return Err(SpgemmError::DimensionMismatch {
+            left_cols: adjacency.cols(),
+            right_rows: clusters.len(),
+        });
+    }
+    // Selector S: n x k, S[v, clusters[v]] = 1.
+    let mut s = Triplets::new(adjacency.cols(), n_clusters);
+    for (v, &c) in clusters.iter().enumerate() {
+        if c >= n_clusters {
+            return Err(SpgemmError::IndexOutOfBounds {
+                row: v,
+                col: c,
+                rows: adjacency.cols(),
+                cols: n_clusters,
+            });
+        }
+        s.push(v, c, 1.0)?;
+    }
+    let s = s.to_csc();
+    let st = s.transpose();
+
+    let mut stats = AccelStats::default();
+    let (a_s, s1) = run_product(chip, adjacency, &s)?;
+    add_stats(&mut stats, &s1);
+    let (contracted, s2) = run_product(chip, &st, &a_s)?;
+    add_stats(&mut stats, &s2);
+    Ok(KernelRun {
+        result: contracted,
+        stats,
+    })
+}
+
+/// Triangle count of an undirected graph via `trace(A³)/6`. Two
+/// accelerator products plus a host trace.
+///
+/// # Errors
+///
+/// Propagates accelerator failures.
+pub fn triangle_count(chip: Chip, adjacency: &Csc) -> Result<KernelRun<u64>, SpgemmError> {
+    let mut stats = AccelStats::default();
+    let (a2, s1) = run_product(chip, adjacency, adjacency)?;
+    add_stats(&mut stats, &s1);
+    let (a3, s2) = run_product(chip, &a2, adjacency)?;
+    add_stats(&mut stats, &s2);
+    let trace: f64 = (0..a3.cols().min(a3.rows())).map(|i| a3.get(i, i)).sum();
+    Ok(KernelRun {
+        result: (trace / 6.0).round() as u64,
+        stats,
+    })
+}
+
+/// All-pairs shortest paths limited to `2^k`-hop routes, by repeated
+/// min-plus squaring `D ← D ⊗ D` on the accelerator — the
+/// "shortest-path algorithms" of the paper's introduction, running on the
+/// *same* hardware as numerical SpGEMM (the generalized ⊗/⊕ block).
+///
+/// `weights` must carry non-negative edge weights; the result's entry
+/// `(i, j)` is the cheapest path cost within the hop budget (absent =
+/// unreachable).
+///
+/// # Errors
+///
+/// Propagates accelerator failures.
+pub fn shortest_paths(
+    chip: Chip,
+    weights: &Csc,
+    k_squarings: usize,
+) -> Result<KernelRun<Csc>, SpgemmError> {
+    // D₀ = W with a zero-cost diagonal (staying put is free). Zero-cost
+    // self-loops must survive sparsification, so we store them as explicit
+    // entries; min-plus zero (∞) is the absent value.
+    let n = weights.rows();
+    let mut t = Triplets::new(n, weights.cols());
+    for c in 0..weights.cols() {
+        for (r, v) in weights.column(c) {
+            if r != c {
+                t.push(r, c, v)?;
+            }
+        }
+    }
+    // Diagonal epsilon: exact 0.0 would be dropped by the sparse builder,
+    // so the "free" self-loop rides as a negligible cost.
+    for i in 0..n.min(weights.cols()) {
+        t.push(i, i, 1e-12)?;
+    }
+    let mut d = t.to_csc();
+    let mut stats = AccelStats::default();
+    for _ in 0..k_squarings {
+        let (next, s) = match chip {
+            Chip::LimCam => {
+                let r = LimCamAccelerator::paper_chip().multiply_with(MinPlus, &d, &d)?;
+                (r.product, r.stats)
+            }
+            Chip::Heap => {
+                let r = HeapAccelerator::paper_chip().multiply_with(MinPlus, &d, &d)?;
+                (r.product, r.stats)
+            }
+        };
+        add_stats(&mut stats, &s);
+        d = next;
+    }
+    Ok(KernelRun { result: d, stats })
+}
+
+/// `k` rounds of unweighted BFS frontier expansion from `source`:
+/// `f' = A·f` with reached-set masking on the host. Returns the set of
+/// vertices reached within `k` hops.
+///
+/// # Errors
+///
+/// Propagates accelerator failures.
+pub fn bfs_levels(
+    chip: Chip,
+    adjacency: &Csc,
+    source: usize,
+    k: usize,
+) -> Result<KernelRun<Vec<bool>>, SpgemmError> {
+    let n = adjacency.cols();
+    let mut reached = vec![false; n];
+    reached[source] = true;
+    let mut frontier: Vec<usize> = vec![source];
+    let mut stats = AccelStats::default();
+    for _ in 0..k {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut f = Triplets::new(n, 1);
+        for &v in &frontier {
+            f.push(v, 0, 1.0)?;
+        }
+        let (next, s) = run_product(chip, adjacency, &f.to_csc())?;
+        add_stats(&mut stats, &s);
+        frontier = next
+            .column(0)
+            .map(|(r, _)| r)
+            .filter(|&r| !reached[r])
+            .collect();
+        for &r in &frontier {
+            reached[r] = true;
+        }
+    }
+    Ok(KernelRun {
+        result: reached,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::MatrixGen;
+    use crate::reference::spgemm;
+
+    fn ring(n: usize) -> Csc {
+        // Undirected ring: triangle-free.
+        let mut t = Triplets::new(n, n);
+        for v in 0..n {
+            t.push(v, (v + 1) % n, 1.0).unwrap();
+            t.push((v + 1) % n, v, 1.0).unwrap();
+        }
+        t.to_csc()
+    }
+
+    fn clique(n: usize) -> Csc {
+        let mut t = Triplets::new(n, n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    t.push(a, b, 1.0).unwrap();
+                }
+            }
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn spmv_matches_host() {
+        let a = MatrixGen::erdos_renyi(64, 5.0, 3).to_csc();
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64 * 0.5).collect();
+        let run = spmv(Chip::LimCam, &a, &x).unwrap();
+        for i in 0..64 {
+            let expect: f64 = (0..64).map(|k| a.get(i, k) * x[k]).sum();
+            assert!((run.result[i] - expect).abs() < 1e-9, "row {i}");
+        }
+        assert!(run.stats.cycles > 0);
+    }
+
+    #[test]
+    fn triangle_counts_are_exact() {
+        // Ring: 0 triangles; K5: C(5,3) = 10 triangles.
+        assert_eq!(triangle_count(Chip::LimCam, &ring(12)).unwrap().result, 0);
+        assert_eq!(triangle_count(Chip::LimCam, &clique(5)).unwrap().result, 10);
+        assert_eq!(triangle_count(Chip::Heap, &clique(5)).unwrap().result, 10);
+    }
+
+    #[test]
+    fn contraction_sums_cluster_edges() {
+        // Two clusters over a 4-clique: contracted graph has all weight
+        // between and within the two supervertices.
+        let a = clique(4);
+        let clusters = [0usize, 0, 1, 1];
+        let run = graph_contraction(Chip::LimCam, &a, &clusters, 2).unwrap();
+        let c = &run.result;
+        // Within cluster 0: edges (0,1) and (1,0) → weight 2.
+        assert_eq!(c.get(0, 0), 2.0);
+        assert_eq!(c.get(1, 1), 2.0);
+        // Across: 2 vertices x 2 vertices = weight 4 each direction.
+        assert_eq!(c.get(0, 1), 4.0);
+        assert_eq!(c.get(1, 0), 4.0);
+        // And it matches the host oracle.
+        let mut s = Triplets::new(4, 2);
+        for (v, &cl) in clusters.iter().enumerate() {
+            s.push(v, cl, 1.0).unwrap();
+        }
+        let s = s.to_csc();
+        let oracle = spgemm(&s.transpose(), &spgemm(&a, &s).unwrap()).unwrap();
+        assert!(c.approx_eq(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn bfs_reaches_the_ring_in_hops() {
+        let a = ring(16);
+        let run = bfs_levels(Chip::LimCam, &a, 0, 3).unwrap();
+        // Within 3 hops of vertex 0 on a ring: {0, ±1, ±2, ±3}.
+        let reached: Vec<usize> = run
+            .result
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(reached, vec![0, 1, 2, 3, 13, 14, 15]);
+    }
+
+    #[test]
+    fn shortest_paths_on_a_weighted_line() {
+        // Line graph 0-1-2-3-4 with weights 1, 2, 3, 4 (both directions).
+        let n = 5;
+        let mut t = Triplets::new(n, n);
+        for v in 0..n - 1 {
+            let w = (v + 1) as f64;
+            t.push(v, v + 1, w).unwrap();
+            t.push(v + 1, v, w).unwrap();
+        }
+        let g = t.to_csc();
+        // Two squarings cover 4-hop paths: the full line.
+        let run = shortest_paths(Chip::LimCam, &g, 2).unwrap();
+        let d = &run.result;
+        let dist = |a: usize, b: usize| d.get(a, b);
+        assert!((dist(0, 1) - 1.0).abs() < 1e-6);
+        assert!((dist(0, 2) - 3.0).abs() < 1e-6); // 1 + 2
+        assert!((dist(0, 4) - 10.0).abs() < 1e-6); // 1+2+3+4
+        assert!(dist(0, 0) < 1e-6); // staying is free
+        // Both chips agree.
+        let heap = shortest_paths(Chip::Heap, &g, 2).unwrap();
+        assert!(run.result.approx_eq(&heap.result, 1e-6));
+        // Matches the host min-plus oracle.
+        let host = {
+            let mut d = run_host_minplus_base(&g);
+            for _ in 0..2 {
+                d = crate::reference::spgemm_with(crate::semiring::MinPlus, &d, &d).unwrap();
+            }
+            d
+        };
+        assert!(run.result.approx_eq(&host, 1e-6));
+    }
+
+    fn run_host_minplus_base(g: &Csc) -> Csc {
+        let n = g.rows();
+        let mut t = Triplets::new(n, n);
+        for c in 0..n {
+            for (r, v) in g.column(c) {
+                if r != c {
+                    t.push(r, c, v).unwrap();
+                }
+            }
+        }
+        for i in 0..n {
+            t.push(i, i, 1e-12).unwrap();
+        }
+        t.to_csc()
+    }
+
+    #[test]
+    fn min_plus_unreachable_stays_absent() {
+        // Two disconnected edges: 0-1 and 2-3.
+        let mut t = Triplets::new(4, 4);
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 0, 1.0).unwrap();
+        t.push(2, 3, 2.0).unwrap();
+        t.push(3, 2, 2.0).unwrap();
+        let g = t.to_csc();
+        let run = shortest_paths(Chip::LimCam, &g, 3).unwrap();
+        assert_eq!(run.result.get(0, 3), 0.0, "absent entry reads 0 via get");
+        // Structurally absent: column 3 holds only rows 2 and 3.
+        let col3: Vec<usize> = run.result.column(3).map(|(r, _)| r).collect();
+        assert_eq!(col3, vec![2, 3]);
+    }
+
+    #[test]
+    fn lim_kernels_cost_fewer_cycles_than_heap() {
+        let a = MatrixGen::rmat(256, 4096, 0.57, 0.19, 0.19, 21).to_csc();
+        let lim = triangle_count(Chip::LimCam, &a).unwrap();
+        let heap = triangle_count(Chip::Heap, &a).unwrap();
+        assert_eq!(lim.result, heap.result);
+        assert!(heap.stats.cycles > 3 * lim.stats.cycles);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let a = ring(8);
+        assert!(spmv(Chip::LimCam, &a, &[1.0; 3]).is_err());
+        assert!(graph_contraction(Chip::LimCam, &a, &[0; 3], 2).is_err());
+        assert!(graph_contraction(Chip::LimCam, &a, &[9; 8], 2).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Chip power models: cycles → latency and energy.
+//!
+//! Fig. 6 back-annotates cycle counts with the measured silicon operating
+//! points: the LiM chip at 475 MHz / 72 mW per clock, the baseline at
+//! 725 MHz / 96 mW. The same structure accepts the operating point of a
+//! block synthesized by our own physical flow, so the bench binaries can
+//! run either anchored to the paper's silicon or fully self-derived.
+
+use lim::LimBlock;
+use lim_tech::units::{Megahertz, Milliwatts};
+
+/// Frequency/power operating point of one chip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipPowerModel {
+    /// Operating clock frequency.
+    pub fmax: Megahertz,
+    /// Average power at that frequency.
+    pub power: Milliwatts,
+}
+
+impl ChipPowerModel {
+    /// The paper's measured LiM CAM-SpGEMM chip: 475 MHz, 72 mW.
+    pub fn paper_lim() -> Self {
+        ChipPowerModel {
+            fmax: Megahertz::new(475.0),
+            power: Milliwatts::new(72.0),
+        }
+    }
+
+    /// The paper's measured non-LiM baseline chip: 725 MHz, 96 mW.
+    pub fn paper_heap() -> Self {
+        ChipPowerModel {
+            fmax: Megahertz::new(725.0),
+            power: Milliwatts::new(96.0),
+        }
+    }
+
+    /// Operating point of a block synthesized by the LiM flow.
+    pub fn from_block(block: &LimBlock) -> Self {
+        ChipPowerModel {
+            fmax: block.report.fmax,
+            power: block.report.power.total(),
+        }
+    }
+
+    /// Wall-clock latency of `cycles` in microseconds.
+    pub fn latency(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.fmax.value() // µs = cycles / MHz
+    }
+
+    /// Energy of `cycles` in nanojoules: `P · t`.
+    pub fn energy(&self, cycles: u64) -> f64 {
+        // mW · µs = nJ.
+        self.power.value() * self.latency(cycles)
+    }
+}
+
+/// Latency/energy comparison of the two chips on one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipComparison {
+    /// LiM chip latency, µs.
+    pub lim_latency_us: f64,
+    /// Baseline latency, µs.
+    pub heap_latency_us: f64,
+    /// LiM chip energy, nJ.
+    pub lim_energy_nj: f64,
+    /// Baseline energy, nJ.
+    pub heap_energy_nj: f64,
+}
+
+impl ChipComparison {
+    /// Builds the comparison from the two cycle counts and chip models.
+    pub fn new(
+        lim_chip: &ChipPowerModel,
+        lim_cycles: u64,
+        heap_chip: &ChipPowerModel,
+        heap_cycles: u64,
+    ) -> Self {
+        ChipComparison {
+            lim_latency_us: lim_chip.latency(lim_cycles),
+            heap_latency_us: heap_chip.latency(heap_cycles),
+            lim_energy_nj: lim_chip.energy(lim_cycles),
+            heap_energy_nj: heap_chip.energy(heap_cycles),
+        }
+    }
+
+    /// Latency advantage of the LiM chip (the `7x–250x` of Fig. 6).
+    pub fn speedup(&self) -> f64 {
+        self.heap_latency_us / self.lim_latency_us
+    }
+
+    /// Energy advantage of the LiM chip (the `10x–310x` of Fig. 6).
+    pub fn energy_saving(&self) -> f64 {
+        self.heap_energy_nj / self.lim_energy_nj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_models_reproduce_units() {
+        let lim = ChipPowerModel::paper_lim();
+        // 475 cycles at 475 MHz = 1 µs; 72 mW for 1 µs = 72 nJ.
+        assert!((lim.latency(475) - 1.0).abs() < 1e-12);
+        assert!((lim.energy(475) - 72.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparison_ratios() {
+        let cmp = ChipComparison::new(
+            &ChipPowerModel::paper_lim(),
+            1_000,
+            &ChipPowerModel::paper_heap(),
+            100_000,
+        );
+        // Cycle ratio 100, frequency ratio 475/725 → speedup ≈ 65.5.
+        assert!((cmp.speedup() - 100.0 * 475.0 / 725.0).abs() < 1e-6);
+        // Energy improves further by the power ratio 96/72.
+        assert!(cmp.energy_saving() > cmp.speedup());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for sparse-matrix construction and accelerator simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the SpGEMM infrastructure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpgemmError {
+    /// A triplet referenced a coordinate outside the matrix.
+    IndexOutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+        /// Matrix rows.
+        rows: usize,
+        /// Matrix cols.
+        cols: usize,
+    },
+    /// Inner dimensions of a product do not agree.
+    DimensionMismatch {
+        /// Columns of the left operand.
+        left_cols: usize,
+        /// Rows of the right operand.
+        right_rows: usize,
+    },
+    /// An accelerator configuration is invalid.
+    BadAccelerator {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpgemmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpgemmError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(f, "entry ({row}, {col}) outside {rows}x{cols} matrix"),
+            SpgemmError::DimensionMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "cannot multiply: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            SpgemmError::BadAccelerator { reason } => {
+                write!(f, "bad accelerator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SpgemmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SpgemmError::DimensionMismatch {
+            left_cols: 3,
+            right_rows: 4,
+        };
+        assert!(e.to_string().contains("3 columns"));
+    }
+}

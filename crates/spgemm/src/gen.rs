@@ -1,0 +1,281 @@
+//! Seeded sparse-matrix generators: the offline substitute for the
+//! University of Florida collection.
+//!
+//! Fig. 6's benchmarks span uniform sparse graphs, power-law graphs with
+//! hub columns (where multi-way merges grow wide and the FIFO baseline
+//! collapses), regular meshes and dense-ish blocks. Each generator is
+//! deterministic for a given seed.
+
+use crate::matrix::{Csc, Triplets};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Namespace for the generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixGen;
+
+impl MatrixGen {
+    /// Erdős–Rényi digraph adjacency: `n x n`, expected `avg_degree`
+    /// nonzeros per column, uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn erdos_renyi(n: usize, avg_degree: f64, seed: u64) -> Triplets {
+        assert!(n > 0, "matrix dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Triplets::new(n, n);
+        let total = (n as f64 * avg_degree).round() as usize;
+        for _ in 0..total {
+            let r = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            let v = rng.gen_range(0.1..1.0);
+            t.push(r, c, v).expect("in range");
+        }
+        t
+    }
+
+    /// R-MAT power-law graph (Chakrabarti et al. parameters): `n` must be
+    /// a power of two; `edges` samples with quadrant probabilities
+    /// `(a, b, c)` (d = 1−a−b−c). Hub rows/columns emerge naturally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or the probabilities are
+    /// invalid.
+    pub fn rmat(n: usize, edges: usize, a: f64, b: f64, c: f64, seed: u64) -> Triplets {
+        assert!(n.is_power_of_two() && n > 1, "rmat needs a power-of-two n");
+        let d = 1.0 - a - b - c;
+        assert!(
+            a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+            "invalid rmat probabilities"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Triplets::new(n, n);
+        let levels = n.trailing_zeros();
+        for _ in 0..edges {
+            let (mut r, mut ccol) = (0usize, 0usize);
+            for _ in 0..levels {
+                r <<= 1;
+                ccol <<= 1;
+                let x: f64 = rng.gen();
+                if x < a {
+                    // top-left
+                } else if x < a + b {
+                    ccol |= 1;
+                } else if x < a + b + c {
+                    r |= 1;
+                } else {
+                    r |= 1;
+                    ccol |= 1;
+                }
+            }
+            t.push(r, ccol, rng.gen_range(0.1..1.0)).expect("in range");
+        }
+        t
+    }
+
+    /// Five-point 2-D mesh Laplacian on a `side x side` grid
+    /// (`n = side²`): the classic regular-stencil benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side == 0`.
+    pub fn mesh_laplacian(side: usize) -> Triplets {
+        assert!(side > 0, "mesh side must be positive");
+        let n = side * side;
+        let mut t = Triplets::new(n, n);
+        let idx = |x: usize, y: usize| y * side + x;
+        for y in 0..side {
+            for x in 0..side {
+                let i = idx(x, y);
+                t.push(i, i, 4.0).expect("in range");
+                if x > 0 {
+                    t.push(i, idx(x - 1, y), -1.0).expect("in range");
+                }
+                if x + 1 < side {
+                    t.push(i, idx(x + 1, y), -1.0).expect("in range");
+                }
+                if y > 0 {
+                    t.push(i, idx(x, y - 1), -1.0).expect("in range");
+                }
+                if y + 1 < side {
+                    t.push(i, idx(x, y + 1), -1.0).expect("in range");
+                }
+            }
+        }
+        t
+    }
+
+    /// Banded matrix: `n x n` with `band` diagonals on each side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn banded(n: usize, band: usize, seed: u64) -> Triplets {
+        assert!(n > 0, "matrix dimension must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Triplets::new(n, n);
+        for c in 0..n {
+            let lo = c.saturating_sub(band);
+            let hi = (c + band + 1).min(n);
+            for r in lo..hi {
+                t.push(r, c, rng.gen_range(0.1..1.0)).expect("in range");
+            }
+        }
+        t
+    }
+
+    /// Block-diagonal matrix of dense `block x block` tiles — the
+    /// densifying pattern of contracted graphs, with wide merge columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `block == 0`, or `block` does not divide `n`.
+    pub fn block_diagonal(n: usize, block: usize, fill: f64, seed: u64) -> Triplets {
+        assert!(n > 0 && block > 0 && n % block == 0, "block must divide n");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Triplets::new(n, n);
+        for b in 0..(n / block) {
+            let base = b * block;
+            for r in 0..block {
+                for c in 0..block {
+                    if rng.gen::<f64>() < fill {
+                        t.push(base + r, base + c, rng.gen_range(0.1..1.0))
+                            .expect("in range");
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// A hub matrix: mostly sparse uniform structure plus `hubs` columns
+    /// that are `hub_degree` dense — the adversarial case for FIFO-based
+    /// multi-way merging (merge width explodes on hub columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `hub_degree > n`.
+    pub fn hub(n: usize, avg_degree: f64, hubs: usize, hub_degree: usize, seed: u64) -> Triplets {
+        assert!(n > 0 && hub_degree <= n, "hub degree must fit the matrix");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Self::erdos_renyi(n, avg_degree, seed ^ 0x9e37_79b9);
+        for h in 0..hubs {
+            let col = (h * 31) % n;
+            let mut placed = 0usize;
+            while placed < hub_degree {
+                let r = rng.gen_range(0..n);
+                t.push(r, col, rng.gen_range(0.1..1.0)).expect("in range");
+                placed += 1;
+            }
+        }
+        t
+    }
+}
+
+/// Summary statistics used when reporting benchmark matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixStats {
+    /// Matrix dimension (square benchmarks).
+    pub n: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Mean nonzeros per column.
+    pub avg_col_nnz: f64,
+    /// Maximum nonzeros in any column (merge width driver).
+    pub max_col_nnz: usize,
+}
+
+impl MatrixStats {
+    /// Computes statistics of `m`.
+    pub fn of(m: &Csc) -> Self {
+        let max = (0..m.cols()).map(|c| m.col_nnz(c)).max().unwrap_or(0);
+        MatrixStats {
+            n: m.cols(),
+            nnz: m.nnz(),
+            avg_col_nnz: if m.cols() == 0 {
+                0.0
+            } else {
+                m.nnz() as f64 / m.cols() as f64
+            },
+            max_col_nnz: max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_density_close_to_target() {
+        let m = MatrixGen::erdos_renyi(512, 8.0, 1).to_csc();
+        let stats = MatrixStats::of(&m);
+        // Duplicates collapse, so slightly below the target.
+        assert!(stats.avg_col_nnz > 6.0 && stats.avg_col_nnz <= 8.0);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = MatrixGen::erdos_renyi(128, 4.0, 7).to_csc();
+        let b = MatrixGen::erdos_renyi(128, 4.0, 7).to_csc();
+        assert!(a.approx_eq(&b, 0.0));
+        let c = MatrixGen::erdos_renyi(128, 4.0, 8).to_csc();
+        assert!(!a.approx_eq(&c, 0.0));
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let m = MatrixGen::rmat(1024, 8 * 1024, 0.57, 0.19, 0.19, 3).to_csc();
+        let stats = MatrixStats::of(&m);
+        // Power-law: the max column is far above the average.
+        assert!(
+            stats.max_col_nnz as f64 > 4.0 * stats.avg_col_nnz,
+            "max {} vs avg {}",
+            stats.max_col_nnz,
+            stats.avg_col_nnz
+        );
+    }
+
+    #[test]
+    fn mesh_laplacian_pattern() {
+        let m = MatrixGen::mesh_laplacian(8).to_csc();
+        assert_eq!(m.rows(), 64);
+        // Interior column has 5 entries.
+        let interior = 8 * 3 + 3;
+        assert_eq!(m.col_nnz(interior), 5);
+        assert_eq!(m.get(interior, interior), 4.0);
+        // Symmetric structure.
+        assert!(m.transpose().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn banded_width() {
+        let m = MatrixGen::banded(64, 2, 5).to_csc();
+        for c in 2..62 {
+            assert_eq!(m.col_nnz(c), 5);
+        }
+        assert_eq!(m.col_nnz(0), 3);
+    }
+
+    #[test]
+    fn block_diagonal_struct() {
+        let m = MatrixGen::block_diagonal(64, 16, 1.0, 2).to_csc();
+        assert_eq!(m.nnz(), 4 * 16 * 16);
+        // No entry crosses a block boundary.
+        for c in 0..64 {
+            for (r, _) in m.column(c) {
+                assert_eq!(r / 16, c / 16, "entry ({r},{c}) crosses blocks");
+            }
+        }
+    }
+
+    #[test]
+    fn hub_columns_are_wide() {
+        let m = MatrixGen::hub(512, 4.0, 2, 256, 9).to_csc();
+        let stats = MatrixStats::of(&m);
+        assert!(stats.max_col_nnz > 150);
+    }
+}

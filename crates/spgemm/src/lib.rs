@@ -1,0 +1,66 @@
+//! Sparse matrix–matrix multiplication (SpGEMM) on LiM hardware:
+//! the paper's driving application (§4–§5).
+//!
+//! SpGEMM is the core primitive of graph algorithms (contraction,
+//! shortest paths) expressed in the language of linear algebra. The paper
+//! implements two 65 nm accelerator chips — a **LiM CAM-based** design
+//! (single-cycle index matching, Fig. 5) and a **heap/FIFO-based**
+//! baseline (multi-way merge with sequential shifting) — and measures
+//! 7x–250x latency and 10x–310x energy advantages for the LiM chip over
+//! a sparse-matrix benchmark suite (Fig. 6).
+//!
+//! This crate rebuilds that experiment end to end:
+//!
+//! * [`matrix`] — COO/CSC/DCSC sparse formats with validation.
+//! * [`gen`] — seeded generators (Erdős–Rényi, R-MAT power-law graphs,
+//!   meshes, banded and block matrices): the offline substitute for the
+//!   University of Florida collection.
+//! * [`reference`](mod@crate::reference) — a host column-by-column SpGEMM used as the
+//!   correctness oracle for both accelerators.
+//! * [`accel`] — cycle-level simulators of the two chips, sharing one
+//!   accounting framework; both produce the *same numerical product* and
+//!   are checked against the oracle.
+//! * [`energy`] — chip power models (from the physically synthesized
+//!   cores, or the paper's silicon operating points) turning cycle counts
+//!   into latency and energy.
+//! * [`suite`] — the named benchmark suite driving the Fig. 6
+//!   reproduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_spgemm::gen::MatrixGen;
+//! use lim_spgemm::accel::{lim_cam::LimCamAccelerator, heap::HeapAccelerator};
+//! use lim_spgemm::energy::ChipPowerModel;
+//!
+//! # fn main() -> Result<(), lim_spgemm::SpgemmError> {
+//! let a = MatrixGen::erdos_renyi(256, 8.0, 42).to_csc();
+//! let lim = LimCamAccelerator::paper_chip().multiply(&a, &a)?;
+//! let heap = HeapAccelerator::paper_chip().multiply(&a, &a)?;
+//! assert!(heap.stats.cycles > lim.stats.cycles);
+//!
+//! let lim_chip = ChipPowerModel::paper_lim();
+//! let heap_chip = ChipPowerModel::paper_heap();
+//! let speedup = heap_chip.latency(heap.stats.cycles)
+//!     / lim_chip.latency(lim.stats.cycles);
+//! assert!(speedup > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accel;
+pub mod apps;
+pub mod codesign;
+pub mod dram;
+pub mod energy;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod matrix;
+pub mod reference;
+pub mod semiring;
+pub mod suite;
+
+pub use energy::ChipPowerModel;
+pub use error::SpgemmError;
+pub use matrix::{Csc, Triplets};

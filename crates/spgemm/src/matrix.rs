@@ -1,0 +1,402 @@
+//! Sparse matrix formats.
+//!
+//! The accelerators consume compressed sparse column ([`Csc`]) matrices —
+//! column-by-column multiplication is the algorithm both chips implement.
+//! [`Triplets`] (COO) is the construction format, and [`Dcsc`] is the
+//! doubly compressed form of Buluç & Gilbert (paper reference \[1\]) for
+//! hypersparse sub-blocks, where most columns are empty.
+
+use crate::error::SpgemmError;
+
+/// Coordinate-format builder for sparse matrices.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// An empty `rows x cols` builder.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`; duplicate coordinates accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgemmError::IndexOutOfBounds`] outside the matrix.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), SpgemmError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SpgemmError::IndexOutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Number of raw (pre-accumulation) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses into CSC, accumulating duplicates and dropping explicit
+    /// zeros.
+    pub fn to_csc(&self) -> Csc {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+        // Accumulate duplicates.
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        let mut row_idx = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        let mut iter = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = iter.next() {
+            while let Some(&(r2, c2, v2)) = iter.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if v != 0.0 {
+                col_ptr[c + 1] += 1;
+                row_idx.push(r);
+                values.push(v);
+            }
+        }
+        for c in 0..self.cols {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        Csc {
+            rows: self.rows,
+            cols: self.cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+}
+
+/// Compressed sparse column matrix.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Csc {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csc {
+    /// An empty `rows x cols` matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Csc {
+            rows,
+            cols,
+            col_ptr: vec![0; cols + 1],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// `(row, value)` pairs of column `c`, sorted by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn column(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[c];
+        let hi = self.col_ptr[c + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&r, &v)| (r, v))
+    }
+
+    /// Nonzeros in column `c`.
+    pub fn col_nnz(&self, c: usize) -> usize {
+        self.col_ptr[c + 1] - self.col_ptr[c]
+    }
+
+    /// Value at `(row, col)`, zero when absent.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.column(col)
+            .find(|&(r, _)| r == row)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0)
+    }
+
+    /// Transpose (CSC of the transpose = CSR of self).
+    pub fn transpose(&self) -> Csc {
+        let mut t = Triplets::new(self.cols, self.rows);
+        for c in 0..self.cols {
+            for (r, v) in self.column(c) {
+                t.push(c, r, v).expect("indices in range");
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Structural + numerical equality within `tol` (same pattern, values
+    /// within absolute-or-relative tolerance).
+    pub fn approx_eq(&self, other: &Csc, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols || self.nnz() != other.nnz() {
+            return false;
+        }
+        if self.col_ptr != other.col_ptr || self.row_idx != other.row_idx {
+            return false;
+        }
+        self.values.iter().zip(&other.values).all(|(a, b)| {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= tol * scale
+        })
+    }
+
+    /// Number of multiply–add operations (`flops / 2`) a column-by-column
+    /// product with `rhs` performs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgemmError::DimensionMismatch`] when shapes disagree.
+    pub fn multiply_work(&self, rhs: &Csc) -> Result<usize, SpgemmError> {
+        if self.cols != rhs.rows {
+            return Err(SpgemmError::DimensionMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows,
+            });
+        }
+        let mut work = 0usize;
+        for j in 0..rhs.cols {
+            for (k, _) in rhs.column(j) {
+                work += self.col_nnz(k);
+            }
+        }
+        Ok(work)
+    }
+
+    /// Validates internal invariants (monotone column pointers, sorted
+    /// unique in-range row indices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpgemmError::IndexOutOfBounds`] naming the first bad
+    /// entry.
+    pub fn validate(&self) -> Result<(), SpgemmError> {
+        for c in 0..self.cols {
+            let (lo, hi) = (self.col_ptr[c], self.col_ptr[c + 1]);
+            let mut prev: Option<usize> = None;
+            for &r in &self.row_idx[lo..hi] {
+                if r >= self.rows || prev.map_or(false, |p| p >= r) {
+                    return Err(SpgemmError::IndexOutOfBounds {
+                        row: r,
+                        col: c,
+                        rows: self.rows,
+                        cols: self.cols,
+                    });
+                }
+                prev = Some(r);
+            }
+        }
+        Ok(())
+    }
+
+    /// Density: nnz / (rows·cols), zero for degenerate shapes.
+    pub fn density(&self) -> f64 {
+        let cells = (self.rows * self.cols) as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells
+        }
+    }
+}
+
+/// Doubly compressed sparse column (Buluç & Gilbert): only non-empty
+/// columns are stored, for hypersparse blocks where `nnz << cols`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dcsc {
+    rows: usize,
+    cols: usize,
+    /// Indices of non-empty columns, ascending.
+    col_ids: Vec<usize>,
+    /// Per non-empty column: offset into `row_idx`.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Dcsc {
+    /// Compresses a CSC matrix into DCSC form.
+    pub fn from_csc(csc: &Csc) -> Self {
+        let mut col_ids = Vec::new();
+        let mut col_ptr = vec![0usize];
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for c in 0..csc.cols() {
+            if csc.col_nnz(c) > 0 {
+                col_ids.push(c);
+                for (r, v) in csc.column(c) {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+                col_ptr.push(row_idx.len());
+            }
+        }
+        Dcsc {
+            rows: csc.rows(),
+            cols: csc.cols(),
+            col_ids,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Expands back to CSC.
+    pub fn to_csc(&self) -> Csc {
+        let mut t = Triplets::new(self.rows, self.cols);
+        for (k, &c) in self.col_ids.iter().enumerate() {
+            for i in self.col_ptr[k]..self.col_ptr[k + 1] {
+                t.push(self.row_idx[i], c, self.values[i])
+                    .expect("indices in range");
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Non-empty columns stored.
+    pub fn nonempty_cols(&self) -> usize {
+        self.col_ids.len()
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csc {
+        let mut t = Triplets::new(4, 3);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(2, 0, 2.0).unwrap();
+        t.push(1, 1, 3.0).unwrap();
+        t.push(3, 2, 4.0).unwrap();
+        t.push(0, 2, 5.0).unwrap();
+        t.to_csc()
+    }
+
+    #[test]
+    fn triplets_to_csc_sorted_and_valid() {
+        let m = sample();
+        assert_eq!(m.nnz(), 5);
+        assert!(m.validate().is_ok());
+        let col2: Vec<(usize, f64)> = m.column(2).collect();
+        assert_eq!(col2, vec![(0, 5.0), (3, 4.0)]);
+        assert_eq!(m.get(2, 0), 2.0);
+        assert_eq!(m.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_accumulate_and_zeros_drop() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.5).unwrap();
+        t.push(0, 0, 2.5).unwrap();
+        t.push(1, 1, 3.0).unwrap();
+        t.push(1, 1, -3.0).unwrap();
+        let m = t.to_csc();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut t = Triplets::new(2, 2);
+        assert!(matches!(
+            t.push(2, 0, 1.0),
+            Err(SpgemmError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert!(m.approx_eq(&tt, 1e-12));
+        assert_eq!(m.transpose().get(0, 2), 2.0);
+    }
+
+    #[test]
+    fn multiply_work_counts_flops() {
+        let m = sample(); // 4x3
+        let ident3 = {
+            let mut t = Triplets::new(3, 3);
+            for i in 0..3 {
+                t.push(i, i, 1.0).unwrap();
+            }
+            t.to_csc()
+        };
+        // Work of M·I = nnz(M).
+        assert_eq!(m.multiply_work(&ident3).unwrap(), m.nnz());
+        assert!(matches!(
+            m.multiply_work(&m),
+            Err(SpgemmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dcsc_roundtrip_and_compression() {
+        // A hypersparse matrix: 1000 columns, 3 non-empty.
+        let mut t = Triplets::new(100, 1000);
+        t.push(5, 10, 1.0).unwrap();
+        t.push(6, 10, 2.0).unwrap();
+        t.push(7, 500, 3.0).unwrap();
+        t.push(8, 999, 4.0).unwrap();
+        let csc = t.to_csc();
+        let dcsc = Dcsc::from_csc(&csc);
+        assert_eq!(dcsc.nonempty_cols(), 3);
+        assert_eq!(dcsc.nnz(), 4);
+        assert!(dcsc.to_csc().approx_eq(&csc, 0.0));
+    }
+
+    #[test]
+    fn density() {
+        let m = sample();
+        assert!((m.density() - 5.0 / 12.0).abs() < 1e-12);
+        assert_eq!(Csc::zero(0, 0).density(), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Host reference SpGEMM: the correctness oracle.
+//!
+//! Column-by-column (Gustavson) multiplication with a dense accumulator —
+//! the textbook algorithm both accelerators must reproduce numerically.
+
+use crate::error::SpgemmError;
+use crate::matrix::{Csc, Triplets};
+use crate::semiring::{Arithmetic, Semiring};
+
+/// Computes `C = A · B` on the host over ordinary arithmetic.
+///
+/// # Errors
+///
+/// Returns [`SpgemmError::DimensionMismatch`] when `A.cols() != B.rows()`.
+pub fn spgemm(a: &Csc, b: &Csc) -> Result<Csc, SpgemmError> {
+    spgemm_with(Arithmetic, a, b)
+}
+
+/// Computes `C = A ⊕.⊗ B` over an arbitrary [`Semiring`] — absent
+/// entries read as the semiring's zero (∞ for min-plus, etc.).
+///
+/// # Errors
+///
+/// Returns [`SpgemmError::DimensionMismatch`] when `A.cols() != B.rows()`.
+pub fn spgemm_with<S: Semiring>(s: S, a: &Csc, b: &Csc) -> Result<Csc, SpgemmError> {
+    if a.cols() != b.rows() {
+        return Err(SpgemmError::DimensionMismatch {
+            left_cols: a.cols(),
+            right_rows: b.rows(),
+        });
+    }
+    let mut out = Triplets::new(a.rows(), b.cols());
+    let mut acc: Vec<f64> = vec![s.zero(); a.rows()];
+    let mut touched: Vec<usize> = Vec::new();
+    for j in 0..b.cols() {
+        for (k, bv) in b.column(j) {
+            for (i, av) in a.column(k) {
+                if s.is_zero(acc[i]) && !touched.contains(&i) {
+                    touched.push(i);
+                }
+                acc[i] = s.plus(acc[i], s.times(av, bv));
+            }
+        }
+        for &i in &touched {
+            if !s.is_zero(acc[i]) {
+                out.push(i, j, acc[i]).expect("in range");
+            }
+            acc[i] = s.zero();
+        }
+        touched.clear();
+    }
+    Ok(out.to_csc())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::MatrixGen;
+
+    fn dense_mul(a: &Csc, b: &Csc) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; b.cols()]; a.rows()];
+        for j in 0..b.cols() {
+            for (k, bv) in b.column(j) {
+                for (i, av) in a.column(k) {
+                    out[i][j] += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_dense_multiply() {
+        let a = MatrixGen::erdos_renyi(48, 4.0, 11).to_csc();
+        let b = MatrixGen::erdos_renyi(48, 4.0, 12).to_csc();
+        let c = spgemm(&a, &b).unwrap();
+        let dense = dense_mul(&a, &b);
+        for (i, dense_row) in dense.iter().enumerate() {
+            for (j, &expect) in dense_row.iter().enumerate() {
+                assert!(
+                    (c.get(i, j) - expect).abs() < 1e-9,
+                    "mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = MatrixGen::erdos_renyi(32, 3.0, 5).to_csc();
+        let ident = {
+            let mut t = Triplets::new(32, 32);
+            for i in 0..32 {
+                t.push(i, i, 1.0).unwrap();
+            }
+            t.to_csc()
+        };
+        assert!(spgemm(&a, &ident).unwrap().approx_eq(&a, 1e-12));
+        assert!(spgemm(&ident, &a).unwrap().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let a = Csc::zero(4, 5);
+        let b = Csc::zero(4, 5);
+        assert!(matches!(
+            spgemm(&a, &b),
+            Err(SpgemmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_times_anything_is_zero() {
+        let a = Csc::zero(8, 8);
+        let b = MatrixGen::erdos_renyi(8, 2.0, 1).to_csc();
+        assert_eq!(spgemm(&a, &b).unwrap().nnz(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Semirings for generalized SpGEMM.
+//!
+//! The paper's title operation is **Generalized** sparse matrix–sparse
+//! matrix multiplication: graph algorithms in the language of linear
+//! algebra (Kepner & Gilbert) swap the `(+, ×)` of arithmetic for other
+//! semirings — shortest paths use `(min, +)`, reachability uses
+//! `(∨, ∧)`. The accelerator hardware is indifferent: the CAM matches
+//! indices either way, and the "multiply-and-add" block computes the
+//! semiring's two operations. This module defines the algebra and the
+//! standard instances.
+
+/// A semiring over `f64`: the `⊕`/`⊗` pair with their identities.
+///
+/// Implementations must satisfy the semiring laws (associativity of both
+/// operations, commutativity of `⊕`, distributivity, and the identities
+/// behaving as such); the provided instances do.
+pub trait Semiring: Copy + std::fmt::Debug {
+    /// The additive identity (also the implicit value of absent entries).
+    fn zero(&self) -> f64;
+    /// The combining operation `⊕` (accumulation).
+    fn plus(&self, a: f64, b: f64) -> f64;
+    /// The coupling operation `⊗` (per product term).
+    fn times(&self, a: f64, b: f64) -> f64;
+    /// True when a value equals the additive identity (used to drop
+    /// entries from sparse results).
+    fn is_zero(&self, a: f64) -> bool {
+        a == self.zero()
+    }
+}
+
+/// Ordinary arithmetic `(+, ×)` — numerical SpGEMM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Arithmetic;
+
+impl Semiring for Arithmetic {
+    fn zero(&self) -> f64 {
+        0.0
+    }
+    fn plus(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+    fn times(&self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+}
+
+/// The tropical `(min, +)` semiring — shortest paths: `C[i][j]` of
+/// `A ⊗ B` is the cheapest two-leg route `i → k → j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    fn zero(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn plus(&self, a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    fn times(&self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+/// The boolean `(∨, ∧)` semiring over {0, 1} — reachability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoolOrAnd;
+
+impl Semiring for BoolOrAnd {
+    fn zero(&self) -> f64 {
+        0.0
+    }
+    fn plus(&self, a: f64, b: f64) -> f64 {
+        if a != 0.0 || b != 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+    fn times(&self, a: f64, b: f64) -> f64 {
+        if a != 0.0 && b != 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laws<S: Semiring>(s: S, samples: &[f64]) {
+        for &a in samples {
+            // Identities.
+            assert_eq!(s.plus(a, s.zero()), a);
+            assert!(s.is_zero(s.times(a, s.zero())) || s.times(a, s.zero()) == s.zero());
+            for &b in samples {
+                // Commutativity of ⊕.
+                assert_eq!(s.plus(a, b), s.plus(b, a));
+                for &c in samples {
+                    // Associativity.
+                    assert_eq!(s.plus(s.plus(a, b), c), s.plus(a, s.plus(b, c)));
+                    assert_eq!(s.times(s.times(a, b), c), s.times(a, s.times(b, c)));
+                    // Distributivity.
+                    assert_eq!(
+                        s.times(a, s.plus(b, c)),
+                        s.plus(s.times(a, b), s.times(a, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_laws() {
+        laws(Arithmetic, &[0.0, 1.0, 2.5, -3.0]);
+    }
+
+    #[test]
+    fn min_plus_laws() {
+        laws(MinPlus, &[f64::INFINITY, 0.0, 1.0, 4.5]);
+    }
+
+    #[test]
+    fn bool_laws() {
+        laws(BoolOrAnd, &[0.0, 1.0]);
+    }
+}

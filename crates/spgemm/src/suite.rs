@@ -1,0 +1,123 @@
+//! The Fig. 6 benchmark suite.
+//!
+//! The paper back-annotates its chips with "benchmark sparse matrix
+//! operations (University of Florida sparse matrix collection)". Offline,
+//! we substitute a named synthetic suite spanning the same regimes: very
+//! regular stencils (narrow merges → modest LiM advantage), uniform
+//! random graphs, power-law graphs, and hub-dominated contraction
+//! patterns (very wide merges → the 250x end of Fig. 6). Every benchmark
+//! squares its matrix (`C = A·A`), the graph-contraction kernel.
+
+use crate::gen::{MatrixGen, MatrixStats};
+use crate::matrix::Csc;
+
+/// One named benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Suite-unique name.
+    pub name: &'static str,
+    /// What the matrix models.
+    pub description: &'static str,
+    /// The operand (squared by the experiment).
+    pub matrix: Csc,
+}
+
+impl Benchmark {
+    /// Statistics of the operand.
+    pub fn stats(&self) -> MatrixStats {
+        MatrixStats::of(&self.matrix)
+    }
+}
+
+/// Suite scale: `Small` keeps tests fast; `Full` is the bench-binary
+/// size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Reduced sizes for unit/integration tests.
+    Small,
+    /// Full sizes for the Fig. 6 regeneration binary.
+    Full,
+}
+
+/// Builds the Fig. 6 suite, ordered roughly by expected LiM advantage.
+pub fn fig6_suite(scale: SuiteScale) -> Vec<Benchmark> {
+    let f = match scale {
+        SuiteScale::Small => 1usize,
+        SuiteScale::Full => 4usize,
+    };
+    vec![
+        Benchmark {
+            name: "mesh2d",
+            description: "5-point 2-D mesh Laplacian (regular stencil)",
+            matrix: MatrixGen::mesh_laplacian(16 * f).to_csc(),
+        },
+        Benchmark {
+            name: "banded",
+            description: "banded operator, 9 diagonals",
+            matrix: MatrixGen::banded(256 * f, 4, 101).to_csc(),
+        },
+        Benchmark {
+            name: "er_d8",
+            description: "uniform random digraph, avg degree 8",
+            matrix: MatrixGen::erdos_renyi(256 * f, 8.0, 102).to_csc(),
+        },
+        Benchmark {
+            name: "er_d16",
+            description: "uniform random digraph, avg degree 16",
+            matrix: MatrixGen::erdos_renyi(256 * f, 16.0, 103).to_csc(),
+        },
+        Benchmark {
+            name: "rmat",
+            description: "R-MAT power-law graph (a=0.57)",
+            matrix: MatrixGen::rmat(256 * f, 16 * 256 * f, 0.57, 0.19, 0.19, 104).to_csc(),
+        },
+        Benchmark {
+            name: "blocks",
+            description: "block-diagonal contraction tiles (64x64, 60% fill)",
+            matrix: MatrixGen::block_diagonal(256 * f, 64, 0.6, 105).to_csc(),
+        },
+        Benchmark {
+            name: "hubs",
+            description: "sparse graph with dense hub columns",
+            matrix: MatrixGen::hub(256 * f, 6.0, 4, 192 * f, 106).to_csc(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_distinct_names_and_valid_matrices() {
+        let suite = fig6_suite(SuiteScale::Small);
+        assert!(suite.len() >= 6);
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+        for b in &suite {
+            assert!(b.matrix.validate().is_ok(), "{}", b.name);
+            assert!(b.matrix.nnz() > 0, "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn suite_spans_merge_width_regimes() {
+        let suite = fig6_suite(SuiteScale::Small);
+        let widths: Vec<usize> = suite.iter().map(|b| b.stats().max_col_nnz).collect();
+        let min = *widths.iter().min().unwrap();
+        let max = *widths.iter().max().unwrap();
+        // At least an order of magnitude of spread drives the Fig. 6 range.
+        assert!(max >= 20 * min, "widths {widths:?}");
+    }
+
+    #[test]
+    fn full_scale_is_bigger() {
+        let small = fig6_suite(SuiteScale::Small);
+        let full = fig6_suite(SuiteScale::Full);
+        for (s, f) in small.iter().zip(&full) {
+            assert!(f.matrix.nnz() > s.matrix.nnz(), "{}", s.name);
+        }
+    }
+}

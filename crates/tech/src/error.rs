@@ -1,0 +1,59 @@
+//! Error type for the technology substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or querying technology models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TechError {
+    /// A parameter that must be strictly positive was not.
+    NonPositiveParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A logical-effort path had no stages.
+    EmptyPath,
+    /// A requested gate kind is not present in the library.
+    UnknownGate(String),
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            TechError::EmptyPath => write!(f, "logical-effort path has no stages"),
+            TechError::UnknownGate(name) => write!(f, "unknown gate kind `{name}`"),
+        }
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TechError::NonPositiveParameter {
+            name: "tau",
+            value: -1.0,
+        };
+        assert_eq!(e.to_string(), "parameter `tau` must be positive, got -1");
+        assert_eq!(TechError::EmptyPath.to_string(), "logical-effort path has no stages");
+        assert_eq!(
+            TechError::UnknownGate("xor9".into()).to_string(),
+            "unknown gate kind `xor9`"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TechError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Technology substrate for the Logic-in-Memory (LiM) synthesis flow.
+//!
+//! This crate models everything the DAC'15 LiM methodology assumes from the
+//! process technology side, for a 65 nm-class CMOS node:
+//!
+//! * [`units`] — strongly typed physical quantities ([`Picoseconds`],
+//!   [`Femtofarads`], [`KiloOhms`], …) whose products behave like the real
+//!   dimensional algebra (kΩ·fF = ps, fF·V² = fJ).
+//! * [`logical_effort`] — the Sutherland/Sproull/Harris logical-effort
+//!   framework used by the brick compiler to size peripheral gates.
+//! * [`wire`] — distributed RC interconnect models (Elmore delay, repeater
+//!   insertion) used for wordlines, bitlines and block-level routing.
+//! * [`params`] — the [`Technology`] parameter set tying it together.
+//! * [`patterns`] — the restrictive-patterning (pattern-construct) model
+//!   that decides which cells may legally abut (paper Fig. 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_tech::{Technology, units::Femtofarads};
+//! use lim_tech::logical_effort::{GateKind, Path};
+//!
+//! let tech = Technology::cmos65();
+//! // Size a 3-stage inverter chain driving a 64x load.
+//! let path = Path::inverter_chain(3);
+//! let d = path.min_delay(&tech, Femtofarads::new(1.5), Femtofarads::new(96.0));
+//! assert!(d.value() > 0.0);
+//! ```
+
+pub mod error;
+pub mod logical_effort;
+pub mod params;
+pub mod patterns;
+pub mod units;
+pub mod wire;
+
+pub use error::TechError;
+pub use params::{BitcellElectrical, Technology};
+pub use units::{
+    Femtofarads, Femtojoules, Gigahertz, KiloOhms, Megahertz, Microns, Milliwatts, Picojoules,
+    Picoseconds, SquareMicrons, Volts,
+};

@@ -1,0 +1,423 @@
+//! Logical-effort delay modeling and gate sizing.
+//!
+//! The brick compiler sizes its peripheral circuits (wordline drivers, sense
+//! buffers, control fan-out trees) with the method of logical effort
+//! (Sutherland, Sproull & Harris, *Logical Effort*, 1999 — reference \[9\] of
+//! the paper): stage delay `d = g·h + p` in units of τ, where `g` is the
+//! gate's logical effort, `h = C_out / C_in` its electrical effort, and `p`
+//! its parasitic delay.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_tech::Technology;
+//! use lim_tech::logical_effort::Path;
+//! use lim_tech::units::Femtofarads;
+//!
+//! // Driving a 64x load through 3 inverters is near-optimal (h = 4 per stage).
+//! let tech = Technology::cmos65();
+//! let chain = Path::inverter_chain(3);
+//! let d = chain.min_delay(&tech, Femtofarads::new(1.0), Femtofarads::new(64.0));
+//! assert!(d < Path::inverter_chain(1).min_delay(
+//!     &tech, Femtofarads::new(1.0), Femtofarads::new(64.0)));
+//! ```
+
+use crate::error::TechError;
+use crate::params::Technology;
+use crate::units::{Femtofarads, Picoseconds};
+
+/// The CMOS gate templates known to the logical-effort model.
+///
+/// Efforts use the standard γ = 2 (PMOS/NMOS ratio) textbook values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter: g = 1, p = 1.
+    Inv,
+    /// 2-input NAND: g = 4/3, p = 2.
+    Nand2,
+    /// 3-input NAND: g = 5/3, p = 3.
+    Nand3,
+    /// 4-input NAND: g = 6/3, p = 4.
+    Nand4,
+    /// 2-input NOR: g = 5/3, p = 2.
+    Nor2,
+    /// 3-input NOR: g = 7/3, p = 3.
+    Nor3,
+    /// AND-OR-invert 21: g = 5/3, p = 7/3.
+    Aoi21,
+    /// OR-AND-invert 21: g = 5/3, p = 7/3.
+    Oai21,
+    /// Two-input XOR (transmission-gate style): g = 4, p = 4.
+    Xor2,
+    /// Two-input inverting mux: g = 2, p = 4.
+    Mux2,
+}
+
+impl GateKind {
+    /// Logical effort `g` of the worst-case input.
+    pub fn logical_effort(self) -> f64 {
+        match self {
+            GateKind::Inv => 1.0,
+            GateKind::Nand2 => 4.0 / 3.0,
+            GateKind::Nand3 => 5.0 / 3.0,
+            GateKind::Nand4 => 2.0,
+            GateKind::Nor2 => 5.0 / 3.0,
+            GateKind::Nor3 => 7.0 / 3.0,
+            GateKind::Aoi21 | GateKind::Oai21 => 5.0 / 3.0,
+            GateKind::Xor2 => 4.0,
+            GateKind::Mux2 => 2.0,
+        }
+    }
+
+    /// Parasitic delay `p` in τ units.
+    pub fn parasitic(self) -> f64 {
+        match self {
+            GateKind::Inv => 1.0,
+            GateKind::Nand2 => 2.0,
+            GateKind::Nand3 => 3.0,
+            GateKind::Nand4 => 4.0,
+            GateKind::Nor2 => 2.0,
+            GateKind::Nor3 => 3.0,
+            GateKind::Aoi21 | GateKind::Oai21 => 7.0 / 3.0,
+            GateKind::Xor2 => 4.0,
+            GateKind::Mux2 => 4.0,
+        }
+    }
+
+    /// All gate kinds, for exhaustive table generation.
+    pub fn all() -> [GateKind; 10] {
+        [
+            GateKind::Inv,
+            GateKind::Nand2,
+            GateKind::Nand3,
+            GateKind::Nand4,
+            GateKind::Nor2,
+            GateKind::Nor3,
+            GateKind::Aoi21,
+            GateKind::Oai21,
+            GateKind::Xor2,
+            GateKind::Mux2,
+        ]
+    }
+}
+
+/// One stage of a logical-effort path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    /// The gate implementing this stage.
+    pub gate: GateKind,
+    /// Branching effort: total load driven divided by the load on the path
+    /// (1.0 when the stage drives only the next stage).
+    pub branching: f64,
+}
+
+impl Stage {
+    /// A stage with no off-path branching.
+    pub fn new(gate: GateKind) -> Self {
+        Stage {
+            gate,
+            branching: 1.0,
+        }
+    }
+
+    /// A stage that also drives `branching − 1` identical off-path loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branching < 1.0`.
+    pub fn with_branching(gate: GateKind, branching: f64) -> Self {
+        assert!(
+            branching >= 1.0,
+            "branching effort must be ≥ 1, got {branching}"
+        );
+        Stage { gate, branching }
+    }
+}
+
+/// A multistage logic path from one capacitive node to another.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Path {
+    stages: Vec<Stage>,
+}
+
+/// The result of sizing a [`Path`]: per-stage input capacitances and the
+/// achieved delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizedPath {
+    /// Input capacitance of each stage, first stage first.
+    pub stage_input_caps: Vec<Femtofarads>,
+    /// Per-stage delay.
+    pub stage_delays: Vec<Picoseconds>,
+    /// Total path delay.
+    pub delay: Picoseconds,
+    /// The stage effort `f = g·h` shared by all stages at the optimum.
+    pub stage_effort: f64,
+}
+
+impl Path {
+    /// An empty path; add stages with [`push`](Self::push).
+    pub fn new() -> Self {
+        Path { stages: Vec::new() }
+    }
+
+    /// A chain of `n` inverters.
+    pub fn inverter_chain(n: usize) -> Self {
+        Path {
+            stages: vec![Stage::new(GateKind::Inv); n],
+        }
+    }
+
+    /// Appends a stage and returns `self` for chaining.
+    pub fn push(mut self, stage: Stage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// The stages of this path.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the path has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Path logical effort `G = Π g_i`.
+    pub fn logical_effort(&self) -> f64 {
+        self.stages.iter().map(|s| s.gate.logical_effort()).product()
+    }
+
+    /// Path branching effort `B = Π b_i`.
+    pub fn branching_effort(&self) -> f64 {
+        self.stages.iter().map(|s| s.branching).product()
+    }
+
+    /// Total parasitic delay `P = Σ p_i` in τ units.
+    pub fn parasitic(&self) -> f64 {
+        self.stages.iter().map(|s| s.gate.parasitic()).sum()
+    }
+
+    /// Path effort `F = G · B · H` for the given input/output loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_in` is not strictly positive.
+    pub fn path_effort(&self, c_in: Femtofarads, c_out: Femtofarads) -> f64 {
+        assert!(c_in.value() > 0.0, "path input capacitance must be positive");
+        self.logical_effort() * self.branching_effort() * (c_out / c_in)
+    }
+
+    /// Minimum achievable delay of this path with optimal sizing:
+    /// `D = N·F^(1/N) + P`, in absolute time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty or `c_in ≤ 0`.
+    pub fn min_delay(
+        &self,
+        tech: &Technology,
+        c_in: Femtofarads,
+        c_out: Femtofarads,
+    ) -> Picoseconds {
+        assert!(!self.stages.is_empty(), "cannot compute delay of empty path");
+        let n = self.stages.len() as f64;
+        let f = self.path_effort(c_in, c_out);
+        tech.tau * (n * f.powf(1.0 / n) + self.parasitic())
+    }
+
+    /// Sizes every stage for minimum delay and reports the result.
+    ///
+    /// Working backward from the output, each stage's input capacitance is
+    /// `C_in_i = g_i · b_i · C_out_i / f̂` where `f̂ = F^(1/N)` is the optimal
+    /// stage effort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::EmptyPath`] if the path has no stages, or
+    /// [`TechError::NonPositiveParameter`] for non-positive loads.
+    pub fn size(
+        &self,
+        tech: &Technology,
+        c_in: Femtofarads,
+        c_out: Femtofarads,
+    ) -> Result<SizedPath, TechError> {
+        if self.stages.is_empty() {
+            return Err(TechError::EmptyPath);
+        }
+        for (name, v) in [("c_in", c_in.value()), ("c_out", c_out.value())] {
+            if v <= 0.0 {
+                return Err(TechError::NonPositiveParameter { name, value: v });
+            }
+        }
+        let n = self.stages.len();
+        let f_hat = self.path_effort(c_in, c_out).powf(1.0 / n as f64);
+
+        let mut caps = vec![Femtofarads::ZERO; n];
+        let mut load = c_out;
+        for (i, stage) in self.stages.iter().enumerate().rev() {
+            let cin_i =
+                Femtofarads::new(stage.gate.logical_effort() * stage.branching * load.value() / f_hat);
+            caps[i] = cin_i;
+            load = cin_i;
+        }
+
+        let mut delays = Vec::with_capacity(n);
+        let mut total = Picoseconds::ZERO;
+        for (i, stage) in self.stages.iter().enumerate() {
+            let next_load = if i + 1 < n { caps[i + 1] } else { c_out };
+            let h = stage.branching * next_load.value() / caps[i].value();
+            let d = tech.tau * (stage.gate.logical_effort() * h + stage.gate.parasitic());
+            delays.push(d);
+            total += d;
+        }
+
+        Ok(SizedPath {
+            stage_input_caps: caps,
+            stage_delays: delays,
+            delay: total,
+            stage_effort: f_hat,
+        })
+    }
+}
+
+/// The number of stages that minimizes delay for a path effort `f`,
+/// assuming inverter-like stages (optimum stage effort ≈ 4; never < 1).
+pub fn optimal_stage_count(path_effort: f64) -> usize {
+    if path_effort <= 1.0 {
+        return 1;
+    }
+    let n = path_effort.ln() / 4.0f64.ln();
+    (n.round() as usize).max(1)
+}
+
+/// Builds an optimally sized inverter buffer chain from `c_in` to `c_out`,
+/// preserving (when required) the signal polarity by rounding the stage
+/// count to the requested parity.
+///
+/// Returns the chain as a [`Path`] whose length is the chosen stage count.
+pub fn buffer_chain(c_in: Femtofarads, c_out: Femtofarads, invert: bool) -> Path {
+    let h = (c_out.value() / c_in.value()).max(1.0);
+    let mut n = optimal_stage_count(h);
+    // Parity: even stage count is non-inverting, odd is inverting.
+    if invert != (n % 2 == 1) {
+        n += 1;
+    }
+    Path::inverter_chain(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::cmos65()
+    }
+
+    #[test]
+    fn fo4_from_path_matches_technology() {
+        // A single inverter driving 4x its input cap is exactly an FO4.
+        let p = Path::inverter_chain(1);
+        let d = p.min_delay(&tech(), Femtofarads::new(1.0), Femtofarads::new(4.0));
+        assert!((d.value() - tech().fo4_delay().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_stages_beat_one_for_large_fanout() {
+        let t = tech();
+        let cin = Femtofarads::new(1.0);
+        let cout = Femtofarads::new(64.0);
+        let d1 = Path::inverter_chain(1).min_delay(&t, cin, cout);
+        let d3 = Path::inverter_chain(3).min_delay(&t, cin, cout);
+        assert!(d3 < d1, "expected {d3} < {d1}");
+    }
+
+    #[test]
+    fn optimal_stage_count_matches_log4() {
+        assert_eq!(optimal_stage_count(0.5), 1);
+        assert_eq!(optimal_stage_count(4.0), 1);
+        assert_eq!(optimal_stage_count(16.0), 2);
+        assert_eq!(optimal_stage_count(64.0), 3);
+        assert_eq!(optimal_stage_count(256.0), 4);
+    }
+
+    #[test]
+    fn sized_path_stage_delays_are_equal_at_optimum() {
+        let t = tech();
+        let p = Path::new()
+            .push(Stage::new(GateKind::Nand2))
+            .push(Stage::new(GateKind::Inv))
+            .push(Stage::new(GateKind::Inv));
+        let sized = p
+            .size(&t, Femtofarads::new(2.0), Femtofarads::new(100.0))
+            .unwrap();
+        // At the optimum every stage has effort f̂, so stage delays differ
+        // only by parasitics.
+        let efforts: Vec<f64> = sized
+            .stage_delays
+            .iter()
+            .zip(p.stages())
+            .map(|(d, s)| d.value() / t.tau.value() - s.gate.parasitic())
+            .collect();
+        for w in efforts.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "unequal efforts {efforts:?}");
+        }
+        // And the first stage's computed input cap equals the requested c_in.
+        assert!((sized.stage_input_caps[0].value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sized_delay_matches_min_delay() {
+        let t = tech();
+        let p = Path::inverter_chain(4);
+        let cin = Femtofarads::new(1.5);
+        let cout = Femtofarads::new(300.0);
+        let sized = p.size(&t, cin, cout).unwrap();
+        let d = p.min_delay(&t, cin, cout);
+        assert!((sized.delay.value() - d.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_path_is_an_error() {
+        assert_eq!(
+            Path::new()
+                .size(&tech(), Femtofarads::new(1.0), Femtofarads::new(1.0))
+                .unwrap_err(),
+            TechError::EmptyPath
+        );
+    }
+
+    #[test]
+    fn branching_multiplies_effort() {
+        let no_branch = Path::new().push(Stage::new(GateKind::Inv));
+        let branch = Path::new().push(Stage::with_branching(GateKind::Inv, 3.0));
+        let cin = Femtofarads::new(1.0);
+        let cout = Femtofarads::new(10.0);
+        assert!(
+            (branch.path_effort(cin, cout) - 3.0 * no_branch.path_effort(cin, cout)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn buffer_chain_parity() {
+        let cin = Femtofarads::new(1.0);
+        let cout = Femtofarads::new(64.0);
+        let inv = buffer_chain(cin, cout, true);
+        let noninv = buffer_chain(cin, cout, false);
+        assert_eq!(inv.len() % 2, 1);
+        assert_eq!(noninv.len() % 2, 0);
+    }
+
+    #[test]
+    fn gate_tables_are_positive() {
+        for g in GateKind::all() {
+            assert!(g.logical_effort() >= 1.0);
+            assert!(g.parasitic() >= 1.0);
+        }
+    }
+}

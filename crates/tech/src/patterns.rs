@@ -1,0 +1,175 @@
+//! Restrictive-patterning (pattern-construct) lithography model.
+//!
+//! Section 2.1 / Fig. 1 of the paper: at sub-20 nm nodes, layouts built from
+//! a small set of pre-characterized patterns print reliably even when memory
+//! bitcells abut random logic — *if* the logic is drawn with the same
+//! pattern constructs. Conventional (unrestricted) standard cells next to a
+//! bitcell array create lithographic hotspots and force guard spacing.
+//!
+//! This module models that rule set: every placeable cell carries a
+//! [`PatternClass`], and [`PatternRules`] answers whether two classes may
+//! abut and what spacing penalty applies when they may not. The LiM flow
+//! uses pattern-compatible logic everywhere, so its memory and logic mix
+//! freely; a conventional ASIC flow pays the penalty at every
+//! memory/logic boundary — one of the two sources of the paper's area
+//! advantage.
+
+use crate::units::Microns;
+
+/// Lithography pattern family of a placeable cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternClass {
+    /// SRAM/CAM bitcell array patterns.
+    BitcellArray,
+    /// Logic drawn from the restricted pattern constructs
+    /// (lithography-compatible with bitcells; paper Fig. 1c).
+    RegularLogic,
+    /// Conventional free-form standard-cell layout (paper Fig. 1b).
+    ConventionalLogic,
+}
+
+impl PatternClass {
+    /// All classes, for table-driven tests.
+    pub fn all() -> [PatternClass; 3] {
+        [
+            PatternClass::BitcellArray,
+            PatternClass::RegularLogic,
+            PatternClass::ConventionalLogic,
+        ]
+    }
+}
+
+/// Outcome of checking one abutment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbutmentCheck {
+    /// Whether the two cells may touch without a lithographic hotspot.
+    pub compatible: bool,
+    /// Guard spacing required between the two cells when not compatible
+    /// (zero when compatible).
+    pub required_spacing: Microns,
+}
+
+/// The abutment rule set of a restrictively patterned node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternRules {
+    /// Guard spacing charged at each incompatible boundary.
+    pub hotspot_guard: Microns,
+}
+
+impl PatternRules {
+    /// Rules for the 65 nm-class node used in the reproduction. The guard
+    /// band is sized like a dummy-row keep-out (two row heights).
+    pub fn cmos65() -> Self {
+        PatternRules {
+            hotspot_guard: Microns::new(3.6),
+        }
+    }
+
+    /// Checks whether cells of classes `a` and `b` may abut.
+    ///
+    /// The rule, per Fig. 1: conventional logic may not abut a bitcell
+    /// array; everything else is compatible (bitcell-bitcell, regular
+    /// logic against anything, conventional against conventional or
+    /// regular).
+    pub fn check(&self, a: PatternClass, b: PatternClass) -> AbutmentCheck {
+        use PatternClass::*;
+        let incompatible = matches!(
+            (a, b),
+            (BitcellArray, ConventionalLogic) | (ConventionalLogic, BitcellArray)
+        );
+        AbutmentCheck {
+            compatible: !incompatible,
+            required_spacing: if incompatible {
+                self.hotspot_guard
+            } else {
+                Microns::ZERO
+            },
+        }
+    }
+
+    /// Scans a row of abutting cells and returns the index pairs that form
+    /// hotspots (incompatible neighbors).
+    pub fn hotspots(&self, row: &[PatternClass]) -> Vec<(usize, usize)> {
+        row.windows(2)
+            .enumerate()
+            .filter(|(_, w)| !self.check(w[0], w[1]).compatible)
+            .map(|(i, _)| (i, i + 1))
+            .collect()
+    }
+
+    /// Total guard spacing a row of cells must insert to become legal.
+    pub fn total_guard_spacing(&self, row: &[PatternClass]) -> Microns {
+        Microns::new(self.hotspots(row).len() as f64 * self.hotspot_guard.value())
+    }
+}
+
+impl Default for PatternRules {
+    fn default() -> Self {
+        Self::cmos65()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use PatternClass::*;
+
+    #[test]
+    fn fig1a_bitcell_next_to_bitcell_prints() {
+        let rules = PatternRules::cmos65();
+        assert!(rules.check(BitcellArray, BitcellArray).compatible);
+    }
+
+    #[test]
+    fn fig1b_conventional_logic_next_to_bitcell_hotspots() {
+        let rules = PatternRules::cmos65();
+        let chk = rules.check(BitcellArray, ConventionalLogic);
+        assert!(!chk.compatible);
+        assert!(chk.required_spacing.value() > 0.0);
+    }
+
+    #[test]
+    fn fig1c_regular_logic_next_to_bitcell_prints() {
+        let rules = PatternRules::cmos65();
+        assert!(rules.check(BitcellArray, RegularLogic).compatible);
+        assert_eq!(
+            rules.check(BitcellArray, RegularLogic).required_spacing,
+            Microns::ZERO
+        );
+    }
+
+    #[test]
+    fn check_is_symmetric() {
+        let rules = PatternRules::cmos65();
+        for a in PatternClass::all() {
+            for b in PatternClass::all() {
+                assert_eq!(rules.check(a, b), rules.check(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_scan_finds_every_boundary() {
+        let rules = PatternRules::cmos65();
+        let row = [
+            BitcellArray,
+            RegularLogic,
+            ConventionalLogic,
+            BitcellArray,
+            BitcellArray,
+        ];
+        // Only conventional↔bitcell boundaries hotspot: index (2,3).
+        assert_eq!(rules.hotspots(&row), vec![(2, 3)]);
+        assert!(
+            (rules.total_guard_spacing(&row).value() - rules.hotspot_guard.value()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn all_regular_row_is_clean() {
+        let rules = PatternRules::cmos65();
+        let row = vec![RegularLogic; 64];
+        assert!(rules.hotspots(&row).is_empty());
+        assert_eq!(rules.total_guard_spacing(&row), Microns::ZERO);
+    }
+}

@@ -1,0 +1,245 @@
+//! Distributed RC interconnect models.
+//!
+//! Wordlines, bitlines and block-level routes are modeled as uniform RC
+//! ladders with optional per-tap loads. The fast estimator uses the Elmore
+//! (first-moment) delay of these ladders; the golden circuit solver in
+//! `lim-circuit` integrates the same networks in the time domain.
+
+use crate::params::Technology;
+use crate::units::{Femtofarads, KiloOhms, Microns, Picoseconds};
+
+/// A uniform RC ladder: `n` segments of equal resistance and capacitance,
+/// with an identical extra load capacitance hanging off each internal tap.
+///
+/// This is the canonical model for a wordline crossing `n` bitcells (the
+/// tap load is each cell's gate cap) or a bitline spanning `n` rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcLadder {
+    /// Number of segments (≥ 1).
+    pub segments: usize,
+    /// Resistance of each segment.
+    pub r_segment: KiloOhms,
+    /// Wire capacitance of each segment.
+    pub c_segment: Femtofarads,
+    /// Additional load at each tap (cell pin load).
+    pub c_tap: Femtofarads,
+}
+
+impl RcLadder {
+    /// Builds a ladder for a wire of `length` with `taps` equally spaced
+    /// loads of `c_tap` each, using the technology's wire constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps == 0` or `length` is not positive.
+    pub fn from_wire(tech: &Technology, length: Microns, taps: usize, c_tap: Femtofarads) -> Self {
+        assert!(taps > 0, "ladder needs at least one tap");
+        assert!(length.value() > 0.0, "wire length must be positive");
+        let seg_len = length.value() / taps as f64;
+        RcLadder {
+            segments: taps,
+            r_segment: KiloOhms::new(tech.wire_r_per_um.value() * seg_len),
+            c_segment: Femtofarads::new(tech.wire_c_per_um.value() * seg_len),
+            c_tap,
+        }
+    }
+
+    /// Total capacitance of the ladder (wire + taps), as seen by a driver
+    /// for energy purposes.
+    pub fn total_cap(&self) -> Femtofarads {
+        Femtofarads::new(self.segments as f64 * (self.c_segment.value() + self.c_tap.value()))
+    }
+
+    /// Total series resistance.
+    pub fn total_resistance(&self) -> KiloOhms {
+        KiloOhms::new(self.segments as f64 * self.r_segment.value())
+    }
+
+    /// Elmore delay from a driver with output resistance `r_driver` to the
+    /// far end of the ladder.
+    ///
+    /// For node `k` (1-based) the Elmore delay is
+    /// `Σ_{i=1..k} R_i · C_downstream(i)` plus the driver term
+    /// `r_driver · C_total`. Evaluated in closed form in O(1).
+    pub fn elmore_to_end(&self, r_driver: KiloOhms) -> Picoseconds {
+        let n = self.segments as f64;
+        let c_node = self.c_segment.value() + self.c_tap.value();
+        // Driver charges everything.
+        let driver = r_driver.value() * (n * c_node);
+        // Segment i (1-based) carries the charge of nodes i..n:
+        // Σ_{i=1..n} r_seg · (n - i + 1) · c_node = r_seg · c_node · n(n+1)/2
+        let wire = self.r_segment.value() * c_node * n * (n + 1.0) / 2.0;
+        Picoseconds::new(driver + wire)
+    }
+
+    /// Elmore delay from the driver to tap `k` (0-based index of the tap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.segments`.
+    pub fn elmore_to_tap(&self, r_driver: KiloOhms, k: usize) -> Picoseconds {
+        assert!(k < self.segments, "tap {k} out of range");
+        let n = self.segments as f64;
+        let c_node = self.c_segment.value() + self.c_tap.value();
+        let driver = r_driver.value() * n * c_node;
+        // Σ_{i=1..k+1} r · (n - i + 1) · c = r·c·[ (k+1)·n - k(k+1)/2 ]
+        let kk = (k + 1) as f64;
+        let wire = self.r_segment.value() * c_node * (kk * n - (kk - 1.0) * kk / 2.0);
+        Picoseconds::new(driver + wire)
+    }
+}
+
+/// A point-to-point route of a given length with a lumped receiver load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Route {
+    /// Wire length.
+    pub length: Microns,
+    /// Receiver pin capacitance.
+    pub load: Femtofarads,
+}
+
+impl Route {
+    /// Creates a route.
+    pub fn new(length: Microns, load: Femtofarads) -> Self {
+        Route { length, load }
+    }
+
+    /// Wire capacitance of the route.
+    pub fn wire_cap(&self, tech: &Technology) -> Femtofarads {
+        Femtofarads::new(tech.wire_c_per_um.value() * self.length.value())
+    }
+
+    /// Wire resistance of the route.
+    pub fn wire_resistance(&self, tech: &Technology) -> KiloOhms {
+        KiloOhms::new(tech.wire_r_per_um.value() * self.length.value())
+    }
+
+    /// Elmore delay through the route from a driver of resistance
+    /// `r_driver`: `R_drv(C_w + C_L) + R_w(C_w/2 + C_L)`.
+    pub fn elmore_delay(&self, tech: &Technology, r_driver: KiloOhms) -> Picoseconds {
+        let cw = self.wire_cap(tech).value();
+        let rw = self.wire_resistance(tech).value();
+        let cl = self.load.value();
+        Picoseconds::new(r_driver.value() * (cw + cl) + rw * (cw / 2.0 + cl))
+    }
+
+    /// Total switched capacitance (wire + receiver).
+    pub fn total_cap(&self, tech: &Technology) -> Femtofarads {
+        Femtofarads::new(self.wire_cap(tech).value() + self.load.value())
+    }
+}
+
+/// Delay of an optimally repeatered long wire, and the repeater count used.
+///
+/// Classic result: inserting `k` repeaters of optimal size makes delay
+/// linear in length. We evaluate candidate repeater counts and return the
+/// best, which is robust for the short block-level routes we see.
+pub fn repeatered_delay(tech: &Technology, length: Microns, load: Femtofarads) -> (Picoseconds, usize) {
+    let mut best = (Route::new(length, load).elmore_delay(tech, tech.r_unit()), 0);
+    for k in 1..=8usize {
+        let seg = Microns::new(length.value() / (k + 1) as f64);
+        // Repeater sized 16x: a reasonable fixed choice for block routes.
+        let drive = 16.0;
+        let r_rep = tech.drive_resistance(drive);
+        let c_rep = tech.c_unit * drive;
+        let seg_route = Route::new(seg, c_rep);
+        let last = Route::new(seg, load);
+        let d = seg_route.elmore_delay(tech, r_rep) * k as f64
+            + last.elmore_delay(tech, r_rep)
+            + tech.tau * (tech.p_inv * k as f64);
+        if d < best.0 {
+            best = (d, k);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::cmos65()
+    }
+
+    #[test]
+    fn ladder_totals() {
+        let l = RcLadder {
+            segments: 10,
+            r_segment: KiloOhms::new(0.01),
+            c_segment: Femtofarads::new(0.1),
+            c_tap: Femtofarads::new(0.2),
+        };
+        assert!((l.total_cap().value() - 3.0).abs() < 1e-12);
+        assert!((l.total_resistance().value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elmore_to_last_tap_equals_to_end() {
+        let l = RcLadder {
+            segments: 7,
+            r_segment: KiloOhms::new(0.02),
+            c_segment: Femtofarads::new(0.15),
+            c_tap: Femtofarads::new(0.3),
+        };
+        let r = KiloOhms::new(2.0);
+        let end = l.elmore_to_end(r);
+        let tap = l.elmore_to_tap(r, 6);
+        assert!((end.value() - tap.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elmore_monotone_in_tap_index() {
+        let l = RcLadder {
+            segments: 16,
+            r_segment: KiloOhms::new(0.01),
+            c_segment: Femtofarads::new(0.1),
+            c_tap: Femtofarads::new(0.2),
+        };
+        let r = KiloOhms::new(1.0);
+        let mut prev = Picoseconds::ZERO;
+        for k in 0..16 {
+            let d = l.elmore_to_tap(r, k);
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn ladder_from_wire_divides_evenly() {
+        let t = tech();
+        let l = RcLadder::from_wire(&t, Microns::new(20.0), 10, Femtofarads::new(0.2));
+        assert_eq!(l.segments, 10);
+        assert!((l.r_segment.value() - t.wire_r_per_um.value() * 2.0).abs() < 1e-12);
+        assert!((l.c_segment.value() - t.wire_c_per_um.value() * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_elmore_formula() {
+        let t = tech();
+        let route = Route::new(Microns::new(100.0), Femtofarads::new(5.0));
+        let cw = 100.0 * t.wire_c_per_um.value();
+        let rw = 100.0 * t.wire_r_per_um.value();
+        let rd = 2.0;
+        let expected = rd * (cw + 5.0) + rw * (cw / 2.0 + 5.0);
+        let got = route.elmore_delay(&t, KiloOhms::new(rd));
+        assert!((got.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeaters_help_long_wires() {
+        let t = tech();
+        let long = Microns::new(5000.0);
+        let load = Femtofarads::new(10.0);
+        let unrepeated = Route::new(long, load).elmore_delay(&t, t.r_unit());
+        let (d, k) = repeatered_delay(&t, long, load);
+        assert!(k >= 1, "expected repeaters on a 5 mm wire");
+        assert!(d < unrepeated);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn zero_taps_panics() {
+        let _ = RcLadder::from_wire(&tech(), Microns::new(1.0), 0, Femtofarads::ZERO);
+    }
+}

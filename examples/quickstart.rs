@@ -1,0 +1,60 @@
+//! Quickstart: compile a memory brick, inspect its generated library
+//! model, build a small LiM SRAM and push it through physical synthesis.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use lim_repro::lim::flow::LimFlow;
+use lim_repro::lim::sram::SramConfig;
+use lim_repro::lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
+use lim_repro::lim_tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A technology and a brick: the paper's 16x10b 8T workhorse.
+    let tech = Technology::cmos65();
+    let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10)?;
+    let brick = BrickCompiler::new(&tech).compile(&spec)?;
+    println!("compiled {spec}:");
+    println!(
+        "  layout {:.1} x {:.1} µm ({:.0} µm², {:.0}% array efficiency)",
+        brick.layout.width().value(),
+        brick.layout.height().value(),
+        brick.layout.area().value(),
+        brick.layout.array_efficiency() * 100.0
+    );
+
+    // 2. The estimator: one bank of 4 stacked bricks.
+    let est = brick.estimate_bank(4)?;
+    println!(
+        "  4x bank: read {:.0} ps, read energy {:.2} pJ, fmax {:.2} GHz",
+        est.read_delay.value(),
+        est.read_energy.to_picojoules().value(),
+        est.max_frequency().to_gigahertz().value()
+    );
+
+    // 3. Validate the estimate against the golden RC transient reference.
+    let cmp = lim_repro::lim_brick::golden::compare(&brick, 4)?;
+    println!(
+        "  vs golden: delay {:+.1}%, read energy {:+.1}%",
+        cmp.delay_error() * 100.0,
+        cmp.read_energy_error() * 100.0
+    );
+
+    // 4. Full LiM flow: a 64x10b SRAM as two partitions of 2x bricks.
+    let mut flow = LimFlow::cmos65();
+    let block = flow.synthesize_sram(&SramConfig::new(64, 10, 2, 16)?)?;
+    println!("\nsynthesized {}:", block.name);
+    println!(
+        "  {} gates + {} brick macros, die {:.0} µm²",
+        block.gate_count, block.macro_count, block.report.die_area.value()
+    );
+    println!(
+        "  fmax {:.2} GHz, {:.1} mW total at fmax",
+        block.report.fmax.to_gigahertz().value(),
+        block.report.power.total().value()
+    );
+    println!(
+        "  critical path: {}",
+        block.report.timing.critical_path.join(" -> ")
+    );
+    Ok(())
+}

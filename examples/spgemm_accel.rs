@@ -1,0 +1,60 @@
+//! Run both SpGEMM accelerators on a generated graph matrix and compare
+//! latency and energy — a single-benchmark slice of the paper's Fig. 6.
+//!
+//! Usage: `cargo run --release --example spgemm_accel [n] [avg_degree]`
+//! (defaults: 512 nodes, degree 12).
+
+use lim_repro::lim_spgemm::accel::heap::HeapAccelerator;
+use lim_repro::lim_spgemm::accel::lim_cam::LimCamAccelerator;
+use lim_repro::lim_spgemm::energy::{ChipComparison, ChipPowerModel};
+use lim_repro::lim_spgemm::gen::{MatrixGen, MatrixStats};
+use lim_repro::lim_spgemm::reference::spgemm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(512);
+    let degree: f64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(12.0);
+
+    let a = MatrixGen::erdos_renyi(n, degree, 7).to_csc();
+    let stats = MatrixStats::of(&a);
+    println!(
+        "squaring a {}x{} graph matrix: {} nnz, max column {}",
+        n, n, stats.nnz, stats.max_col_nnz
+    );
+
+    // Correctness first: both chips must produce the oracle's product.
+    let oracle = spgemm(&a, &a)?;
+    let lim = LimCamAccelerator::paper_chip().multiply(&a, &a)?;
+    let heap = HeapAccelerator::paper_chip().multiply(&a, &a)?;
+    assert!(lim.product.approx_eq(&oracle, 1e-9), "LiM product wrong");
+    assert!(heap.product.approx_eq(&oracle, 1e-9), "heap product wrong");
+    println!("both accelerators match the host oracle ({} result nnz)\n", oracle.nnz());
+
+    println!(
+        "LiM CAM chip : {:>10} cycles ({:.2} cycles/multiply, {} CAM flushes)",
+        lim.stats.cycles,
+        lim.stats.cycles_per_multiply(),
+        lim.stats.overflow_flushes
+    );
+    println!(
+        "heap baseline: {:>10} cycles ({:.2} cycles/multiply, {} shift cycles)",
+        heap.stats.cycles,
+        heap.stats.cycles_per_multiply(),
+        heap.stats.shift_cycles
+    );
+
+    let cmp = ChipComparison::new(
+        &ChipPowerModel::paper_lim(),
+        lim.stats.cycles,
+        &ChipPowerModel::paper_heap(),
+        heap.stats.cycles,
+    );
+    println!(
+        "\nat silicon operating points: {:.1} µs vs {:.1} µs -> {:.1}x faster, {:.1}x less energy",
+        cmp.lim_latency_us,
+        cmp.heap_latency_us,
+        cmp.speedup(),
+        cmp.energy_saving()
+    );
+    Ok(())
+}

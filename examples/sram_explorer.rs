@@ -1,0 +1,40 @@
+//! Design-space exploration: sweep brick choices for a memory you
+//! describe on the command line and print the pareto front.
+//!
+//! Usage: `cargo run --release --example sram_explorer [words] [bits]`
+//! (defaults: 512 words x 16 bits).
+
+use lim_repro::lim::dse::{explore, pareto_front};
+use lim_repro::lim_tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let words: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(512);
+    let bits: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(16);
+
+    let tech = Technology::cmos65();
+    let depths: Vec<usize> = [8usize, 16, 32, 64, 128, 256]
+        .into_iter()
+        .filter(|d| *d <= words && words % d == 0)
+        .collect();
+    if depths.is_empty() {
+        return Err(format!("no brick depth divides {words} words").into());
+    }
+
+    println!("exploring {words}x{bits}b memories over brick depths {depths:?}\n");
+    let points = explore(&tech, &[(words, bits)], &depths)?;
+    let front = pareto_front(&points);
+
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "{} {:28} {:7.0} ps {:8.2} pJ {:9.0} µm²",
+            if front.contains(&i) { "*" } else { " " },
+            p.label,
+            p.delay.value(),
+            p.energy.to_picojoules().value(),
+            p.area.value()
+        );
+    }
+    println!("\n* = pareto-optimal in (delay, energy, area)");
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Workspace-root crate hosting the integration tests (`tests/`) and
+//! runnable examples (`examples/`) of the LiM synthesis reproduction.
+//!
+//! The actual functionality lives in the member crates; this crate simply
+//! re-exports them under one roof so examples can `use lim_repro::...`.
+
+pub use lim;
+pub use lim_brick;
+pub use lim_circuit;
+pub use lim_physical;
+pub use lim_rtl;
+pub use lim_spgemm;
+pub use lim_tech;

@@ -1,0 +1,119 @@
+//! Integration tests for the Fig. 4b / Fig. 4c reproductions: the
+//! configuration orderings and DSE observations the paper reports.
+
+use lim::chip::SiliconEmulation;
+use lim::dse::{explore, normalized};
+use lim::flow::{LimBlock, LimFlow};
+use lim::sram::SramConfig;
+use lim_tech::Technology;
+
+fn synth_all() -> Vec<(&'static str, LimBlock)> {
+    let mut flow = LimFlow::cmos65();
+    [
+        ("A", SramConfig::new(16, 10, 1, 16).unwrap()),
+        ("B", SramConfig::new(32, 10, 1, 16).unwrap()),
+        ("C", SramConfig::new(64, 10, 1, 16).unwrap()),
+        ("D", SramConfig::new(128, 10, 1, 16).unwrap()),
+        ("E", SramConfig::new(128, 10, 4, 16).unwrap()),
+    ]
+    .into_iter()
+    .map(|(n, c)| (n, flow.synthesize_sram(&c).unwrap()))
+    .collect()
+}
+
+#[test]
+fn fig4b_all_orderings_hold() {
+    let blocks = synth_all();
+    let f = |i: usize| blocks[i].1.report.fmax.value();
+    let e = |i: usize| blocks[i].1.report.energy_per_cycle.value();
+    let area = |i: usize| blocks[i].1.report.die_area.value();
+
+    // Performance: A > B > C > D, and B > E > D.
+    assert!(f(0) > f(1) && f(1) > f(2) && f(2) > f(3), "A>B>C>D fails");
+    assert!(f(1) > f(4), "B > E fails: {} vs {}", f(1), f(4));
+    assert!(f(4) > f(3), "E > D fails: {} vs {}", f(4), f(3));
+
+    // Energy per access grows with size; bank gating makes E cheaper
+    // than D.
+    assert!(e(0) < e(1) && e(1) < e(2) && e(2) < e(3), "energy ordering");
+    assert!(e(4) < e(3), "E should save energy over D");
+
+    // Partitioning costs area.
+    assert!(area(4) > area(3), "E should out-size D");
+}
+
+#[test]
+fn fig4b_chip_measurements_track_simulation() {
+    // "Simulation results are in line with chip measurements and capture
+    // the trend of chip results … within a small error rate."
+    let tech = Technology::cmos65();
+    let blocks = synth_all();
+    let mut prev_chip = f64::INFINITY;
+    for (i, (name, block)) in blocks.iter().take(4).enumerate() {
+        let emu = SiliconEmulation::new(&tech, 42 + i as u64);
+        let lot = emu.measure_lot(&block.report, 10);
+        let corners = emu.simulation_corners(&block.report);
+        // Chip mean within the simulated corner spread (with margin).
+        assert!(
+            lot.fmax_mean.value() < corners.best.value() * 1.05
+                && lot.fmax_mean.value() > corners.worst.value() * 0.95,
+            "{name}: chip {} outside corners {}..{}",
+            lot.fmax_mean,
+            corners.worst,
+            corners.best
+        );
+        // The A>B>C>D trend survives measurement noise.
+        assert!(lot.fmax_mean.value() < prev_chip, "{name} breaks the trend");
+        prev_chip = lot.fmax_mean.value();
+        // Die-to-die spread is visible but bounded.
+        let spread = (lot.fmax_max.value() - lot.fmax_min.value()) / lot.fmax_mean.value();
+        assert!(spread > 0.0 && spread < 0.5, "{name}: spread {spread}");
+    }
+}
+
+#[test]
+fn fig4c_paper_observations() {
+    let tech = Technology::cmos65();
+    let points = explore(&tech, &[(128, 8), (128, 16), (128, 32)], &[16, 32, 64]).unwrap();
+    assert_eq!(points.len(), 9);
+
+    // Within a size: larger brick → slower, less energy, less area.
+    for bits in [8usize, 16, 32] {
+        let mut of: Vec<_> = points.iter().filter(|p| p.bits == bits).collect();
+        of.sort_by_key(|p| p.brick_words);
+        for w in of.windows(2) {
+            assert!(w[1].delay > w[0].delay);
+            assert!(w[1].energy < w[0].energy);
+            assert!(w[1].area < w[0].area);
+        }
+    }
+
+    // Cross-size observations from the paper's text.
+    let find = |bits: usize, bw: usize| {
+        points
+            .iter()
+            .find(|p| p.bits == bits && p.brick_words == bw)
+            .unwrap()
+    };
+    assert!(find(16, 16).delay < find(8, 64).delay);
+    let ratio = find(16, 16).energy.value() / find(32, 64).energy.value();
+    assert!(
+        (0.5..1.5).contains(&ratio),
+        "128x16@16x16 vs 128x32@64x32 energy ratio {ratio} should be near 1"
+    );
+
+    // Normalization is well-formed.
+    for (d, e, a) in normalized(&points) {
+        assert!(d >= 1.0 && e >= 1.0 && a >= 1.0);
+    }
+}
+
+#[test]
+fn fig4c_sweep_is_rapid() {
+    // The paper's wall-clock claim: 9 bricks in ~2 s. Our analytic
+    // estimator should beat that comfortably.
+    let tech = Technology::cmos65();
+    let start = std::time::Instant::now();
+    let _ = explore(&tech, &[(128, 8), (128, 16), (128, 32)], &[16, 32, 64]).unwrap();
+    assert!(start.elapsed().as_secs_f64() < 2.0);
+}

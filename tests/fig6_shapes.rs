@@ -1,0 +1,115 @@
+//! Integration test for the Fig. 6 reproduction: over the benchmark
+//! suite, the LiM chip wins on every benchmark, the win spans more than
+//! an order of magnitude, and energy savings exceed speedups (the 96/72
+//! power ratio) — the paper's 7x–250x / 10x–310x shape.
+
+use lim_spgemm::accel::heap::HeapAccelerator;
+use lim_spgemm::accel::lim_cam::LimCamAccelerator;
+use lim_spgemm::energy::{ChipComparison, ChipPowerModel};
+use lim_spgemm::reference::spgemm;
+use lim_spgemm::suite::{fig6_suite, SuiteScale};
+
+#[test]
+fn fig6_shape_holds_over_the_suite() {
+    let lim_accel = LimCamAccelerator::paper_chip();
+    let heap_accel = HeapAccelerator::paper_chip();
+    let lim_chip = ChipPowerModel::paper_lim();
+    let heap_chip = ChipPowerModel::paper_heap();
+
+    let mut speedups = Vec::new();
+    for bench in fig6_suite(SuiteScale::Small) {
+        let m = &bench.matrix;
+        let oracle = spgemm(m, m).unwrap();
+        let lim = lim_accel.multiply(m, m).unwrap();
+        let heap = heap_accel.multiply(m, m).unwrap();
+
+        // Correctness: both chips compute the exact product.
+        assert!(
+            lim.product.approx_eq(&oracle, 1e-9),
+            "{}: LiM product wrong",
+            bench.name
+        );
+        assert!(
+            heap.product.approx_eq(&oracle, 1e-9),
+            "{}: heap product wrong",
+            bench.name
+        );
+        assert_eq!(lim.stats.multiplies, heap.stats.multiplies);
+
+        let cmp = ChipComparison::new(&lim_chip, lim.stats.cycles, &heap_chip, heap.stats.cycles);
+        // LiM wins on every benchmark despite its 0.65x clock.
+        assert!(
+            cmp.speedup() > 1.0,
+            "{}: speedup {}",
+            bench.name,
+            cmp.speedup()
+        );
+        // Energy saving exceeds speedup by the power ratio.
+        assert!(
+            cmp.energy_saving() > cmp.speedup(),
+            "{}: energy {} vs speedup {}",
+            bench.name,
+            cmp.energy_saving(),
+            cmp.speedup()
+        );
+        speedups.push((bench.name, cmp.speedup()));
+    }
+
+    // The spread spans well over an order of magnitude (paper: 7-250x).
+    let min = speedups
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().map(|(_, s)| *s).fold(0.0f64, f64::max);
+    assert!(
+        max / min > 10.0,
+        "speedup spread {min:.1}x..{max:.1}x too narrow: {speedups:?}"
+    );
+    assert!(min > 2.0, "weakest benchmark {min:.1}x (paper min 7x)");
+    assert!(max > 50.0, "strongest benchmark {max:.1}x (paper max 250x)");
+}
+
+#[test]
+fn merge_width_drives_the_advantage() {
+    // Rank benchmarks by max column width and by speedup: wide-merge
+    // benchmarks must sit at the top of the speedup order.
+    let lim_accel = LimCamAccelerator::paper_chip();
+    let heap_accel = HeapAccelerator::paper_chip();
+    let suite = fig6_suite(SuiteScale::Small);
+    let mut rows: Vec<(usize, f64)> = suite
+        .iter()
+        .map(|b| {
+            let lim = lim_accel.multiply(&b.matrix, &b.matrix).unwrap();
+            let heap = heap_accel.multiply(&b.matrix, &b.matrix).unwrap();
+            (
+                b.stats().max_col_nnz,
+                heap.stats.cycles as f64 / lim.stats.cycles as f64,
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    // The widest-merge benchmark beats the narrowest by a wide margin.
+    let narrow = rows.first().unwrap().1;
+    let wide = rows.last().unwrap().1;
+    assert!(
+        wide > 3.0 * narrow,
+        "wide {wide:.1} vs narrow {narrow:.1}"
+    );
+}
+
+#[test]
+fn frequency_penalty_is_fixed_but_latency_still_wins() {
+    // Paper: "Although the maximum frequency of the LiM chip is 35%
+    // slower … completion time of benchmarks are 7x to 250x faster."
+    let lim_chip = ChipPowerModel::paper_lim();
+    let heap_chip = ChipPowerModel::paper_heap();
+    let freq_ratio = lim_chip.fmax.value() / heap_chip.fmax.value();
+    assert!((freq_ratio - 0.655).abs() < 0.01);
+
+    let bench = &fig6_suite(SuiteScale::Small)[2]; // er_d8
+    let m = &bench.matrix;
+    let lim = LimCamAccelerator::paper_chip().multiply(m, m).unwrap();
+    let heap = HeapAccelerator::paper_chip().multiply(m, m).unwrap();
+    let cmp = ChipComparison::new(&lim_chip, lim.stats.cycles, &heap_chip, heap.stats.cycles);
+    assert!(cmp.speedup() > 1.0);
+}

@@ -1,0 +1,78 @@
+//! Integration test for the Table 1 reproduction: the analytic estimator
+//! must track the golden transient reference within (a relaxed version
+//! of) the paper's error bands, across both bricks and all stack depths.
+
+use lim_brick::golden::compare;
+use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
+use lim_tech::Technology;
+
+#[test]
+fn tool_vs_golden_across_the_full_table() {
+    let tech = Technology::cmos65();
+    let compiler = BrickCompiler::new(&tech);
+    let bricks = [
+        BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap(),
+        BrickSpec::new(BitcellKind::Sram8T, 32, 12).unwrap(),
+    ];
+    for spec in &bricks {
+        let brick = compiler.compile(spec).unwrap();
+        let mut prev_delay = 0.0;
+        let mut prev_energy = 0.0;
+        for stack in [1usize, 4, 8] {
+            let cmp = compare(&brick, stack).unwrap();
+            // Paper: 2-7 % delay, 0-4 % read energy, 0-2 % write energy.
+            // Allow 10 % / 6 % / 8 % for the reproduction.
+            assert!(
+                cmp.delay_error().abs() < 0.10,
+                "{spec} x{stack}: delay error {:.1}%",
+                cmp.delay_error() * 100.0
+            );
+            assert!(
+                cmp.read_energy_error().abs() < 0.06,
+                "{spec} x{stack}: read energy error {:.1}%",
+                cmp.read_energy_error() * 100.0
+            );
+            assert!(
+                cmp.write_energy_error().abs() < 0.08,
+                "{spec} x{stack}: write energy error {:.1}%",
+                cmp.write_energy_error() * 100.0
+            );
+            // Both tool and golden grow monotonically with stacking.
+            assert!(cmp.tool.read_delay.value() > prev_delay);
+            assert!(cmp.golden.read_energy.value() > prev_energy);
+            prev_delay = cmp.tool.read_delay.value();
+            prev_energy = cmp.golden.read_energy.value();
+        }
+    }
+}
+
+#[test]
+fn absolute_values_in_the_65nm_regime() {
+    // Table 1 reports 247-359 ps and 0.54-1.19 pJ; our absolutes should
+    // land in the same order of magnitude.
+    let tech = Technology::cmos65();
+    let brick = BrickCompiler::new(&tech)
+        .compile(&BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap())
+        .unwrap();
+    let est = brick.estimate_bank(1).unwrap();
+    assert!(
+        est.read_delay.value() > 100.0 && est.read_delay.value() < 600.0,
+        "read delay {}",
+        est.read_delay
+    );
+    let pj = est.read_energy.to_picojoules().value();
+    assert!((0.05..5.0).contains(&pj), "read energy {pj} pJ");
+}
+
+#[test]
+fn library_generation_covers_unconventional_sizes() {
+    // The paper: "Any unconventional bit, row, and stacking numbers
+    // (non-multiple of 8) are also permitted."
+    let tech = Technology::cmos65();
+    let spec = BrickSpec::new(BitcellKind::Sram8T, 17, 11).unwrap();
+    let brick = BrickCompiler::new(&tech).compile(&spec).unwrap();
+    for stack in [1usize, 3, 5] {
+        let est = brick.estimate_bank(stack).unwrap();
+        assert!(est.read_delay.value() > 0.0, "stack {stack}");
+    }
+}
