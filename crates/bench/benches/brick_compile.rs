@@ -1,45 +1,45 @@
-//! Criterion bench: brick compilation + estimation throughput.
+//! Bench: brick compilation + estimation throughput.
 //!
 //! The paper's DSE claim rests on "compiling the netlists and generating
 //! the library estimations … within 2 seconds" for nine bricks. This
 //! bench measures the per-brick cost of compile + estimate, and the cost
 //! of generating a full library entry (LUT tabulation included).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lim_brick::{BitcellKind, BrickCompiler, BrickLibrary, BrickSpec};
 use lim_tech::Technology;
+use lim_testkit::bench::{black_box, Bench};
 
-fn bench_compile_estimate(c: &mut Criterion) {
+fn bench_compile_estimate(c: &mut Bench) {
     let tech = Technology::cmos65();
     let compiler = BrickCompiler::new(&tech);
     let mut group = c.benchmark_group("brick_compile_estimate");
     for (words, bits) in [(16usize, 10usize), (64, 16), (256, 32)] {
         let spec = BrickSpec::new(BitcellKind::Sram8T, words, bits).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{words}x{bits}")),
-            &spec,
-            |b, spec| {
-                b.iter(|| {
-                    let brick = compiler.compile(spec).unwrap();
-                    std::hint::black_box(brick.estimate_bank(8).unwrap())
-                })
-            },
-        );
+        group.bench_with_input(&format!("{words}x{bits}"), &spec, |b, spec| {
+            b.iter(|| {
+                let brick = compiler.compile(spec).unwrap();
+                black_box(brick.estimate_bank(8).unwrap())
+            })
+        });
     }
     group.finish();
 }
 
-fn bench_library_entry(c: &mut Criterion) {
+fn bench_library_entry(c: &mut Bench) {
     let tech = Technology::cmos65();
     c.bench_function("library_entry_16x10_x4", |b| {
         let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
         b.iter(|| {
             let mut lib = BrickLibrary::new();
             lib.add(&tech, &spec, 4).unwrap();
-            std::hint::black_box(lib.len())
+            black_box(lib.len())
         })
     });
 }
 
-criterion_group!(benches, bench_compile_estimate, bench_library_entry);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args("brick_compile");
+    bench_compile_estimate(&mut c);
+    bench_library_entry(&mut c);
+    c.finish();
+}

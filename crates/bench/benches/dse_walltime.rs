@@ -1,19 +1,19 @@
-//! Criterion bench: the Fig. 4c nine-brick design-space sweep.
+//! Bench: the Fig. 4c nine-brick design-space sweep.
 //!
 //! The paper quotes ~2 s of wall clock for this exploration; the bench
 //! pins down our number (expected: well under a millisecond per sweep).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lim::dse::{explore, pareto_front};
 use lim_tech::Technology;
+use lim_testkit::bench::{black_box, Bench};
 
-fn bench_fig4c_sweep(c: &mut Criterion) {
+fn bench_fig4c_sweep(c: &mut Bench) {
     let tech = Technology::cmos65();
     c.bench_function("fig4c_nine_brick_sweep", |b| {
         b.iter(|| {
             let points =
                 explore(&tech, &[(128, 8), (128, 16), (128, 32)], &[16, 32, 64]).unwrap();
-            std::hint::black_box(pareto_front(&points).len())
+            black_box(pareto_front(&points).len())
         })
     });
 
@@ -22,10 +22,13 @@ fn bench_fig4c_sweep(c: &mut Criterion) {
             let mems: Vec<(usize, usize)> =
                 [64usize, 128, 256, 512].iter().map(|&w| (w, 16)).collect();
             let points = explore(&tech, &mems, &[8, 16, 32, 64]).unwrap();
-            std::hint::black_box(points.len())
+            black_box(points.len())
         })
     });
 }
 
-criterion_group!(benches, bench_fig4c_sweep);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args("dse_walltime");
+    bench_fig4c_sweep(&mut c);
+    c.finish();
+}

@@ -1,31 +1,34 @@
-//! Criterion bench: analytic estimator vs golden transient solve.
+//! Bench: analytic estimator vs golden transient solve.
 //!
 //! Quantifies the speed gap that justifies the paper's methodology — the
 //! estimator must be orders of magnitude cheaper than the SPICE-class
 //! reference while staying within the Table 1 error bands.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lim_brick::golden::measure_bank;
 use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
 use lim_tech::Technology;
+use lim_testkit::bench::{black_box, Bench};
 
-fn bench_tool_vs_golden(c: &mut Criterion) {
+fn bench_tool_vs_golden(c: &mut Bench) {
     let tech = Technology::cmos65();
     let brick = BrickCompiler::new(&tech)
         .compile(&BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap())
         .unwrap();
 
     c.bench_function("estimator_16x10_x4", |b| {
-        b.iter(|| std::hint::black_box(brick.estimate_bank(4).unwrap()))
+        b.iter(|| black_box(brick.estimate_bank(4).unwrap()))
     });
 
     let mut group = c.benchmark_group("golden");
     group.sample_size(10);
     group.bench_function("golden_16x10_x4", |b| {
-        b.iter(|| std::hint::black_box(measure_bank(&brick, 4).unwrap()))
+        b.iter(|| black_box(measure_bank(&brick, 4).unwrap()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_tool_vs_golden);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args("golden_transient");
+    bench_tool_vs_golden(&mut c);
+    c.finish();
+}

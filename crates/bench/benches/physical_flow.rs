@@ -1,11 +1,11 @@
-//! Criterion bench: full physical synthesis of a LiM SRAM block
+//! Bench: full physical synthesis of a LiM SRAM block
 //! (floorplan + anneal + route + STA + power).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lim::flow::LimFlow;
 use lim::sram::SramConfig;
+use lim_testkit::bench::{black_box, Bench};
 
-fn bench_full_flow(c: &mut Criterion) {
+fn bench_full_flow(c: &mut Bench) {
     let mut group = c.benchmark_group("physical_flow");
     group.sample_size(10);
     group.bench_function("sram_64x10_p2", |b| {
@@ -14,7 +14,7 @@ fn bench_full_flow(c: &mut Criterion) {
             let block = flow
                 .synthesize_sram(&SramConfig::new(64, 10, 2, 16).unwrap())
                 .unwrap();
-            std::hint::black_box(block.report.fmax.value())
+            black_box(block.report.fmax.value())
         })
     });
     group.bench_function("sram_128x10_p4", |b| {
@@ -23,11 +23,14 @@ fn bench_full_flow(c: &mut Criterion) {
             let block = flow
                 .synthesize_sram(&SramConfig::new(128, 10, 4, 16).unwrap())
                 .unwrap();
-            std::hint::black_box(block.report.fmax.value())
+            black_box(block.report.fmax.value())
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_full_flow);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args("physical_flow");
+    bench_full_flow(&mut c);
+    c.finish();
+}

@@ -1,12 +1,12 @@
-//! Criterion bench: accelerator simulation throughput on the Fig. 6
-//! suite (small scale) — one benchmark per chip per matrix class.
+//! Bench: accelerator simulation throughput on the Fig. 6 suite (small
+//! scale) — one benchmark per chip per matrix class.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lim_spgemm::accel::heap::HeapAccelerator;
 use lim_spgemm::accel::lim_cam::LimCamAccelerator;
 use lim_spgemm::suite::{fig6_suite, SuiteScale};
+use lim_testkit::bench::{black_box, Bench};
 
-fn bench_accelerators(c: &mut Criterion) {
+fn bench_accelerators(c: &mut Bench) {
     let suite = fig6_suite(SuiteScale::Small);
     let lim = LimCamAccelerator::paper_chip();
     let heap = HeapAccelerator::paper_chip();
@@ -14,19 +14,18 @@ fn bench_accelerators(c: &mut Criterion) {
     let mut group = c.benchmark_group("spgemm_sim");
     group.sample_size(10);
     for bench in suite.iter().filter(|b| ["er_d8", "rmat", "hubs"].contains(&b.name)) {
-        group.bench_with_input(
-            BenchmarkId::new("lim_cam", bench.name),
-            &bench.matrix,
-            |b, m| b.iter(|| std::hint::black_box(lim.multiply(m, m).unwrap().stats.cycles)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("heap", bench.name),
-            &bench.matrix,
-            |b, m| b.iter(|| std::hint::black_box(heap.multiply(m, m).unwrap().stats.cycles)),
-        );
+        group.bench_with_input(&format!("lim_cam/{}", bench.name), &bench.matrix, |b, m| {
+            b.iter(|| black_box(lim.multiply(m, m).unwrap().stats.cycles))
+        });
+        group.bench_with_input(&format!("heap/{}", bench.name), &bench.matrix, |b, m| {
+            b.iter(|| black_box(heap.multiply(m, m).unwrap().stats.cycles))
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_accelerators);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args("spgemm_sim");
+    bench_accelerators(&mut c);
+    c.finish();
+}

@@ -1,12 +1,12 @@
-//! Criterion bench: transient solver scaling with ladder size.
+//! Bench: transient solver scaling with ladder size.
 //!
 //! The golden reference's cost grows with node count (dense LU per
 //! topology change, O(n²) backsolve per step); this bench pins the
 //! scaling so regressions in the solver show up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lim_circuit::{Circuit, TransientSim};
 use lim_tech::units::{Femtofarads, KiloOhms, Picoseconds, Volts};
+use lim_testkit::bench::{black_box, Bench};
 
 fn ladder(n: usize) -> Circuit {
     let mut ckt = Circuit::new();
@@ -23,22 +23,25 @@ fn ladder(n: usize) -> Circuit {
     ckt
 }
 
-fn bench_ladders(c: &mut Criterion) {
+fn bench_ladders(c: &mut Bench) {
     let mut group = c.benchmark_group("transient_ladder");
     group.sample_size(10);
     for n in [16usize, 64, 160] {
         let ckt = ladder(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &ckt, |b, ckt| {
+        group.bench_with_input(&n.to_string(), &ckt, |b, ckt| {
             b.iter(|| {
                 let res = TransientSim::new(ckt)
                     .run(Picoseconds::new(200.0), Picoseconds::new(0.1))
                     .unwrap();
-                std::hint::black_box(res.supply_energy().value())
+                black_box(res.supply_energy().value())
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_ladders);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args("transient_solver");
+    bench_ladders(&mut c);
+    c.finish();
+}

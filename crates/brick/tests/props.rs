@@ -1,48 +1,50 @@
-//! Property tests for the brick compiler and estimator.
+//! Property tests for the brick compiler and estimator, on the hermetic
+//! `lim-testkit` harness.
 
 use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
 use lim_tech::Technology;
-use proptest::prelude::*;
+use lim_testkit::prop::check;
+use lim_testkit::TestRng;
 
-fn kinds() -> impl Strategy<Value = BitcellKind> {
-    prop::sample::select(vec![
-        BitcellKind::Sram6T,
-        BitcellKind::Sram8T,
-        BitcellKind::Cam,
-        BitcellKind::Edram,
-        BitcellKind::DualPort,
-    ])
+const KINDS: [BitcellKind; 5] = [
+    BitcellKind::Sram6T,
+    BitcellKind::Sram8T,
+    BitcellKind::Cam,
+    BitcellKind::Edram,
+    BitcellKind::DualPort,
+];
+
+fn any_kind(rng: &mut TestRng) -> BitcellKind {
+    KINDS[rng.gen_range(0..KINDS.len())]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_valid_spec_compiles_and_estimates(
-        kind in kinds(),
-        words in 1usize..128,
-        bits in 1usize..64,
-        stack in 1usize..8,
-    ) {
+#[test]
+fn every_valid_spec_compiles_and_estimates() {
+    check("every_valid_spec_compiles_and_estimates", |rng| {
+        let kind = any_kind(rng);
+        let words = rng.gen_range(1usize..128);
+        let bits = rng.gen_range(1usize..64);
+        let stack = rng.gen_range(1usize..8);
         let tech = Technology::cmos65();
         let spec = BrickSpec::new(kind, words, bits).unwrap();
         let brick = BrickCompiler::new(&tech).compile(&spec).unwrap();
         let est = brick.estimate_bank(stack).unwrap();
-        prop_assert!(est.read_delay.value() > 0.0);
-        prop_assert!(est.write_delay.value() > 0.0);
-        prop_assert!(est.read_energy.value() > 0.0);
-        prop_assert!(est.area.value() > 0.0);
-        prop_assert!(est.leakage.value() > 0.0);
-        prop_assert!(est.setup > est.hold);
-        prop_assert_eq!(est.match_delay.is_some(), kind == BitcellKind::Cam);
-        prop_assert_eq!(est.refresh_power.is_some(), kind == BitcellKind::Edram);
-    }
+        assert!(est.read_delay.value() > 0.0);
+        assert!(est.write_delay.value() > 0.0);
+        assert!(est.read_energy.value() > 0.0);
+        assert!(est.area.value() > 0.0);
+        assert!(est.leakage.value() > 0.0);
+        assert!(est.setup > est.hold);
+        assert_eq!(est.match_delay.is_some(), kind == BitcellKind::Cam);
+        assert_eq!(est.refresh_power.is_some(), kind == BitcellKind::Edram);
+    });
+}
 
-    #[test]
-    fn estimator_monotone_in_array_dimensions(
-        words in 8usize..64,
-        bits in 4usize..32,
-    ) {
+#[test]
+fn estimator_monotone_in_array_dimensions() {
+    check("estimator_monotone_in_array_dimensions", |rng| {
+        let words = rng.gen_range(8usize..64);
+        let bits = rng.gen_range(4usize..32);
         let tech = Technology::cmos65();
         let compile = |w, b| {
             BrickCompiler::new(&tech)
@@ -55,21 +57,22 @@ proptest! {
         let taller = compile(words * 2, bits);
         let wider = compile(words, bits * 2);
         // More rows: longer bitlines, slower and bigger.
-        prop_assert!(taller.read_delay > base.read_delay);
-        prop_assert!(taller.area > base.area);
+        assert!(taller.read_delay > base.read_delay);
+        assert!(taller.area > base.area);
         // More columns: more energy per access and more area.
-        prop_assert!(wider.read_energy > base.read_energy);
-        prop_assert!(wider.area > base.area);
-    }
+        assert!(wider.read_energy > base.read_energy);
+        assert!(wider.area > base.area);
+    });
+}
 
-    #[test]
-    fn library_lut_is_monotone_in_load_and_slew(
-        load_a in 2.0f64..150.0,
-        load_extra in 1.0f64..50.0,
-        slew_a in 0.0f64..250.0,
-        slew_extra in 1.0f64..100.0,
-    ) {
+#[test]
+fn library_lut_is_monotone_in_load_and_slew() {
+    check("library_lut_is_monotone_in_load_and_slew", |rng| {
         use lim_tech::units::{Femtofarads, Picoseconds};
+        let load_a = rng.gen_range(2.0f64..150.0);
+        let load_extra = rng.gen_range(1.0f64..50.0);
+        let slew_a = rng.gen_range(0.0f64..250.0);
+        let slew_extra = rng.gen_range(1.0f64..100.0);
         let tech = Technology::cmos65();
         let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
         let lib = lim_brick::BrickLibrary::generate(&tech, &[spec], &[2]).unwrap();
@@ -77,13 +80,17 @@ proptest! {
         let d0 = e.clk_to_q(Femtofarads::new(load_a), Picoseconds::new(slew_a));
         let d1 = e.clk_to_q(Femtofarads::new(load_a + load_extra), Picoseconds::new(slew_a));
         let d2 = e.clk_to_q(Femtofarads::new(load_a), Picoseconds::new(slew_a + slew_extra));
-        prop_assert!(d1 >= d0);
-        prop_assert!(d2 >= d0);
-    }
+        assert!(d1 >= d0);
+        assert!(d2 >= d0);
+    });
+}
 
-    #[test]
-    fn invalid_specs_are_rejected(words in 1025usize..4096, bits in 257usize..1024) {
-        prop_assert!(BrickSpec::new(BitcellKind::Sram8T, words, 8).is_err());
-        prop_assert!(BrickSpec::new(BitcellKind::Sram8T, 8, bits).is_err());
-    }
+#[test]
+fn invalid_specs_are_rejected() {
+    check("invalid_specs_are_rejected", |rng| {
+        let words = rng.gen_range(1025usize..4096);
+        let bits = rng.gen_range(257usize..1024);
+        assert!(BrickSpec::new(BitcellKind::Sram8T, words, 8).is_err());
+        assert!(BrickSpec::new(BitcellKind::Sram8T, 8, bits).is_err());
+    });
 }

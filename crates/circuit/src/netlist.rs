@@ -92,7 +92,7 @@ impl Switch {
     pub fn is_closed_at(&self, t: f64) -> Option<bool> {
         match self.control {
             SwitchControl::Timed { close, open } => {
-                Some(t >= close && open.map_or(true, |to| t < to))
+                Some(t >= close && open.is_none_or(|to| t < to))
             }
             SwitchControl::VoltageAbove { .. } | SwitchControl::VoltageBelow { .. } => None,
         }

@@ -118,8 +118,8 @@ impl<'a> TransientSim<'a> {
                         }
                     }
                 }
-                for i in 0..n {
-                    a[i][i] += ckt.caps[i] / dt_v;
+                for (i, row) in a.iter_mut().enumerate() {
+                    row[i] += ckt.caps[i] / dt_v;
                 }
                 let perm = lu_factor(&mut a)?;
                 lu = Some((a, perm));
@@ -219,8 +219,8 @@ fn lu_factor(a: &mut [Vec<f64>]) -> Result<Vec<usize>, CircuitError> {
         // Pivot.
         let mut best = col;
         let mut best_mag = a[col][col].abs();
-        for row in col + 1..n {
-            let mag = a[row][col].abs();
+        for (row, a_row) in a.iter().enumerate().skip(col + 1) {
+            let mag = a_row[col].abs();
             if mag > best_mag {
                 best = row;
                 best_mag = mag;

@@ -79,7 +79,7 @@ pub fn dump_vcd_with_tolerance(
         let mut changes = String::new();
         for ((node, code), prev) in nodes.iter().zip(&codes).zip(last.iter_mut()) {
             let v = result.waveform(*node).at(i).value();
-            if prev.map_or(true, |p| (p - v).abs() > tolerance) {
+            if prev.is_none_or(|p| (p - v).abs() > tolerance) {
                 let _ = writeln!(changes, "r{v} {code}");
                 *prev = Some(v);
             }
@@ -135,8 +135,7 @@ mod tests {
         let vcd = dump_vcd_with_tolerance(&ckt, &res, &[n], dt, 2, 1e-3);
         let last_time: u64 = vcd
             .lines()
-            .filter(|l| l.starts_with('#'))
-            .last()
+            .rfind(|l| l.starts_with('#'))
             .unwrap()[1..]
             .parse()
             .unwrap();

@@ -1,0 +1,117 @@
+//! Property tests for the transient golden reference, on the hermetic
+//! `lim-testkit` harness.
+//!
+//! Random RC ladders driven by a stepped source must (a) settle to the
+//! source voltage, (b) draw the `C·V²` charging energy from the supply,
+//! and (c) agree in ordering with the first-moment (Elmore) analysis —
+//! the independent estimator the Table 1 comparison leans on.
+
+use lim_circuit::{Circuit, RcTree, TransientSim};
+use lim_tech::units::{Femtofarads, KiloOhms, Picoseconds, Volts};
+use lim_testkit::prop::check;
+use lim_testkit::TestRng;
+
+const VDD: f64 = 1.2;
+
+struct Ladder {
+    circuit: Circuit,
+    nodes: Vec<lim_circuit::NodeId>,
+    total_cap_ff: f64,
+    elmore_end_ps: f64,
+}
+
+/// A random uniform-ish RC ladder: `n` segments with per-case R, C and a
+/// driver resistance, plus the matching Elmore tree for cross-checks.
+fn any_ladder(rng: &mut TestRng) -> Ladder {
+    let n = rng.gen_range(2usize..12);
+    let r_seg = rng.gen_range(0.02f64..0.2);
+    let c_seg = rng.gen_range(0.5f64..4.0);
+    let r_drv = rng.gen_range(0.2f64..2.0);
+
+    let mut ckt = Circuit::new();
+    let mut tree = RcTree::new();
+    let first = ckt.add_node("n0");
+    ckt.add_cap(first, Femtofarads::new(c_seg));
+    let src = ckt.add_source(first, KiloOhms::new(r_drv), Volts::ZERO);
+    ckt.schedule(src, Picoseconds::ZERO, Volts::new(VDD));
+    let mut tnode = tree.add_root(KiloOhms::new(r_drv), Femtofarads::new(c_seg));
+    let mut nodes = vec![first];
+    let mut prev = first;
+    for i in 1..n {
+        let node = ckt.add_node(format!("n{i}"));
+        ckt.add_resistor(prev, node, KiloOhms::new(r_seg));
+        ckt.add_cap(node, Femtofarads::new(c_seg));
+        tnode = tree.add_child(tnode, KiloOhms::new(r_seg), Femtofarads::new(c_seg));
+        nodes.push(node);
+        prev = node;
+    }
+    Ladder {
+        circuit: ckt,
+        nodes,
+        total_cap_ff: c_seg * n as f64,
+        elmore_end_ps: tree.elmore_delay(tnode).value(),
+    }
+}
+
+/// Simulation horizon comfortably past the slowest time constant.
+fn horizon(l: &Ladder) -> Picoseconds {
+    Picoseconds::new((l.elmore_end_ps * 20.0).max(100.0))
+}
+
+#[test]
+fn every_node_settles_to_the_source_voltage() {
+    check("every_node_settles_to_the_source_voltage", |rng| {
+        let l = any_ladder(rng);
+        let res = TransientSim::new(&l.circuit)
+            .run(horizon(&l), Picoseconds::new(0.1))
+            .unwrap();
+        for &node in &l.nodes {
+            let v = res.final_voltage(node).value();
+            assert!((v - VDD).abs() < 0.01 * VDD, "node settled to {v} V");
+        }
+    });
+}
+
+#[test]
+fn supply_energy_matches_cv2_on_full_charge() {
+    check("supply_energy_matches_cv2_on_full_charge", |rng| {
+        let l = any_ladder(rng);
+        let res = TransientSim::new(&l.circuit)
+            .run(horizon(&l), Picoseconds::new(0.05))
+            .unwrap();
+        // Charging C from 0 to V through any resistance draws C·V² from
+        // the supply (half stored, half dissipated).
+        let expect_fj = l.total_cap_ff * VDD * VDD;
+        let got = res.supply_energy().value();
+        assert!(
+            (got - expect_fj).abs() / expect_fj < 0.05,
+            "supply energy {got} fJ vs C·V² {expect_fj} fJ"
+        );
+    });
+}
+
+#[test]
+fn transient_delay_ordering_matches_elmore() {
+    check("transient_delay_ordering_matches_elmore", |rng| {
+        use lim_circuit::Edge;
+        let l = any_ladder(rng);
+        let res = TransientSim::new(&l.circuit)
+            .run(horizon(&l), Picoseconds::new(0.05))
+            .unwrap();
+        // 50 % crossing times are monotone along the ladder, like the
+        // Elmore first moments.
+        let half = Volts::new(VDD / 2.0);
+        let mut last = -1.0;
+        for &node in &l.nodes {
+            let t = res
+                .cross_time(node, half, Edge::Rising)
+                .expect("every node crosses half-Vdd")
+                .value();
+            assert!(t >= last, "crossing times must be monotone down the ladder");
+            last = t;
+        }
+        // The far end's transient delay is within a small factor of the
+        // Elmore estimate (ln 2 ≈ 0.69 of the first moment for a step).
+        assert!(last <= l.elmore_end_ps * 1.5 + 1.0);
+    });
+}

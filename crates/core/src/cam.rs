@@ -245,15 +245,15 @@ fn mac_lane(
     // Carry-save state at absolute bit weights 0..bits.
     let mut s: Vec<NetId> = vec![zero; bits];
     let mut c: Vec<NetId> = vec![zero; bits];
-    for j in 0..bits {
+    for (j, &b_j) in b.iter().enumerate().take(bits) {
         let mut s_new = s.clone();
         let mut c_new = vec![zero; bits];
-        for i in 0..bits - j {
+        for (i, &a_i) in a.iter().enumerate().take(bits - j) {
             let w = i + j;
             let pp = n.add_gate(
                 StdCellKind::And2,
                 1.0,
-                &[a[i], b[j]],
+                &[a_i, b_j],
                 format!("{label}_pp{j}_{i}"),
             )?;
             if j == 0 {
@@ -388,9 +388,9 @@ pub fn generate_lim_spgemm_core(
         .map(|(i, &v)| n.add_dff(v, 1.0, format!("key_q[{i}]")))
         .collect();
 
-    for c in 0..config.n_columns {
+    for (c, &hot) in col_hot.iter().enumerate().take(config.n_columns) {
         // Horizontal CAM keyed by row index, enabled by the vertical hit.
-        let mut inputs = vec![clk, col_hot[c]];
+        let mut inputs = vec![clk, hot];
         inputs.extend(&key_q);
         let mls = n.add_macro(
             format!("u_hcam{c}"),

@@ -11,8 +11,7 @@
 use lim_physical::BlockReport;
 use lim_tech::units::{Femtojoules, Megahertz};
 use lim_tech::Technology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lim_testkit::TestRng;
 
 /// One sampled die.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +74,7 @@ impl SiliconEmulation {
 
     /// Samples `n` dies of the given block.
     pub fn sample(&self, report: &BlockReport, n: usize) -> Vec<ChipSample> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = TestRng::seed_from_u64(self.seed);
         (0..n)
             .map(|_| {
                 let speed = 1.0 + self.speed_sigma * gaussian(&mut rng);
@@ -137,9 +136,9 @@ impl SiliconEmulation {
     }
 }
 
-/// Standard normal via Box–Muller (rand 0.8 has no normal distribution
-/// without the `rand_distr` crate).
-fn gaussian(rng: &mut StdRng) -> f64 {
+/// Standard normal via Box–Muller on top of the testkit's uniform
+/// generator.
+fn gaussian(rng: &mut TestRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -212,7 +211,7 @@ mod tests {
 
     #[test]
     fn gaussian_has_roughly_zero_mean_unit_variance() {
-        let mut rng = StdRng::seed_from_u64(123);
+        let mut rng = TestRng::seed_from_u64(123);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;

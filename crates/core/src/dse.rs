@@ -112,7 +112,7 @@ pub fn explore_partitioned(
     let mut points = Vec::new();
     for &p in partition_options {
         for &bw in brick_word_options {
-            if p == 0 || bw == 0 || !p.is_power_of_two() || words % (p * bw) != 0 {
+            if p == 0 || bw == 0 || !p.is_power_of_two() || !words.is_multiple_of(p * bw) {
                 continue;
             }
             let stack = words / (p * bw);

@@ -60,7 +60,7 @@ impl InterpolationConfig {
                 reason: "interpolation dimensions must be non-zero".into(),
             });
         }
-        if self.table_size % self.seed_size != 0 || self.expansion_factor() < 2 {
+        if !self.table_size.is_multiple_of(self.seed_size) || self.expansion_factor() < 2 {
             return Err(LimError::BadConfig {
                 reason: format!(
                     "{} seeds must divide {} entries with factor ≥ 2",
@@ -236,12 +236,16 @@ pub fn generate_lim(
     for (j, &fbit) in frac.iter().enumerate() {
         let mut carry = zero;
         let mut next = acc.clone();
-        for i in 0..config.data_bits - j.min(config.data_bits) {
+        for (i, &d_i) in diff
+            .iter()
+            .enumerate()
+            .take(config.data_bits - j.min(config.data_bits))
+        {
             let w = i + j;
             if w >= config.data_bits {
                 break;
             }
-            let pp = n.add_gate(StdCellKind::And2, 1.0, &[diff[i], fbit], format!("pp{j}_{i}"))?;
+            let pp = n.add_gate(StdCellKind::And2, 1.0, &[d_i, fbit], format!("pp{j}_{i}"))?;
             next[w] = n.add_gate(
                 StdCellKind::FaSum,
                 1.0,

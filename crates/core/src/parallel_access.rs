@@ -73,7 +73,7 @@ impl ParallelAccessConfig {
                 reason: "parallel-access dimensions must be non-zero".into(),
             });
         }
-        if self.image_rows % self.window_rows != 0 || self.image_cols % self.window_cols != 0 {
+        if !self.image_rows.is_multiple_of(self.window_rows) || !self.image_cols.is_multiple_of(self.window_cols) {
             return Err(LimError::BadConfig {
                 reason: format!(
                     "window {}x{} does not tile image {}x{}",

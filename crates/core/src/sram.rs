@@ -71,7 +71,7 @@ impl SramConfig {
                 reason: format!("partitions {partitions} must be a power of two"),
             });
         }
-        if words % (partitions * brick_words) != 0 {
+        if !words.is_multiple_of(partitions * brick_words) {
             return Err(LimError::BadConfig {
                 reason: format!(
                     "{words} words do not divide into {partitions} partitions of \

@@ -1,0 +1,147 @@
+//! Property tests for the synthesis-flow crate, on the hermetic
+//! `lim-testkit` harness: SRAM configuration algebra, silicon-emulation
+//! statistics and the DSE sweep invariants.
+
+use lim::chip::SiliconEmulation;
+use lim::dse::{explore, pareto_front};
+use lim::sram::SramConfig;
+use lim_brick::BrickLibrary;
+use lim_physical::flow::{FlowOptions, PhysicalSynthesis};
+use lim_physical::BlockReport;
+use lim_rtl::generators::decoder;
+use lim_tech::units::Megahertz;
+use lim_tech::Technology;
+use lim_testkit::prop::{check_with, PropConfig};
+use lim_testkit::prop::check;
+
+#[test]
+fn sram_config_algebra_is_consistent() {
+    check("sram_config_algebra_is_consistent", |rng| {
+        // Build a valid config from random factors, then check the
+        // derived quantities agree with each other.
+        let brick_words = 1usize << rng.gen_range(2u32..6); // 4..32
+        let partitions = 1usize << rng.gen_range(0u32..3); // 1, 2, 4
+        let stack = 1usize << rng.gen_range(0u32..4); // 1..8
+        let bits = rng.gen_range(4usize..33);
+        let words = partitions * brick_words * stack;
+        let cfg = SramConfig::new(words, bits, partitions, brick_words).unwrap();
+        assert_eq!(cfg.words(), words);
+        assert_eq!(cfg.partitions() * cfg.words_per_partition(), words);
+        assert_eq!(cfg.stack() * cfg.brick_words(), cfg.words_per_partition());
+        assert!(1usize << cfg.addr_bits() >= words);
+        assert!(cfg.bank_bits() <= cfg.addr_bits());
+        assert_eq!(1usize << cfg.bank_bits(), cfg.partitions());
+    });
+}
+
+#[test]
+fn invalid_sram_configs_are_rejected() {
+    check("invalid_sram_configs_are_rejected", |rng| {
+        let words = rng.gen_range(1usize..512);
+        // Partitions that are not a power of two always fail.
+        let bad_part = 3 + 2 * rng.gen_range(0usize..4); // 3,5,7,9 — odd > 1
+        assert!(SramConfig::new(words, 8, bad_part, 4).is_err());
+        // Words that don't tile into partitions * brick_words fail.
+        let brick_words = rng.gen_range(3usize..17);
+        if words % (2 * brick_words) != 0 {
+            assert!(SramConfig::new(words, 8, 2, brick_words).is_err());
+        }
+        assert!(SramConfig::new(0, 8, 1, 4).is_err());
+        assert!(SramConfig::new(16, 0, 1, 4).is_err());
+    });
+}
+
+fn block() -> BlockReport {
+    let tech = Technology::cmos65();
+    let lib = BrickLibrary::new();
+    let dec = decoder("dec", 4, 16, true).unwrap();
+    PhysicalSynthesis::new(&tech, &lib)
+        .run(&dec, &FlowOptions::default())
+        .unwrap()
+}
+
+#[test]
+fn silicon_lots_bracket_nominal_for_every_seed() {
+    // Physical synthesis per case is the expensive part; 24 cases keeps
+    // the suite at the former proptest count.
+    check_with(
+        PropConfig::with_cases(24),
+        "silicon_lots_bracket_nominal_for_every_seed",
+        {
+            let rep = block();
+            let tech = Technology::cmos65();
+            move |rng| {
+                let seed = rng.gen::<u64>();
+                let dies = rng.gen_range(2usize..40);
+                let emu = SiliconEmulation::new(&tech, seed);
+                let lot = emu.measure_lot(&rep, dies);
+                assert!(lot.fmax_min <= lot.fmax_mean && lot.fmax_mean <= lot.fmax_max);
+                assert!(lot.energy_min <= lot.energy_mean && lot.energy_mean <= lot.energy_max);
+                // Repeatability: the same seed measures the same lot.
+                let again = SiliconEmulation::new(&tech, seed).measure_lot(&rep, dies);
+                assert_eq!(lot, again);
+                // Yield is a probability and monotone in the target.
+                let easy = emu.yield_at(&rep, dies, lot.fmax_min * 0.99);
+                let hard = emu.yield_at(&rep, dies, lot.fmax_max * 1.01);
+                assert!((0.0..=1.0).contains(&easy) && (0.0..=1.0).contains(&hard));
+                assert!(easy >= hard);
+                assert!((easy - 1.0).abs() < 1e-12, "every die beats the observed min");
+                assert!(hard.abs() < 1e-12, "no die beats the observed max");
+            }
+        },
+    );
+}
+
+#[test]
+fn simulation_corners_are_ordered_for_any_speed_sigma_seed() {
+    check("simulation_corners_are_ordered_for_any_speed_sigma_seed", {
+        let rep = block();
+        let tech = Technology::cmos65();
+        move |rng| {
+            let emu = SiliconEmulation::new(&tech, rng.gen::<u64>());
+            let c = emu.simulation_corners(&rep);
+            assert!(c.worst < c.nominal && c.nominal < c.best);
+            assert!(c.worst.value() > 0.0);
+            let _ = Megahertz::new(c.nominal.value());
+        }
+    });
+}
+
+#[test]
+fn dse_points_are_physical_and_front_is_minimal() {
+    check("dse_points_are_physical_and_front_is_minimal", |rng| {
+        let tech = Technology::cmos65();
+        // Random sweep drawn from depths that divide the word counts.
+        let words = 64usize << rng.gen_range(0u32..3); // 64/128/256
+        let bits = 8 + 4 * rng.gen_range(0usize..5);
+        let depths: Vec<usize> = [8usize, 16, 32, 64]
+            .iter()
+            .copied()
+            .filter(|_| rng.gen::<bool>())
+            .chain(std::iter::once(16))
+            .collect();
+        let points = explore(&tech, &[(words, bits)], &depths).unwrap();
+        assert_eq!(points.len(), depths.len());
+        for p in &points {
+            assert!(p.delay.value() > 0.0);
+            assert!(p.energy.value() > 0.0);
+            assert!(p.area.value() > 0.0);
+            assert_eq!(p.brick_words * p.stack, words);
+        }
+        let front = pareto_front(&points);
+        assert!(!front.is_empty() && front.len() <= points.len());
+        // Front members are mutually non-dominating on delay/energy.
+        for &i in &front {
+            for &j in &front {
+                if i == j {
+                    continue;
+                }
+                let (p, q) = (&points[i], &points[j]);
+                let strictly_worse = p.delay.value() > q.delay.value()
+                    && p.energy.value() > q.energy.value()
+                    && p.area.value() > q.area.value();
+                assert!(!strictly_worse);
+            }
+        }
+    });
+}

@@ -9,8 +9,7 @@ use crate::floorplan::Floorplan;
 use lim_rtl::{CellKind, NetId, Netlist};
 use lim_tech::units::Microns;
 use lim_tech::Technology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lim_testkit::TestRng;
 
 /// Where every pin of the design sits.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,7 +218,7 @@ pub fn place(
         |slot_of: &[usize]| -> f64 { (0..netlist.net_count()).map(|n| net_hpwl(n, slot_of)).sum() };
 
     // Annealing.
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut cost = total_hpwl(&slot_of);
     let n_moves = if placeable.len() < 2 {
         0

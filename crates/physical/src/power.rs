@@ -64,6 +64,7 @@ impl Default for MacroActivity {
 /// # Errors
 ///
 /// Propagates missing brick-library entries.
+#[allow(clippy::too_many_arguments)] // the flow passes every report input explicitly
 pub fn analyze(
     tech: &Technology,
     netlist: &Netlist,
@@ -80,13 +81,13 @@ pub fn analyze(
     // Net switching: each toggle charges or discharges the net, costing
     // C·Vdd²/2 from the supply on average.
     let mut e_logic = 0.0f64; // fJ per cycle
-    for i in 0..netlist.net_count() {
+    for (i, route) in routes.iter().enumerate() {
         let net = NetId::from_index(i);
         if Some(net) == netlist.clock() {
             continue; // counted in the clock term
         }
         let rate = activity.toggle_rate(net);
-        let c = routes[i].total_cap().value();
+        let c = route.total_cap().value();
         e_logic += rate * 0.5 * c * vdd.value() * vdd.value();
     }
 

@@ -82,7 +82,7 @@ pub fn estimate(
         }
     }
 
-    for n in 0..netlist.net_count() {
+    for (n, &pin_cap) in pin_caps.iter().enumerate() {
         let net = NetId::from_index(n);
         let pins = net_pin_positions(netlist, placement, floorplan, net);
         let length =
@@ -91,7 +91,7 @@ pub fn estimate(
             length,
             wire_cap: Femtofarads::new(tech.wire_c_per_um.value() * length.value()),
             wire_res: KiloOhms::new(tech.wire_r_per_um.value() * length.value()),
-            pin_cap: Femtofarads::new(pin_caps[n]),
+            pin_cap: Femtofarads::new(pin_cap),
         });
     }
     Ok(routes)
@@ -161,7 +161,7 @@ pub fn congestion(
     // tile, i.e. tile_um/0.2 tracks × tile_um length × 2.
     let supply_per_tile = (tile_um / 0.2) * tile_um * 2.0;
 
-    for n in 0..netlist.net_count() {
+    for (n, route) in routes.iter().enumerate() {
         let net = NetId::from_index(n);
         let pins = crate::place::net_pin_positions(netlist, placement, floorplan, net);
         if pins.len() < 2 {
@@ -179,7 +179,7 @@ pub fn congestion(
         let ty0 = ((y0 / tile_um) as usize).min(tiles_y - 1);
         let ty1 = ((y1 / tile_um) as usize).min(tiles_y - 1);
         let n_tiles = ((tx1 - tx0 + 1) * (ty1 - ty0 + 1)) as f64;
-        let per_tile = routes[n].length.value() / n_tiles;
+        let per_tile = route.length.value() / n_tiles;
         for ty in ty0..=ty1 {
             for tx in tx0..=tx1 {
                 demand[ty * tiles_x + tx] += per_tile;

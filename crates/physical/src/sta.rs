@@ -138,7 +138,7 @@ pub fn analyze(
                 continue;
             };
             let at_pin = a.time + wire_delay(input);
-            if worst.map_or(true, |w| at_pin > w.time) {
+            if worst.is_none_or(|w| at_pin > w.time) {
                 worst = Some(Arrival {
                     time: at_pin,
                     slew: a.slew,

@@ -258,7 +258,8 @@ impl StdCellKind {
             }
             FaSum => inputs[0] ^ inputs[1] ^ inputs[2],
             FaCarry => {
-                (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2])
+                // Majority of the three inputs.
+                inputs[0] as u8 + inputs[1] as u8 + inputs[2] as u8 >= 2
             }
             Dff | DffEn => panic!("sequential cell {} has no combinational eval", self.name()),
         }

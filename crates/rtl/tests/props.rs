@@ -1,19 +1,17 @@
-//! Property tests for the RTL substrate.
+//! Property tests for the RTL substrate, on the hermetic `lim-testkit`
+//! harness.
 
 use lim_rtl::generators::{decoder, kogge_stone_adder, ripple_adder};
 use lim_rtl::mapping::optimize;
 use lim_rtl::Simulator;
-use proptest::prelude::*;
+use lim_testkit::prop::check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn decoder_is_one_hot_for_every_config(
-        addr_bits in 1usize..7,
-        addr in any::<usize>(),
-        en in any::<bool>(),
-    ) {
+#[test]
+fn decoder_is_one_hot_for_every_config() {
+    check("decoder_is_one_hot_for_every_config", |rng| {
+        let addr_bits = rng.gen_range(1usize..7);
+        let addr = rng.gen::<usize>();
+        let en = rng.gen::<bool>();
         let words = 1usize << addr_bits;
         let dec = decoder("d", addr_bits, words, true).unwrap();
         let mut sim = Simulator::new(&dec).unwrap();
@@ -28,34 +26,36 @@ proptest! {
             .map(|(w, _)| w)
             .collect();
         if en {
-            prop_assert_eq!(hot, vec![a]);
+            assert_eq!(hot, vec![a]);
         } else {
-            prop_assert!(hot.is_empty());
+            assert!(hot.is_empty());
         }
-    }
+    });
+}
 
-    #[test]
-    fn non_power_of_two_decoders_stay_one_hot(
-        words in 2usize..40,
-        addr in any::<usize>(),
-    ) {
+#[test]
+fn non_power_of_two_decoders_stay_one_hot() {
+    check("non_power_of_two_decoders_stay_one_hot", |rng| {
+        let words = rng.gen_range(2usize..40);
+        let addr = rng.gen::<usize>();
         let addr_bits = usize::BITS as usize - (words - 1).leading_zeros() as usize;
         let dec = decoder("d", addr_bits, words, false).unwrap();
         let mut sim = Simulator::new(&dec).unwrap();
         let a = addr % words;
         let inputs: Vec<bool> = (0..addr_bits).map(|b| (a >> b) & 1 == 1).collect();
         let outs = sim.eval(&inputs).unwrap();
-        prop_assert_eq!(outs.iter().filter(|&&o| o).count(), 1);
-        prop_assert!(outs[a]);
-    }
+        assert_eq!(outs.iter().filter(|&&o| o).count(), 1);
+        assert!(outs[a]);
+    });
+}
 
-    #[test]
-    fn adders_agree_on_random_operands(
-        bits in 2usize..12,
-        a in any::<u64>(),
-        b in any::<u64>(),
-        cin in any::<bool>(),
-    ) {
+#[test]
+fn adders_agree_on_random_operands() {
+    check("adders_agree_on_random_operands", |rng| {
+        let bits = rng.gen_range(2usize..12);
+        let a = rng.gen::<u64>();
+        let b = rng.gen::<u64>();
+        let cin = rng.gen::<bool>();
         let mask = (1u64 << bits) - 1;
         let (a, b) = (a & mask, b & mask);
         let ks = kogge_stone_adder("ks", bits).unwrap();
@@ -69,24 +69,27 @@ proptest! {
         let mut s2 = Simulator::new(&rp).unwrap();
         let o1 = s1.eval(&inputs).unwrap();
         let o2 = s2.eval(&inputs).unwrap();
-        prop_assert_eq!(&o1, &o2);
+        assert_eq!(&o1, &o2);
         // And both equal arithmetic truth.
         let sum: u64 = o1
             .iter()
             .enumerate()
             .map(|(i, &s)| (s as u64) << i)
             .sum();
-        prop_assert_eq!(sum, (a + b + cin as u64) & ((1 << (bits + 1)) - 1));
-    }
+        assert_eq!(sum, (a + b + cin as u64) & ((1 << (bits + 1)) - 1));
+    });
+}
 
-    #[test]
-    fn optimization_is_idempotent(addr_bits in 2usize..6) {
+#[test]
+fn optimization_is_idempotent() {
+    check("optimization_is_idempotent", |rng| {
+        let addr_bits = rng.gen_range(2usize..6);
         let dec = decoder("d", addr_bits, 1 << addr_bits, true).unwrap();
         let (once, _) = optimize(&dec).unwrap();
         let (twice, stats) = optimize(&once).unwrap();
-        prop_assert_eq!(stats.constants_folded, 0);
-        prop_assert_eq!(stats.dead_removed, 0);
-        prop_assert_eq!(stats.buffers_inserted, 0);
-        prop_assert_eq!(once.cell_count(), twice.cell_count());
-    }
+        assert_eq!(stats.constants_folded, 0);
+        assert_eq!(stats.dead_removed, 0);
+        assert_eq!(stats.buffers_inserted, 0);
+        assert_eq!(once.cell_count(), twice.cell_count());
+    });
 }

@@ -7,8 +7,7 @@
 //! deterministic for a given seed.
 
 use crate::matrix::{Csc, Triplets};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lim_testkit::TestRng;
 
 /// Namespace for the generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,7 +22,7 @@ impl MatrixGen {
     /// Panics if `n == 0`.
     pub fn erdos_renyi(n: usize, avg_degree: f64, seed: u64) -> Triplets {
         assert!(n > 0, "matrix dimension must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut t = Triplets::new(n, n);
         let total = (n as f64 * avg_degree).round() as usize;
         for _ in 0..total {
@@ -50,7 +49,7 @@ impl MatrixGen {
             a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
             "invalid rmat probabilities"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut t = Triplets::new(n, n);
         let levels = n.trailing_zeros();
         for _ in 0..edges {
@@ -114,7 +113,7 @@ impl MatrixGen {
     /// Panics if `n == 0`.
     pub fn banded(n: usize, band: usize, seed: u64) -> Triplets {
         assert!(n > 0, "matrix dimension must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut t = Triplets::new(n, n);
         for c in 0..n {
             let lo = c.saturating_sub(band);
@@ -133,8 +132,8 @@ impl MatrixGen {
     ///
     /// Panics if `n == 0`, `block == 0`, or `block` does not divide `n`.
     pub fn block_diagonal(n: usize, block: usize, fill: f64, seed: u64) -> Triplets {
-        assert!(n > 0 && block > 0 && n % block == 0, "block must divide n");
-        let mut rng = StdRng::seed_from_u64(seed);
+        assert!(n > 0 && block > 0 && n.is_multiple_of(block), "block must divide n");
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut t = Triplets::new(n, n);
         for b in 0..(n / block) {
             let base = b * block;
@@ -159,7 +158,7 @@ impl MatrixGen {
     /// Panics if `n == 0` or `hub_degree > n`.
     pub fn hub(n: usize, avg_degree: f64, hubs: usize, hub_degree: usize, seed: u64) -> Triplets {
         assert!(n > 0 && hub_degree <= n, "hub degree must fit the matrix");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = TestRng::seed_from_u64(seed);
         let mut t = Self::erdos_renyi(n, avg_degree, seed ^ 0x9e37_79b9);
         for h in 0..hubs {
             let col = (h * 31) % n;

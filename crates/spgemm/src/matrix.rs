@@ -58,7 +58,7 @@ impl Triplets {
     /// zeros.
     pub fn to_csc(&self) -> Csc {
         let mut sorted = self.entries.clone();
-        sorted.sort_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+        sorted.sort_by_key(|a| (a.1, a.0));
         // Accumulate duplicates.
         let mut col_ptr = vec![0usize; self.cols + 1];
         let mut row_idx = Vec::with_capacity(sorted.len());
@@ -216,7 +216,7 @@ impl Csc {
             let (lo, hi) = (self.col_ptr[c], self.col_ptr[c + 1]);
             let mut prev: Option<usize> = None;
             for &r in &self.row_idx[lo..hi] {
-                if r >= self.rows || prev.map_or(false, |p| p >= r) {
+                if r >= self.rows || prev.is_some_and(|p| p >= r) {
                     return Err(SpgemmError::IndexOutOfBounds {
                         row: r,
                         col: c,

@@ -57,6 +57,7 @@ mod tests {
     use super::*;
     use crate::gen::MatrixGen;
 
+    #[allow(clippy::needless_range_loop)] // out[i][j] mirrors the math
     fn dense_mul(a: &Csc, b: &Csc) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; b.cols()]; a.rows()];
         for j in 0..b.cols() {

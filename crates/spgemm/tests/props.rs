@@ -1,4 +1,5 @@
-//! Property tests for the SpGEMM infrastructure.
+//! Property tests for the SpGEMM infrastructure, on the hermetic
+//! `lim-testkit` harness.
 
 use lim_spgemm::accel::heap::HeapAccelerator;
 use lim_spgemm::accel::lim_cam::LimCamAccelerator;
@@ -6,73 +7,89 @@ use lim_spgemm::dram::{naive_layout_stream, simulate, subblock_layout_stream, Dr
 use lim_spgemm::io::{read_mtx, write_mtx};
 use lim_spgemm::matrix::Triplets;
 use lim_spgemm::Csc;
-use proptest::prelude::*;
+use lim_testkit::prop::check;
+use lim_testkit::TestRng;
 
-fn arb_matrix(n: usize, max_entries: usize) -> impl Strategy<Value = Csc> {
-    prop::collection::vec((0..n, 0..n, 0.1f64..2.0), 0..max_entries).prop_map(move |entries| {
-        let mut t = Triplets::new(n, n);
-        for (r, c, v) in entries {
-            t.push(r, c, v).expect("in range");
-        }
-        t.to_csc()
-    })
+/// Random square matrix with up to `max_entries` draws (duplicates
+/// collapse in CSC, as with the former proptest strategy).
+fn any_matrix(rng: &mut TestRng, n: usize, max_entries: usize) -> Csc {
+    let entries = rng.gen_range(0usize..max_entries);
+    let mut t = Triplets::new(n, n);
+    for _ in 0..entries {
+        let r = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
+        let v = rng.gen_range(0.1f64..2.0);
+        t.push(r, c, v).expect("in range");
+    }
+    t.to_csc()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn mtx_roundtrip(m in arb_matrix(32, 200)) {
+#[test]
+fn mtx_roundtrip() {
+    check("mtx_roundtrip", |rng| {
+        let m = any_matrix(rng, 32, 200);
         let back = read_mtx(&write_mtx(&m)).unwrap();
-        prop_assert!(back.approx_eq(&m, 1e-12));
-    }
+        assert!(back.approx_eq(&m, 1e-12));
+    });
+}
 
-    #[test]
-    fn dram_hit_rate_is_a_probability(m in arb_matrix(64, 400)) {
+#[test]
+fn dram_hit_rate_is_a_probability() {
+    check("dram_hit_rate_is_a_probability", |rng| {
+        let m = any_matrix(rng, 64, 400);
         let model = DramModel::stacked_3d();
         for stream in [subblock_layout_stream(&m, 8), naive_layout_stream(&m)] {
             let stats = simulate(&model, stream);
             let hr = stats.row_hit_rate();
-            prop_assert!((0.0..=1.0).contains(&hr));
-            prop_assert!(stats.cycles >= stats.accesses * model.t_column);
-            prop_assert_eq!(stats.accesses as usize, m.nnz());
+            assert!((0.0..=1.0).contains(&hr));
+            assert!(stats.cycles >= stats.accesses * model.t_column);
+            assert_eq!(stats.accesses as usize, m.nnz());
         }
-    }
+    });
+}
 
-    #[test]
-    fn blocked_layout_never_loses_to_naive(m in arb_matrix(96, 600)) {
+#[test]
+fn blocked_layout_never_loses_to_naive() {
+    check("blocked_layout_never_loses_to_naive", |rng| {
+        let m = any_matrix(rng, 96, 600);
         let model = DramModel::stacked_3d();
         let blocked = simulate(&model, subblock_layout_stream(&m, 16));
         let naive = simulate(&model, naive_layout_stream(&m));
-        prop_assert!(blocked.activations <= naive.activations + 1);
-        prop_assert!(blocked.energy_pj <= naive.energy_pj + 1e-9);
-    }
+        assert!(blocked.activations <= naive.activations + 1);
+        assert!(blocked.energy_pj <= naive.energy_pj + 1e-9);
+    });
+}
 
-    #[test]
-    fn accelerator_stats_are_internally_consistent(m in arb_matrix(48, 300)) {
+#[test]
+fn accelerator_stats_are_internally_consistent() {
+    check("accelerator_stats_are_internally_consistent", |rng| {
+        let m = any_matrix(rng, 48, 300);
         let work = m.multiply_work(&m).unwrap() as u64;
         let lim = LimCamAccelerator::paper_chip().multiply(&m, &m).unwrap();
-        prop_assert_eq!(lim.stats.multiplies, work);
-        prop_assert_eq!(lim.stats.cam_matches, work);
-        prop_assert!(lim.stats.new_entries <= work);
-        prop_assert!(lim.stats.mem_writes as usize >= lim.product.nnz());
+        assert_eq!(lim.stats.multiplies, work);
+        assert_eq!(lim.stats.cam_matches, work);
+        assert!(lim.stats.new_entries <= work);
+        assert!(lim.stats.mem_writes as usize >= lim.product.nnz());
 
         let heap = HeapAccelerator::paper_chip().multiply(&m, &m).unwrap();
-        prop_assert_eq!(heap.stats.multiplies, work);
-        prop_assert!(heap.stats.cycles >= heap.stats.multiplies);
+        assert_eq!(heap.stats.multiplies, work);
+        assert!(heap.stats.cycles >= heap.stats.multiplies);
         // Every product term was popped from the FIFO, so insertions
         // match pops.
-        prop_assert_eq!(heap.stats.new_entries, work);
-    }
+        assert_eq!(heap.stats.new_entries, work);
+    });
+}
 
-    #[test]
-    fn transpose_preserves_multiply_work_symmetrically(m in arb_matrix(24, 150)) {
+#[test]
+fn transpose_preserves_multiply_work_symmetrically() {
+    check("transpose_preserves_multiply_work_symmetrically", |rng| {
+        let m = any_matrix(rng, 24, 150);
         // work(A·A) computed on the transpose pair relates by symmetry:
         // work(Aᵀ·Aᵀ) = work over rows = finite and non-negative; both
         // products are transposes of each other.
         let t = m.transpose();
         let c1 = lim_spgemm::reference::spgemm(&m, &m).unwrap();
         let c2 = lim_spgemm::reference::spgemm(&t, &t).unwrap();
-        prop_assert!(c1.transpose().approx_eq(&c2, 1e-9));
-    }
+        assert!(c1.transpose().approx_eq(&c2, 1e-9));
+    });
 }

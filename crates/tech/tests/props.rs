@@ -1,36 +1,44 @@
-//! Property tests for the technology substrate.
+//! Property tests for the technology substrate, on the hermetic
+//! `lim-testkit` harness (seeded cases, failing-seed reporting).
 
 use lim_tech::logical_effort::{buffer_chain, optimal_stage_count, Path};
 use lim_tech::units::{Femtofarads, KiloOhms, Microns, Picoseconds};
 use lim_tech::wire::{RcLadder, Route};
 use lim_tech::Technology;
-use proptest::prelude::*;
+use lim_testkit::prop::check;
 
-proptest! {
-    #[test]
-    fn unit_arithmetic_is_associative_and_commutative(
-        a in -1e6f64..1e6, b in -1e6f64..1e6, c in -1e6f64..1e6,
-    ) {
+#[test]
+fn unit_arithmetic_is_associative_and_commutative() {
+    check("unit_arithmetic_is_associative_and_commutative", |rng| {
+        let a = rng.gen_range(-1e6f64..1e6);
+        let b = rng.gen_range(-1e6f64..1e6);
+        let c = rng.gen_range(-1e6f64..1e6);
         let (x, y, z) = (Picoseconds::new(a), Picoseconds::new(b), Picoseconds::new(c));
-        prop_assert!((((x + y) + z).value() - (x + (y + z)).value()).abs() < 1e-6);
-        prop_assert_eq!((x + y).value(), (y + x).value());
-        prop_assert!(((x - y) + y).value() - x.value() < 1e-6);
-    }
+        assert!((((x + y) + z).value() - (x + (y + z)).value()).abs() < 1e-6);
+        assert_eq!((x + y).value(), (y + x).value());
+        assert!(((x - y) + y).value() - x.value() < 1e-6);
+    });
+}
 
-    #[test]
-    fn rc_product_scales_bilinearly(r in 0.001f64..100.0, c in 0.001f64..1000.0, k in 0.1f64..10.0) {
+#[test]
+fn rc_product_scales_bilinearly() {
+    check("rc_product_scales_bilinearly", |rng| {
+        let r = rng.gen_range(0.001f64..100.0);
+        let c = rng.gen_range(0.001f64..1000.0);
+        let k = rng.gen_range(0.1f64..10.0);
         let base = KiloOhms::new(r) * Femtofarads::new(c);
         let scaled = KiloOhms::new(r * k) * Femtofarads::new(c);
-        prop_assert!((scaled.value() - base.value() * k).abs() / base.value() < 1e-9);
-    }
+        assert!((scaled.value() - base.value() * k).abs() / base.value() < 1e-9);
+    });
+}
 
-    #[test]
-    fn elmore_monotone_in_every_ladder_parameter(
-        n in 1usize..64,
-        r in 0.001f64..0.1,
-        c in 0.01f64..1.0,
-        tap in 0.01f64..1.0,
-    ) {
+#[test]
+fn elmore_monotone_in_every_ladder_parameter() {
+    check("elmore_monotone_in_every_ladder_parameter", |rng| {
+        let n = rng.gen_range(1usize..64);
+        let r = rng.gen_range(0.001f64..0.1);
+        let c = rng.gen_range(0.01f64..1.0);
+        let tap = rng.gen_range(0.01f64..1.0);
         let mk = |n, r, c, tap| RcLadder {
             segments: n,
             r_segment: KiloOhms::new(r),
@@ -39,48 +47,62 @@ proptest! {
         };
         let drv = KiloOhms::new(1.0);
         let base = mk(n, r, c, tap).elmore_to_end(drv);
-        prop_assert!(mk(n + 1, r, c, tap).elmore_to_end(drv) > base);
-        prop_assert!(mk(n, r * 2.0, c, tap).elmore_to_end(drv) > base);
-        prop_assert!(mk(n, r, c * 2.0, tap).elmore_to_end(drv) > base);
-        prop_assert!(mk(n, r, c, tap * 2.0).elmore_to_end(drv) > base);
-    }
+        assert!(mk(n + 1, r, c, tap).elmore_to_end(drv) > base);
+        assert!(mk(n, r * 2.0, c, tap).elmore_to_end(drv) > base);
+        assert!(mk(n, r, c * 2.0, tap).elmore_to_end(drv) > base);
+        assert!(mk(n, r, c, tap * 2.0).elmore_to_end(drv) > base);
+    });
+}
 
-    #[test]
-    fn optimal_stage_count_brackets_the_continuous_optimum(f in 1.01f64..1e6) {
+#[test]
+fn optimal_stage_count_brackets_the_continuous_optimum() {
+    check("optimal_stage_count_brackets_the_continuous_optimum", |rng| {
+        let f = rng.gen_range(1.01f64..1e6);
         let n = optimal_stage_count(f);
-        prop_assert!(n >= 1);
+        assert!(n >= 1);
         // The rounded count is within one of log4(F).
         let exact = f.ln() / 4.0f64.ln();
-        prop_assert!((n as f64 - exact).abs() <= 1.0);
-    }
+        assert!((n as f64 - exact).abs() <= 1.0);
+    });
+}
 
-    #[test]
-    fn buffer_chain_respects_polarity(cin in 0.5f64..10.0, cout in 0.5f64..5000.0) {
+#[test]
+fn buffer_chain_respects_polarity() {
+    check("buffer_chain_respects_polarity", |rng| {
+        let cin = rng.gen_range(0.5f64..10.0);
+        let cout = rng.gen_range(0.5f64..5000.0);
         let inv = buffer_chain(Femtofarads::new(cin), Femtofarads::new(cout), true);
         let noninv = buffer_chain(Femtofarads::new(cin), Femtofarads::new(cout), false);
-        prop_assert_eq!(inv.len() % 2, 1);
-        prop_assert_eq!(noninv.len() % 2, 0);
-    }
+        assert_eq!(inv.len() % 2, 1);
+        assert_eq!(noninv.len() % 2, 0);
+    });
+}
 
-    #[test]
-    fn sized_path_delay_matches_min_delay(
-        stages in 1usize..6,
-        cin in 0.5f64..5.0,
-        cout in 1.0f64..500.0,
-    ) {
+#[test]
+fn sized_path_delay_matches_min_delay() {
+    check("sized_path_delay_matches_min_delay", |rng| {
+        let stages = rng.gen_range(1usize..6);
+        let cin = rng.gen_range(0.5f64..5.0);
+        let cout = rng.gen_range(1.0f64..500.0);
         let tech = Technology::cmos65();
         let p = Path::inverter_chain(stages);
-        let sized = p.size(&tech, Femtofarads::new(cin), Femtofarads::new(cout)).unwrap();
+        let sized = p
+            .size(&tech, Femtofarads::new(cin), Femtofarads::new(cout))
+            .unwrap();
         let d = p.min_delay(&tech, Femtofarads::new(cin), Femtofarads::new(cout));
-        prop_assert!((sized.delay.value() - d.value()).abs() < 1e-6);
-    }
+        assert!((sized.delay.value() - d.value()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn route_elmore_monotone_in_length(len in 1.0f64..1000.0, extra in 1.0f64..1000.0) {
+#[test]
+fn route_elmore_monotone_in_length() {
+    check("route_elmore_monotone_in_length", |rng| {
+        let len = rng.gen_range(1.0f64..1000.0);
+        let extra = rng.gen_range(1.0f64..1000.0);
         let tech = Technology::cmos65();
         let load = Femtofarads::new(5.0);
         let short = Route::new(Microns::new(len), load).elmore_delay(&tech, tech.r_unit());
         let long = Route::new(Microns::new(len + extra), load).elmore_delay(&tech, tech.r_unit());
-        prop_assert!(long > short);
-    }
+        assert!(long > short);
+    });
 }

@@ -1,0 +1,293 @@
+//! Wall-clock benchmark harness for `harness = false` bench targets.
+//!
+//! Replaces the criterion subset the workspace used: named benchmarks,
+//! benchmark groups with a configurable sample count, and a
+//! `Bencher::iter` measurement loop. Each measurement auto-batches the
+//! closure until a batch lasts long enough for the OS timer to resolve
+//! it, takes `sample_size` batch samples after a warmup, and reports
+//! min / median / p95.
+//!
+//! `cargo bench` invokes the target with `--bench`, which enables full
+//! measurement; under plain `cargo test` (no `--bench` flag) every
+//! benchmark body runs exactly once as a smoke test, so bench targets
+//! stay cheap in the test suite but are still compiled and exercised.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use lim_testkit::bench::{black_box, Bench};
+//!
+//! fn main() {
+//!     let mut b = Bench::from_args("my_suite");
+//!     b.bench_function("square", |b| b.iter(|| black_box(7u64).pow(2)));
+//!     b.finish();
+//! }
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`]: keeps the measured expression
+/// from being optimized away.
+pub use std::hint::black_box;
+
+/// Default samples per benchmark (criterion's default is 100; 50 keeps
+/// full runs fast while the median stays stable).
+pub const DEFAULT_SAMPLE_SIZE: usize = 50;
+
+/// Target duration of one auto-batched sample.
+const TARGET_SAMPLE: Duration = Duration::from_micros(200);
+
+/// Warmup duration before sampling begins.
+const WARMUP: Duration = Duration::from_millis(60);
+
+/// Top-level harness: owns the run mode and prints the report.
+#[derive(Debug)]
+pub struct Bench {
+    title: String,
+    /// Full measurement (`--bench` passed, as `cargo bench` does) versus
+    /// one-iteration smoke mode (`cargo test`).
+    measure: bool,
+    /// Substring filter from the command line (`cargo bench foo` passes
+    /// `foo`).
+    filter: Option<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Bench {
+    /// Builds a harness from the process arguments.
+    ///
+    /// Recognized: `--bench` (full measurement mode), a positional
+    /// substring filter. Everything else (e.g. flags the libtest runner
+    /// passes under `cargo test`) is ignored.
+    pub fn from_args(title: &str) -> Self {
+        let mut measure = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => measure = true,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        let mode = if measure { "measure" } else { "smoke (pass --bench to measure)" };
+        eprintln!("## {title} [{mode}]");
+        Bench {
+            title: title.to_string(),
+            measure,
+            filter,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, DEFAULT_SAMPLE_SIZE, f);
+    }
+
+    /// Opens a named group; benchmarks inside it share a sample-size
+    /// override and print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Prints the closing summary. Call last in `main`.
+    pub fn finish(self) {
+        eprintln!(
+            "## {}: {} benchmark(s) run, {} filtered out",
+            self.title, self.ran, self.skipped
+        );
+    }
+
+    fn run<F>(&mut self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                self.skipped += 1;
+                return;
+            }
+        }
+        self.ran += 1;
+        let mut bencher = Bencher {
+            measure: self.measure,
+            sample_size,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) => eprintln!(
+                "{name:<44} min {:>10}  median {:>10}  p95 {:>10}  ({} samples x {} iters)",
+                fmt_duration(r.min),
+                fmt_duration(r.median),
+                fmt_duration(r.p95),
+                r.samples,
+                r.iters_per_sample,
+            ),
+            None if self.measure => eprintln!("{name:<44} (no Bencher::iter call)"),
+            None => eprintln!("{name:<44} ok (smoke)"),
+        }
+    }
+}
+
+/// A benchmark group (criterion-style): shared prefix and sample size.
+#[derive(Debug)]
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+}
+
+impl Group<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs `group/name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.bench.run(&full, self.sample_size, f);
+    }
+
+    /// Runs `group/name` with a borrowed input, mirroring criterion's
+    /// `bench_with_input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, name: &str, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(name, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for criterion call-site parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark body; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    min: Duration,
+    median: Duration,
+    p95: Duration,
+    samples: usize,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Measures `f`. In smoke mode `f` runs once; in measurement mode it
+    /// is auto-batched, warmed up, and sampled.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        if !self.measure {
+            black_box(f());
+            return;
+        }
+        // Calibrate the batch size so one sample spans TARGET_SAMPLE.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        // Warmup.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+        }
+        // Sample.
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / iters);
+        }
+        samples.sort_unstable();
+        let p95_idx = ((samples.len() as f64 * 0.95).ceil() as usize)
+            .clamp(1, samples.len())
+            - 1;
+        self.report = Some(Report {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            p95: samples[p95_idx],
+            samples: samples.len(),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Renders a duration with an auto-selected unit (ns/µs/ms/s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut b = Bencher {
+            measure: false,
+            sample_size: 10,
+            report: None,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.report.is_none());
+    }
+
+    #[test]
+    fn measure_mode_produces_ordered_stats() {
+        let mut b = Bencher {
+            measure: true,
+            sample_size: 10,
+            report: None,
+        };
+        b.iter(|| black_box((0..100u64).sum::<u64>()));
+        let r = b.report.expect("measurement must produce a report");
+        assert!(r.min <= r.median && r.median <= r.p95);
+        assert_eq!(r.samples, 10);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.00 s");
+    }
+}

@@ -1,0 +1,205 @@
+//! Minimal property-testing harness.
+//!
+//! A property is a closure over a [`TestRng`]; the harness runs it for a
+//! configurable number of cases, each with an independently derived seed.
+//! There is no shrinking — instead a failing case panics with its exact
+//! seed, and setting `LIM_TESTKIT_SEED=<seed>` reruns that single case
+//! under a debugger or with added logging.
+//!
+//! Environment overrides:
+//!
+//! - `LIM_TESTKIT_CASES=<n>` — cases per property (default
+//!   [`DEFAULT_CASES`]).
+//! - `LIM_TESTKIT_SEED=<u64>` — run exactly one case with this RNG seed
+//!   (decimal or `0x…` hex), reproducing a reported failure.
+//!
+//! # Examples
+//!
+//! ```
+//! use lim_testkit::prop::check;
+//!
+//! check("addition_commutes", |rng| {
+//!     let a = rng.gen_range(-1e6f64..1e6);
+//!     let b = rng.gen_range(-1e6f64..1e6);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::{splitmix64, TestRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property (the former proptest suites ran
+/// 24–32; every suite now runs at least this many).
+pub const DEFAULT_CASES: u32 = 32;
+
+/// Base seed mixed into every property's per-case seed derivation.
+const BASE_SEED: u64 = 0x7e57_ca5e_da15_5eed;
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropConfig {
+    /// Cases to run.
+    pub cases: u32,
+    /// Base seed; per-case seeds derive from it and the property name.
+    pub seed: u64,
+}
+
+impl Default for PropConfig {
+    fn default() -> Self {
+        PropConfig {
+            cases: DEFAULT_CASES,
+            seed: BASE_SEED,
+        }
+    }
+}
+
+impl PropConfig {
+    /// Default configuration with `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        PropConfig {
+            cases,
+            ..PropConfig::default()
+        }
+    }
+}
+
+/// Runs `property` for the default number of cases (overridable via the
+/// environment; see the module docs).
+///
+/// # Panics
+///
+/// Re-raises the property's panic, prefixed with the failing case index
+/// and seed.
+pub fn check<F>(name: &str, property: F)
+where
+    F: FnMut(&mut TestRng),
+{
+    check_with(PropConfig::default(), name, property);
+}
+
+/// Runs `property` under an explicit configuration. Environment
+/// overrides still take precedence so failures stay reproducible from
+/// the command line.
+///
+/// # Panics
+///
+/// Re-raises the property's panic, prefixed with the failing case index
+/// and seed.
+pub fn check_with<F>(config: PropConfig, name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng),
+{
+    if let Some(seed) = env_u64("LIM_TESTKIT_SEED") {
+        // Reproduction mode: exactly one case, exact seed.
+        run_case(name, 0, 1, seed, &mut property);
+        return;
+    }
+    let cases = env_u64("LIM_TESTKIT_CASES")
+        .map(|n| n as u32)
+        .unwrap_or(config.cases)
+        .max(1);
+    // Stream of per-case seeds: SplitMix64 walk from (base ⊕ name hash),
+    // so each property draws from an unrelated region of seed space.
+    let mut stream = config.seed ^ fnv1a(name.as_bytes());
+    for case in 0..cases {
+        let seed = splitmix64(&mut stream);
+        run_case(name, case, cases, seed, &mut property);
+    }
+}
+
+fn run_case<F>(name: &str, case: u32, cases: u32, seed: u64, property: &mut F)
+where
+    F: FnMut(&mut TestRng),
+{
+    let mut rng = TestRng::seed_from_u64(seed);
+    let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+    if let Err(payload) = outcome {
+        let msg = payload_str(&payload);
+        eprintln!(
+            "\nproperty `{name}` failed on case {}/{cases} (seed {seed:#018x})\n\
+             \u{20}   {msg}\n\
+             \u{20}   rerun just this case with: LIM_TESTKIT_SEED={seed} cargo test {name}\n",
+            case + 1,
+        );
+        resume_unwind(payload);
+    }
+}
+
+fn payload_str(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var} must be a u64 (decimal or 0x-hex), got `{raw}`"),
+    }
+}
+
+/// FNV-1a hash of `bytes` (names → seed-space offsets).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        let mut n = 0u32;
+        check_with(PropConfig::with_cases(17), "count_cases", |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn case_seeds_differ_between_cases_and_properties() {
+        let mut a = Vec::new();
+        check_with(PropConfig::with_cases(8), "stream_a", |rng| {
+            a.push(rng.next_u64());
+        });
+        let mut a2 = Vec::new();
+        check_with(PropConfig::with_cases(8), "stream_a", |rng| {
+            a2.push(rng.next_u64());
+        });
+        let mut b = Vec::new();
+        check_with(PropConfig::with_cases(8), "stream_b", |rng| {
+            b.push(rng.next_u64());
+        });
+        assert_eq!(a, a2, "same property must replay identically");
+        assert_ne!(a, b, "different properties draw different cases");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "cases must not repeat");
+    }
+
+    #[test]
+    fn failing_case_reports_its_seed() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_with(PropConfig::with_cases(64), "always_fails_late", |rng| {
+                let v = rng.gen_range(0usize..100);
+                assert!(v < 97, "drew {v}");
+            });
+        }));
+        assert!(result.is_err(), "property with failing cases must panic");
+    }
+}

@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::cmos65();
     let depths: Vec<usize> = [8usize, 16, 32, 64, 128, 256]
         .into_iter()
-        .filter(|d| *d <= words && words % d == 0)
+        .filter(|d| *d <= words && words.is_multiple_of(*d))
         .collect();
     if depths.is_empty() {
         return Err(format!("no brick depth divides {words} words").into());

@@ -1,0 +1,130 @@
+//! Seed-stability tests: the reproducibility contract behind every
+//! seeded experiment in the repo (Table 1 bounds, Fig. 4b/4c
+//! configurations, Fig. 6 sweeps).
+//!
+//! Each test runs a seeded generator twice with the same seed and
+//! asserts byte-identical output (via the textual Matrix Market
+//! serialization or exact structural equality), then re-runs with a
+//! different seed and asserts the output actually changes — guarding
+//! against both nondeterminism and seeds that are silently ignored.
+
+use lim::chip::SiliconEmulation;
+use lim_brick::BrickLibrary;
+use lim_physical::floorplan::{Floorplan, FloorplanOptions};
+use lim_physical::flow::{FlowOptions, PhysicalSynthesis};
+use lim_physical::place::{place, PlaceEffort};
+use lim_rtl::generators::decoder;
+use lim_spgemm::gen::MatrixGen;
+use lim_spgemm::io::write_mtx;
+use lim_tech::Technology;
+use lim_testkit::TestRng;
+
+/// Serializes a generated matrix so comparisons are byte-for-byte.
+fn mtx(t: lim_spgemm::matrix::Triplets) -> String {
+    write_mtx(&t.to_csc())
+}
+
+/// A named, seeded generator whose output is compared byte-for-byte.
+type SeededCase = (&'static str, Box<dyn Fn(u64) -> String>);
+
+#[test]
+fn matrix_generators_are_seed_stable() {
+    let cases: [SeededCase; 5] = [
+        ("erdos_renyi", Box::new(|s| mtx(MatrixGen::erdos_renyi(128, 6.0, s)))),
+        ("rmat", Box::new(|s| mtx(MatrixGen::rmat(128, 1024, 0.57, 0.19, 0.19, s)))),
+        ("banded", Box::new(|s| mtx(MatrixGen::banded(96, 3, s)))),
+        ("block_diagonal", Box::new(|s| mtx(MatrixGen::block_diagonal(64, 8, 0.6, s)))),
+        ("hub", Box::new(|s| mtx(MatrixGen::hub(128, 4.0, 2, 64, s)))),
+    ];
+    for (name, generate) in &cases {
+        assert_eq!(
+            generate(42),
+            generate(42),
+            "{name}: same seed must produce byte-identical matrices"
+        );
+        assert_ne!(
+            generate(42),
+            generate(43),
+            "{name}: different seeds must produce different matrices"
+        );
+    }
+}
+
+#[test]
+fn mesh_laplacian_is_fully_deterministic() {
+    // No seed parameter at all: two runs must still agree exactly.
+    assert_eq!(
+        mtx(MatrixGen::mesh_laplacian(12)),
+        mtx(MatrixGen::mesh_laplacian(12))
+    );
+}
+
+#[test]
+fn seeded_placement_is_seed_stable() {
+    let tech = Technology::cmos65();
+    // Large enough that the anneal actually beats the initial ordered
+    // placement and the seeded move sequence shows in the result (on
+    // tiny designs every seed keeps the initial placement).
+    let dec = decoder("dec", 5, 32, true).unwrap();
+    let fp =
+        Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default()).unwrap();
+    let p1 = place(&tech, &dec, &fp, 11, PlaceEffort::default()).unwrap();
+    let p2 = place(&tech, &dec, &fp, 11, PlaceEffort::default()).unwrap();
+    assert_eq!(p1.cell_pos, p2.cell_pos);
+    assert_eq!(p1.hpwl, p2.hpwl);
+    assert!(
+        (12..20).any(|seed| {
+            let q = place(&tech, &dec, &fp, seed, PlaceEffort::default()).unwrap();
+            q.cell_pos != p1.cell_pos || q.hpwl != p1.hpwl
+        }),
+        "different annealing seeds should explore different placements"
+    );
+}
+
+#[test]
+fn rtl_stimulus_generation_is_seed_stable() {
+    let stimulus = |seed: u64| -> Vec<Vec<bool>> {
+        let mut rng = TestRng::seed_from_u64(seed);
+        (0..32)
+            .map(|_| (0..17).map(|_| rng.gen::<bool>()).collect())
+            .collect()
+    };
+    assert_eq!(stimulus(7), stimulus(7));
+    assert_ne!(stimulus(7), stimulus(8));
+}
+
+#[test]
+fn silicon_sampling_is_seed_stable() {
+    let tech = Technology::cmos65();
+    let lib = BrickLibrary::new();
+    let dec = decoder("dec", 4, 16, true).unwrap();
+    let rep = PhysicalSynthesis::new(&tech, &lib)
+        .run(&dec, &FlowOptions::default())
+        .unwrap();
+    let a = SiliconEmulation::new(&tech, 3).sample(&rep, 16);
+    let b = SiliconEmulation::new(&tech, 3).sample(&rep, 16);
+    let c = SiliconEmulation::new(&tech, 4).sample(&rep, 16);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn testkit_rng_streams_are_independent_of_call_pattern() {
+    // Drawing different value types must not desynchronize replays: the
+    // stream is a pure function of the seed and the draw sequence.
+    let mut a = TestRng::seed_from_u64(99);
+    let trace_a = (
+        a.gen_range(0usize..1000),
+        a.gen_range(0.0f64..1.0),
+        a.gen::<bool>(),
+        a.next_u64(),
+    );
+    let mut b = TestRng::seed_from_u64(99);
+    let trace_b = (
+        b.gen_range(0usize..1000),
+        b.gen_range(0.0f64..1.0),
+        b.gen::<bool>(),
+        b.next_u64(),
+    );
+    assert_eq!(trace_a, trace_b);
+}

@@ -87,7 +87,7 @@ fn merge_width_drives_the_advantage() {
             )
         })
         .collect();
-    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows.sort_by_key(|a| a.0);
     // The widest-merge benchmark beats the narrowest by a wide margin.
     let narrow = rows.first().unwrap().1;
     let wide = rows.last().unwrap().1;

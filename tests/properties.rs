@@ -1,6 +1,7 @@
 //! Property-based tests spanning the workspace: accelerator correctness
 //! on arbitrary matrices, LUT interpolation laws, logical-effort
-//! monotonicity, unit algebra, and SRAM-config robustness.
+//! monotonicity, unit algebra, and SRAM-config robustness. Runs on the
+//! hermetic `lim-testkit` harness (seeded cases, failing-seed reporting).
 
 use lim_brick::lut::Lut2D;
 use lim_rtl::{Netlist, Simulator, StdCellKind};
@@ -11,25 +12,22 @@ use lim_spgemm::reference::spgemm;
 use lim_tech::logical_effort::Path;
 use lim_tech::units::{Femtofarads, Femtojoules, Megahertz, Picoseconds};
 use lim_tech::Technology;
-use proptest::prelude::*;
+use lim_testkit::prop::check;
+use lim_testkit::TestRng;
 
-fn arb_matrix(n: usize, max_entries: usize) -> impl Strategy<Value = lim_spgemm::Csc> {
-    prop::collection::vec((0..n, 0..n, 0.1f64..2.0), 0..max_entries).prop_map(move |entries| {
-        let mut t = Triplets::new(n, n);
-        for (r, c, v) in entries {
-            t.push(r, c, v).expect("in range");
-        }
-        t.to_csc()
-    })
+fn any_matrix(rng: &mut TestRng, n: usize, max_entries: usize) -> lim_spgemm::Csc {
+    let entries = rng.gen_range(0usize..max_entries);
+    let mut t = Triplets::new(n, n);
+    for _ in 0..entries {
+        let (r, c) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        t.push(r, c, rng.gen_range(0.1f64..2.0)).expect("in range");
+    }
+    t.to_csc()
 }
 
-/// Builds a random feed-forward netlist from a recipe of gate choices;
-/// every new gate's inputs draw from already-existing nets, so the result
-/// is a DAG by construction.
-fn arb_netlist(
-    n_inputs: usize,
-    gates: usize,
-) -> impl Strategy<Value = Netlist> {
+/// Builds a random feed-forward netlist; every new gate's inputs draw
+/// from already-existing nets, so the result is a DAG by construction.
+fn any_netlist(rng: &mut TestRng, n_inputs: usize, max_gates: usize) -> Netlist {
     let kinds = [
         StdCellKind::Inv,
         StdCellKind::Buf,
@@ -41,62 +39,58 @@ fn arb_netlist(
         StdCellKind::Aoi21,
         StdCellKind::Mux2,
     ];
-    prop::collection::vec((0..kinds.len(), prop::collection::vec(0usize..1000, 3)), 1..gates)
-        .prop_map(move |recipe| {
-            let mut n = Netlist::new("fuzz");
-            let mut nets: Vec<lim_rtl::NetId> =
-                (0..n_inputs).map(|i| n.add_input(format!("in{i}"))).collect();
-            // A couple of constants spice up the folding paths.
-            nets.push(n.add_tie(false, "t0"));
-            nets.push(n.add_tie(true, "t1"));
-            for (g, (kind_idx, picks)) in recipe.into_iter().enumerate() {
-                let kind = kinds[kind_idx];
-                let ins: Vec<lim_rtl::NetId> = (0..kind.input_count())
-                    .map(|p| nets[picks[p] % nets.len()])
-                    .collect();
-                let out = n
-                    .add_gate(kind, 1.0, &ins, format!("g{g}"))
-                    .expect("arity matches");
-                nets.push(out);
-            }
-            // Observe the last few nets so the design isn't all dead.
-            for &o in nets.iter().rev().take(4) {
-                n.mark_output(o);
-            }
-            n
-        })
+    let gates = rng.gen_range(1usize..max_gates);
+    let mut n = Netlist::new("fuzz");
+    let mut nets: Vec<lim_rtl::NetId> = (0..n_inputs)
+        .map(|i| n.add_input(format!("in{i}")))
+        .collect();
+    // A couple of constants spice up the folding paths.
+    nets.push(n.add_tie(false, "t0"));
+    nets.push(n.add_tie(true, "t1"));
+    for g in 0..gates {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let ins: Vec<lim_rtl::NetId> = (0..kind.input_count())
+            .map(|_| nets[rng.gen_range(0..nets.len())])
+            .collect();
+        let out = n
+            .add_gate(kind, 1.0, &ins, format!("g{g}"))
+            .expect("arity matches");
+        nets.push(out);
+    }
+    // Observe the last few nets so the design isn't all dead.
+    for &o in nets.iter().rev().take(4) {
+        n.mark_output(o);
+    }
+    n
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn optimization_preserves_function_on_random_netlists(
-        netlist in arb_netlist(5, 40),
-        stimuli in prop::collection::vec(prop::collection::vec(any::<bool>(), 5), 4),
-    ) {
+#[test]
+fn optimization_preserves_function_on_random_netlists() {
+    check("optimization_preserves_function_on_random_netlists", |rng| {
+        let netlist = any_netlist(rng, 5, 40);
+        let stimuli: Vec<Vec<bool>> = (0..4)
+            .map(|_| (0..5).map(|_| rng.gen::<bool>()).collect())
+            .collect();
         let (optimized, _) = lim_rtl::mapping::optimize(&netlist).unwrap();
         let mut before = Simulator::new(&netlist).unwrap();
         let mut after = Simulator::new(&optimized).unwrap();
         for input in &stimuli {
-            prop_assert_eq!(
-                before.eval(input).unwrap(),
-                after.eval(input).unwrap()
-            );
+            assert_eq!(before.eval(input).unwrap(), after.eval(input).unwrap());
         }
-    }
+    });
+}
 
-    #[test]
-    fn accelerators_match_oracle_on_arbitrary_matrices(
-        a in arb_matrix(24, 120),
-        b in arb_matrix(24, 120),
-    ) {
+#[test]
+fn accelerators_match_oracle_on_arbitrary_matrices() {
+    check("accelerators_match_oracle_on_arbitrary_matrices", |rng| {
+        let a = any_matrix(rng, 24, 120);
+        let b = any_matrix(rng, 24, 120);
         let oracle = spgemm(&a, &b).unwrap();
         let lim = LimCamAccelerator::paper_chip().multiply(&a, &b).unwrap();
         let heap = HeapAccelerator::paper_chip().multiply(&a, &b).unwrap();
-        prop_assert!(lim.product.approx_eq(&oracle, 1e-9));
-        prop_assert!(heap.product.approx_eq(&oracle, 1e-9));
-        prop_assert_eq!(lim.stats.multiplies, heap.stats.multiplies);
+        assert!(lim.product.approx_eq(&oracle, 1e-9));
+        assert!(heap.product.approx_eq(&oracle, 1e-9));
+        assert_eq!(lim.stats.multiplies, heap.stats.multiplies);
         // The LiM chip never does worse than serial one-per-product
         // plus bounded overheads.
         let bound = lim.stats.multiplies
@@ -104,100 +98,120 @@ proptest! {
             + 32 * lim.stats.overflow_flushes
             + oracle.nnz() as u64
             + 64;
-        prop_assert!(lim.stats.cycles <= bound);
-    }
+        assert!(lim.stats.cycles <= bound);
+    });
+}
 
-    #[test]
-    fn transpose_is_an_involution(a in arb_matrix(16, 80)) {
-        prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
-        prop_assert_eq!(a.transpose().nnz(), a.nnz());
-    }
+#[test]
+fn transpose_is_an_involution() {
+    check("transpose_is_an_involution", |rng| {
+        let a = any_matrix(rng, 16, 80);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+        assert_eq!(a.transpose().nnz(), a.nnz());
+    });
+}
 
-    #[test]
-    fn lut_bilinear_is_exact_on_planes(
-        kx in 0.01f64..5.0,
-        ky in 0.01f64..5.0,
-        c in -10.0f64..10.0,
-        x in 0.0f64..100.0,
-        y in 0.0f64..100.0,
-    ) {
+#[test]
+fn lut_bilinear_is_exact_on_planes() {
+    check("lut_bilinear_is_exact_on_planes", |rng| {
+        let kx = rng.gen_range(0.01f64..5.0);
+        let ky = rng.gen_range(0.01f64..5.0);
+        let c = rng.gen_range(-10.0f64..10.0);
+        let x = rng.gen_range(0.0f64..100.0);
+        let y = rng.gen_range(0.0f64..100.0);
         let lut = Lut2D::tabulate(
             vec![0.0, 30.0, 70.0, 100.0],
             vec![0.0, 25.0, 100.0],
             |px, py| kx * px + ky * py + c,
-        ).unwrap();
+        )
+        .unwrap();
         let expect = kx * x + ky * y + c;
-        prop_assert!((lut.lookup(x, y) - expect).abs() < 1e-9);
-    }
+        assert!((lut.lookup(x, y) - expect).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn lut_lookup_is_bounded_by_grid_values(
-        vals in prop::collection::vec(0.0f64..100.0, 6),
-        x in -10.0f64..40.0,
-        y in -10.0f64..40.0,
-    ) {
+#[test]
+fn lut_lookup_is_bounded_by_grid_values() {
+    check("lut_lookup_is_bounded_by_grid_values", |rng| {
+        let vals: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0f64..100.0)).collect();
+        let x = rng.gen_range(-10.0f64..40.0);
+        let y = rng.gen_range(-10.0f64..40.0);
         let lut = Lut2D::new(vec![0.0, 10.0, 30.0], vec![0.0, 20.0], vals.clone()).unwrap();
         let v = lut.lookup(x, y);
         let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
-    }
+        assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    });
+}
 
-    #[test]
-    fn logical_effort_delay_monotone_in_load(
-        stages in 1usize..5,
-        c1 in 1.0f64..50.0,
-        extra in 0.1f64..50.0,
-    ) {
+#[test]
+fn logical_effort_delay_monotone_in_load() {
+    check("logical_effort_delay_monotone_in_load", |rng| {
+        let stages = rng.gen_range(1usize..5);
+        let c1 = rng.gen_range(1.0f64..50.0);
+        let extra = rng.gen_range(0.1f64..50.0);
         let tech = Technology::cmos65();
         let path = Path::inverter_chain(stages);
         let cin = Femtofarads::new(1.4);
         let d1 = path.min_delay(&tech, cin, Femtofarads::new(c1));
         let d2 = path.min_delay(&tech, cin, Femtofarads::new(c1 + extra));
-        prop_assert!(d2 > d1);
-    }
+        assert!(d2 > d1);
+    });
+}
 
-    #[test]
-    fn unit_algebra_roundtrips(e_fj in 1.0f64..1e9, f_mhz in 1.0f64..5000.0) {
+#[test]
+fn unit_algebra_roundtrips() {
+    check("unit_algebra_roundtrips", |rng| {
+        let e_fj = rng.gen_range(1.0f64..1e9);
+        let f_mhz = rng.gen_range(1.0f64..5000.0);
         let e = Femtojoules::new(e_fj);
         let f = Megahertz::new(f_mhz);
         let p = e.average_power(f);
         let back = p.energy_per_cycle(f);
-        prop_assert!((back.value() - e.value()).abs() / e.value() < 1e-12);
+        assert!((back.value() - e.value()).abs() / e.value() < 1e-12);
 
         let t = Picoseconds::new(1e6 / f_mhz);
-        prop_assert!((t.to_frequency().value() - f_mhz).abs() / f_mhz < 1e-12);
-    }
+        assert!((t.to_frequency().value() - f_mhz).abs() / f_mhz < 1e-12);
+    });
+}
 
-    #[test]
-    fn estimator_monotone_in_stack(stack in 1usize..16) {
+#[test]
+fn estimator_monotone_in_stack() {
+    check("estimator_monotone_in_stack", |rng| {
+        let stack = rng.gen_range(1usize..16);
         let tech = Technology::cmos65();
         let brick = lim_brick::BrickCompiler::new(&tech)
             .compile(&lim_brick::BrickSpec::new(lim_brick::BitcellKind::Sram8T, 16, 10).unwrap())
             .unwrap();
         let a = brick.estimate_bank(stack).unwrap();
         let b = brick.estimate_bank(stack + 1).unwrap();
-        prop_assert!(b.read_delay >= a.read_delay);
-        prop_assert!(b.read_energy > a.read_energy);
-        prop_assert!(b.area > a.area);
-    }
+        assert!(b.read_delay >= a.read_delay);
+        assert!(b.read_energy > a.read_energy);
+        assert!(b.area > a.area);
+    });
+}
 
-    #[test]
-    fn pareto_front_members_are_not_dominated(
-        seeds in prop::collection::vec(0u64..1000, 3..8),
-    ) {
+#[test]
+fn pareto_front_members_are_not_dominated() {
+    check("pareto_front_members_are_not_dominated", |rng| {
         // Build a synthetic DSE population from seeds and check the
         // front invariant.
+        let n_seeds = rng.gen_range(3usize..8);
+        let seeds: Vec<u64> = (0..n_seeds).map(|_| rng.gen_range(0u64..1000)).collect();
         let tech = Technology::cmos65();
         let depths: Vec<usize> = vec![16, 32];
-        let mems: Vec<(usize, usize)> =
-            seeds.iter().map(|s| (64 << (s % 2), 8 + (s % 3) as usize * 4)).collect();
+        let mems: Vec<(usize, usize)> = seeds
+            .iter()
+            .map(|s| (64 << (s % 2), 8 + (s % 3) as usize * 4))
+            .collect();
         let points = lim::dse::explore(&tech, &mems, &depths).unwrap();
         let front = lim::dse::pareto_front(&points);
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty());
         for &i in &front {
             for (j, q) in points.iter().enumerate() {
-                if i == j { continue; }
+                if i == j {
+                    continue;
+                }
                 let p = &points[i];
                 let dominates = q.delay.value() <= p.delay.value()
                     && q.energy.value() <= p.energy.value()
@@ -205,8 +219,8 @@ proptest! {
                     && (q.delay.value() < p.delay.value()
                         || q.energy.value() < p.energy.value()
                         || q.area.value() < p.area.value());
-                prop_assert!(!dominates);
+                assert!(!dominates);
             }
         }
-    }
+    });
 }
