@@ -3,50 +3,42 @@
 //! balance, over a finer grid than Fig. 4c.
 //!
 //! Run with `cargo run --release -p lim-bench --bin ablation_brick_size`.
+//! Pass `--json` for machine-readable table output.
 
 use lim::dse::{explore, pareto_front};
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 use lim_tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("ablation_brick_size");
     let tech = Technology::cmos65();
     let points = explore(&tech, &[(256, 16)], &[8, 16, 32, 64, 128, 256])?;
     let front = pareto_front(&points);
 
-    println!("Ablation — brick depth sweep for a 256x16b single-partition memory\n");
-    let widths = [24usize, 11, 11, 12, 7];
-    println!(
-        "{}",
-        row(
-            &[
-                "configuration".into(),
-                "delay[ps]".into(),
-                "energy[pJ]".into(),
-                "area[µm²]".into(),
-                "pareto".into(),
-            ],
-            &widths
-        )
+    say("Ablation — brick depth sweep for a 256x16b single-partition memory\n");
+    let table = Table::new(
+        "ablation_brick_size",
+        &[
+            ("configuration", 24),
+            ("delay[ps]", 11),
+            ("energy[pJ]", 11),
+            ("area[µm²]", 12),
+            ("pareto", 7),
+        ],
     );
-    println!("{}", rule(&widths));
     for (i, p) in points.iter().enumerate() {
-        println!(
-            "{}",
-            row(
-                &[
-                    p.label.clone(),
-                    format!("{:.0}", p.delay.value()),
-                    format!("{:.2}", p.energy.to_picojoules().value()),
-                    format!("{:.0}", p.area.value()),
-                    if front.contains(&i) { "*".into() } else { "".into() },
-                ],
-                &widths
-            )
-        );
+        table.add_row(&[
+            p.label.clone(),
+            format!("{:.0}", p.delay.value()),
+            format!("{:.2}", p.energy.to_picojoules().value()),
+            format!("{:.0}", p.area.value()),
+            if front.contains(&i) { "*".into() } else { "".into() },
+        ]);
     }
-    println!(
-        "\nthe flat-synthesis claim of §6: fine bricks buy speed at an energy/area"
-    );
-    println!("premium; the estimator exposes the full trade-off in milliseconds.");
+    say("\nthe flat-synthesis claim of §6: fine bricks buy speed at an energy/area");
+    say("premium; the estimator exposes the full trade-off in milliseconds.");
+    drop(run);
+    finish("ablation_brick_size");
     Ok(())
 }

@@ -10,25 +10,28 @@
 //! point should sit near the knee.
 //!
 //! Run with `cargo run --release -p lim-bench --bin ablation_cam_size`.
+//! Pass `--json` for machine-readable table output.
 
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 use lim_spgemm::accel::lim_cam::LimCamAccelerator;
 use lim_spgemm::gen::MatrixGen;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("ablation_cam_size");
     let a = MatrixGen::rmat(1024, 16 * 1024, 0.57, 0.19, 0.19, 55).to_csc();
 
-    println!("Ablation — LiM accelerator array-size sweep on an R-MAT graph");
-    println!("(paper's silicon point: 16 entries, N = 32)\n");
+    say("Ablation — LiM accelerator array-size sweep on an R-MAT graph");
+    say("(paper's silicon point: 16 entries, N = 32)\n");
 
     let entries_opts = [4usize, 8, 16, 32, 64];
     let n_opts = [8usize, 16, 32, 64];
 
-    let mut header = vec!["entries\\N".to_string()];
-    header.extend(n_opts.iter().map(|n| format!("N={n}")));
-    let widths = vec![10usize; header.len()];
-    println!("{}", row(&header, &widths));
-    println!("{}", rule(&widths));
+    let mut columns: Vec<(String, usize)> = vec![("entries\\N".to_string(), 10)];
+    columns.extend(n_opts.iter().map(|n| (format!("N={n}"), 10)));
+    let column_refs: Vec<(&str, usize)> =
+        columns.iter().map(|(c, w)| (c.as_str(), *w)).collect();
+    let table = Table::new("ablation_cam_size", &column_refs);
 
     let mut best = (u64::MAX, 0usize, 0usize);
     for &entries in &entries_opts {
@@ -41,13 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             cells.push(format!("{}k", res.stats.cycles / 1000));
         }
-        println!("{}", row(&cells, &widths));
+        table.add_row(&cells);
     }
-    println!(
+    say(&format!(
         "\nbest point: {} entries, N = {} ({} cycles); the paper's 16/32 sits",
         best.1, best.2, best.0
-    );
-    println!("on the flat part of the knee — larger arrays trade brick area for");
-    println!("little cycle gain (area grows linearly with both knobs).");
+    ));
+    say("on the flat part of the knee — larger arrays trade brick area for");
+    say("little cycle gain (area grows linearly with both knobs).");
+    drop(run);
+    finish("ablation_cam_size");
     Ok(())
 }

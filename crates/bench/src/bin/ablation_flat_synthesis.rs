@@ -9,33 +9,31 @@
 //! bank adds more guarded boundary.
 //!
 //! Run with `cargo run --release -p lim-bench --bin ablation_flat_synthesis`.
+//! Pass `--json` for machine-readable table output.
 
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 use lim_physical::floorplan::FloorplanOptions;
 use lim_physical::flow::{FlowOptions, PhysicalSynthesis};
 use lim_rtl::mapping::optimize;
 use lim_tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let span = Span::enter("ablation_flat_synthesis");
     let tech = Technology::cmos65();
 
-    println!("Ablation — LiM (flat) vs conventional (compiled-block) floorplans\n");
-    let widths = [14usize, 8, 12, 12, 12, 9];
-    println!(
-        "{}",
-        row(
-            &[
-                "memory".into(),
-                "banks".into(),
-                "LiM[µm²]".into(),
-                "conv[µm²]".into(),
-                "guard[µm²]".into(),
-                "saving".into(),
-            ],
-            &widths
-        )
+    say("Ablation — LiM (flat) vs conventional (compiled-block) floorplans\n");
+    let table = Table::new(
+        "ablation_flat_synthesis",
+        &[
+            ("memory", 14),
+            ("banks", 8),
+            ("LiM[µm²]", 12),
+            ("conv[µm²]", 12),
+            ("guard[µm²]", 12),
+            ("saving", 9),
+        ],
     );
-    println!("{}", rule(&widths));
 
     for (words, partitions) in [(64usize, 1usize), (64, 2), (128, 1), (128, 4), (256, 8)] {
         let mut lib = lim_brick::BrickLibrary::new();
@@ -54,25 +52,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let lim_run = run(false)?;
         let conv = run(true)?;
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{words}x10"),
-                    format!("{partitions}"),
-                    format!("{:.0}", lim_run.die_area.value()),
-                    format!("{:.0}", conv.die_area.value()),
-                    format!("{:.0}", conv.guard_area.value()),
-                    format!(
-                        "{:.1}%",
-                        (1.0 - lim_run.die_area.value() / conv.die_area.value()) * 100.0
-                    ),
-                ],
-                &widths
-            )
-        );
+        table.add_row(&[
+            format!("{words}x10"),
+            format!("{partitions}"),
+            format!("{:.0}", lim_run.die_area.value()),
+            format!("{:.0}", conv.die_area.value()),
+            format!("{:.0}", conv.guard_area.value()),
+            format!(
+                "{:.1}%",
+                (1.0 - lim_run.die_area.value() / conv.die_area.value()) * 100.0
+            ),
+        ]);
     }
-    println!("\nmore banks -> more guarded boundary -> larger LiM advantage,");
-    println!("the flat-synthesis claim of §6.");
+    say("\nmore banks -> more guarded boundary -> larger LiM advantage,");
+    say("the flat-synthesis claim of §6.");
+    drop(span);
+    finish("ablation_flat_synthesis");
     Ok(())
 }

@@ -3,51 +3,45 @@
 //! 16x10b bricks, reporting fmax, energy per access and die area.
 //!
 //! Run with `cargo run --release -p lim-bench --bin ablation_partition`.
+//! Pass `--json` for machine-readable table output.
 
 use lim::flow::LimFlow;
 use lim::sram::SramConfig;
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("ablation_partition");
     let mut flow = LimFlow::cmos65();
 
-    println!("Ablation — partitioning a 128x10b SRAM (16x10b bricks)\n");
-    let widths = [12usize, 10, 12, 12, 12, 10];
-    println!(
-        "{}",
-        row(
-            &[
-                "banks".into(),
-                "stack".into(),
-                "fmax[GHz]".into(),
-                "E/acc[fJ]".into(),
-                "die[µm²]".into(),
-                "gates".into(),
-            ],
-            &widths
-        )
+    say("Ablation — partitioning a 128x10b SRAM (16x10b bricks)\n");
+    let table = Table::new(
+        "ablation_partition",
+        &[
+            ("banks", 12),
+            ("stack", 10),
+            ("fmax[GHz]", 12),
+            ("E/acc[fJ]", 12),
+            ("die[µm²]", 12),
+            ("gates", 10),
+        ],
     );
-    println!("{}", rule(&widths));
 
     for partitions in [1usize, 2, 4, 8] {
         let cfg = SramConfig::new(128, 10, partitions, 16)?;
         let block = flow.synthesize_sram(&cfg)?;
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{partitions}"),
-                    format!("{}x", cfg.stack()),
-                    format!("{:.2}", block.report.fmax.to_gigahertz().value()),
-                    format!("{:.0}", block.report.energy_per_cycle.value()),
-                    format!("{:.0}", block.report.die_area.value()),
-                    format!("{}", block.gate_count),
-                ],
-                &widths
-            )
-        );
+        table.add_row(&[
+            format!("{partitions}"),
+            format!("{}x", cfg.stack()),
+            format!("{:.2}", block.report.fmax.to_gigahertz().value()),
+            format!("{:.0}", block.report.energy_per_cycle.value()),
+            format!("{:.0}", block.report.die_area.value()),
+            format!("{}", block.gate_count),
+        ]);
     }
-    println!("\nexpected: banking trades die area (more) for access energy (less),");
-    println!("with the performance sweet spot at moderate partitioning.");
+    say("\nexpected: banking trades die area (more) for access energy (less),");
+    say("with the performance sweet spot at moderate partitioning.");
+    drop(run);
+    finish("ablation_partition");
     Ok(())
 }

@@ -5,13 +5,16 @@
 //! latency/area pareto front.
 //!
 //! Run with `cargo run --release -p lim-bench --bin codesign_sweep`.
+//! Pass `--json` for machine-readable table output.
 
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 use lim_spgemm::codesign::{sweep, CodesignCandidate};
 use lim_spgemm::gen::MatrixGen;
 use lim_tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("codesign_sweep");
     let tech = Technology::cmos65();
     let workload = MatrixGen::rmat(1024, 16 * 1024, 0.57, 0.19, 0.19, 99).to_csc();
 
@@ -28,44 +31,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let (points, front) = sweep(&tech, &candidates, &workload)?;
 
-    println!("Algorithm-hardware co-design sweep (R-MAT 1024, 16k edges, squared)\n");
-    let widths = [8usize, 9, 11, 12, 12, 12, 7];
-    println!(
-        "{}",
-        row(
-            &[
-                "N".into(),
-                "entries".into(),
-                "period".into(),
-                "cycles".into(),
-                "latency".into(),
-                "area[µm²]".into(),
-                "pareto".into(),
-            ],
-            &widths
-        )
+    say("Algorithm-hardware co-design sweep (R-MAT 1024, 16k edges, squared)\n");
+    let table = Table::new(
+        "codesign_sweep",
+        &[
+            ("N", 8),
+            ("entries", 9),
+            ("period", 11),
+            ("cycles", 12),
+            ("latency", 12),
+            ("area[µm²]", 12),
+            ("pareto", 7),
+        ],
     );
-    println!("{}", rule(&widths));
     for (i, p) in points.iter().enumerate() {
-        let is_paper =
-            p.candidate.n_columns == 32 && p.candidate.cam_entries == 16;
-        println!(
-            "{}{}",
-            row(
-                &[
-                    format!("{}", p.candidate.n_columns),
-                    format!("{}", p.candidate.cam_entries),
-                    format!("{:.0} ps", p.period.value()),
-                    format!("{}k", p.workload_cycles / 1000),
-                    format!("{:.0} µs", p.latency_us),
-                    format!("{:.0}", p.core_area.value()),
-                    if front.contains(&i) { "*".into() } else { "".into() },
-                ],
-                &widths
-            ),
-            if is_paper { "  <- paper's silicon point" } else { "" }
-        );
+        let is_paper = p.candidate.n_columns == 32 && p.candidate.cam_entries == 16;
+        table.add_row(&[
+            format!("{}", p.candidate.n_columns),
+            format!("{}", p.candidate.cam_entries),
+            format!("{:.0} ps", p.period.value()),
+            format!("{}k", p.workload_cycles / 1000),
+            format!("{:.0} µs", p.latency_us),
+            format!("{:.0}", p.core_area.value()),
+            match (front.contains(&i), is_paper) {
+                (true, true) => "*  <- paper".into(),
+                (true, false) => "*".into(),
+                (false, true) => "<- paper".into(),
+                (false, false) => "".into(),
+            },
+        ]);
     }
-    println!("\n* = pareto-optimal in (latency, core area)");
+    say("\n* = pareto-optimal in (latency, core area)");
+    drop(run);
+    finish("codesign_sweep");
     Ok(())
 }

@@ -3,51 +3,45 @@
 //! row-buffer friendly, maximizing 3D-stack TSV bandwidth.
 //!
 //! Run with `cargo run --release -p lim-bench --bin dram_traffic`.
+//! Pass `--json` for machine-readable table output.
 
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 use lim_spgemm::dram::{naive_layout_stream, simulate, subblock_layout_stream, DramModel};
 use lim_spgemm::suite::{fig6_suite, SuiteScale};
 
 fn main() {
+    let run = Span::enter("dram_traffic");
     let model = DramModel::stacked_3d();
-    println!("Sub-block DRAM mapping vs naive layout (3D-stacked DRAM model)\n");
+    say("Sub-block DRAM mapping vs naive layout (3D-stacked DRAM model)\n");
 
-    let widths = [9usize, 9, 12, 12, 12, 12];
-    println!(
-        "{}",
-        row(
-            &[
-                "bench".into(),
-                "words".into(),
-                "blk hit%".into(),
-                "naive hit%".into(),
-                "blk nJ".into(),
-                "naive nJ".into(),
-            ],
-            &widths
-        )
+    let table = Table::new(
+        "dram_traffic",
+        &[
+            ("bench", 9),
+            ("words", 9),
+            ("blk hit%", 12),
+            ("naive hit%", 12),
+            ("blk nJ", 12),
+            ("naive nJ", 12),
+        ],
     );
-    println!("{}", rule(&widths));
 
     for bench in fig6_suite(SuiteScale::Small) {
         let m = &bench.matrix;
         let blocked = simulate(&model, subblock_layout_stream(m, 32));
         let naive = simulate(&model, naive_layout_stream(m));
-        println!(
-            "{}",
-            row(
-                &[
-                    bench.name.into(),
-                    format!("{}", blocked.accesses),
-                    format!("{:.1}", blocked.row_hit_rate() * 100.0),
-                    format!("{:.1}", naive.row_hit_rate() * 100.0),
-                    format!("{:.1}", blocked.energy_pj / 1000.0),
-                    format!("{:.1}", naive.energy_pj / 1000.0),
-                ],
-                &widths
-            )
-        );
+        table.add_row(&[
+            bench.name.into(),
+            format!("{}", blocked.accesses),
+            format!("{:.1}", blocked.row_hit_rate() * 100.0),
+            format!("{:.1}", naive.row_hit_rate() * 100.0),
+            format!("{:.1}", blocked.energy_pj / 1000.0),
+            format!("{:.1}", naive.energy_pj / 1000.0),
+        ]);
     }
-    println!("\nthe sub-block layout streams every DRAM row exactly once, so the");
-    println!("accelerator sees near-perfect row-buffer locality on every benchmark.");
+    say("\nthe sub-block layout streams every DRAM row exactly once, so the");
+    say("accelerator sees near-perfect row-buffer locality on every benchmark.");
+    drop(run);
+    finish("dram_traffic");
 }

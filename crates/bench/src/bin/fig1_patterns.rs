@@ -3,8 +3,10 @@
 //! guard spacing costs when they do not.
 //!
 //! Run with `cargo run --release -p lim-bench --bin fig1_patterns`.
+//! Pass `--json` for machine-readable table output.
 
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 use lim_tech::patterns::{PatternClass, PatternRules};
 
 fn label(c: PatternClass) -> &'static str {
@@ -16,39 +18,31 @@ fn label(c: PatternClass) -> &'static str {
 }
 
 fn main() {
+    let run = Span::enter("fig1_patterns");
     let rules = PatternRules::cmos65();
-    println!("Fig. 1 — restrictive-patterning abutment legality (65 nm rules)\n");
-    let widths = [15usize, 15, 10, 12];
-    println!(
-        "{}",
-        row(
-            &[
-                "left cell".into(),
-                "right cell".into(),
-                "prints?".into(),
-                "guard [µm]".into(),
-            ],
-            &widths
-        )
+    say("Fig. 1 — restrictive-patterning abutment legality (65 nm rules)\n");
+    let table = Table::new(
+        "fig1_patterns",
+        &[
+            ("left cell", 15),
+            ("right cell", 15),
+            ("prints?", 10),
+            ("guard [µm]", 12),
+        ],
     );
-    println!("{}", rule(&widths));
     for a in PatternClass::all() {
         for b in PatternClass::all() {
             let chk = rules.check(a, b);
-            println!(
-                "{}",
-                row(
-                    &[
-                        label(a).into(),
-                        label(b).into(),
-                        if chk.compatible { "yes" } else { "HOTSPOT" }.into(),
-                        format!("{:.1}", chk.required_spacing.value()),
-                    ],
-                    &widths
-                )
-            );
+            table.add_row(&[
+                label(a).into(),
+                label(b).into(),
+                if chk.compatible { "yes" } else { "HOTSPOT" }.into(),
+                format!("{:.1}", chk.required_spacing.value()),
+            ]);
         }
     }
-    println!("\npaper Fig. 1: (a) bitcell|bitcell prints; (b) conventional|bitcell");
-    println!("hotspots; (c) pattern-construct logic|bitcell prints — enabling LiM.");
+    say("\npaper Fig. 1: (a) bitcell|bitcell prints; (b) conventional|bitcell");
+    say("hotspots; (c) pattern-construct logic|bitcell prints — enabling LiM.");
+    drop(run);
+    finish("fig1_patterns");
 }

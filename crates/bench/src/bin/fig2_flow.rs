@@ -3,43 +3,47 @@
 //! flow diagram.
 //!
 //! Run with `cargo run --release -p lim-bench --bin fig2_flow`.
+//! Set `LIM_OBS_OUT` to capture span/counter telemetry of the run.
 
 use lim::sram::{self, SramConfig};
 use lim_brick::{liberty, BrickLibrary};
 use lim_physical::floorplan::{Floorplan, FloorplanOptions};
 use lim_physical::flow::{FlowOptions, PhysicalSynthesis};
+use lim_bench::{finish, say};
+use lim_obs::Span;
 use lim_physical::report::block_summary;
 use lim_rtl::mapping::optimize;
 use lim_tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("fig2_flow");
     let tech = Technology::cmos65();
     let cfg = SramConfig::new(64, 10, 2, 16)?;
 
-    println!("==== Fig. 2: the LiM synthesis flow, stage by stage ====\n");
-    println!("[1] RTL description: {cfg}");
+    say("==== Fig. 2: the LiM synthesis flow, stage by stage ====\n");
+    say(&format!("[1] RTL description: {cfg}"));
 
     // Stage 2: brick compilation + library generation.
     let mut lib = BrickLibrary::new();
     let netlist = sram::generate(&tech, &cfg, &mut lib)?;
     let entry = lib.get(&cfg.bank_entry_name()?)?;
-    println!("\n[2] memory bricks compiled & characterized:");
-    println!(
+    say("\n[2] memory bricks compiled & characterized:");
+    say(&format!(
         "    {}: {:.0} ps read, {:.2} pJ, {:.0} µm² ({} LUT knots)",
         entry.name,
         entry.estimate.read_delay.value(),
         entry.estimate.read_energy.to_picojoules().value(),
         entry.estimate.area.value(),
         entry.clk_to_q.xs().len() * entry.clk_to_q.ys().len()
-    );
-    println!("    .lib excerpt:");
+    ));
+    say("    .lib excerpt:");
     for line in liberty::emit_cell(entry).lines().take(6) {
-        println!("      {line}");
+        say(&format!("      {line}"));
     }
 
     // Stage 3: logic synthesis (mapping/cleanup).
     let (mapped, stats) = optimize(&netlist)?;
-    println!(
+    say(&format!(
         "\n[3] logic synthesis: {} cells -> {} cells \
          ({} folded, {} dead removed, {} buffers)",
         netlist.cell_count(),
@@ -47,25 +51,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.constants_folded,
         stats.dead_removed,
         stats.buffers_inserted
-    );
+    ));
 
     // Stage 4: physical synthesis.
     let options = FlowOptions::default();
     let fp = Floorplan::build(&tech, &mapped, &lib, &FloorplanOptions::default())?;
-    println!(
+    say(&format!(
         "\n[4] floorplan: {:.0} x {:.0} µm die, {} brick macros, {} rows",
         fp.width.value(),
         fp.height.value(),
         fp.macros.len(),
         fp.rows.len()
-    );
+    ));
     let report = PhysicalSynthesis::new(&tech, &lib).run(&mapped, &options)?;
-    println!("\n[5] sign-off:\n");
+    say("\n[5] sign-off:\n");
     for line in block_summary(&report).lines() {
-        println!("    {line}");
+        say(&format!("    {line}"));
     }
-    println!("\nthe white-box boundary: brick timing came from the generated");
-    println!("library, the decoders/mux from standard cells, and the STA saw");
-    println!("through both — no black-box memory anywhere in the flow.");
+    say("\nthe white-box boundary: brick timing came from the generated");
+    say("library, the decoders/mux from standard cells, and the STA saw");
+    say("through both — no black-box memory anywhere in the flow.");
+    drop(run);
+    finish("fig2_flow");
     Ok(())
 }

@@ -13,13 +13,16 @@
 //! E below D (bank gating); area(E) > area(D).
 //!
 //! Run with `cargo run --release -p lim-bench --bin fig4b`.
+//! Pass `--json` for machine-readable table output.
 
 use lim::chip::SiliconEmulation;
 use lim::flow::LimFlow;
 use lim::sram::SramConfig;
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("fig4b");
     let mut flow = LimFlow::cmos65();
     let tech = flow.technology().clone();
 
@@ -31,27 +34,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("E", SramConfig::new(128, 10, 4, 16)?),
     ];
 
-    println!("Fig. 4b — chip measurement (sampled dies) vs library simulation");
-    println!("performance in GHz; energy per access normalized to config A\n");
+    say("Fig. 4b — chip measurement (sampled dies) vs library simulation");
+    say("performance in GHz; energy per access normalized to config A\n");
 
-    let widths = [3usize, 22, 10, 16, 10, 16, 9, 9];
-    println!(
-        "{}",
-        row(
-            &[
-                "cfg".into(),
-                "organization".into(),
-                "sim[GHz]".into(),
-                "corners[GHz]".into(),
-                "chip[GHz]".into(),
-                "chip range".into(),
-                "E/acc".into(),
-                "area".into(),
-            ],
-            &widths
-        )
+    let table = Table::new(
+        "fig4b",
+        &[
+            ("cfg", 3),
+            ("organization", 22),
+            ("sim[GHz]", 10),
+            ("corners[GHz]", 16),
+            ("chip[GHz]", 10),
+            ("chip range", 16),
+            ("E/acc", 9),
+            ("area", 9),
+        ],
     );
-    println!("{}", rule(&widths));
 
     let mut base_energy: Option<f64> = None;
     let mut base_area: Option<f64> = None;
@@ -67,36 +65,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let area = block.report.die_area.value();
         let base_a = *base_area.get_or_insert(area);
 
-        println!(
-            "{}",
-            row(
-                &[
-                    (*name).into(),
-                    format!(
-                        "{}x10 p{} x{}",
-                        cfg.words(),
-                        cfg.partitions(),
-                        cfg.stack()
-                    ),
-                    format!("{:.2}", block.report.fmax.to_gigahertz().value()),
-                    format!(
-                        "{:.2}/{:.2}",
-                        corners.worst.to_gigahertz().value(),
-                        corners.best.to_gigahertz().value()
-                    ),
-                    format!("{:.2}", lot.fmax_mean.to_gigahertz().value()),
-                    format!(
-                        "{:.2}-{:.2}",
-                        lot.fmax_min.to_gigahertz().value(),
-                        lot.fmax_max.to_gigahertz().value()
-                    ),
-                    format!("{:.2}", energy / base_e),
-                    format!("{:.2}", area / base_a),
-                ],
-                &widths
-            )
-        );
+        table.add_row(&[
+            (*name).into(),
+            format!(
+                "{}x10 p{} x{}",
+                cfg.words(),
+                cfg.partitions(),
+                cfg.stack()
+            ),
+            format!("{:.2}", block.report.fmax.to_gigahertz().value()),
+            format!(
+                "{:.2}/{:.2}",
+                corners.worst.to_gigahertz().value(),
+                corners.best.to_gigahertz().value()
+            ),
+            format!("{:.2}", lot.fmax_mean.to_gigahertz().value()),
+            format!(
+                "{:.2}-{:.2}",
+                lot.fmax_min.to_gigahertz().value(),
+                lot.fmax_max.to_gigahertz().value()
+            ),
+            format!("{:.2}", energy / base_e),
+            format!("{:.2}", area / base_a),
+        ]);
     }
-    println!("\ntrends to check: perf A>B>C>D and B>E>D; energy(E) < energy(D); area(E) > area(D)");
+    say("\ntrends to check: perf A>B>C>D and B>E>D; energy(E) < energy(D); area(E) > area(D)");
+    drop(run);
+    finish("fig4b");
     Ok(())
 }

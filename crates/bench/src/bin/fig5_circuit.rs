@@ -7,13 +7,16 @@
 //!   match 1.94 mW.
 //!
 //! Run with `cargo run --release -p lim-bench --bin fig5_circuit`.
+//! Pass `--json` for machine-readable table output.
 
-use lim_bench::{pct, row, rule};
+use lim_bench::{finish, pct, say, Table};
 use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
+use lim_obs::Span;
 use lim_tech::units::Megahertz;
 use lim_tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("fig5_circuit");
     let tech = Technology::cmos65();
     let compiler = BrickCompiler::new(&tech);
     let f = Megahertz::new(800.0); // paper quotes powers at 0.8 GHz
@@ -23,76 +26,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let se = sram.estimate_bank(1)?;
     let ce = cam.estimate_bank(1)?;
 
-    println!("Fig. 5 / §5 — CAM brick vs SRAM brick, 16x10b arrays @ {f}\n");
-    let widths = [16usize, 12, 12, 12];
-    println!(
-        "{}",
-        row(
-            &["metric".into(), "SRAM".into(), "CAM".into(), "delta".into()],
-            &widths
-        )
+    say(&format!(
+        "Fig. 5 / §5 — CAM brick vs SRAM brick, 16x10b arrays @ {f}\n"
+    ));
+    let table = Table::new(
+        "fig5_circuit",
+        &[("metric", 16), ("SRAM", 12), ("CAM", 12), ("delta", 12)],
     );
-    println!("{}", rule(&widths));
 
     let area_ratio = ce.area.value() / se.area.value() - 1.0;
-    println!(
-        "{}",
-        row(
-            &[
-                "area [µm²]".into(),
-                format!("{:.1}", se.area.value()),
-                format!("{:.1}", ce.area.value()),
-                format!("{} (paper +83%)", pct(area_ratio)),
-            ],
-            &widths
-        )
-    );
+    table.add_row(&[
+        "area [µm²]".into(),
+        format!("{:.1}", se.area.value()),
+        format!("{:.1}", ce.area.value()),
+        format!("{} (paper +83%)", pct(area_ratio)),
+    ]);
     let delay_ratio = ce.read_delay.value() / se.read_delay.value() - 1.0;
-    println!(
-        "{}",
-        row(
-            &[
-                "read delay [ps]".into(),
-                format!("{:.0}", se.read_delay.value()),
-                format!("{:.0}", ce.read_delay.value()),
-                format!("{} (paper +26%)", pct(delay_ratio)),
-            ],
-            &widths
-        )
-    );
+    table.add_row(&[
+        "read delay [ps]".into(),
+        format!("{:.0}", se.read_delay.value()),
+        format!("{:.0}", ce.read_delay.value()),
+        format!("{} (paper +26%)", pct(delay_ratio)),
+    ]);
     let s_read = se.read_energy.average_power(f);
     let c_read = ce.read_energy.average_power(f);
-    println!(
-        "{}",
-        row(
-            &[
-                "read power [mW]".into(),
-                format!("{:.2}", s_read.value()),
-                format!("{:.2}", c_read.value()),
-                "paper 0.73/0.87".into(),
-            ],
-            &widths
-        )
-    );
+    table.add_row(&[
+        "read power [mW]".into(),
+        format!("{:.2}", s_read.value()),
+        format!("{:.2}", c_read.value()),
+        "paper 0.73/0.87".into(),
+    ]);
     let c_match = ce
         .match_energy
         .expect("CAM has a match arc")
         .average_power(f);
-    println!(
-        "{}",
-        row(
-            &[
-                "match power [mW]".into(),
-                "-".into(),
-                format!("{:.2}", c_match.value()),
-                "paper 1.94".into(),
-            ],
-            &widths
-        )
-    );
-    println!(
+    table.add_row(&[
+        "match power [mW]".into(),
+        "-".into(),
+        format!("{:.2}", c_match.value()),
+        "paper 1.94".into(),
+    ]);
+    say(&format!(
         "\nmatch/read power ratio: {:.2} (paper: 1.94/0.87 = 2.23)",
         c_match.value() / c_read.value()
-    );
+    ));
+    drop(run);
+    finish("fig5_circuit");
     Ok(())
 }

@@ -3,13 +3,16 @@
 //! SpMV), each built from accelerator SpGEMM calls.
 //!
 //! Run with `cargo run --release -p lim-bench --bin graph_kernels`.
+//! Pass `--json` for machine-readable table output.
 
-use lim_bench::{row, rule};
+use lim_bench::{finish, say, Table};
+use lim_obs::Span;
 use lim_spgemm::apps::{self, Chip};
 use lim_spgemm::energy::ChipPowerModel;
 use lim_spgemm::gen::MatrixGen;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("graph_kernels");
     let graph = MatrixGen::rmat(512, 8 * 512, 0.57, 0.19, 0.19, 61).to_csc();
     let clusters: Vec<usize> = (0..512).map(|v| v % 64).collect();
     let x: Vec<f64> = (0..512).map(|i| 1.0 + (i % 5) as f64).collect();
@@ -17,63 +20,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lim_chip = ChipPowerModel::paper_lim();
     let heap_chip = ChipPowerModel::paper_heap();
 
-    println!("Graph kernels on an R-MAT(512, 4k edges) graph, LiM vs baseline\n");
-    let widths = [14usize, 12, 12, 10, 10];
-    println!(
-        "{}",
-        row(
-            &[
-                "kernel".into(),
-                "lim cycles".into(),
-                "heap cycles".into(),
-                "speedup".into(),
-                "energy".into(),
-            ],
-            &widths
-        )
+    say("Graph kernels on an R-MAT(512, 4k edges) graph, LiM vs baseline\n");
+    let table = Table::new(
+        "graph_kernels",
+        &[
+            ("kernel", 14),
+            ("lim cycles", 12),
+            ("heap cycles", 12),
+            ("speedup", 10),
+            ("energy", 10),
+        ],
     );
-    println!("{}", rule(&widths));
 
     let report = |name: &str, lim_cycles: u64, heap_cycles: u64| {
         let t_lim = lim_chip.latency(lim_cycles);
         let t_heap = heap_chip.latency(heap_cycles);
         let e_lim = lim_chip.energy(lim_cycles);
         let e_heap = heap_chip.energy(heap_cycles);
-        println!(
-            "{}",
-            row(
-                &[
-                    name.into(),
-                    format!("{lim_cycles}"),
-                    format!("{heap_cycles}"),
-                    format!("{:.1}x", t_heap / t_lim),
-                    format!("{:.1}x", e_heap / e_lim),
-                ],
-                &widths
-            )
-        );
+        table.add_row(&[
+            name.into(),
+            format!("{lim_cycles}"),
+            format!("{heap_cycles}"),
+            format!("{:.1}x", t_heap / t_lim),
+            format!("{:.1}x", e_heap / e_lim),
+        ]);
     };
 
-    let l = apps::graph_contraction(Chip::LimCam, &graph, &clusters, 64)?;
+    let l = {
+        let _s = Span::enter("contraction");
+        apps::graph_contraction(Chip::LimCam, &graph, &clusters, 64)?
+    };
     let h = apps::graph_contraction(Chip::Heap, &graph, &clusters, 64)?;
     assert!(l.result.approx_eq(&h.result, 1e-9));
     report("contraction", l.stats.cycles, h.stats.cycles);
 
-    let l = apps::triangle_count(Chip::LimCam, &graph)?;
+    let l = {
+        let _s = Span::enter("triangles");
+        apps::triangle_count(Chip::LimCam, &graph)?
+    };
     let h = apps::triangle_count(Chip::Heap, &graph)?;
     assert_eq!(l.result, h.result);
     report("triangles", l.stats.cycles, h.stats.cycles);
 
-    let l = apps::bfs_levels(Chip::LimCam, &graph, 0, 4)?;
+    let l = {
+        let _s = Span::enter("bfs");
+        apps::bfs_levels(Chip::LimCam, &graph, 0, 4)?
+    };
     let h = apps::bfs_levels(Chip::Heap, &graph, 0, 4)?;
     assert_eq!(l.result, h.result);
     report("bfs x4", l.stats.cycles, h.stats.cycles);
 
-    let l = apps::spmv(Chip::LimCam, &graph, &x)?;
+    let l = {
+        let _s = Span::enter("spmv");
+        apps::spmv(Chip::LimCam, &graph, &x)?
+    };
     let h = apps::spmv(Chip::Heap, &graph, &x)?;
     report("spmv", l.stats.cycles, h.stats.cycles);
 
-    println!("\nevery kernel inherits the primitive's advantage; contraction —");
-    println!("the paper's named application — lands squarely in the Fig. 6 band.");
+    say("\nevery kernel inherits the primitive's advantage; contraction —");
+    say("the paper's named application — lands squarely in the Fig. 6 band.");
+    drop(run);
+    finish("graph_kernels");
     Ok(())
 }

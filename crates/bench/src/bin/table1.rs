@@ -3,13 +3,16 @@
 //! 1x / 4x / 8x stacking, reading a word of alternating bits.
 //!
 //! Run with `cargo run --release -p lim-bench --bin table1`.
+//! Pass `--json` for machine-readable table output.
 
-use lim_bench::{pct, row, rule};
+use lim_bench::{finish, pct, say, Table};
+use lim_obs::Span;
 use lim_brick::golden::compare;
 use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
 use lim_tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let run = Span::enter("table1");
     let tech = Technology::cmos65();
     let compiler = BrickCompiler::new(&tech);
 
@@ -19,51 +22,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let stacks = [1usize, 4, 8];
 
-    println!("Table 1 — Tool estimation vs golden transient (\"SPICE\")");
-    println!("Paper bands: delay 2-7% | read energy 0-4% | write energy 0-2%\n");
+    say("Table 1 — Tool estimation vs golden transient (\"SPICE\")");
+    say("Paper bands: delay 2-7% | read energy 0-4% | write energy 0-2%\n");
 
-    let widths = [14usize, 6, 11, 11, 7, 11, 11, 7, 7];
-    println!(
-        "{}",
-        row(
-            &[
-                "brick".into(),
-                "stack".into(),
-                "tool[ps]".into(),
-                "gold[ps]".into(),
-                "err".into(),
-                "toolE[pJ]".into(),
-                "goldE[pJ]".into(),
-                "errR".into(),
-                "errW".into(),
-            ],
-            &widths
-        )
+    let table = Table::new(
+        "table1",
+        &[
+            ("brick", 14),
+            ("stack", 6),
+            ("tool[ps]", 11),
+            ("gold[ps]", 11),
+            ("err", 7),
+            ("toolE[pJ]", 11),
+            ("goldE[pJ]", 11),
+            ("errR", 7),
+            ("errW", 7),
+        ],
     );
-    println!("{}", rule(&widths));
 
     for spec in &bricks {
         let brick = compiler.compile(spec)?;
         for &stack in &stacks {
             let cmp = compare(&brick, stack)?;
-            println!(
-                "{}",
-                row(
-                    &[
-                        format!("{}x{}b", spec.words(), spec.bits()),
-                        format!("{stack}x"),
-                        format!("{:.0}", cmp.tool.read_delay.value()),
-                        format!("{:.0}", cmp.golden.read_delay.value()),
-                        pct(cmp.delay_error()),
-                        format!("{:.2}", cmp.tool.read_energy.to_picojoules().value()),
-                        format!("{:.2}", cmp.golden.read_energy.to_picojoules().value()),
-                        pct(cmp.read_energy_error()),
-                        pct(cmp.write_energy_error()),
-                    ],
-                    &widths
-                )
-            );
+            table.add_row(&[
+                format!("{}x{}b", spec.words(), spec.bits()),
+                format!("{stack}x"),
+                format!("{:.0}", cmp.tool.read_delay.value()),
+                format!("{:.0}", cmp.golden.read_delay.value()),
+                pct(cmp.delay_error()),
+                format!("{:.2}", cmp.tool.read_energy.to_picojoules().value()),
+                format!("{:.2}", cmp.golden.read_energy.to_picojoules().value()),
+                pct(cmp.read_energy_error()),
+                pct(cmp.write_energy_error()),
+            ]);
         }
     }
+    drop(run);
+    finish("table1");
     Ok(())
 }

@@ -16,6 +16,105 @@
 //!
 //! The library part holds small table-formatting helpers shared by the
 //! binaries.
+//!
+//! Every binary accepts a shared `--json` flag: with it, tables are
+//! emitted as `lim-obs-v1` `table`/`row` JSON lines on stdout (narration
+//! moves to stderr) so figures can be consumed by scripts; without it,
+//! the familiar fixed-width console tables print. Binaries end with
+//! [`finish`], which appends an obs report to `LIM_OBS_OUT` when that
+//! variable is set.
+
+/// True when `--json` was passed: tables print as JSON lines on stdout
+/// and narration moves to stderr.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Prints a narration line: stdout normally, stderr under `--json` so
+/// machine output stays clean.
+pub fn say(msg: &str) {
+    if json_mode() {
+        eprintln!("{msg}");
+    } else {
+        println!("{msg}");
+    }
+}
+
+/// A named output table that renders either as a fixed-width console
+/// table or as `lim-obs-v1` `table`/`row` JSON lines, depending on
+/// `--json`.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    widths: Vec<usize>,
+    json: bool,
+}
+
+impl Table {
+    /// Declares a table and prints its header (or the `table` JSON
+    /// line).
+    pub fn new(name: &str, columns: &[(&str, usize)]) -> Table {
+        let table = Table {
+            name: name.to_owned(),
+            widths: columns.iter().map(|(_, w)| *w).collect(),
+            json: json_mode(),
+        };
+        if table.json {
+            let cols = columns
+                .iter()
+                .map(|(c, _)| lim_obs::json::string(c))
+                .collect::<Vec<_>>()
+                .join(",");
+            println!(
+                "{{\"type\":\"table\",\"name\":{},\"columns\":[{}]}}",
+                lim_obs::json::string(name),
+                cols
+            );
+        } else {
+            let header: Vec<String> = columns.iter().map(|(c, _)| (*c).to_owned()).collect();
+            println!("{}", row(&header, &table.widths));
+            println!("{}", rule(&table.widths));
+        }
+        table
+    }
+
+    /// Prints one data row. `cells` must match the declared columns.
+    pub fn add_row(&self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.widths.len(),
+            "table `{}` row has {} cells for {} columns",
+            self.name,
+            cells.len(),
+            self.widths.len()
+        );
+        if self.json {
+            let values = cells
+                .iter()
+                .map(|c| lim_obs::json::string(c))
+                .collect::<Vec<_>>()
+                .join(",");
+            println!(
+                "{{\"type\":\"row\",\"table\":{},\"values\":[{}]}}",
+                lim_obs::json::string(&self.name),
+                values
+            );
+        } else {
+            println!("{}", row(cells, &self.widths));
+        }
+    }
+}
+
+/// Ends a figure binary: when `LIM_OBS_OUT` is set, appends the obs
+/// report (spans + counters collected during the run) labelled with
+/// `source` and notes the path on stderr.
+pub fn finish(source: &str) {
+    match lim_obs::report::flush_as(source) {
+        Ok(Some(path)) => eprintln!("obs report appended to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: could not write obs report: {e}"),
+    }
+}
 
 /// Formats a row of fixed-width columns for console tables.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
@@ -60,5 +159,16 @@ mod tests {
     fn pct_format() {
         assert_eq!(pct(0.049), "+4.9%");
         assert_eq!(pct(-0.02), "-2.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells for 2 columns")]
+    fn table_rejects_mismatched_rows() {
+        let t = Table {
+            name: "t".into(),
+            widths: vec![3, 4],
+            json: true,
+        };
+        t.add_row(&["only-one".into()]);
     }
 }

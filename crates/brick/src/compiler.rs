@@ -58,6 +58,8 @@ impl<'t> BrickCompiler<'t> {
     ///
     /// Returns [`BrickError::Tech`] if the technology fails validation.
     pub fn compile(&self, spec: &BrickSpec) -> Result<CompiledBrick, BrickError> {
+        let _span = lim_obs::Span::enter("brick_compile");
+        lim_obs::counter_add("brick.compiles", 1);
         self.tech.validate()?;
         let cell = spec.bitcell().electrical_in(self.tech);
 

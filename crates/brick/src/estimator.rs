@@ -115,6 +115,8 @@ impl CompiledBrick {
     /// Returns [`BrickError::InvalidStack`] for stack counts outside
     /// `1..=64`.
     pub fn estimate_bank(&self, stack: usize) -> Result<BankEstimate, BrickError> {
+        let _span = lim_obs::Span::enter("brick_characterize");
+        lim_obs::counter_add("brick.characterizations", 1);
         self.check_stack(stack)?;
         let tech = &self.tech;
         let vdd = tech.vdd;

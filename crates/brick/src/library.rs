@@ -53,9 +53,22 @@ impl LibraryEntry {
 }
 
 /// A collection of generated brick macros, addressable by name.
+///
+/// The library doubles as a cache: [`BrickLibrary::get_or_insert`]
+/// returns an existing entry by reference on a hit and only compiles +
+/// characterizes on a miss. Compiled bricks are additionally cached per
+/// spec, so adding a new stack count of an already-compiled spec skips
+/// the compiler entirely. Hits and misses are tracked on the library
+/// ([`BrickLibrary::cache_hits`]) and as the obs counters
+/// `brick_lib.hits` / `brick_lib.misses`.
 #[derive(Debug, Clone, Default)]
 pub struct BrickLibrary {
     entries: Vec<LibraryEntry>,
+    /// Per-spec compile cache: stack-agnostic, so `(spec, 1)` and
+    /// `(spec, 8)` share one compiled brick.
+    compiled: Vec<CompiledBrick>,
+    hits: u64,
+    misses: u64,
 }
 
 impl BrickLibrary {
@@ -80,13 +93,20 @@ impl BrickLibrary {
     ) -> Result<Self, BrickError> {
         let compiler = BrickCompiler::new(tech);
         let mut entries = Vec::with_capacity(specs.len() * stacks.len());
+        let mut compiled = Vec::with_capacity(specs.len());
         for spec in specs {
             let brick = compiler.compile(spec)?;
             for &stack in stacks {
                 entries.push(Self::entry(&brick, stack)?);
             }
+            compiled.push(brick);
         }
-        Ok(BrickLibrary { entries })
+        Ok(BrickLibrary {
+            entries,
+            compiled,
+            hits: 0,
+            misses: 0,
+        })
     }
 
     fn entry(brick: &CompiledBrick, stack: usize) -> Result<LibraryEntry, BrickError> {
@@ -136,9 +156,59 @@ impl BrickLibrary {
         spec: &BrickSpec,
         stack: usize,
     ) -> Result<&LibraryEntry, BrickError> {
-        let brick = BrickCompiler::new(tech).compile(spec)?;
+        let brick = self.compile_cached(tech, spec)?;
         self.entries.push(Self::entry(&brick, stack)?);
         Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// Returns the entry for `(spec, stack)`, generating it on first
+    /// use. On a hit the existing entry is returned by reference —
+    /// neither the compiler nor the estimator runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and estimator failures on a miss.
+    pub fn get_or_insert(
+        &mut self,
+        tech: &Technology,
+        spec: &BrickSpec,
+        stack: usize,
+    ) -> Result<&LibraryEntry, BrickError> {
+        let name = format!("{}_x{}", spec.instance_name(), stack);
+        if let Some(i) = self.entries.iter().position(|e| e.name == name) {
+            self.hits = self.hits.saturating_add(1);
+            lim_obs::counter_add("brick_lib.hits", 1);
+            return Ok(&self.entries[i]);
+        }
+        self.misses = self.misses.saturating_add(1);
+        lim_obs::counter_add("brick_lib.misses", 1);
+        let brick = self.compile_cached(tech, spec)?;
+        self.entries.push(Self::entry(&brick, stack)?);
+        Ok(self.entries.last().expect("just pushed"))
+    }
+
+    /// Compiles `spec`, reusing the per-spec cache when possible.
+    fn compile_cached(
+        &mut self,
+        tech: &Technology,
+        spec: &BrickSpec,
+    ) -> Result<CompiledBrick, BrickError> {
+        if let Some(brick) = self.compiled.iter().find(|b| b.spec() == spec) {
+            return Ok(brick.clone());
+        }
+        let brick = BrickCompiler::new(tech).compile(spec)?;
+        self.compiled.push(brick.clone());
+        Ok(brick)
+    }
+
+    /// Times [`BrickLibrary::get_or_insert`] found an existing entry.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Times [`BrickLibrary::get_or_insert`] had to generate an entry.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
     }
 
     /// All entries.
@@ -216,6 +286,25 @@ mod tests {
         let h1 = lib.get("brick_8t_16_10_x1").unwrap().height;
         let h8 = lib.get("brick_8t_16_10_x8").unwrap().height;
         assert!((h8.value() / h1.value() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn get_or_insert_caches() {
+        let mut lib = BrickLibrary::new();
+        let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
+        let name = lib.get_or_insert(&tech(), &spec, 4).unwrap().name.clone();
+        assert_eq!((lib.cache_hits(), lib.cache_misses()), (0, 1));
+        // Second request for the same (spec, stack) is a pure hit.
+        let again = lib.get_or_insert(&tech(), &spec, 4).unwrap();
+        assert_eq!(again.name, name);
+        assert_eq!((lib.cache_hits(), lib.cache_misses()), (1, 1));
+        assert_eq!(lib.len(), 1);
+        // A new stack of the same spec misses the entry cache but reuses
+        // the compiled brick.
+        lib.get_or_insert(&tech(), &spec, 8).unwrap();
+        assert_eq!((lib.cache_hits(), lib.cache_misses()), (1, 2));
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.compiled.len(), 1);
     }
 
     #[test]

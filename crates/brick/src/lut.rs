@@ -136,6 +136,7 @@ impl Lut2D {
 
     /// Bilinear lookup, clamped to the table's rectangle.
     pub fn lookup(&self, x: f64, y: f64) -> f64 {
+        lim_obs::counter_add("brick.lut_lookups", 1);
         let (ix, fx) = Self::bracket(&self.xs, x);
         let (iy, fy) = Self::bracket(&self.ys, y);
         let w = self.xs.len();

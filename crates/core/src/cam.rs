@@ -144,12 +144,8 @@ fn ensure_entries(
     let sram_spec = config.sram_spec()?;
     let cam_name = format!("{}_x1", cam_spec.instance_name());
     let sram_name = format!("{}_x1", sram_spec.instance_name());
-    if library.get(&cam_name).is_err() {
-        library.add(tech, &cam_spec, 1)?;
-    }
-    if library.get(&sram_name).is_err() {
-        library.add(tech, &sram_spec, 1)?;
-    }
+    library.get_or_insert(tech, &cam_spec, 1)?;
+    library.get_or_insert(tech, &sram_spec, 1)?;
     Ok((cam_name, sram_name))
 }
 
@@ -340,9 +336,7 @@ pub fn generate_lim_spgemm_core(
     // Vertical CAM: one entry per column, keyed by column index.
     let vcam_spec = BrickSpec::new(BitcellKind::Cam, config.n_columns, config.cam.key_bits)?;
     let vcam_name = format!("{}_x1", vcam_spec.instance_name());
-    if library.get(&vcam_name).is_err() {
-        library.add(tech, &vcam_spec, 1)?;
-    }
+    library.get_or_insert(tech, &vcam_spec, 1)?;
 
     let mut n = Netlist::new(format!("lim_spgemm_core_n{}", config.n_columns));
     let clk = n.add_clock("clk");

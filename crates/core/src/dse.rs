@@ -11,6 +11,7 @@ use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
 use lim_tech::units::{Femtojoules, Picoseconds, SquareMicrons};
 use lim_tech::Technology;
 use std::fmt;
+use std::time::Duration;
 
 /// One evaluated design point.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +32,10 @@ pub struct DsePoint {
     pub energy: Femtojoules,
     /// Estimated bank area.
     pub area: SquareMicrons,
+    /// Wall-clock time spent evaluating this point, from the shared
+    /// span clock ([`lim_obs::timed`]); valid whether or not obs
+    /// collection is enabled.
+    pub elapsed: Duration,
 }
 
 impl fmt::Display for DsePoint {
@@ -63,6 +68,7 @@ pub fn explore(
     memories: &[(usize, usize)],
     brick_word_options: &[usize],
 ) -> Result<Vec<DsePoint>, LimError> {
+    let _span = lim_obs::Span::enter("dse_explore");
     let compiler = BrickCompiler::new(tech);
     let mut points = Vec::with_capacity(memories.len() * brick_word_options.len());
     for &(words, bits) in memories {
@@ -74,8 +80,11 @@ pub fn explore(
             }
             let stack = words / bw;
             let spec = BrickSpec::new(BitcellKind::Sram8T, bw, bits)?;
-            let brick = compiler.compile(&spec)?;
-            let est = brick.estimate_bank(stack)?;
+            let (est, elapsed) = lim_obs::timed("dse_point", || {
+                let brick = compiler.compile(&spec)?;
+                brick.estimate_bank(stack)
+            });
+            let est = est?;
             points.push(DsePoint {
                 label: format!("{words}x{bits} @ {bw}x{bits} x{stack}"),
                 words,
@@ -85,6 +94,7 @@ pub fn explore(
                 delay: est.read_delay,
                 energy: est.read_energy,
                 area: est.area,
+                elapsed,
             });
         }
     }
@@ -108,6 +118,7 @@ pub fn explore_partitioned(
     partition_options: &[usize],
     brick_word_options: &[usize],
 ) -> Result<Vec<DsePoint>, LimError> {
+    let _span = lim_obs::Span::enter("dse_explore");
     let compiler = BrickCompiler::new(tech);
     let mut points = Vec::new();
     for &p in partition_options {
@@ -120,8 +131,11 @@ pub fn explore_partitioned(
                 continue;
             }
             let spec = BrickSpec::new(BitcellKind::Sram8T, bw, bits)?;
-            let brick = compiler.compile(&spec)?;
-            let est = brick.estimate_bank(stack)?;
+            let (est, elapsed) = lim_obs::timed("dse_point", || {
+                let brick = compiler.compile(&spec)?;
+                brick.estimate_bank(stack)
+            });
+            let est = est?;
             // Output mux: one 2:1 level per bank-select bit, ~3τ each.
             let mux_levels = p.trailing_zeros() as f64;
             let delay = est.read_delay + tech.tau * (3.0 * mux_levels);
@@ -144,6 +158,7 @@ pub fn explore_partitioned(
                 delay,
                 energy,
                 area,
+                elapsed,
             });
         }
     }
@@ -334,8 +349,10 @@ mod tests {
     fn sweep_completes_quickly() {
         // The paper quotes ~2 s wall clock for the 9-brick sweep; our
         // estimator is analytic, so give it a generous 2 s budget too.
-        let start = std::time::Instant::now();
-        let _ = fig4c_points();
-        assert!(start.elapsed().as_secs_f64() < 2.0);
+        // Per-point timings come from the shared span clock, so the same
+        // numbers surface in obs reports and figure binaries.
+        let points = fig4c_points();
+        let total: Duration = points.iter().map(|p| p.elapsed).sum();
+        assert!(total.as_secs_f64() < 2.0, "sweep took {total:?}");
     }
 }

@@ -79,7 +79,11 @@ impl LimFlow {
     ///
     /// Propagates generation and synthesis failures.
     pub fn synthesize_sram(&mut self, config: &SramConfig) -> Result<LimBlock, LimError> {
-        let netlist = sram::generate(&self.tech, config, &mut self.library)?;
+        let _span = lim_obs::Span::enter("lim_flow");
+        let netlist = {
+            let _gen = lim_obs::Span::enter("generate");
+            sram::generate(&self.tech, config, &mut self.library)?
+        };
         let mut options = self.options.clone();
         options.macro_activity = MacroActivity {
             read_rate: 1.0 / config.partitions() as f64,
@@ -98,7 +102,11 @@ impl LimFlow {
         &mut self,
         config: &crate::cam::CamConfig,
     ) -> Result<LimBlock, LimError> {
-        let netlist = crate::cam::generate_cam_block(&self.tech, config, &mut self.library)?;
+        let _span = lim_obs::Span::enter("lim_flow");
+        let netlist = {
+            let _gen = lim_obs::Span::enter("generate");
+            crate::cam::generate_cam_block(&self.tech, config, &mut self.library)?
+        };
         let mut options = self.options.clone();
         options.macro_activity = MacroActivity {
             read_rate: 0.2,
@@ -117,7 +125,11 @@ impl LimFlow {
         &mut self,
         config: &SpgemmCoreConfig,
     ) -> Result<LimBlock, LimError> {
-        let netlist = cam::generate_lim_spgemm_core(&self.tech, config, &mut self.library)?;
+        let _span = lim_obs::Span::enter("lim_flow");
+        let netlist = {
+            let _gen = lim_obs::Span::enter("generate");
+            cam::generate_lim_spgemm_core(&self.tech, config, &mut self.library)?
+        };
         let mut options = self.options.clone();
         // One column matches per cycle; its pad reads and writes back.
         options.macro_activity = MacroActivity {
@@ -137,7 +149,11 @@ impl LimFlow {
         &mut self,
         config: &SpgemmCoreConfig,
     ) -> Result<LimBlock, LimError> {
-        let netlist = cam::generate_heap_spgemm_core(&self.tech, config, &mut self.library)?;
+        let _span = lim_obs::Span::enter("lim_flow");
+        let netlist = {
+            let _gen = lim_obs::Span::enter("generate");
+            cam::generate_heap_spgemm_core(&self.tech, config, &mut self.library)?
+        };
         let mut options = self.options.clone();
         // FIFO shifting touches the pads every cycle: reads and writes on
         // most cycles — the baseline's energy handicap.
@@ -156,6 +172,7 @@ impl LimFlow {
     ///
     /// Propagates mapping and synthesis failures.
     pub fn synthesize(&mut self, netlist: &Netlist) -> Result<LimBlock, LimError> {
+        let _span = lim_obs::Span::enter("lim_flow");
         let options = self.options.clone();
         self.synthesize_with(netlist, &options)
     }
@@ -231,6 +248,22 @@ mod tests {
         flow.synthesize_sram(&SramConfig::new(32, 10, 1, 16).unwrap())
             .unwrap();
         assert!(flow.library().get("brick_8t_16_10_x2").is_ok());
+    }
+
+    #[test]
+    fn second_build_of_same_brick_is_cache_hit() {
+        let mut flow = LimFlow::cmos65();
+        let config = SramConfig::new(32, 10, 1, 16).unwrap();
+        flow.synthesize_sram(&config).unwrap();
+        let (hits_before, misses_before) =
+            (flow.library().cache_hits(), flow.library().cache_misses());
+        assert_eq!(misses_before, 1);
+        // Re-synthesizing the same memory must not compile or
+        // characterize the brick again.
+        flow.synthesize_sram(&config).unwrap();
+        assert_eq!(flow.library().cache_hits(), hits_before + 1);
+        assert_eq!(flow.library().cache_misses(), misses_before);
+        assert_eq!(flow.library().len(), 1);
     }
 
     #[test]

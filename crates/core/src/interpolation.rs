@@ -154,9 +154,7 @@ pub fn generate_lim(
     let stack = config.seed_size / brick_words;
     let spec = BrickSpec::new(BitcellKind::Sram8T, brick_words, config.data_bits)?;
     let entry = format!("{}_x{stack}", spec.instance_name());
-    if library.get(&entry).is_err() {
-        library.add(tech, &spec, stack)?;
-    }
+    library.get_or_insert(tech, &spec, stack)?;
 
     let mut n = Netlist::new(format!(
         "interp_{}from{}x{}",

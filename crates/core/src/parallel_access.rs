@@ -134,9 +134,7 @@ fn ensure_bank_entry(
 ) -> Result<String, LimError> {
     let spec = cfg.bank_brick()?;
     let name = format!("{}_x{}", spec.instance_name(), cfg.bank_stack());
-    if library.get(&name).is_err() {
-        library.add(tech, &spec, cfg.bank_stack())?;
-    }
+    library.get_or_insert(tech, &spec, cfg.bank_stack())?;
     Ok(name)
 }
 

@@ -198,9 +198,7 @@ pub fn generate(
     library: &mut BrickLibrary,
 ) -> Result<Netlist, LimError> {
     let entry_name = config.bank_entry_name()?;
-    if library.get(&entry_name).is_err() {
-        library.add(tech, &config.brick_spec()?, config.stack())?;
-    }
+    library.get_or_insert(tech, &config.brick_spec()?, config.stack())?;
 
     let mut n = Netlist::new(config.design_name());
     let clk = n.add_clock("clk");

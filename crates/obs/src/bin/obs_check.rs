@@ -1,0 +1,206 @@
+//! `obs_check`: validates a `lim-obs-v1` JSON-lines report file.
+//!
+//! ```text
+//! obs_check <file> [--require-bench]
+//! ```
+//!
+//! Every non-empty line must be a JSON object with a string `"type"`
+//! field; known types additionally have their fields checked. With
+//! `--require-bench` the file must contain at least one `bench` line
+//! (this is how `scripts/bench.sh` asserts `BENCH_report.json` is
+//! non-trivial). Exits 0 on success, 1 on any violation.
+
+use lim_obs::json::Value;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut file = None;
+    let mut require_bench = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--require-bench" => require_bench = true,
+            "--help" | "-h" => {
+                eprintln!("usage: obs_check <file> [--require-bench]");
+                return ExitCode::SUCCESS;
+            }
+            _ if file.is_none() => file = Some(arg),
+            other => {
+                eprintln!("obs_check: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("usage: obs_check <file> [--require-bench]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text, require_bench) {
+        Ok(summary) => {
+            println!("obs_check: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates the whole file, returning a one-line summary.
+fn check(text: &str, require_bench: bool) -> Result<String, String> {
+    let mut objects = 0usize;
+    let mut benches = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = Value::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        check_object(&value).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        objects += 1;
+        if value.get("type").and_then(Value::as_str) == Some("bench") {
+            benches += 1;
+        }
+    }
+    if objects == 0 {
+        return Err("file contains no JSON objects".into());
+    }
+    if require_bench && benches == 0 {
+        return Err("no bench lines found (expected at least one)".into());
+    }
+    Ok(format!("{objects} lines OK ({benches} bench)"))
+}
+
+/// Validates one parsed line against the `lim-obs-v1` schema.
+fn check_object(v: &Value) -> Result<(), String> {
+    let Some(ty) = v.get("type").and_then(Value::as_str) else {
+        return Err("object lacks a string `type` field".into());
+    };
+    match ty {
+        "meta" => {
+            require_str(v, "schema")?;
+            require_str(v, "source")?;
+        }
+        "span" => {
+            require_str(v, "path")?;
+            require_str(v, "name")?;
+            require_num(v, "depth")?;
+            require_num(v, "calls")?;
+            require_num(v, "total_ns")?;
+        }
+        "counter" => {
+            require_str(v, "name")?;
+            require_num(v, "value")?;
+        }
+        "gauge" => {
+            require_str(v, "name")?;
+            // Gauges may legitimately be null (non-finite values).
+            if v.get("value").is_none() {
+                return Err("gauge lacks a `value` field".into());
+            }
+        }
+        "bench" => {
+            require_str(v, "suite")?;
+            require_str(v, "name")?;
+            let min = require_num(v, "min_ns")?;
+            let median = require_num(v, "median_ns")?;
+            let p95 = require_num(v, "p95_ns")?;
+            let samples = require_num(v, "samples")?;
+            let iters = require_num(v, "iters")?;
+            if !(min <= median && median <= p95) {
+                return Err(format!(
+                    "bench percentiles out of order: min={min} median={median} p95={p95}"
+                ));
+            }
+            if samples < 1.0 {
+                return Err(format!("bench has {samples} samples (expected >= 1)"));
+            }
+            if iters < 1.0 {
+                return Err(format!("bench has {iters} iters (expected >= 1)"));
+            }
+        }
+        "table" => {
+            require_str(v, "name")?;
+            let cols = v
+                .get("columns")
+                .and_then(Value::as_array)
+                .ok_or("table lacks a `columns` array")?;
+            if cols.iter().any(|c| c.as_str().is_none()) {
+                return Err("table `columns` must all be strings".into());
+            }
+        }
+        "row" => {
+            require_str(v, "table")?;
+            v.get("values")
+                .and_then(Value::as_array)
+                .ok_or("row lacks a `values` array")?;
+        }
+        // Unknown types are forward-compatible: only the `type`
+        // discriminant itself is required.
+        _ => {}
+    }
+    Ok(())
+}
+
+fn require_str<'a>(v: &'a Value, field: &str) -> Result<&'a str, String> {
+    v.get(field)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string `{field}` field"))
+}
+
+fn require_num(v: &Value, field: &str) -> Result<f64, String> {
+    v.get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric `{field}` field"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_report_passes() {
+        let text = concat!(
+            "{\"type\":\"meta\",\"schema\":\"lim-obs-v1\",\"source\":\"t\"}\n",
+            "{\"type\":\"span\",\"path\":\"a/b\",\"name\":\"b\",\"depth\":1,\"calls\":2,\"total_ns\":100}\n",
+            "{\"type\":\"counter\",\"name\":\"c\",\"value\":3}\n",
+            "{\"type\":\"gauge\",\"name\":\"g\",\"value\":1.5}\n",
+            "{\"type\":\"bench\",\"suite\":\"s\",\"name\":\"n\",\"min_ns\":1,\"median_ns\":2,\"p95_ns\":3,\"samples\":5,\"iters\":7}\n",
+        );
+        assert_eq!(check(text, true).unwrap(), "5 lines OK (1 bench)");
+    }
+
+    #[test]
+    fn require_bench_fails_without_bench_lines() {
+        let text = "{\"type\":\"meta\",\"schema\":\"lim-obs-v1\",\"source\":\"t\"}\n";
+        assert!(check(text, false).is_ok());
+        assert!(check(text, true).unwrap_err().contains("no bench lines"));
+    }
+
+    #[test]
+    fn out_of_order_percentiles_fail() {
+        let text = "{\"type\":\"bench\",\"suite\":\"s\",\"name\":\"n\",\"min_ns\":9,\"median_ns\":2,\"p95_ns\":3,\"samples\":5,\"iters\":1}\n";
+        assert!(check(text, false).unwrap_err().contains("out of order"));
+    }
+
+    #[test]
+    fn malformed_json_reports_line_number() {
+        let text = "{\"type\":\"meta\",\"schema\":\"x\",\"source\":\"t\"}\nnot json\n";
+        assert!(check(text, false).unwrap_err().starts_with("line 2"));
+    }
+
+    #[test]
+    fn missing_fields_fail() {
+        let text = "{\"type\":\"span\",\"path\":\"a\"}\n";
+        assert!(check(text, false).unwrap_err().contains("name"));
+        let text = "{\"value\":1}\n";
+        assert!(check(text, false).unwrap_err().contains("type"));
+    }
+}

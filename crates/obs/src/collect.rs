@@ -1,0 +1,254 @@
+//! Thread-local collection state: the span tree arena, the open-span
+//! stack, and the counter/gauge maps.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+pub(crate) struct Node {
+    pub(crate) name: String,
+    pub(crate) children: Vec<usize>,
+    pub(crate) calls: u64,
+    pub(crate) total: Duration,
+}
+
+#[derive(Default)]
+pub(crate) struct Collector {
+    /// Arena of aggregated span nodes.
+    pub(crate) nodes: Vec<Node>,
+    /// Indices of root nodes, in first-entered order.
+    pub(crate) roots: Vec<usize>,
+    /// Stack of currently open node indices.
+    stack: Vec<usize>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+}
+
+impl Collector {
+    /// Opens (or re-opens) the child named `name` under the current
+    /// stack top, returning its node index.
+    fn push(&mut self, name: &str) -> usize {
+        let siblings = match self.stack.last() {
+            Some(&parent) => &self.nodes[parent].children,
+            None => &self.roots,
+        };
+        let found = siblings
+            .iter()
+            .copied()
+            .find(|&i| self.nodes[i].name == name);
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(Node {
+                    name: name.to_owned(),
+                    children: Vec::new(),
+                    calls: 0,
+                    total: Duration::ZERO,
+                });
+                match self.stack.last() {
+                    Some(&parent) => self.nodes[parent].children.push(idx),
+                    None => self.roots.push(idx),
+                }
+                idx
+            }
+        };
+        self.stack.push(idx);
+        idx
+    }
+
+    /// Closes the span at `idx`, folding `elapsed` into its totals.
+    /// Defensive against out-of-order guard drops: pops until `idx` is
+    /// found (inner spans leaked past their parent just get closed too).
+    fn pop(&mut self, idx: usize, elapsed: Duration) {
+        while let Some(top) = self.stack.pop() {
+            if top == idx {
+                break;
+            }
+        }
+        let node = &mut self.nodes[idx];
+        node.calls = node.calls.saturating_add(1);
+        node.total = node.total.saturating_add(elapsed);
+    }
+}
+
+thread_local! {
+    pub(crate) static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::default());
+}
+
+/// A scoped span timer: created by [`Span::enter`], it records the
+/// elapsed wall-clock time into the calling thread's span tree when
+/// dropped. When collection is disabled this is a no-op guard.
+///
+/// Spans aggregate by `(parent, name)`: re-entering the same name under
+/// the same parent accumulates `calls` and total duration on one node.
+/// Totals are inclusive (a parent's total contains its children's).
+#[must_use = "a span only measures anything if it is held until the end of the scope"]
+#[derive(Debug)]
+pub struct Span {
+    start: Option<Instant>,
+    node: usize,
+}
+
+impl Span {
+    /// Opens a span named `name`, nested under the innermost span that
+    /// is currently open on this thread.
+    pub fn enter(name: &str) -> Span {
+        if !crate::enabled() {
+            return Span {
+                start: None,
+                node: 0,
+            };
+        }
+        let node = COLLECTOR.with(|c| c.borrow_mut().push(name));
+        Span {
+            start: Some(Instant::now()),
+            node,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            COLLECTOR.with(|c| c.borrow_mut().pop(self.node, elapsed));
+        }
+    }
+}
+
+/// Adds `delta` to the named monotonic counter (saturating at
+/// `u64::MAX`, so hot-loop counters can never overflow or panic).
+/// No-op while collection is disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        match c.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                c.counters.insert(name.to_owned(), delta);
+            }
+        }
+    });
+}
+
+/// Sets the named gauge to `value` (last write wins). No-op while
+/// collection is disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        c.borrow_mut().gauges.insert(name.to_owned(), value);
+    });
+}
+
+/// Clears the calling thread's spans, counters and gauges. Open span
+/// guards from before the reset are discarded when they close.
+pub fn reset() {
+    COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        *c = Collector::default();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Report;
+
+    /// Serializes tests that toggle the process-global enable flag.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_clean_state<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        reset();
+        let r = f();
+        reset();
+        crate::set_enabled(true);
+        r
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        with_clean_state(|| {
+            for _ in 0..3 {
+                let _outer = Span::enter("outer");
+                let _inner = Span::enter("inner");
+            }
+            // Same name under a different parent is a different node.
+            let _lone = Span::enter("inner");
+            drop(_lone);
+
+            let report = Report::capture();
+            let outer = report.span("outer").expect("outer exists");
+            assert_eq!(outer.calls, 3);
+            assert_eq!(outer.depth, 0);
+            let inner = report.span("outer/inner").expect("nested inner exists");
+            assert_eq!(inner.calls, 3);
+            assert_eq!(inner.depth, 1);
+            // Children cannot exceed their parent's inclusive total.
+            assert!(inner.total <= outer.total);
+            let lone = report.span("inner").expect("root-level inner exists");
+            assert_eq!(lone.calls, 1);
+        });
+    }
+
+    #[test]
+    fn out_of_order_drop_is_tolerated() {
+        with_clean_state(|| {
+            let outer = Span::enter("a");
+            let inner = Span::enter("b");
+            // Dropping the parent first force-closes the child's stack
+            // slot; the child's later drop must not corrupt the tree.
+            drop(outer);
+            drop(inner);
+            let report = Report::capture();
+            assert_eq!(report.span("a").unwrap().calls, 1);
+            assert_eq!(report.span("a/b").unwrap().calls, 1);
+        });
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        with_clean_state(|| {
+            counter_add("sat", u64::MAX - 1);
+            counter_add("sat", 10);
+            counter_add("sat", u64::MAX);
+            let report = Report::capture();
+            assert_eq!(report.counter("sat"), Some(u64::MAX));
+        });
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        with_clean_state(|| {
+            gauge_set("g", 1.0);
+            gauge_set("g", 2.5);
+            let report = Report::capture();
+            assert_eq!(report.gauge("g"), Some(2.5));
+        });
+    }
+
+    #[test]
+    fn disabled_collection_records_nothing() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        reset();
+        crate::set_enabled(false);
+        {
+            let _s = Span::enter("ghost");
+            counter_add("ghost", 1);
+            gauge_set("ghost", 1.0);
+        }
+        crate::set_enabled(true);
+        let report = Report::capture();
+        assert!(report.span("ghost").is_none());
+        assert_eq!(report.counter("ghost"), None);
+        reset();
+    }
+}

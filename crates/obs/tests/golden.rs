@@ -1,0 +1,75 @@
+//! Golden test pinning the `lim-obs-v1` JSON-lines schema.
+//!
+//! If this test fails you have changed the machine-readable report
+//! format that `obs_check`, `scripts/bench.sh`, and any downstream
+//! tooling parse. Extend the schema by adding fields or new `type`s —
+//! never by renaming or re-ordering what is pinned here.
+
+use lim_obs::{bench_json_line, Report, SpanRow};
+use std::time::Duration;
+
+#[test]
+fn report_json_lines_are_pinned() {
+    let report = Report {
+        source: "golden \"test\"".into(),
+        spans: vec![
+            SpanRow {
+                path: "lim_flow".into(),
+                name: "lim_flow".into(),
+                depth: 0,
+                calls: 1,
+                total: Duration::from_nanos(1_234_567),
+            },
+            SpanRow {
+                path: "lim_flow/physical".into(),
+                name: "physical".into(),
+                depth: 1,
+                calls: 3,
+                total: Duration::from_nanos(987_654),
+            },
+        ],
+        counters: vec![("place.moves".into(), 4096), ("route.nets".into(), 128)],
+        gauges: vec![("flow.fmax_ghz".into(), 1.25)],
+    };
+    let expected = "\
+{\"type\":\"meta\",\"schema\":\"lim-obs-v1\",\"source\":\"golden \\\"test\\\"\"}
+{\"type\":\"span\",\"path\":\"lim_flow\",\"name\":\"lim_flow\",\"depth\":0,\"calls\":1,\"total_ns\":1234567}
+{\"type\":\"span\",\"path\":\"lim_flow/physical\",\"name\":\"physical\",\"depth\":1,\"calls\":3,\"total_ns\":987654}
+{\"type\":\"counter\",\"name\":\"place.moves\",\"value\":4096}
+{\"type\":\"counter\",\"name\":\"route.nets\",\"value\":128}
+{\"type\":\"gauge\",\"name\":\"flow.fmax_ghz\",\"value\":1.25}
+";
+    assert_eq!(report.to_json_lines(), expected);
+}
+
+#[test]
+fn bench_line_is_pinned() {
+    let line = bench_json_line(
+        "physical_flow",
+        "flow/sram_1kx8",
+        Duration::from_nanos(1_000),
+        Duration::from_nanos(1_500),
+        Duration::from_nanos(2_000),
+        50,
+        12,
+    );
+    assert_eq!(
+        line,
+        "{\"type\":\"bench\",\"suite\":\"physical_flow\",\"name\":\"flow/sram_1kx8\",\
+         \"min_ns\":1000,\"median_ns\":1500,\"p95_ns\":2000,\"samples\":50,\"iters\":12}"
+    );
+}
+
+#[test]
+fn empty_report_still_emits_meta() {
+    let report = Report {
+        source: "empty".into(),
+        spans: vec![],
+        counters: vec![],
+        gauges: vec![],
+    };
+    assert_eq!(
+        report.to_json_lines(),
+        "{\"type\":\"meta\",\"schema\":\"lim-obs-v1\",\"source\":\"empty\"}\n"
+    );
+}

@@ -15,6 +15,7 @@ use lim_brick::BrickLibrary;
 use lim_rtl::{Netlist, SwitchingActivity};
 use lim_tech::units::{Femtojoules, Megahertz, Microns, Picoseconds, SquareMicrons};
 use lim_tech::Technology;
+use std::time::Duration;
 
 /// Options controlling one flow run.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +50,41 @@ impl Default for FlowOptions {
     }
 }
 
+/// Per-stage wall-clock timings and effort counters for one flow run.
+///
+/// Durations are always measured (one `Instant` pair per stage), so
+/// they are valid whether or not `lim-obs` collection is enabled; when
+/// it is, the same stages also appear as spans named `floorplan`,
+/// `place`, `route`, `sta`, `clock_tree` and `power` under `physical`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Time in [`Floorplan::build`].
+    pub floorplan: Duration,
+    /// Time in placement annealing.
+    pub place: Duration,
+    /// Time in route estimation.
+    pub route: Duration,
+    /// Time in static timing analysis.
+    pub sta: Duration,
+    /// Time in clock-tree synthesis.
+    pub clock_tree: Duration,
+    /// Time in power analysis.
+    pub power: Duration,
+    /// Annealing moves attempted by the placer.
+    pub place_moves: usize,
+    /// Nets the router estimated.
+    pub nets_routed: usize,
+    /// Timing endpoints STA evaluated.
+    pub sta_endpoints: usize,
+}
+
+impl FlowStats {
+    /// Sum of all stage durations.
+    pub fn total(&self) -> Duration {
+        self.floorplan + self.place + self.route + self.sta + self.clock_tree + self.power
+    }
+}
+
 /// Complete result of physically synthesizing one block.
 #[derive(Debug, Clone)]
 pub struct BlockReport {
@@ -76,6 +112,8 @@ pub struct BlockReport {
     pub timing: TimingReport,
     /// Clock-tree estimate (`None` for purely combinational designs).
     pub clock_tree: Option<ClockTreeReport>,
+    /// Per-stage timings and effort counters.
+    pub stats: FlowStats,
 }
 
 /// The physical synthesis engine.
@@ -98,11 +136,18 @@ impl<'a> PhysicalSynthesis<'a> {
     /// Propagates any stage failure (floorplan fit, validation, missing
     /// library entries, timing without endpoints).
     pub fn run(&self, netlist: &Netlist, options: &FlowOptions) -> Result<BlockReport, PhysicalError> {
-        let (fp, placement, routes, timing) = self.run_to_timing(netlist, options)?;
+        let _span = lim_obs::Span::enter("physical");
+        lim_obs::counter_add("flow.blocks", 1);
+        let mut stats = FlowStats::default();
+        let (fp, placement, routes, timing) = self.stages(netlist, options, &mut stats)?;
 
         // Clock-tree synthesis: refine the clock load for power and fold
         // insertion skew into the reported period margin.
-        let clock_tree = clock::build(self.tech, netlist, &placement, &fp, self.library)?;
+        let (clock_tree, elapsed) = lim_obs::timed("clock_tree", || {
+            clock::build(self.tech, netlist, &placement, &fp, self.library)
+        });
+        stats.clock_tree = elapsed;
+        let clock_tree = clock_tree?;
         let clock_cap = clock_tree.as_ref().map(|ct| {
             let fallback = netlist
                 .clock()
@@ -114,16 +159,20 @@ impl<'a> PhysicalSynthesis<'a> {
         let activity = options.activity.clone().unwrap_or_else(|| {
             SwitchingActivity::uniform(netlist.net_count(), options.default_toggle_rate, 100)
         });
-        let power = power::analyze(
-            self.tech,
-            netlist,
-            &routes,
-            &activity,
-            self.library,
-            timing.fmax,
-            &options.macro_activity,
-            clock_cap,
-        )?;
+        let (power, elapsed) = lim_obs::timed("power", || {
+            power::analyze(
+                self.tech,
+                netlist,
+                &routes,
+                &activity,
+                self.library,
+                timing.fmax,
+                &options.macro_activity,
+                clock_cap,
+            )
+        });
+        stats.power = elapsed;
+        let power = power?;
 
         Ok(BlockReport {
             name: netlist.name().to_owned(),
@@ -138,6 +187,7 @@ impl<'a> PhysicalSynthesis<'a> {
             power,
             timing,
             clock_tree,
+            stats,
         })
     }
 
@@ -152,10 +202,43 @@ impl<'a> PhysicalSynthesis<'a> {
         netlist: &Netlist,
         options: &FlowOptions,
     ) -> Result<(Floorplan, Placement, Vec<NetRoute>, TimingReport), PhysicalError> {
-        let fp = Floorplan::build(self.tech, netlist, self.library, &options.floorplan)?;
-        let placement = place(self.tech, netlist, &fp, options.seed, options.effort)?;
-        let routes = route::estimate(self.tech, netlist, &placement, &fp, self.library)?;
-        let timing = sta::analyze(self.tech, netlist, &routes, self.library, options.input_slew)?;
+        self.stages(netlist, options, &mut FlowStats::default())
+    }
+
+    /// Floorplan → place → route → STA, timing each stage into `stats`.
+    fn stages(
+        &self,
+        netlist: &Netlist,
+        options: &FlowOptions,
+        stats: &mut FlowStats,
+    ) -> Result<(Floorplan, Placement, Vec<NetRoute>, TimingReport), PhysicalError> {
+        let (fp, elapsed) = lim_obs::timed("floorplan", || {
+            Floorplan::build(self.tech, netlist, self.library, &options.floorplan)
+        });
+        stats.floorplan = elapsed;
+        let fp = fp?;
+
+        let (placement, elapsed) = lim_obs::timed("place", || {
+            place(self.tech, netlist, &fp, options.seed, options.effort)
+        });
+        stats.place = elapsed;
+        let placement = placement?;
+        stats.place_moves = placement.moves;
+
+        let (routes, elapsed) = lim_obs::timed("route", || {
+            route::estimate(self.tech, netlist, &placement, &fp, self.library)
+        });
+        stats.route = elapsed;
+        let routes = routes?;
+        stats.nets_routed = routes.len();
+
+        let (timing, elapsed) = lim_obs::timed("sta", || {
+            sta::analyze(self.tech, netlist, &routes, self.library, options.input_slew)
+        });
+        stats.sta = elapsed;
+        let timing = timing?;
+        stats.sta_endpoints = timing.endpoints;
+
         Ok((fp, placement, routes, timing))
     }
 }
@@ -179,6 +262,12 @@ mod tests {
         assert!(rep.power.total().value() > 0.0);
         assert!(rep.wirelength.value() > 0.0);
         assert_eq!(rep.guard_area.value(), 0.0);
+        // Stage stats are populated regardless of the obs enable flag.
+        assert!(rep.stats.place_moves > 0);
+        assert!(rep.stats.nets_routed > 0);
+        assert!(rep.stats.sta_endpoints > 0);
+        assert_eq!(rep.stats.sta_endpoints, rep.timing.endpoints);
+        assert!(rep.stats.total() > Duration::ZERO);
     }
 
     #[test]

@@ -53,5 +53,5 @@ pub mod svg;
 
 pub use clock::ClockTreeReport;
 pub use error::PhysicalError;
-pub use flow::{BlockReport, FlowOptions, PhysicalSynthesis};
+pub use flow::{BlockReport, FlowOptions, FlowStats, PhysicalSynthesis};
 pub use sta::TimingReport;

@@ -280,6 +280,7 @@ pub fn place(
         cell_pos[ci] = Some(slots[slot_of[ord]]);
     }
 
+    lim_obs::counter_add("place.moves", n_moves as u64);
     Ok(Placement {
         cell_pos,
         macro_centers,

@@ -94,6 +94,7 @@ pub fn estimate(
             pin_cap: Femtofarads::new(pin_cap),
         });
     }
+    lim_obs::counter_add("route.nets", routes.len() as u64);
     Ok(routes)
 }
 

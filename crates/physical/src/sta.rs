@@ -42,6 +42,8 @@ pub struct TimingReport {
     /// Worst hold slack over all clocked endpoints (positive = clean;
     /// `None` when the design has no clocked endpoint).
     pub worst_hold_slack: Option<Picoseconds>,
+    /// Number of timing endpoints evaluated.
+    pub endpoints: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -212,6 +214,7 @@ pub fn analyze(
             });
         }
     }
+    lim_obs::counter_add("sta.endpoints", endpoints.len() as u64);
     let worst = endpoints
         .iter()
         .max_by(|a, b| a.required.total_cmp(&b.required))
@@ -320,6 +323,7 @@ pub fn analyze(
         worst_arrival: Picoseconds::new(worst.required),
         critical_path: path,
         worst_hold_slack: worst_hold_slack.map(Picoseconds::new),
+        endpoints: endpoints.len(),
     })
 }
 

@@ -34,12 +34,25 @@ pub const FANOUT_BUDGET: usize = 8;
 ///
 /// Propagates validation failures on the input netlist.
 pub fn optimize(netlist: &Netlist) -> Result<(Netlist, OptimizeStats), RtlError> {
+    let _span = lim_obs::Span::enter("map");
     netlist.validate()?;
     let mut stats = OptimizeStats::default();
     let mut n = netlist.clone();
-    stats.constants_folded = fold_constants(&mut n)?;
-    stats.dead_removed = sweep_dead(&mut n);
-    stats.buffers_inserted = buffer_fanout(&mut n);
+    {
+        let _pass = lim_obs::Span::enter("fold_constants");
+        stats.constants_folded = fold_constants(&mut n)?;
+    }
+    {
+        let _pass = lim_obs::Span::enter("sweep_dead");
+        stats.dead_removed = sweep_dead(&mut n);
+    }
+    {
+        let _pass = lim_obs::Span::enter("buffer_fanout");
+        stats.buffers_inserted = buffer_fanout(&mut n);
+    }
+    lim_obs::counter_add("map.constants_folded", stats.constants_folded as u64);
+    lim_obs::counter_add("map.dead_removed", stats.dead_removed as u64);
+    lim_obs::counter_add("map.buffers_inserted", stats.buffers_inserted as u64);
     n.validate()?;
     Ok((n, stats))
 }

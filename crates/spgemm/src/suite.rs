@@ -40,47 +40,49 @@ pub enum SuiteScale {
 }
 
 /// Builds the Fig. 6 suite, ordered roughly by expected LiM advantage.
+///
+/// Each matrix generation is timed under a `suite_gen/<name>` span, so
+/// an obs report shows where suite construction time goes.
 pub fn fig6_suite(scale: SuiteScale) -> Vec<Benchmark> {
+    let _span = lim_obs::Span::enter("suite_gen");
     let f = match scale {
         SuiteScale::Small => 1usize,
         SuiteScale::Full => 4usize,
     };
+    let gen = |name: &'static str, description: &'static str, make: &dyn Fn() -> Csc| {
+        let _gen = lim_obs::Span::enter(name);
+        Benchmark {
+            name,
+            description,
+            matrix: make(),
+        }
+    };
     vec![
-        Benchmark {
-            name: "mesh2d",
-            description: "5-point 2-D mesh Laplacian (regular stencil)",
-            matrix: MatrixGen::mesh_laplacian(16 * f).to_csc(),
-        },
-        Benchmark {
-            name: "banded",
-            description: "banded operator, 9 diagonals",
-            matrix: MatrixGen::banded(256 * f, 4, 101).to_csc(),
-        },
-        Benchmark {
-            name: "er_d8",
-            description: "uniform random digraph, avg degree 8",
-            matrix: MatrixGen::erdos_renyi(256 * f, 8.0, 102).to_csc(),
-        },
-        Benchmark {
-            name: "er_d16",
-            description: "uniform random digraph, avg degree 16",
-            matrix: MatrixGen::erdos_renyi(256 * f, 16.0, 103).to_csc(),
-        },
-        Benchmark {
-            name: "rmat",
-            description: "R-MAT power-law graph (a=0.57)",
-            matrix: MatrixGen::rmat(256 * f, 16 * 256 * f, 0.57, 0.19, 0.19, 104).to_csc(),
-        },
-        Benchmark {
-            name: "blocks",
-            description: "block-diagonal contraction tiles (64x64, 60% fill)",
-            matrix: MatrixGen::block_diagonal(256 * f, 64, 0.6, 105).to_csc(),
-        },
-        Benchmark {
-            name: "hubs",
-            description: "sparse graph with dense hub columns",
-            matrix: MatrixGen::hub(256 * f, 6.0, 4, 192 * f, 106).to_csc(),
-        },
+        gen(
+            "mesh2d",
+            "5-point 2-D mesh Laplacian (regular stencil)",
+            &|| MatrixGen::mesh_laplacian(16 * f).to_csc(),
+        ),
+        gen("banded", "banded operator, 9 diagonals", &|| {
+            MatrixGen::banded(256 * f, 4, 101).to_csc()
+        }),
+        gen("er_d8", "uniform random digraph, avg degree 8", &|| {
+            MatrixGen::erdos_renyi(256 * f, 8.0, 102).to_csc()
+        }),
+        gen("er_d16", "uniform random digraph, avg degree 16", &|| {
+            MatrixGen::erdos_renyi(256 * f, 16.0, 103).to_csc()
+        }),
+        gen("rmat", "R-MAT power-law graph (a=0.57)", &|| {
+            MatrixGen::rmat(256 * f, 16 * 256 * f, 0.57, 0.19, 0.19, 104).to_csc()
+        }),
+        gen(
+            "blocks",
+            "block-diagonal contraction tiles (64x64, 60% fill)",
+            &|| MatrixGen::block_diagonal(256 * f, 64, 0.6, 105).to_csc(),
+        ),
+        gen("hubs", "sparse graph with dense hub columns", &|| {
+            MatrixGen::hub(256 * f, 6.0, 4, 192 * f, 106).to_csc()
+        }),
     ]
 }
 

@@ -12,6 +12,18 @@
 //! benchmark body runs exactly once as a smoke test, so bench targets
 //! stay cheap in the test suite but are still compiled and exercised.
 //!
+//! # Machine-readable output
+//!
+//! When the `LIM_BENCH_OUT` environment variable names a file, every
+//! measured benchmark appends one `lim-obs-v1` `bench` JSON line to it
+//! (see [`lim_obs::bench_json_line`]); `scripts/bench.sh` uses this to
+//! assemble `BENCH_report.json`. Two more variables trim measurement
+//! cost for CI smoke runs: `LIM_BENCH_SAMPLES` overrides every sample
+//! count (clamped to >= 2) and `LIM_BENCH_WARMUP_MS` overrides the
+//! warmup duration. Deliberately distinct from `LIM_OBS_OUT`: writing a
+//! bench report does NOT flip on obs span/counter collection inside the
+//! measured code.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -37,8 +49,21 @@ pub const DEFAULT_SAMPLE_SIZE: usize = 50;
 /// Target duration of one auto-batched sample.
 const TARGET_SAMPLE: Duration = Duration::from_micros(200);
 
-/// Warmup duration before sampling begins.
+/// Warmup duration before sampling begins (`LIM_BENCH_WARMUP_MS`
+/// overrides it).
 const WARMUP: Duration = Duration::from_millis(60);
+
+/// Environment variable naming the file measured results are appended
+/// to as `lim-obs-v1` `bench` JSON lines.
+pub const ENV_BENCH_OUT: &str = "LIM_BENCH_OUT";
+/// Environment variable overriding every sample count (clamped >= 2).
+pub const ENV_BENCH_SAMPLES: &str = "LIM_BENCH_SAMPLES";
+/// Environment variable overriding the warmup duration in milliseconds.
+pub const ENV_BENCH_WARMUP_MS: &str = "LIM_BENCH_WARMUP_MS";
+
+fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok()?.parse().ok()
+}
 
 /// Top-level harness: owns the run mode and prints the report.
 #[derive(Debug)]
@@ -52,6 +77,8 @@ pub struct Bench {
     filter: Option<String>,
     ran: usize,
     skipped: usize,
+    /// Measured results, in run order, for the JSON report.
+    records: Vec<(String, Report)>,
 }
 
 impl Bench {
@@ -78,6 +105,7 @@ impl Bench {
             filter,
             ran: 0,
             skipped: 0,
+            records: Vec::new(),
         }
     }
 
@@ -99,12 +127,53 @@ impl Bench {
         }
     }
 
-    /// Prints the closing summary. Call last in `main`.
+    /// Prints the closing summary and, when `LIM_BENCH_OUT` names a
+    /// file, appends one `bench` JSON line per measured benchmark. Call
+    /// last in `main`.
     pub fn finish(self) {
         eprintln!(
             "## {}: {} benchmark(s) run, {} filtered out",
             self.title, self.ran, self.skipped
         );
+        let Ok(path) = std::env::var(ENV_BENCH_OUT) else {
+            return;
+        };
+        if path.is_empty() || self.records.is_empty() {
+            return;
+        }
+        if let Err(e) = self.write_json(&path) {
+            eprintln!("## {}: cannot write {path}: {e}", self.title);
+            std::process::exit(1);
+        }
+        eprintln!(
+            "## {}: appended {} bench line(s) to {path}",
+            self.title,
+            self.records.len()
+        );
+    }
+
+    fn write_json(&self, path: &str) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        for (name, r) in &self.records {
+            writeln!(
+                file,
+                "{}",
+                lim_obs::bench_json_line(
+                    &self.title,
+                    name,
+                    r.min,
+                    r.median,
+                    r.p95,
+                    r.samples,
+                    r.iters_per_sample,
+                )
+            )?;
+        }
+        Ok(())
     }
 
     fn run<F>(&mut self, name: &str, sample_size: usize, mut f: F)
@@ -118,6 +187,11 @@ impl Bench {
             }
         }
         self.ran += 1;
+        // CI smoke runs clamp every benchmark to a tiny sample count.
+        let sample_size = match env_parse::<usize>(ENV_BENCH_SAMPLES) {
+            Some(n) => n.max(2),
+            None => sample_size,
+        };
         let mut bencher = Bencher {
             measure: self.measure,
             sample_size,
@@ -125,14 +199,17 @@ impl Bench {
         };
         f(&mut bencher);
         match bencher.report {
-            Some(r) => eprintln!(
-                "{name:<44} min {:>10}  median {:>10}  p95 {:>10}  ({} samples x {} iters)",
-                fmt_duration(r.min),
-                fmt_duration(r.median),
-                fmt_duration(r.p95),
-                r.samples,
-                r.iters_per_sample,
-            ),
+            Some(r) => {
+                eprintln!(
+                    "{name:<44} min {:>10}  median {:>10}  p95 {:>10}  ({} samples x {} iters)",
+                    fmt_duration(r.min),
+                    fmt_duration(r.median),
+                    fmt_duration(r.p95),
+                    r.samples,
+                    r.iters_per_sample,
+                );
+                self.records.push((name.to_string(), r));
+            }
             None if self.measure => eprintln!("{name:<44} (no Bencher::iter call)"),
             None => eprintln!("{name:<44} ok (smoke)"),
         }
@@ -211,8 +288,12 @@ impl Bencher {
         let once = t0.elapsed().max(Duration::from_nanos(1));
         let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
         // Warmup.
+        let warmup = match env_parse::<u64>(ENV_BENCH_WARMUP_MS) {
+            Some(ms) => Duration::from_millis(ms),
+            None => WARMUP,
+        };
         let warm_start = Instant::now();
-        while warm_start.elapsed() < WARMUP {
+        while warm_start.elapsed() < warmup {
             black_box(f());
         }
         // Sample.
@@ -281,6 +362,38 @@ mod tests {
         assert!(r.min <= r.median && r.median <= r.p95);
         assert_eq!(r.samples, 10);
         assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn finish_writes_valid_bench_json() {
+        let bench = Bench {
+            title: "unit_suite".to_string(),
+            measure: true,
+            filter: None,
+            ran: 1,
+            skipped: 0,
+            records: vec![(
+                "group/case".to_string(),
+                Report {
+                    min: Duration::from_nanos(100),
+                    median: Duration::from_nanos(150),
+                    p95: Duration::from_nanos(220),
+                    samples: 10,
+                    iters_per_sample: 4,
+                },
+            )],
+        };
+        let path = std::env::temp_dir().join(format!(
+            "lim_bench_json_test_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        bench.write_json(path.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(lim_obs::json::validate_lines(&text), Ok(1));
+        assert!(text.contains("\"suite\":\"unit_suite\""), "{text}");
+        assert!(text.contains("\"median_ns\":150"), "{text}");
     }
 
     #[test]

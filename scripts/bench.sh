@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Runs the full bench suite and writes a machine-readable report
+# (`lim-obs-v1` JSON lines) to BENCH_report.json in the repo root, then
+# validates the report with the in-tree `obs_check` binary.
+#
+#   scripts/bench.sh           full run (default sample counts)
+#   scripts/bench.sh --smoke   fast validity check: 2 samples, no warmup
+#
+# The report path can be overridden with BENCH_OUT=/path/to/file.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with cwd at the package
+# root, so a relative LIM_BENCH_OUT would scatter files across crates/.
+out="${BENCH_OUT:-BENCH_report.json}"
+case "$out" in
+    /*) ;;
+    *) out="$PWD/$out" ;;
+esac
+rm -f "$out"
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    export LIM_BENCH_SAMPLES=2
+    export LIM_BENCH_WARMUP_MS=0
+fi
+
+LIM_BENCH_OUT="$out" cargo bench --workspace --offline
+
+cargo run --release --offline -q -p lim-obs --bin obs_check -- "$out" --require-bench

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the whole repo must build, test, and lint clean with no
-# network access. Run from the repo root.
+# network access, and the bench harness must produce a schema-valid
+# report. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
-cargo clippy --offline -- -D warnings
+cargo clippy --workspace --all-targets --offline -- -D warnings
+./scripts/bench.sh --smoke

@@ -1,0 +1,59 @@
+//! Cross-crate observability test: a full LimFlow run with `lim-obs`
+//! enabled must emit the documented stage-span tree (floorplan, place,
+//! route, STA, power under `physical`) with nonzero counters, and the
+//! captured report must serialize to schema-valid `lim-obs-v1` JSON
+//! lines.
+
+use lim::flow::LimFlow;
+use lim::sram::SramConfig;
+use lim_obs::Report;
+
+#[test]
+fn full_flow_emits_stage_span_tree_and_counters() {
+    lim_obs::set_enabled(true);
+    lim_obs::reset();
+
+    let mut flow = LimFlow::cmos65();
+    let cfg = SramConfig::new(64, 10, 2, 16).unwrap();
+    let block = flow.synthesize_sram(&cfg).unwrap();
+    assert!(block.report.fmax.value() > 0.0);
+
+    let report = Report::capture_as("observability-test");
+
+    // The stage-span tree: every physical stage of the paper's Fig. 2
+    // flow shows up, nested under lim_flow/physical, with >=1 call and
+    // nonzero accumulated time at the root.
+    let root = report.span("lim_flow").expect("lim_flow root span");
+    assert_eq!(root.depth, 0);
+    assert!(root.calls >= 1);
+    assert!(root.total.as_nanos() > 0, "root span has no time");
+    report.span("lim_flow/generate").expect("generate span");
+    report.span("lim_flow/map").expect("map span");
+    for stage in ["floorplan", "place", "route", "sta", "clock_tree", "power"] {
+        let path = format!("lim_flow/physical/{stage}");
+        let s = report.span(&path).unwrap_or_else(|| panic!("missing {path}"));
+        assert!(s.calls >= 1, "{path} recorded no calls");
+    }
+
+    // Counters from several layers of the stack are nonzero.
+    for counter in [
+        "brick.compiles",
+        "flow.blocks",
+        "place.moves",
+        "route.nets",
+        "sta.endpoints",
+    ] {
+        let v = report
+            .counter(counter)
+            .unwrap_or_else(|| panic!("missing counter {counter}"));
+        assert!(v > 0, "counter {counter} is zero");
+    }
+
+    // The serialized report is valid lim-obs-v1 JSON lines.
+    let lines = report.to_json_lines();
+    let n = lim_obs::json::validate_lines(&lines).expect("valid JSON lines");
+    assert!(n > 10, "expected a substantial report, got {n} lines");
+    assert!(lines.starts_with("{\"type\":\"meta\",\"schema\":\"lim-obs-v1\""));
+
+    lim_obs::reset();
+}
