@@ -7,14 +7,13 @@
 
 use lim_bench::{finish, pct, say, Table};
 use lim_obs::Span;
-use lim_brick::golden::compare;
-use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
+use lim_brick::golden::compare_batch;
+use lim_brick::{BitcellKind, BrickSpec};
 use lim_tech::Technology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = Span::enter("table1");
     let tech = Technology::cmos65();
-    let compiler = BrickCompiler::new(&tech);
 
     let bricks = [
         BrickSpec::new(BitcellKind::Sram8T, 16, 10)?,
@@ -40,22 +39,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
 
-    for spec in &bricks {
-        let brick = compiler.compile(spec)?;
-        for &stack in &stacks {
-            let cmp = compare(&brick, stack)?;
-            table.add_row(&[
-                format!("{}x{}b", spec.words(), spec.bits()),
-                format!("{stack}x"),
-                format!("{:.0}", cmp.tool.read_delay.value()),
-                format!("{:.0}", cmp.golden.read_delay.value()),
-                pct(cmp.delay_error()),
-                format!("{:.2}", cmp.tool.read_energy.to_picojoules().value()),
-                format!("{:.2}", cmp.golden.read_energy.to_picojoules().value()),
-                pct(cmp.read_energy_error()),
-                pct(cmp.write_energy_error()),
-            ]);
-        }
+    let configs: Vec<(BrickSpec, usize)> = bricks
+        .iter()
+        .flat_map(|&spec| stacks.iter().map(move |&stack| (spec, stack)))
+        .collect();
+    let results = compare_batch(&tech, &configs)?;
+    for ((spec, stack), cmp) in configs.iter().zip(&results) {
+        table.add_row(&[
+            format!("{}x{}b", spec.words(), spec.bits()),
+            format!("{stack}x"),
+            format!("{:.0}", cmp.tool.read_delay.value()),
+            format!("{:.0}", cmp.golden.read_delay.value()),
+            pct(cmp.delay_error()),
+            format!("{:.2}", cmp.tool.read_energy.to_picojoules().value()),
+            format!("{:.2}", cmp.golden.read_energy.to_picojoules().value()),
+            pct(cmp.read_energy_error()),
+            pct(cmp.write_energy_error()),
+        ]);
     }
     drop(run);
     finish("table1");

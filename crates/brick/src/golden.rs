@@ -155,11 +155,13 @@ pub fn measure_bank(brick: &CompiledBrick, stack: usize) -> Result<GoldenMeasure
         half,
     );
 
-    // Simulation window sized from the analytic estimate.
+    // Simulation window sized from the analytic estimate. Only the two
+    // crossing-measurement nodes need waveforms; energies come from
+    // per-node final voltages, which `run_probed` keeps for every node.
     let est = brick.estimate_bank(stack)?;
     let t_end = Picoseconds::new(est.read_delay.value() * 3.0 + 300.0);
     let dt = Picoseconds::new((est.read_delay.value() / 3000.0).clamp(0.02, 0.5));
-    let res = TransientSim::new(&ckt).run(t_end, dt)?;
+    let res = TransientSim::new(&ckt).run_probed(&[arbl_far, wl_far], t_end, dt)?;
 
     let t_array = res
         .cross_time(arbl_far, half, Edge::Falling)
@@ -222,7 +224,7 @@ pub fn measure_bank(brick: &CompiledBrick, stack: usize) -> Result<GoldenMeasure
 
     let w_end = Picoseconds::new(est.write_delay.value() * 3.0 + 300.0);
     let wdt = Picoseconds::new((est.write_delay.value() / 3000.0).clamp(0.02, 0.5));
-    let wres = TransientSim::new(&wckt).run(w_end, wdt)?;
+    let wres = TransientSim::new(&wckt).run_probed(&[cell_int], w_end, wdt)?;
     let t_cell_written = wres
         .cross_time(cell_int, half, Edge::Rising)
         .ok_or(BrickError::Golden(lim_circuit::CircuitError::BadTimeStep {
@@ -295,6 +297,41 @@ pub fn compare(brick: &CompiledBrick, stack: usize) -> Result<ToolVsGolden, Bric
     })
 }
 
+/// Validates a whole batch of `(spec, stack)` configurations — the
+/// Table 1 workload — fanning the per-configuration golden transients
+/// across the `lim-par` pool. Each spec is compiled once on the calling
+/// thread (compilation is cheap and cached work is shared); the
+/// expensive transient solves run in parallel. Results come back in
+/// input order regardless of worker count.
+///
+/// # Errors
+///
+/// Propagates the first compiler, estimator or golden failure in input
+/// order.
+pub fn compare_batch(
+    tech: &lim_tech::Technology,
+    configs: &[(BrickSpec, usize)],
+) -> Result<Vec<ToolVsGolden>, BrickError> {
+    let _span = lim_obs::Span::enter("golden_batch");
+    let compiler = crate::compiler::BrickCompiler::new(tech);
+    let mut jobs = Vec::with_capacity(configs.len());
+    let mut compiled: Vec<(BrickSpec, CompiledBrick)> = Vec::new();
+    for &(spec, stack) in configs {
+        let brick = match compiled.iter().find(|(s, _)| *s == spec) {
+            Some((_, b)) => b.clone(),
+            None => {
+                let b = compiler.compile(&spec)?;
+                compiled.push((spec, b.clone()));
+                b
+            }
+        };
+        jobs.push((brick, stack));
+    }
+    lim_par::par_map(jobs, |(brick, stack)| compare(&brick, stack))
+        .into_iter()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +362,21 @@ mod tests {
         let g8 = measure_bank(&b, 8).unwrap();
         assert!(g8.read_delay > g1.read_delay);
         assert!(g8.read_energy > g1.read_energy);
+    }
+
+    #[test]
+    fn compare_batch_matches_sequential_compare() {
+        let tech = Technology::cmos65();
+        let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
+        let configs = [(spec, 1usize), (spec, 4)];
+        let batch = compare_batch(&tech, &configs).unwrap();
+        assert_eq!(batch.len(), 2);
+        let brick = compiled(16, 10);
+        for (got, &(_, stack)) in batch.iter().zip(&configs) {
+            let want = compare(&brick, stack).unwrap();
+            assert_eq!(got.golden, want.golden, "stack {stack}");
+            assert_eq!(got.tool, want.tool, "stack {stack}");
+        }
     }
 
     #[test]

@@ -91,14 +91,28 @@ impl BrickLibrary {
         specs: &[BrickSpec],
         stacks: &[usize],
     ) -> Result<Self, BrickError> {
+        let _span = lim_obs::Span::enter("library_generate");
         let compiler = BrickCompiler::new(tech);
+        // One job per spec: compile + characterize every stack count.
+        // Specs are independent, so they fan across the pool; per_spec
+        // preserves input order, keeping entry order (and thus library
+        // serialization) identical for any worker count.
+        let per_spec = lim_par::par_map(
+            specs.to_vec(),
+            |spec| -> Result<(CompiledBrick, Vec<LibraryEntry>), BrickError> {
+                let brick = compiler.compile(&spec)?;
+                let entries = stacks
+                    .iter()
+                    .map(|&stack| Self::entry(&brick, stack))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((brick, entries))
+            },
+        );
         let mut entries = Vec::with_capacity(specs.len() * stacks.len());
         let mut compiled = Vec::with_capacity(specs.len());
-        for spec in specs {
-            let brick = compiler.compile(spec)?;
-            for &stack in stacks {
-                entries.push(Self::entry(&brick, stack)?);
-            }
+        for result in per_spec {
+            let (brick, mut spec_entries) = result?;
+            entries.append(&mut spec_entries);
             compiled.push(brick);
         }
         Ok(BrickLibrary {

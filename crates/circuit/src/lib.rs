@@ -45,6 +45,7 @@ pub mod elmore;
 pub mod error;
 pub mod extract;
 pub mod netlist;
+pub mod sparse;
 pub mod transient;
 pub mod vcd;
 pub mod waveform;
@@ -52,5 +53,5 @@ pub mod waveform;
 pub use elmore::RcTree;
 pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId, SourceId, SwitchId};
-pub use transient::{TransientResult, TransientSim};
+pub use transient::{SolverKind, TransientResult, TransientSim};
 pub use waveform::{Edge, Waveform};

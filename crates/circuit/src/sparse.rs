@@ -1,0 +1,262 @@
+//! Sparse-structure support for the transient solver.
+//!
+//! The backward-Euler system matrix `G + C/Δt` of an extracted memory
+//! array is sparse and, after node reordering, nearly banded: wordlines,
+//! bitlines and RC ladders are chains, and drivers/switches attach at
+//! chain ends. This module supplies the two pieces the solver needs to
+//! exploit that:
+//!
+//! * [`rcm_order`] — a reverse Cuthill–McKee ordering of the circuit's
+//!   connectivity graph, which compresses chain-structured systems to
+//!   half-bandwidth 1 regardless of node insertion order;
+//! * [`Banded`] — a banded matrix with an in-place LU factorization
+//!   (no pivoting; the stamped systems are symmetric and diagonally
+//!   dominant, for which elimination without pivoting is stable) and an
+//!   in-place triangular solve.
+//!
+//! Factoring a half-bandwidth-`k` system costs `O(n·k²)` and each solve
+//! `O(n·k)`, versus `O(n³)` / `O(n²)` for the dense path — a ~100×
+//! reduction for the tridiagonal-ish ladders the golden flow simulates.
+
+/// Undirected adjacency lists over `n` nodes built from an edge
+/// iterator. Self-loops are ignored; duplicate edges are deduplicated.
+pub fn adjacency(n: usize, edges: impl Iterator<Item = (usize, usize)>) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for (a, b) in edges {
+        if a == b || a >= n || b >= n {
+            continue;
+        }
+        if !adj[a].contains(&b) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+    }
+    adj
+}
+
+/// Reverse Cuthill–McKee ordering: returns `order` with
+/// `order[position] = original node index`. Disconnected components are
+/// each seeded from their minimum-degree node.
+pub fn rcm_order(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    loop {
+        // Seed the next component from the lowest-degree unvisited node.
+        let seed = (0..n)
+            .filter(|&i| !visited[i])
+            .min_by_key(|&i| (adj[i].len(), i));
+        let Some(seed) = seed else { break };
+        visited[seed] = true;
+        queue.push_back(seed);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let mut next: Vec<usize> = adj[u].iter().copied().filter(|&v| !visited[v]).collect();
+            next.sort_unstable_by_key(|&v| (adj[v].len(), v));
+            for v in next {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Inverts an ordering: `pos[node] = position of node in order`.
+pub fn positions(order: &[usize]) -> Vec<usize> {
+    let mut pos = vec![0usize; order.len()];
+    for (p, &node) in order.iter().enumerate() {
+        pos[node] = p;
+    }
+    pos
+}
+
+/// Half-bandwidth of the permuted matrix: `max |pos[a] − pos[b]|` over
+/// all edges (0 for a diagonal system).
+pub fn half_bandwidth(adj: &[Vec<usize>], pos: &[usize]) -> usize {
+    let mut k = 0usize;
+    for (a, neighbours) in adj.iter().enumerate() {
+        for &b in neighbours {
+            k = k.max(pos[a].abs_diff(pos[b]));
+        }
+    }
+    k
+}
+
+/// A square banded matrix of half-bandwidth `k`, stored row-major with
+/// `2k+1` slots per row. Doubles as its own LU container after
+/// [`Banded::factor`].
+#[derive(Debug, Clone)]
+pub struct Banded {
+    n: usize,
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl Banded {
+    /// An `n×n` zero matrix of half-bandwidth `k`.
+    pub fn zeros(n: usize, k: usize) -> Banded {
+        Banded {
+            n,
+            k,
+            data: vec![0.0; n * (2 * k + 1)],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Half-bandwidth.
+    pub fn half_bandwidth(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i.abs_diff(j) <= self.k, "({i},{j}) outside band k={}", self.k);
+        i * (2 * self.k + 1) + (j + self.k - i)
+    }
+
+    /// Entry `(i, j)`; must lie within the band.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.idx(i, j)]
+    }
+
+    /// Adds `v` to entry `(i, j)`; must lie within the band.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        let idx = self.idx(i, j);
+        self.data[idx] += v;
+    }
+
+    /// In-place LU factorization without pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending column when a pivot magnitude falls below
+    /// `1e-18` (a singular system, e.g. a floating node).
+    pub fn factor(&mut self) -> Result<(), usize> {
+        let (n, k) = (self.n, self.k);
+        for col in 0..n {
+            let pivot = self.get(col, col);
+            if pivot.abs() < 1e-18 {
+                return Err(col);
+            }
+            let row_end = (col + k).min(n.saturating_sub(1));
+            for row in col + 1..=row_end {
+                let factor = self.get(row, col) / pivot;
+                let idx = self.idx(row, col);
+                self.data[idx] = factor;
+                if factor != 0.0 {
+                    for j in col + 1..=row_end {
+                        let u = self.get(col, j);
+                        if u != 0.0 {
+                            let idx = self.idx(row, j);
+                            self.data[idx] -= factor * u;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` in place given a prior [`Banded::factor`].
+    // Indexing both `b[j]` and `self.get(i, j)` by the same in-band
+    // column range reads clearer than iterator chains here.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &mut [f64]) {
+        let (n, k) = (self.n, self.k);
+        debug_assert_eq!(b.len(), n);
+        // Forward-substitute through L (unit diagonal).
+        for i in 0..n {
+            let lo = i.saturating_sub(k);
+            let mut acc = b[i];
+            for j in lo..i {
+                acc -= self.get(i, j) * b[j];
+            }
+            b[i] = acc;
+        }
+        // Back-substitute through U.
+        for i in (0..n).rev() {
+            let hi = (i + k).min(n - 1);
+            let mut acc = b[i];
+            for j in i + 1..=hi {
+                acc -= self.get(i, j) * b[j];
+            }
+            b[i] = acc / self.get(i, i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rcm_compresses_a_chain_with_appended_driver() {
+        // Chain 0-1-2-3 plus a "driver" node 4 attached to node 0 — the
+        // `driven_ladder` shape, whose natural order has bandwidth n−1.
+        let adj = adjacency(5, [(0, 1), (1, 2), (2, 3), (4, 0)].into_iter());
+        let order = rcm_order(&adj);
+        let pos = positions(&order);
+        assert_eq!(half_bandwidth(&adj, &pos), 1);
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components() {
+        let adj = adjacency(6, [(0, 1), (2, 3), (3, 4)].into_iter());
+        let order = rcm_order(&adj);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        assert!(half_bandwidth(&adj, &positions(&order)) <= 1);
+    }
+
+    #[test]
+    fn banded_factor_solve_matches_hand_solution() {
+        // Tridiagonal [[2,-1,0],[-1,2,-1],[0,-1,2]], b = [1,0,1]:
+        // x = [1, 1, 1].
+        let mut a = Banded::zeros(3, 1);
+        for i in 0..3 {
+            a.add(i, i, 2.0);
+        }
+        for i in 0..2 {
+            a.add(i, i + 1, -1.0);
+            a.add(i + 1, i, -1.0);
+        }
+        a.factor().unwrap();
+        let mut b = vec![1.0, 0.0, 1.0];
+        a.solve(&mut b);
+        for x in b {
+            assert!((x - 1.0).abs() < 1e-12, "{x}");
+        }
+    }
+
+    #[test]
+    fn singular_banded_system_reports_column() {
+        let mut a = Banded::zeros(2, 0);
+        a.add(0, 0, 1.0);
+        assert_eq!(a.factor(), Err(1));
+    }
+
+    #[test]
+    fn zero_bandwidth_diagonal_system() {
+        let mut a = Banded::zeros(3, 0);
+        for i in 0..3 {
+            a.add(i, i, (i + 1) as f64);
+        }
+        a.factor().unwrap();
+        let mut b = vec![1.0, 2.0, 3.0];
+        a.solve(&mut b);
+        assert_eq!(b, vec![1.0, 1.0, 1.0]);
+    }
+}

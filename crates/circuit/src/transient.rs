@@ -2,10 +2,20 @@
 //!
 //! The solver discretizes the node equations `C dv/dt = −G v + I(t)` with
 //! the unconditionally stable backward-Euler rule
-//! `(G + C/Δt) v_{n+1} = (C/Δt) v_n + I(t_{n+1})` and solves the dense
+//! `(G + C/Δt) v_{n+1} = (C/Δt) v_n + I(t_{n+1})` and solves the linear
 //! system by LU factorization. The factorization is reused across steps and
 //! refreshed only when a switch changes state (conductance topology
 //! change), which makes long RC-ladder simulations cheap.
+//!
+//! Two factorization backends exist. Extracted memory arrays are chains of
+//! RC segments, so after a reverse Cuthill–McKee reordering of the
+//! connectivity graph ([`crate::sparse`]) the system matrix is banded with
+//! a small half-bandwidth; the banded backend then factors in `O(n·k²)`
+//! and solves each step in `O(n·k)` instead of the dense `O(n³)`/`O(n²)`.
+//! [`SolverKind::Auto`] (the default) picks the banded path whenever the
+//! reordered bandwidth is small enough to win and falls back to dense LU
+//! with partial pivoting otherwise; both paths agree to solver tolerance
+//! and are cross-checked by a property test.
 //!
 //! Supply energy is integrated alongside: every driver's delivered energy
 //! is `∫ v_target · i dt`, which for a full charge of capacitance C to Vdd
@@ -13,19 +23,67 @@
 
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId, SourceId, SwitchControl, SwitchTerminal};
+use crate::sparse::{adjacency, half_bandwidth, positions, rcm_order, Banded};
 use crate::waveform::{Edge, Waveform};
 use lim_tech::units::{Femtojoules, Picoseconds, Volts};
+
+/// Which linear-solver backend a [`TransientSim`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Banded when the RCM-reordered bandwidth is small, dense otherwise.
+    #[default]
+    Auto,
+    /// Always dense LU with partial pivoting.
+    Dense,
+    /// Always banded LU (correct for any circuit, but slower than dense
+    /// when the reordered bandwidth is large).
+    Banded,
+}
 
 /// A transient simulation of a [`Circuit`].
 #[derive(Debug, Clone)]
 pub struct TransientSim<'a> {
     circuit: &'a Circuit,
+    solver: SolverKind,
+}
+
+/// The factorization backend chosen for a run.
+enum Factorization {
+    Dense {
+        /// Static conductance stamp (resistors + source conductances).
+        g_static: Vec<Vec<f64>>,
+        lu: Option<(Vec<Vec<f64>>, Vec<usize>)>,
+    },
+    Banded {
+        /// Static stamp in permuted coordinates, including `C/Δt` on the
+        /// diagonal; cloned and switch-stamped on each refresh.
+        template: Banded,
+        /// `pos[node] = row of node` in the permuted system.
+        pos: Vec<usize>,
+        /// `order[row] = node` (inverse of `pos`).
+        order: Vec<usize>,
+        lu: Option<Banded>,
+        /// Scratch vector for the permuted RHS/solution.
+        scratch: Vec<f64>,
+    },
 }
 
 impl<'a> TransientSim<'a> {
-    /// Prepares a simulation of `circuit`.
+    /// Prepares a simulation of `circuit` with the [`SolverKind::Auto`]
+    /// backend.
     pub fn new(circuit: &'a Circuit) -> Self {
-        TransientSim { circuit }
+        TransientSim {
+            circuit,
+            solver: SolverKind::Auto,
+        }
+    }
+
+    /// Overrides the factorization backend (tests cross-check the dense
+    /// and banded paths against each other through this).
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
     }
 
     /// Integrates from `t = 0` to `t_end` with fixed step `dt`, recording
@@ -38,6 +96,106 @@ impl<'a> TransientSim<'a> {
     ///   path to a driver nor capacitance.
     /// * Any validation error from [`Circuit::validate`].
     pub fn run(&self, t_end: Picoseconds, dt: Picoseconds) -> Result<TransientResult, CircuitError> {
+        self.run_inner(None, t_end, dt)
+    }
+
+    /// Like [`TransientSim::run`], but records waveforms only for the
+    /// `probes` nodes. Final voltages and energies are still available
+    /// for every node, so recharge-energy accounting works unchanged;
+    /// only [`TransientResult::waveform`] (and the crossing/slew helpers
+    /// built on it) is restricted to probed nodes. This keeps golden
+    /// validation from allocating `O(nodes × steps)` traces it never
+    /// reads.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TransientSim::run`].
+    pub fn run_probed(
+        &self,
+        probes: &[NodeId],
+        t_end: Picoseconds,
+        dt: Picoseconds,
+    ) -> Result<TransientResult, CircuitError> {
+        self.run_inner(Some(probes), t_end, dt)
+    }
+
+    /// Builds the factorization backend for this run. `dt_v` is folded
+    /// into the banded template's diagonal (the dense path adds it per
+    /// refresh, matching the original implementation).
+    fn prepare(&self, dt_v: f64) -> Factorization {
+        let ckt = self.circuit;
+        let n = ckt.node_count();
+        // Connectivity includes every switch whether or not it is closed,
+        // so the band structure is valid for all switch states.
+        let edges = ckt
+            .resistors
+            .iter()
+            .map(|r| (r.a, r.b))
+            .chain(ckt.switches.iter().filter_map(|s| match s.b {
+                SwitchTerminal::Node(b) => Some((s.a, b)),
+                SwitchTerminal::Ground => None,
+            }));
+        let adj = adjacency(n, edges);
+        let order = rcm_order(&adj);
+        let pos = positions(&order);
+        let k = half_bandwidth(&adj, &pos);
+        let banded = match self.solver {
+            SolverKind::Dense => false,
+            SolverKind::Banded => true,
+            // Banded factor is O(n·k²) vs dense O(n³) and each step's
+            // solve O(n·k) vs O(n²): worth it once the band is a small
+            // fraction of the matrix. Tiny systems stay dense — the
+            // reordering bookkeeping would dominate.
+            SolverKind::Auto => n >= 8 && 4 * k < n,
+        };
+        if banded {
+            lim_obs::counter_add("transient.banded_runs", 1);
+            let mut template = Banded::zeros(n, k);
+            for r in &ckt.resistors {
+                let g = 1.0 / r.r;
+                let (pa, pb) = (pos[r.a], pos[r.b]);
+                template.add(pa, pa, g);
+                template.add(pb, pb, g);
+                template.add(pa, pb, -g);
+                template.add(pb, pa, -g);
+            }
+            for s in &ckt.sources {
+                let p = pos[s.node];
+                template.add(p, p, 1.0 / s.r_series);
+            }
+            for (i, &c) in ckt.caps.iter().enumerate() {
+                template.add(pos[i], pos[i], c / dt_v);
+            }
+            Factorization::Banded {
+                template,
+                pos,
+                order,
+                lu: None,
+                scratch: vec![0.0; n],
+            }
+        } else {
+            lim_obs::counter_add("transient.dense_runs", 1);
+            let mut g_static = vec![vec![0.0; n]; n];
+            for r in &ckt.resistors {
+                let g = 1.0 / r.r;
+                g_static[r.a][r.a] += g;
+                g_static[r.b][r.b] += g;
+                g_static[r.a][r.b] -= g;
+                g_static[r.b][r.a] -= g;
+            }
+            for s in &ckt.sources {
+                g_static[s.node][s.node] += 1.0 / s.r_series;
+            }
+            Factorization::Dense { g_static, lu: None }
+        }
+    }
+
+    fn run_inner(
+        &self,
+        probes: Option<&[NodeId]>,
+        t_end: Picoseconds,
+        dt: Picoseconds,
+    ) -> Result<TransientResult, CircuitError> {
         self.circuit.validate()?;
         let (dt_v, t_end_v) = (dt.value(), t_end.value());
         if dt_v <= 0.0 || t_end_v < dt_v || !dt_v.is_finite() || !t_end_v.is_finite() {
@@ -52,22 +210,26 @@ impl<'a> TransientSim<'a> {
         let steps = (t_end_v / dt_v).ceil() as usize;
 
         let mut v: Vec<f64> = ckt.initial_v.clone();
-        let mut traces: Vec<Vec<f64>> = (0..n).map(|i| vec![v[i]]).collect();
+        // One trace per probed node (all nodes when `probes` is `None`).
+        let probed: Vec<usize> = match probes {
+            Some(list) => {
+                let mut ids: Vec<usize> = list.iter().map(|p| p.0).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+            None => (0..n).collect(),
+        };
+        let mut traces: Vec<Vec<f64>> = probed
+            .iter()
+            .map(|&i| {
+                let mut t = Vec::with_capacity(steps + 1);
+                t.push(v[i]);
+                t
+            })
+            .collect();
 
-        // Static conductance stamp: resistors + source series conductances.
-        let mut g_static = vec![vec![0.0; n]; n];
-        for r in &ckt.resistors {
-            let g = 1.0 / r.r;
-            g_static[r.a][r.a] += g;
-            g_static[r.b][r.b] += g;
-            g_static[r.a][r.b] -= g;
-            g_static[r.b][r.a] -= g;
-        }
-        for s in &ckt.sources {
-            g_static[s.node][s.node] += 1.0 / s.r_series;
-        }
-
-        let mut lu: Option<(Vec<Vec<f64>>, Vec<usize>)> = None;
+        let mut fact = self.prepare(dt_v);
         let mut prev_switch_state: Option<Vec<bool>> = None;
         // Voltage-controlled switches latch once triggered.
         let mut latched = vec![false; ckt.switches.len()];
@@ -103,26 +265,8 @@ impl<'a> TransientSim<'a> {
                 })
                 .collect();
             if prev_switch_state.as_ref() != Some(&sw_state) {
-                let mut a = g_static.clone();
-                for (sw, closed) in ckt.switches.iter().zip(&sw_state) {
-                    if *closed {
-                        let g = 1.0 / sw.r_on;
-                        match sw.b {
-                            SwitchTerminal::Ground => a[sw.a][sw.a] += g,
-                            SwitchTerminal::Node(b) => {
-                                a[sw.a][sw.a] += g;
-                                a[b][b] += g;
-                                a[sw.a][b] -= g;
-                                a[b][sw.a] -= g;
-                            }
-                        }
-                    }
-                }
-                for (i, row) in a.iter_mut().enumerate() {
-                    row[i] += ckt.caps[i] / dt_v;
-                }
-                let perm = lu_factor(&mut a)?;
-                lu = Some((a, perm));
+                lim_obs::counter_add("transient.refactorizations", 1);
+                refresh(&mut fact, ckt, &sw_state, dt_v)?;
                 prev_switch_state = Some(sw_state);
             }
 
@@ -134,8 +278,7 @@ impl<'a> TransientSim<'a> {
                 rhs[s.node] += s.target_at(t) / s.r_series;
             }
 
-            let (a, perm) = lu.as_ref().expect("factorization exists");
-            lu_solve(a, perm, &rhs, &mut v);
+            solve(&mut fact, &rhs, &mut v);
 
             // Energy delivered by each driver over this step.
             for (k, s) in ckt.sources.iter().enumerate() {
@@ -146,57 +289,162 @@ impl<'a> TransientSim<'a> {
                 supply_energy += e;
             }
 
-            for i in 0..n {
-                traces[i].push(v[i]);
+            for (trace, &i) in traces.iter_mut().zip(&probed) {
+                trace.push(v[i]);
             }
         }
 
-        let waveforms = traces
-            .into_iter()
-            .map(|s| Waveform::new(Picoseconds::ZERO, dt, s))
-            .collect();
+        let mut waveforms: Vec<Option<Waveform>> = (0..n).map(|_| None).collect();
+        for (trace, &i) in traces.into_iter().zip(&probed) {
+            waveforms[i] = Some(Waveform::new(Picoseconds::ZERO, dt, trace));
+        }
 
         Ok(TransientResult {
             waveforms,
+            final_v: v,
             supply_energy: Femtojoules::new(supply_energy),
             source_energy: source_energy.into_iter().map(Femtojoules::new).collect(),
+            banded: matches!(fact, Factorization::Banded { .. }),
         })
     }
 }
 
-/// The outcome of a transient run: one waveform per node plus integrated
-/// supply energy.
+/// Rebuilds the factorization for a new switch population.
+fn refresh(
+    fact: &mut Factorization,
+    ckt: &Circuit,
+    sw_state: &[bool],
+    dt_v: f64,
+) -> Result<(), CircuitError> {
+    match fact {
+        Factorization::Dense { g_static, lu } => {
+            let mut a = g_static.clone();
+            for (sw, closed) in ckt.switches.iter().zip(sw_state) {
+                if *closed {
+                    let g = 1.0 / sw.r_on;
+                    match sw.b {
+                        SwitchTerminal::Ground => a[sw.a][sw.a] += g,
+                        SwitchTerminal::Node(b) => {
+                            a[sw.a][sw.a] += g;
+                            a[b][b] += g;
+                            a[sw.a][b] -= g;
+                            a[b][sw.a] -= g;
+                        }
+                    }
+                }
+            }
+            for (i, row) in a.iter_mut().enumerate() {
+                row[i] += ckt.caps[i] / dt_v;
+            }
+            let perm = lu_factor(&mut a)?;
+            *lu = Some((a, perm));
+            Ok(())
+        }
+        Factorization::Banded {
+            template, pos, lu, ..
+        } => {
+            let mut a = template.clone();
+            for (sw, closed) in ckt.switches.iter().zip(sw_state) {
+                if *closed {
+                    let g = 1.0 / sw.r_on;
+                    let pa = pos[sw.a];
+                    match sw.b {
+                        SwitchTerminal::Ground => a.add(pa, pa, g),
+                        SwitchTerminal::Node(b) => {
+                            let pb = pos[b];
+                            a.add(pa, pa, g);
+                            a.add(pb, pb, g);
+                            a.add(pa, pb, -g);
+                            a.add(pb, pa, -g);
+                        }
+                    }
+                }
+            }
+            a.factor()
+                .map_err(|col| CircuitError::SingularSystem { pivot: col })?;
+            *lu = Some(a);
+            Ok(())
+        }
+    }
+}
+
+/// Solves the current factorization for `rhs`, leaving the node voltages
+/// (original ordering) in `v`.
+fn solve(fact: &mut Factorization, rhs: &[f64], v: &mut [f64]) {
+    match fact {
+        Factorization::Dense { lu, .. } => {
+            let (a, perm) = lu.as_ref().expect("factorization exists");
+            lu_solve(a, perm, rhs, v);
+        }
+        Factorization::Banded {
+            lu, order, scratch, ..
+        } => {
+            let a = lu.as_ref().expect("factorization exists");
+            for (p, &node) in order.iter().enumerate() {
+                scratch[p] = rhs[node];
+            }
+            a.solve(scratch);
+            for (p, &node) in order.iter().enumerate() {
+                v[node] = scratch[p];
+            }
+        }
+    }
+}
+
+/// The outcome of a transient run: one waveform per probed node plus the
+/// final voltage of every node and integrated supply energy.
 #[derive(Debug, Clone)]
 pub struct TransientResult {
-    waveforms: Vec<Waveform>,
+    waveforms: Vec<Option<Waveform>>,
+    final_v: Vec<f64>,
     supply_energy: Femtojoules,
     source_energy: Vec<Femtojoules>,
+    banded: bool,
 }
 
 impl TransientResult {
     /// Waveform of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run came from [`TransientSim::run_probed`] and
+    /// `node` was not in the probe list.
     pub fn waveform(&self, node: NodeId) -> &Waveform {
-        &self.waveforms[node.0]
+        self.waveforms[node.0]
+            .as_ref()
+            .expect("node was not probed in this transient run")
     }
 
     /// First crossing of `threshold` at `node` in direction `edge`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`TransientResult::waveform`].
     pub fn cross_time(&self, node: NodeId, threshold: Volts, edge: Edge) -> Option<Picoseconds> {
         self.waveform(node).cross_time(threshold, edge)
     }
 
     /// 10–90 % slew of `node` over the `v_low..v_high` swing.
+    ///
+    /// # Panics
+    ///
+    /// As for [`TransientResult::waveform`].
     pub fn slew(&self, node: NodeId, v_low: Volts, v_high: Volts, edge: Edge) -> Option<Picoseconds> {
         self.waveform(node).slew(v_low, v_high, edge)
     }
 
     /// Node voltage at time `t` (interpolated).
+    ///
+    /// # Panics
+    ///
+    /// As for [`TransientResult::waveform`].
     pub fn voltage(&self, node: NodeId, t: Picoseconds) -> Volts {
         self.waveform(node).voltage(t)
     }
 
-    /// Final voltage of `node`.
+    /// Final voltage of `node`. Available for every node, probed or not.
     pub fn final_voltage(&self, node: NodeId) -> Volts {
-        self.waveform(node).final_voltage()
+        Volts::new(self.final_v[node.0])
     }
 
     /// Total energy delivered by all drivers.
@@ -207,6 +455,12 @@ impl TransientResult {
     /// Energy delivered by one driver.
     pub fn source_energy(&self, source: SourceId) -> Femtojoules {
         self.source_energy[source.0]
+    }
+
+    /// True when the banded backend solved this run (exposed so tests
+    /// and benches can assert which path they exercised).
+    pub fn used_banded_solver(&self) -> bool {
+        self.banded
     }
 }
 
@@ -276,6 +530,8 @@ fn lu_solve(a: &[Vec<f64>], perm: &[usize], b: &[f64], x: &mut [f64]) {
 mod tests {
     use super::*;
     use lim_tech::units::{Femtofarads, KiloOhms};
+    use lim_testkit::prop;
+    use lim_testkit::rng::TestRng;
 
     const VDD: f64 = 1.2;
 
@@ -380,10 +636,13 @@ mod tests {
     fn floating_node_is_singular() {
         let mut ckt = Circuit::new();
         let _ = ckt.add_node("float"); // no cap, no path
-        let err = TransientSim::new(&ckt)
-            .run(Picoseconds::new(1.0), Picoseconds::new(0.1))
-            .unwrap_err();
-        assert!(matches!(err, CircuitError::SingularSystem { .. }));
+        for kind in [SolverKind::Auto, SolverKind::Dense, SolverKind::Banded] {
+            let err = TransientSim::new(&ckt)
+                .with_solver(kind)
+                .run(Picoseconds::new(1.0), Picoseconds::new(0.1))
+                .unwrap_err();
+            assert!(matches!(err, CircuitError::SingularSystem { .. }));
+        }
     }
 
     #[test]
@@ -410,5 +669,145 @@ mod tests {
         // Charge sharing: both settle at Vdd/2.
         assert!((res.final_voltage(a).value() - VDD / 2.0).abs() < 0.01);
         assert!((res.final_voltage(b).value() - VDD / 2.0).abs() < 0.01);
+    }
+
+    /// Builds a ladder long enough for [`SolverKind::Auto`] to choose the
+    /// banded path.
+    fn long_ladder(n: usize) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let mut prev = ckt.add_node("n0");
+        ckt.add_cap(prev, Femtofarads::new(1.0));
+        let src = ckt.add_source(prev, KiloOhms::new(0.5), Volts::ZERO);
+        ckt.schedule(src, Picoseconds::ZERO, Volts::new(VDD));
+        let mut last = prev;
+        for i in 1..n {
+            let node = ckt.add_node(format!("n{i}"));
+            ckt.add_resistor(prev, node, KiloOhms::new(0.05));
+            ckt.add_cap(node, Femtofarads::new(1.0));
+            prev = node;
+            last = node;
+        }
+        (ckt, last)
+    }
+
+    #[test]
+    fn auto_picks_banded_for_ladders_and_dense_for_tiny_systems() {
+        let (ladder, _) = long_ladder(40);
+        let res = TransientSim::new(&ladder)
+            .run(Picoseconds::new(50.0), Picoseconds::new(0.1))
+            .unwrap();
+        assert!(res.used_banded_solver());
+
+        let (tiny, _, _) = charge_circuit(1.0, 1.0);
+        let res = TransientSim::new(&tiny)
+            .run(Picoseconds::new(10.0), Picoseconds::new(0.1))
+            .unwrap();
+        assert!(!res.used_banded_solver());
+    }
+
+    #[test]
+    fn run_probed_matches_run_and_limits_waveforms() {
+        let (ladder, far) = long_ladder(24);
+        let t_end = Picoseconds::new(100.0);
+        let dt = Picoseconds::new(0.1);
+        let full = TransientSim::new(&ladder).run(t_end, dt).unwrap();
+        let probed = TransientSim::new(&ladder)
+            .run_probed(&[far], t_end, dt)
+            .unwrap();
+        // The probed waveform is bit-identical to the full run's.
+        let (a, b) = (full.waveform(far), probed.waveform(far));
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.at(i).value(), b.at(i).value());
+        }
+        // Energies and final voltages cover every node either way.
+        assert_eq!(full.supply_energy().value(), probed.supply_energy().value());
+        assert_eq!(
+            full.final_voltage(NodeId(0)).value(),
+            probed.final_voltage(NodeId(0)).value()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not probed")]
+    fn unprobed_waveform_panics() {
+        let (ladder, far) = long_ladder(10);
+        let res = TransientSim::new(&ladder)
+            .run_probed(&[far], Picoseconds::new(10.0), Picoseconds::new(0.1))
+            .unwrap();
+        let _ = res.waveform(NodeId(0));
+    }
+
+    /// Random RC topology: a connected resistor tree plus chords, caps on
+    /// every node, one stepped driver, and a sprinkle of switches.
+    fn random_circuit(rng: &mut TestRng) -> Circuit {
+        let n = 2 + rng.bounded(22) as usize;
+        let mut ckt = Circuit::new();
+        let nodes: Vec<NodeId> = (0..n).map(|i| ckt.add_node(format!("n{i}"))).collect();
+        for &node in &nodes {
+            ckt.add_cap(node, Femtofarads::new(0.5 + 4.0 * rng.unit_f64()));
+        }
+        // Spanning tree keeps everything reachable.
+        for i in 1..n {
+            let parent = rng.bounded(i as u64) as usize;
+            ckt.add_resistor(
+                nodes[parent],
+                nodes[i],
+                KiloOhms::new(0.05 + rng.unit_f64()),
+            );
+        }
+        // Chords raise the bandwidth unpredictably.
+        for _ in 0..rng.bounded(4) {
+            let a = rng.bounded(n as u64) as usize;
+            let b = rng.bounded(n as u64) as usize;
+            if a != b {
+                ckt.add_resistor(nodes[a], nodes[b], KiloOhms::new(0.1 + rng.unit_f64()));
+            }
+        }
+        let driven = rng.bounded(n as u64) as usize;
+        let src = ckt.add_source(nodes[driven], KiloOhms::new(0.5), Volts::ZERO);
+        ckt.schedule(src, Picoseconds::ZERO, Volts::new(VDD));
+        if rng.gen_bool(0.5) {
+            let a = rng.bounded(n as u64) as usize;
+            ckt.add_switch_to_ground(
+                nodes[a],
+                KiloOhms::new(1.0 + rng.unit_f64()),
+                Picoseconds::new(20.0),
+            );
+        }
+        ckt
+    }
+
+    #[test]
+    fn prop_sparse_and_dense_solvers_agree() {
+        prop::check("sparse_dense_agreement", |rng| {
+            let ckt = random_circuit(rng);
+            let t_end = Picoseconds::new(60.0);
+            let dt = Picoseconds::new(0.1);
+            let dense = TransientSim::new(&ckt)
+                .with_solver(SolverKind::Dense)
+                .run(t_end, dt)
+                .unwrap();
+            let banded = TransientSim::new(&ckt)
+                .with_solver(SolverKind::Banded)
+                .run(t_end, dt)
+                .unwrap();
+            assert!(!dense.used_banded_solver());
+            assert!(banded.used_banded_solver());
+            for i in 0..ckt.node_count() {
+                let node = NodeId(i);
+                let (a, b) = (dense.waveform(node), banded.waveform(node));
+                assert_eq!(a.len(), b.len());
+                for s in 0..a.len() {
+                    let (va, vb) = (a.at(s).value(), b.at(s).value());
+                    assert!(
+                        (va - vb).abs() < 1e-9,
+                        "node {i} sample {s}: dense {va} vs banded {vb}"
+                    );
+                }
+            }
+            let (ea, eb) = (dense.supply_energy().value(), banded.supply_energy().value());
+            assert!((ea - eb).abs() < 1e-6 * ea.abs().max(1.0), "{ea} vs {eb}");
+        });
     }
 }

@@ -69,8 +69,9 @@ pub fn explore(
     brick_word_options: &[usize],
 ) -> Result<Vec<DsePoint>, LimError> {
     let _span = lim_obs::Span::enter("dse_explore");
-    let compiler = BrickCompiler::new(tech);
-    let mut points = Vec::with_capacity(memories.len() * brick_word_options.len());
+    // Validate the whole grid up front so parallel evaluation only ever
+    // sees well-formed combinations.
+    let mut combos = Vec::with_capacity(memories.len() * brick_word_options.len());
     for &(words, bits) in memories {
         for &bw in brick_word_options {
             if bw == 0 || words % bw != 0 {
@@ -78,27 +79,35 @@ pub fn explore(
                     reason: format!("brick depth {bw} does not divide {words} words"),
                 });
             }
-            let stack = words / bw;
-            let spec = BrickSpec::new(BitcellKind::Sram8T, bw, bits)?;
-            let (est, elapsed) = lim_obs::timed("dse_point", || {
-                let brick = compiler.compile(&spec)?;
-                brick.estimate_bank(stack)
-            });
-            let est = est?;
-            points.push(DsePoint {
-                label: format!("{words}x{bits} @ {bw}x{bits} x{stack}"),
-                words,
-                bits,
-                brick_words: bw,
-                stack,
-                delay: est.read_delay,
-                energy: est.read_energy,
-                area: est.area,
-                elapsed,
-            });
+            combos.push((words, bits, bw));
         }
     }
-    Ok(points)
+    let compiler = BrickCompiler::new(tech);
+    // Each point is independent; fan across the pool. Ordering (and
+    // therefore every downstream pareto/normalization result) is
+    // identical for any worker count.
+    lim_par::par_map(combos, |(words, bits, bw)| -> Result<DsePoint, LimError> {
+        let stack = words / bw;
+        let spec = BrickSpec::new(BitcellKind::Sram8T, bw, bits)?;
+        let (est, elapsed) = lim_obs::timed("dse_point", || {
+            let brick = compiler.compile(&spec)?;
+            brick.estimate_bank(stack)
+        });
+        let est = est?;
+        Ok(DsePoint {
+            label: format!("{words}x{bits} @ {bw}x{bits} x{stack}"),
+            words,
+            bits,
+            brick_words: bw,
+            stack,
+            delay: est.read_delay,
+            energy: est.read_energy,
+            area: est.area,
+            elapsed,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Sweeps banking choices on top of brick choices: for each
@@ -119,8 +128,7 @@ pub fn explore_partitioned(
     brick_word_options: &[usize],
 ) -> Result<Vec<DsePoint>, LimError> {
     let _span = lim_obs::Span::enter("dse_explore");
-    let compiler = BrickCompiler::new(tech);
-    let mut points = Vec::new();
+    let mut combos = Vec::new();
     for &p in partition_options {
         for &bw in brick_word_options {
             if p == 0 || bw == 0 || !p.is_power_of_two() || !words.is_multiple_of(p * bw) {
@@ -130,44 +138,49 @@ pub fn explore_partitioned(
             if stack == 0 || stack > 64 {
                 continue;
             }
-            let spec = BrickSpec::new(BitcellKind::Sram8T, bw, bits)?;
-            let (est, elapsed) = lim_obs::timed("dse_point", || {
-                let brick = compiler.compile(&spec)?;
-                brick.estimate_bank(stack)
-            });
-            let est = est?;
-            // Output mux: one 2:1 level per bank-select bit, ~3τ each.
-            let mux_levels = p.trailing_zeros() as f64;
-            let delay = est.read_delay + tech.tau * (3.0 * mux_levels);
-            // One bank activates per access; the others only see clock.
-            let idle_clock = lim_tech::units::Femtofarads::new(9.0 * (p as f64 - 1.0))
-                .switch_energy(tech.vdd);
-            let energy = lim_tech::units::Femtojoules::new(
-                est.read_energy.value() + idle_clock.value(),
-            );
-            // Banks tile with a routing channel's worth of overhead each.
-            let area = lim_tech::units::SquareMicrons::new(
-                est.area.value() * p as f64 * (1.0 + 0.03 * (p as f64 - 1.0)),
-            );
-            points.push(DsePoint {
-                label: format!("{words}x{bits} p{p} @ {bw}x{bits} x{stack}"),
-                words,
-                bits,
-                brick_words: bw,
-                stack,
-                delay,
-                energy,
-                area,
-                elapsed,
-            });
+            combos.push((p, bw, stack));
         }
     }
-    if points.is_empty() {
+    if combos.is_empty() {
         return Err(LimError::BadConfig {
             reason: format!("no (partition, brick) candidate tiles {words} words"),
         });
     }
-    Ok(points)
+    let compiler = BrickCompiler::new(tech);
+    lim_par::par_map(combos, |(p, bw, stack)| -> Result<DsePoint, LimError> {
+        let spec = BrickSpec::new(BitcellKind::Sram8T, bw, bits)?;
+        let (est, elapsed) = lim_obs::timed("dse_point", || {
+            let brick = compiler.compile(&spec)?;
+            brick.estimate_bank(stack)
+        });
+        let est = est?;
+        // Output mux: one 2:1 level per bank-select bit, ~3τ each.
+        let mux_levels = p.trailing_zeros() as f64;
+        let delay = est.read_delay + tech.tau * (3.0 * mux_levels);
+        // One bank activates per access; the others only see clock.
+        let idle_clock = lim_tech::units::Femtofarads::new(9.0 * (p as f64 - 1.0))
+            .switch_energy(tech.vdd);
+        let energy = lim_tech::units::Femtojoules::new(
+            est.read_energy.value() + idle_clock.value(),
+        );
+        // Banks tile with a routing channel's worth of overhead each.
+        let area = lim_tech::units::SquareMicrons::new(
+            est.area.value() * p as f64 * (1.0 + 0.03 * (p as f64 - 1.0)),
+        );
+        Ok(DsePoint {
+            label: format!("{words}x{bits} p{p} @ {bw}x{bits} x{stack}"),
+            words,
+            bits,
+            brick_words: bw,
+            stack,
+            delay,
+            energy,
+            area,
+            elapsed,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Returns the indices of the pareto-optimal points minimizing
@@ -347,12 +360,15 @@ mod tests {
 
     #[test]
     fn sweep_completes_quickly() {
-        // The paper quotes ~2 s wall clock for the 9-brick sweep; our
-        // estimator is analytic, so give it a generous 2 s budget too.
+        // The paper quotes ~2 s wall clock for the 9-brick sweep. Our
+        // analytic estimator plus the parallel sweep leave orders of
+        // magnitude of headroom, so gate at an eighth of the paper's
+        // budget — tight enough that an accidental O(n³) regression in
+        // the estimator or a serialization bug in the pool trips it.
         // Per-point timings come from the shared span clock, so the same
         // numbers surface in obs reports and figure binaries.
         let points = fig4c_points();
         let total: Duration = points.iter().map(|p| p.elapsed).sum();
-        assert!(total.as_secs_f64() < 2.0, "sweep took {total:?}");
+        assert!(total.as_secs_f64() < 0.25, "sweep took {total:?}");
     }
 }

@@ -2,27 +2,42 @@
 //!
 //! ```text
 //! obs_check <file> [--require-bench]
+//! obs_check --compare <old> <new> [--max-regress <ratio>]
 //! ```
 //!
 //! Every non-empty line must be a JSON object with a string `"type"`
 //! field; known types additionally have their fields checked. With
 //! `--require-bench` the file must contain at least one `bench` line
 //! (this is how `scripts/bench.sh` asserts `BENCH_report.json` is
-//! non-trivial). Exits 0 on success, 1 on any violation.
+//! non-trivial).
+//!
+//! `--compare` validates both reports, matches bench rows by
+//! `suite/name`, requires the two row sets to be identical, and prints
+//! the per-row median ratio (new/old; < 1 is a speedup). With
+//! `--max-regress R` any row whose ratio exceeds R fails the run
+//! (e.g. `--max-regress 1.5` tolerates 50% noise). Exits 0 on success,
+//! 1 on any violation.
 
 use lim_obs::json::Value;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: obs_check <file> [--require-bench]\n       obs_check --compare <old> <new> [--max-regress <ratio>]";
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.first().map(String::as_str) == Some("--compare") {
+        return main_compare(&args[1..]);
+    }
     let mut file = None;
     let mut require_bench = false;
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         match arg.as_str() {
             "--require-bench" => require_bench = true,
-            "--help" | "-h" => {
-                eprintln!("usage: obs_check <file> [--require-bench]");
-                return ExitCode::SUCCESS;
-            }
             _ if file.is_none() => file = Some(arg),
             other => {
                 eprintln!("obs_check: unexpected argument `{other}`");
@@ -31,7 +46,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = file else {
-        eprintln!("usage: obs_check <file> [--require-bench]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -51,6 +66,116 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn main_compare(args: &[String]) -> ExitCode {
+    let mut files: Vec<&str> = Vec::new();
+    let mut max_regress: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                let Some(r) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("obs_check: --max-regress needs a numeric ratio");
+                    return ExitCode::FAILURE;
+                };
+                max_regress = Some(r);
+            }
+            s if !s.starts_with('-') && files.len() < 2 => files.push(s),
+            other => {
+                eprintln!("obs_check: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let [old_path, new_path] = files[..] else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    let result = read(old_path)
+        .and_then(|old| read(new_path).map(|new| (old, new)))
+        .and_then(|(old, new)| compare(&old, &new, max_regress));
+    match result {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One bench row keyed by `suite/name`.
+fn bench_rows(text: &str) -> Result<Vec<(String, f64)>, String> {
+    check(text, true)?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).map_err(|e| e.to_string())?;
+        if v.get("type").and_then(Value::as_str) != Some("bench") {
+            continue;
+        }
+        let suite = require_str(&v, "suite")?;
+        let name = require_str(&v, "name")?;
+        rows.push((format!("{suite}/{name}"), require_num(&v, "median_ns")?));
+    }
+    Ok(rows)
+}
+
+/// Compares two validated reports row-by-row. Fails when the row sets
+/// differ or (with `max_regress`) any median ratio exceeds the bound.
+fn compare(old: &str, new: &str, max_regress: Option<f64>) -> Result<String, String> {
+    let old_rows = bench_rows(old).map_err(|e| format!("old report: {e}"))?;
+    let new_rows = bench_rows(new).map_err(|e| format!("new report: {e}"))?;
+    let old_keys: Vec<&str> = old_rows.iter().map(|(k, _)| k.as_str()).collect();
+    let new_keys: Vec<&str> = new_rows.iter().map(|(k, _)| k.as_str()).collect();
+    for k in &old_keys {
+        if !new_keys.contains(k) {
+            return Err(format!("bench row `{k}` present in old report but not new"));
+        }
+    }
+    for k in &new_keys {
+        if !old_keys.contains(k) {
+            return Err(format!("bench row `{k}` present in new report but not old"));
+        }
+    }
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    for (key, old_median) in &old_rows {
+        let new_median = new_rows
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, m)| *m)
+            .expect("key sets already checked equal");
+        let ratio = if *old_median > 0.0 {
+            new_median / old_median
+        } else {
+            1.0
+        };
+        out.push_str(&format!(
+            "{key:<48} old {old_median:>14.0} ns  new {new_median:>14.0} ns  ratio {ratio:.3}\n"
+        ));
+        if max_regress.is_some_and(|r| ratio > r) {
+            regressions.push(format!("{key} regressed {ratio:.3}x"));
+        }
+    }
+    if !regressions.is_empty() {
+        return Err(format!(
+            "{out}{} row(s) regressed past the bound: {}",
+            regressions.len(),
+            regressions.join(", ")
+        ));
+    }
+    out.push_str(&format!("obs_check: {} bench row(s) compared\n", old_rows.len()));
+    Ok(out)
 }
 
 /// Validates the whole file, returning a one-line summary.
@@ -202,5 +327,40 @@ mod tests {
         assert!(check(text, false).unwrap_err().contains("name"));
         let text = "{\"value\":1}\n";
         assert!(check(text, false).unwrap_err().contains("type"));
+    }
+
+    fn bench_line(suite: &str, name: &str, median: u64) -> String {
+        format!(
+            "{{\"type\":\"bench\",\"suite\":\"{suite}\",\"name\":\"{name}\",\"min_ns\":1,\"median_ns\":{median},\"p95_ns\":{p95},\"samples\":5,\"iters\":1}}\n",
+            p95 = median + 1,
+        )
+    }
+
+    #[test]
+    fn compare_matches_rows_and_reports_ratios() {
+        let old = bench_line("s", "a", 1000) + &bench_line("s", "b", 2000);
+        let new = bench_line("s", "b", 1000) + &bench_line("s", "a", 500);
+        let report = compare(&old, &new, None).unwrap();
+        assert!(report.contains("s/a"), "{report}");
+        assert!(report.contains("ratio 0.500"), "{report}");
+        assert!(report.contains("2 bench row(s) compared"), "{report}");
+    }
+
+    #[test]
+    fn compare_rejects_mismatched_row_sets() {
+        let old = bench_line("s", "a", 1000);
+        let new = bench_line("s", "b", 1000);
+        let err = compare(&old, &new, None).unwrap_err();
+        assert!(err.contains("`s/a`"), "{err}");
+    }
+
+    #[test]
+    fn compare_gates_regressions() {
+        let old = bench_line("s", "a", 1000);
+        let new = bench_line("s", "a", 3000);
+        assert!(compare(&old, &new, None).is_ok());
+        let err = compare(&old, &new, Some(1.5)).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        assert!(compare(&old, &new, Some(4.0)).is_ok());
     }
 }

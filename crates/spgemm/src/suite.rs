@@ -41,49 +41,59 @@ pub enum SuiteScale {
 
 /// Builds the Fig. 6 suite, ordered roughly by expected LiM advantage.
 ///
-/// Each matrix generation is timed under a `suite_gen/<name>` span, so
-/// an obs report shows where suite construction time goes.
+/// Generators are seeded and independent, so they fan across the
+/// `lim-par` pool; result order (and every matrix, bit for bit) is
+/// identical for any worker count. The whole construction is timed
+/// under a `suite_gen` span.
 pub fn fig6_suite(scale: SuiteScale) -> Vec<Benchmark> {
     let _span = lim_obs::Span::enter("suite_gen");
     let f = match scale {
         SuiteScale::Small => 1usize,
         SuiteScale::Full => 4usize,
     };
-    let gen = |name: &'static str, description: &'static str, make: &dyn Fn() -> Csc| {
-        let _gen = lim_obs::Span::enter(name);
-        Benchmark {
-            name,
-            description,
-            matrix: make(),
-        }
-    };
-    vec![
-        gen(
+    type Make = Box<dyn Fn() -> Csc + Send + Sync>;
+    let jobs: Vec<(&'static str, &'static str, Make)> = vec![
+        (
             "mesh2d",
             "5-point 2-D mesh Laplacian (regular stencil)",
-            &|| MatrixGen::mesh_laplacian(16 * f).to_csc(),
+            Box::new(move || MatrixGen::mesh_laplacian(16 * f).to_csc()),
         ),
-        gen("banded", "banded operator, 9 diagonals", &|| {
-            MatrixGen::banded(256 * f, 4, 101).to_csc()
-        }),
-        gen("er_d8", "uniform random digraph, avg degree 8", &|| {
-            MatrixGen::erdos_renyi(256 * f, 8.0, 102).to_csc()
-        }),
-        gen("er_d16", "uniform random digraph, avg degree 16", &|| {
-            MatrixGen::erdos_renyi(256 * f, 16.0, 103).to_csc()
-        }),
-        gen("rmat", "R-MAT power-law graph (a=0.57)", &|| {
-            MatrixGen::rmat(256 * f, 16 * 256 * f, 0.57, 0.19, 0.19, 104).to_csc()
-        }),
-        gen(
+        (
+            "banded",
+            "banded operator, 9 diagonals",
+            Box::new(move || MatrixGen::banded(256 * f, 4, 101).to_csc()),
+        ),
+        (
+            "er_d8",
+            "uniform random digraph, avg degree 8",
+            Box::new(move || MatrixGen::erdos_renyi(256 * f, 8.0, 102).to_csc()),
+        ),
+        (
+            "er_d16",
+            "uniform random digraph, avg degree 16",
+            Box::new(move || MatrixGen::erdos_renyi(256 * f, 16.0, 103).to_csc()),
+        ),
+        (
+            "rmat",
+            "R-MAT power-law graph (a=0.57)",
+            Box::new(move || MatrixGen::rmat(256 * f, 16 * 256 * f, 0.57, 0.19, 0.19, 104).to_csc()),
+        ),
+        (
             "blocks",
             "block-diagonal contraction tiles (64x64, 60% fill)",
-            &|| MatrixGen::block_diagonal(256 * f, 64, 0.6, 105).to_csc(),
+            Box::new(move || MatrixGen::block_diagonal(256 * f, 64, 0.6, 105).to_csc()),
         ),
-        gen("hubs", "sparse graph with dense hub columns", &|| {
-            MatrixGen::hub(256 * f, 6.0, 4, 192 * f, 106).to_csc()
-        }),
-    ]
+        (
+            "hubs",
+            "sparse graph with dense hub columns",
+            Box::new(move || MatrixGen::hub(256 * f, 6.0, 4, 192 * f, 106).to_csc()),
+        ),
+    ];
+    lim_par::par_map(jobs, |(name, description, make)| Benchmark {
+        name,
+        description,
+        matrix: make(),
+    })
 }
 
 #[cfg(test)]

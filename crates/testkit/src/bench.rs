@@ -19,7 +19,8 @@
 //! (see [`lim_obs::bench_json_line`]); `scripts/bench.sh` uses this to
 //! assemble `BENCH_report.json`. Two more variables trim measurement
 //! cost for CI smoke runs: `LIM_BENCH_SAMPLES` overrides every sample
-//! count (clamped to >= 2) and `LIM_BENCH_WARMUP_MS` overrides the
+//! count (clamped to >= 5 so medians mean something) and
+//! `LIM_BENCH_WARMUP_MS` overrides the
 //! warmup duration. Deliberately distinct from `LIM_OBS_OUT`: writing a
 //! bench report does NOT flip on obs span/counter collection inside the
 //! measured code.
@@ -56,8 +57,12 @@ const WARMUP: Duration = Duration::from_millis(60);
 /// Environment variable naming the file measured results are appended
 /// to as `lim-obs-v1` `bench` JSON lines.
 pub const ENV_BENCH_OUT: &str = "LIM_BENCH_OUT";
-/// Environment variable overriding every sample count (clamped >= 2).
+/// Environment variable overriding every sample count (clamped >= 5).
 pub const ENV_BENCH_SAMPLES: &str = "LIM_BENCH_SAMPLES";
+
+/// Floor on any sample count: below 5 samples the median is just the
+/// middle of noise and regression comparisons are meaningless.
+pub const MIN_SAMPLE_SIZE: usize = 5;
 /// Environment variable overriding the warmup duration in milliseconds.
 pub const ENV_BENCH_WARMUP_MS: &str = "LIM_BENCH_WARMUP_MS";
 
@@ -187,10 +192,10 @@ impl Bench {
             }
         }
         self.ran += 1;
-        // CI smoke runs clamp every benchmark to a tiny sample count.
+        // CI smoke runs clamp every benchmark to a small sample count.
         let sample_size = match env_parse::<usize>(ENV_BENCH_SAMPLES) {
-            Some(n) => n.max(2),
-            None => sample_size,
+            Some(n) => n.max(MIN_SAMPLE_SIZE),
+            None => sample_size.max(MIN_SAMPLE_SIZE),
         };
         let mut bencher = Bencher {
             measure: self.measure,
@@ -225,9 +230,10 @@ pub struct Group<'a> {
 }
 
 impl Group<'_> {
-    /// Overrides the number of samples for benchmarks in this group.
+    /// Overrides the number of samples for benchmarks in this group
+    /// (floored at [`MIN_SAMPLE_SIZE`]).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(2);
+        self.sample_size = n.max(MIN_SAMPLE_SIZE);
         self
     }
 
@@ -394,6 +400,23 @@ mod tests {
         assert_eq!(lim_obs::json::validate_lines(&text), Ok(1));
         assert!(text.contains("\"suite\":\"unit_suite\""), "{text}");
         assert!(text.contains("\"median_ns\":150"), "{text}");
+    }
+
+    #[test]
+    fn group_sample_size_is_floored() {
+        let mut bench = Bench {
+            title: "floor_suite".to_string(),
+            measure: false,
+            filter: None,
+            ran: 0,
+            skipped: 0,
+            records: Vec::new(),
+        };
+        let mut group = bench.benchmark_group("g");
+        group.sample_size(1);
+        assert_eq!(group.sample_size, MIN_SAMPLE_SIZE);
+        group.sample_size(20);
+        assert_eq!(group.sample_size, 20);
     }
 
     #[test]

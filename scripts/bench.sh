@@ -4,9 +4,11 @@
 # validates the report with the in-tree `obs_check` binary.
 #
 #   scripts/bench.sh           full run (default sample counts)
-#   scripts/bench.sh --smoke   fast validity check: 2 samples, no warmup
+#   scripts/bench.sh --smoke   fast validity check: 5 samples, no warmup
 #
 # The report path can be overridden with BENCH_OUT=/path/to/file.
+# To compare two reports for regressions:
+#   cargo run --release -p lim-obs --bin obs_check -- --compare old.json new.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +22,7 @@ esac
 rm -f "$out"
 
 if [[ "${1:-}" == "--smoke" ]]; then
-    export LIM_BENCH_SAMPLES=2
+    export LIM_BENCH_SAMPLES=5
     export LIM_BENCH_WARMUP_MS=0
 fi
 

@@ -1,11 +1,32 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the whole repo must build, test, and lint clean with no
-# network access, and the bench harness must produce a schema-valid
-# report. Run from the repo root.
+# network access, the bench harness must produce a schema-valid report,
+# and results must be independent of the lim-par worker count. Run from
+# the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline
-cargo test -q --offline
+cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
-./scripts/bench.sh --smoke
+# Smoke the bench harness into a scratch report so the committed
+# BENCH_report.json (full-run medians) is left untouched.
+BENCH_OUT=/tmp/tier1_bench_smoke.json ./scripts/bench.sh --smoke
+
+# Parallel-determinism smoke: the bench suite must emit the same row
+# set (timings aside) whether lim-par runs 1 worker or 4, and
+# obs_check --compare must accept the pair. A huge --max-regress keeps
+# this a determinism check, not a timing one.
+echo "== tier1: lim-par determinism smoke =="
+LIM_PAR_THREADS=1 BENCH_OUT=/tmp/tier1_bench_t1.json ./scripts/bench.sh --smoke
+LIM_PAR_THREADS=4 BENCH_OUT=/tmp/tier1_bench_t4.json ./scripts/bench.sh --smoke
+cargo run --release --offline -q -p lim-obs --bin obs_check -- \
+    --compare /tmp/tier1_bench_t1.json /tmp/tier1_bench_t4.json
+
+# fig4c rows (DSE output) must be bit-identical across worker counts.
+LIM_PAR_THREADS=1 cargo run --release --offline -q -p lim-bench --bin fig4c -- --json \
+    >/tmp/tier1_fig4c_t1.json
+LIM_PAR_THREADS=4 cargo run --release --offline -q -p lim-bench --bin fig4c -- --json \
+    >/tmp/tier1_fig4c_t4.json
+diff /tmp/tier1_fig4c_t1.json /tmp/tier1_fig4c_t4.json
+echo "== tier1: determinism smoke OK =="

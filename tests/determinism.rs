@@ -108,6 +108,46 @@ fn silicon_sampling_is_seed_stable() {
     assert_ne!(a, c);
 }
 
+/// Projects a DSE point onto its deterministic fields (`elapsed` is
+/// wall-clock and legitimately varies run to run).
+fn dse_fingerprint(points: &[lim::dse::DsePoint]) -> Vec<String> {
+    points
+        .iter()
+        .map(|p| {
+            format!(
+                "{}|{}|{}|{}|{}|{:?}|{:?}|{:?}",
+                p.label, p.words, p.bits, p.brick_words, p.stack, p.delay, p.energy, p.area
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_results_are_independent_of_worker_count() {
+    // par_map's output order contract: identical to serial for any
+    // worker count, including when chunks are stolen.
+    let items: Vec<u64> = (0..257).collect();
+    let serial = lim_par::par_map_with_threads(1, items.clone(), |x| x * x + 1);
+    let eight = lim_par::par_map_with_threads(8, items, |x| x * x + 1);
+    assert_eq!(serial, eight);
+
+    // The DSE sweep inherits that contract end to end: same points, in
+    // the same order, whether the pool runs 1 worker or 8. The env var
+    // is set and restored inside this one test to avoid cross-test
+    // races on process environment.
+    let tech = Technology::cmos65();
+    let sweep = || {
+        lim::dse::explore(&tech, &[(128, 8), (128, 16)], &[16, 32]).expect("sweep must succeed")
+    };
+    std::env::set_var(lim_par::ENV_THREADS, "1");
+    let one_worker = dse_fingerprint(&sweep());
+    std::env::set_var(lim_par::ENV_THREADS, "8");
+    let eight_workers = dse_fingerprint(&sweep());
+    std::env::remove_var(lim_par::ENV_THREADS);
+    assert_eq!(one_worker, eight_workers);
+    assert_eq!(one_worker.len(), 4);
+}
+
 #[test]
 fn testkit_rng_streams_are_independent_of_call_pattern() {
     // Drawing different value types must not desynchronize replays: the
