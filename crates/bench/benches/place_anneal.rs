@@ -1,0 +1,37 @@
+//! Bench: the placement annealer in isolation (small/medium/large
+//! netlists plus a multi-start variant), pinning the incremental-cost
+//! annealer's win independently of the flow-level number.
+
+use lim_brick::BrickLibrary;
+use lim_physical::floorplan::{Floorplan, FloorplanOptions};
+use lim_physical::place::{place, PlaceEffort};
+use lim_rtl::generators::decoder;
+use lim_tech::Technology;
+use lim_testkit::bench::{black_box, Bench};
+
+fn main() {
+    let mut c = Bench::from_args("place_anneal");
+    let tech = Technology::cmos65();
+    let lib = BrickLibrary::new();
+    let mut group = c.benchmark_group("place_anneal");
+    group.sample_size(10);
+    for (name, bits, words) in [
+        ("small_dec4x16", 4usize, 16usize),
+        ("medium_dec6x64", 6, 64),
+        ("large_dec8x256", 8, 256),
+    ] {
+        let n = decoder("dec", bits, words, true).unwrap();
+        let fp = Floorplan::build(&tech, &n, &lib, &FloorplanOptions::default()).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(place(&tech, &n, &fp, 7, PlaceEffort::default()).unwrap().hpwl))
+        });
+    }
+    // Multi-start on the medium design: 4 seeds, lowest HPWL wins.
+    let n = decoder("dec", 6, 64, true).unwrap();
+    let fp = Floorplan::build(&tech, &n, &lib, &FloorplanOptions::default()).unwrap();
+    group.bench_function("medium_dec6x64_starts4", |b| {
+        b.iter(|| black_box(place(&tech, &n, &fp, 7, PlaceEffort::starts(4)).unwrap().hpwl))
+    });
+    group.finish();
+    c.finish();
+}

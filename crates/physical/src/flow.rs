@@ -70,8 +70,13 @@ pub struct FlowStats {
     pub clock_tree: Duration,
     /// Time in power analysis.
     pub power: Duration,
-    /// Annealing moves attempted by the placer.
+    /// Annealing moves the placer actually evaluated (zero when the
+    /// design had nothing to anneal).
     pub place_moves: usize,
+    /// Annealing moves the placer accepted.
+    pub place_accepted: usize,
+    /// Independent annealing starts the placer ran.
+    pub place_starts: usize,
     /// Nets the router estimated.
     pub nets_routed: usize,
     /// Timing endpoints STA evaluated.
@@ -224,6 +229,8 @@ impl<'a> PhysicalSynthesis<'a> {
         stats.place = elapsed;
         let placement = placement?;
         stats.place_moves = placement.moves;
+        stats.place_accepted = placement.accepted;
+        stats.place_starts = placement.starts;
 
         let (routes, elapsed) = lim_obs::timed("route", || {
             route::estimate(self.tech, netlist, &placement, &fp, self.library)
@@ -264,6 +271,8 @@ mod tests {
         assert_eq!(rep.guard_area.value(), 0.0);
         // Stage stats are populated regardless of the obs enable flag.
         assert!(rep.stats.place_moves > 0);
+        assert!(rep.stats.place_accepted <= rep.stats.place_moves);
+        assert_eq!(rep.stats.place_starts, 1);
         assert!(rep.stats.nets_routed > 0);
         assert!(rep.stats.sta_endpoints > 0);
         assert_eq!(rep.stats.sta_endpoints, rep.timing.endpoints);

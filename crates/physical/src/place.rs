@@ -3,13 +3,46 @@
 //! Cells occupy uniform slots on the floorplan's rows; the annealer swaps
 //! cells (or moves them to empty slots) to minimize total half-perimeter
 //! wirelength. Seeded for reproducibility.
+//!
+//! # Incremental cost
+//!
+//! The annealer precomputes every net's bounding-box perimeter once and
+//! keeps two flat arrays hot: the position of every pin occurrence
+//! (net-major, so a net's pins are contiguous) and the cached
+//! half-perimeter of every net. A move overwrites the displaced cells'
+//! pin positions in place and re-derives the bounds of only the touched
+//! nets — a branchless min/max fold over a contiguous f64 slice — so a
+//! move costs O(pins on touched nets) with **zero per-move heap
+//! allocation** (all scratch buffers are reused). Rejected moves undo by
+//! rewriting the same few positions; accepted moves commit the touched
+//! nets' new perimeters into the cache. Touched nets are visited in
+//! ascending net order and min/max folds are order-independent, so every
+//! delta is bit-identical to a from-scratch recompute of the touched
+//! nets. Under `debug_assertions` the running cost is additionally
+//! checked against a full recompute every [`DRIFT_CHECK_INTERVAL`]
+//! accepted moves.
+//!
+//! # Multi-start
+//!
+//! [`PlaceEffort::starts`] runs several independently seeded anneals
+//! (through `lim-par::par_map` unless
+//! [`PlaceEffort::parallel_starts`] is cleared) and keeps the
+//! lowest-HPWL result. Per-start seeds derive from the caller's seed by
+//! a SplitMix64 walk and the winner is chosen by strictly-lower final
+//! HPWL in seed order, so the output is byte-identical for any
+//! `LIM_PAR_THREADS` value and independent of start completion order.
 
 use crate::error::PhysicalError;
 use crate::floorplan::Floorplan;
 use lim_rtl::{CellKind, NetId, Netlist};
 use lim_tech::units::Microns;
 use lim_tech::Technology;
+use lim_testkit::rng::splitmix64;
 use lim_testkit::TestRng;
+
+/// Accepted moves between from-scratch cost cross-checks in debug
+/// builds.
+pub const DRIFT_CHECK_INTERVAL: usize = 1024;
 
 /// Where every pin of the design sits.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,8 +58,14 @@ pub struct Placement {
     pub output_pins: Vec<(NetId, (f64, f64))>,
     /// Final total HPWL in µm.
     pub hpwl: f64,
-    /// Annealer moves attempted.
+    /// Annealer moves actually evaluated (no-op draws excluded), summed
+    /// over every start. Zero when the design had nothing to anneal.
     pub moves: usize,
+    /// Moves accepted (their incremental cost updates were kept), summed
+    /// over every start.
+    pub accepted: usize,
+    /// Annealing starts actually run (0 when annealing was skipped).
+    pub starts: usize,
 }
 
 impl Placement {
@@ -51,13 +90,392 @@ impl Placement {
     }
 }
 
-/// Placement effort: multiplier on the number of annealing moves.
+/// Placement effort: the annealing move budget and the number of
+/// independent starts.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct PlaceEffort(pub f64);
+pub struct PlaceEffort {
+    /// Multiplier on the per-start annealing move budget.
+    pub moves: f64,
+    /// Independent annealing starts; the lowest-HPWL result wins with a
+    /// fixed seed-order tie-break (byte-identical for any worker count).
+    pub starts: usize,
+    /// Fan starts across `lim-par::par_map` (`true`) or run them
+    /// serially on the calling thread (`false`) — for callers already
+    /// inside an outer parallel sweep (see `lim::dse::nesting_plan`).
+    /// Never affects the result, only where the work runs.
+    pub parallel_starts: bool,
+}
+
+impl PlaceEffort {
+    /// Effort with a custom move-budget multiplier and a single start.
+    pub fn new(moves: f64) -> Self {
+        PlaceEffort {
+            moves,
+            starts: 1,
+            parallel_starts: true,
+        }
+    }
+
+    /// Default move budget, `n` independent starts (floored at 1).
+    pub fn starts(n: usize) -> Self {
+        PlaceEffort::default().with_starts(n)
+    }
+
+    /// Returns `self` with `n` starts (floored at 1).
+    pub fn with_starts(mut self, n: usize) -> Self {
+        self.starts = n.max(1);
+        self
+    }
+
+    /// Returns `self` with starts forced onto the calling thread.
+    pub fn serial(mut self) -> Self {
+        self.parallel_starts = false;
+        self
+    }
+}
 
 impl Default for PlaceEffort {
     fn default() -> Self {
-        PlaceEffort(1.0)
+        PlaceEffort::new(1.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PinRef {
+    Cell(usize),
+    Macro(usize),
+    Input(usize),
+    Output(usize),
+}
+
+/// Static per-design placement context shared (read-only) by every
+/// start: the slot grid, fixed pin positions, and CSR net membership.
+struct Ctx<'a> {
+    slots: &'a [(f64, f64)],
+    macro_centers: &'a [(String, (f64, f64))],
+    input_pins: &'a [(NetId, (f64, f64))],
+    output_pins: &'a [(NetId, (f64, f64))],
+    /// CSR: pins of each net, one entry per pin occurrence (net-major,
+    /// the same layout as every `CostModel`'s position array).
+    net_off: &'a [u32],
+    net_pins: &'a [PinRef],
+    /// CSR offsets of each placeable cell's pin occurrences.
+    cell_off: &'a [u32],
+    /// Flat position-array index of each cell pin occurrence.
+    cell_pin_idx: &'a [u32],
+    /// CSR: deduplicated ascending net list of each placeable cell,
+    /// each run terminated by a `u32::MAX` sentinel so the move
+    /// evaluator's two-list merge needs no exhaustion branches.
+    merge_off: &'a [u32],
+    merge_nets: &'a [u32],
+    /// Row index of each slot (empty rows compacted away).
+    slot_row: &'a [u32],
+    /// CSR offsets of each row's contiguous slot range.
+    row_off: &'a [u32],
+    n_placeable: usize,
+    /// Per-start annealing move budget.
+    n_moves: usize,
+}
+
+impl Ctx<'_> {
+    fn pin_idx_of(&self, ord: usize) -> &[u32] {
+        &self.cell_pin_idx[self.cell_off[ord] as usize..self.cell_off[ord + 1] as usize]
+    }
+
+    fn merge_nets_of(&self, ord: usize) -> &[u32] {
+        &self.merge_nets[self.merge_off[ord] as usize..self.merge_off[ord + 1] as usize]
+    }
+
+    fn net_count(&self) -> usize {
+        self.net_off.len() - 1
+    }
+}
+
+/// The mutable annealing state of one start: the assignment, the flat
+/// pin-position array, the cached per-net perimeters, the running cost,
+/// and reusable scratch.
+struct CostModel<'a> {
+    ctx: &'a Ctx<'a>,
+    slot_of: Vec<usize>,
+    cell_in_slot: Vec<Option<usize>>,
+    /// Position of every pin occurrence, parallel to `ctx.net_pins`.
+    pos: Vec<(f64, f64)>,
+    /// Cached half-perimeter of every net.
+    perim: Vec<f64>,
+    cost: f64,
+    /// Nets touched by the current move, ascending and deduplicated.
+    touched: Vec<u32>,
+    /// Their re-derived perimeters, parallel to `touched`.
+    new_perim: Vec<f64>,
+}
+
+impl<'a> CostModel<'a> {
+    /// Ordered initial assignment (cell ordinal i → slot i).
+    fn new(ctx: &'a Ctx<'a>) -> Self {
+        let slot_of: Vec<usize> = (0..ctx.n_placeable).collect();
+        let mut cell_in_slot: Vec<Option<usize>> = vec![None; ctx.slots.len()];
+        for (ord, &slot) in slot_of.iter().enumerate() {
+            cell_in_slot[slot] = Some(ord);
+        }
+        let pos: Vec<(f64, f64)> = ctx
+            .net_pins
+            .iter()
+            .map(|&pin| match pin {
+                PinRef::Cell(ord) => ctx.slots[slot_of[ord]],
+                PinRef::Macro(i) => ctx.macro_centers[i].1,
+                PinRef::Input(i) => ctx.input_pins[i].1,
+                PinRef::Output(i) => ctx.output_pins[i].1,
+            })
+            .collect();
+        let mut model = CostModel {
+            ctx,
+            slot_of,
+            cell_in_slot,
+            pos,
+            perim: vec![0.0; ctx.net_count()],
+            cost: 0.0,
+            touched: Vec::with_capacity(16),
+            new_perim: Vec::with_capacity(16),
+        };
+        for net in 0..ctx.net_count() {
+            model.perim[net] = model.net_perimeter(net);
+        }
+        model.cost = model.perim.iter().sum();
+        model
+    }
+
+    /// Half-perimeter of one net from the flat position array: a
+    /// branchless min/max fold over a contiguous slice. Zero for empty
+    /// and single-pin nets.
+    #[inline(always)]
+    fn net_perimeter(&self, net: usize) -> f64 {
+        let (s, e) = (
+            self.ctx.net_off[net] as usize,
+            self.ctx.net_off[net + 1] as usize,
+        );
+        let pins = &self.pos[s..e];
+        if pins.len() < 2 {
+            return 0.0;
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(x, y) in pins {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        (x1 - x0) + (y1 - y0)
+    }
+
+    /// Evaluates moving cell `a` into `target_slot` (swapping with its
+    /// occupant `b`, if any) and returns the cost delta. The pin
+    /// positions are left at their NEW values and `touched`/`new_perim`
+    /// hold the affected nets; follow with [`Self::commit`] to keep the
+    /// move or [`Self::revert`] to undo it.
+    ///
+    /// One pass does everything: the cells' presorted net lists are
+    /// merged (deduplicated, ascending), and each merged net's old and
+    /// new perimeter is accumulated as it streams by. The two sums grow
+    /// in ascending net order — the same order a from-scratch
+    /// evaluation adds in — so the delta is bit-identical to one.
+    fn eval_move(&mut self, a: usize, b: Option<usize>, target_slot: usize) -> f64 {
+        let ctx = self.ctx;
+        let pa_new = ctx.slots[target_slot];
+        let pb_new = ctx.slots[self.slot_of[a]];
+        for &idx in ctx.pin_idx_of(a) {
+            self.pos[idx as usize] = pa_new;
+        }
+        if let Some(b) = b {
+            for &idx in ctx.pin_idx_of(b) {
+                self.pos[idx as usize] = pb_new;
+            }
+        }
+
+        self.touched.clear();
+        self.new_perim.clear();
+        let la = ctx.merge_nets_of(a);
+        let lb = b.map_or(SENTINEL, |b| ctx.merge_nets_of(b));
+        let (mut i, mut j) = (0, 0);
+        let (mut old_sum, mut new_sum) = (0.0f64, 0.0f64);
+        loop {
+            let (x, y) = (la[i], lb[j]);
+            let n = x.min(y);
+            if n == u32::MAX {
+                break;
+            }
+            i += usize::from(x == n);
+            j += usize::from(y == n);
+            let p = self.net_perimeter(n as usize);
+            old_sum += self.perim[n as usize];
+            new_sum += p;
+            self.touched.push(n);
+            self.new_perim.push(p);
+        }
+        new_sum - old_sum
+    }
+
+    /// Keeps an evaluated move: updates the assignment and commits the
+    /// touched nets' new perimeters into the cache.
+    fn commit(&mut self, a: usize, b: Option<usize>, target_slot: usize) {
+        let old_slot = self.slot_of[a];
+        self.slot_of[a] = target_slot;
+        if let Some(b) = b {
+            self.slot_of[b] = old_slot;
+        }
+        self.cell_in_slot[old_slot] = b;
+        self.cell_in_slot[target_slot] = Some(a);
+        for (k, &n) in self.touched.iter().enumerate() {
+            self.perim[n as usize] = self.new_perim[k];
+        }
+    }
+
+    /// Undoes an evaluated move by rewriting the displaced pins back to
+    /// their pre-move positions (the assignment and perimeter cache were
+    /// never changed).
+    fn revert(&mut self, a: usize, b: Option<usize>, target_slot: usize) {
+        let ctx = self.ctx;
+        let pa_old = ctx.slots[self.slot_of[a]];
+        for &idx in ctx.pin_idx_of(a) {
+            self.pos[idx as usize] = pa_old;
+        }
+        if let Some(b) = b {
+            let pb_old = ctx.slots[target_slot];
+            for &idx in ctx.pin_idx_of(b) {
+                self.pos[idx as usize] = pb_old;
+            }
+        }
+    }
+
+    /// From-scratch total HPWL at the current (committed) assignment,
+    /// bypassing the perimeter cache.
+    fn fresh_cost(&self) -> f64 {
+        (0..self.ctx.net_count()).map(|n| self.net_perimeter(n)).sum()
+    }
+
+    /// Rewrites every cell pin's position from the current assignment
+    /// (fixed macro/port pins never move). Used after rolling the
+    /// assignment back to the best one seen.
+    fn load_assignment_positions(&mut self) {
+        for ord in 0..self.ctx.n_placeable {
+            let p = self.ctx.slots[self.slot_of[ord]];
+            for &idx in self.ctx.pin_idx_of(ord) {
+                self.pos[idx as usize] = p;
+            }
+        }
+    }
+}
+
+/// A lone merge sentinel, standing in for the net list of an absent
+/// swap partner.
+const SENTINEL: &[u32] = &[u32::MAX];
+
+/// The outcome of one annealing start.
+struct StartResult {
+    slot_of: Vec<usize>,
+    /// Exact (from-scratch) HPWL of the best assignment seen.
+    cost: f64,
+    attempted: usize,
+    accepted: usize,
+}
+
+/// One seeded annealing start. With `audit` set, the running cost is
+/// compared against a from-scratch recompute after **every** accepted
+/// move and the maximum relative divergence is folded into it.
+fn anneal(ctx: &Ctx<'_>, seed: u64, mut audit: Option<&mut f64>) -> StartResult {
+    let mut model = CostModel::new(ctx);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let n_moves = ctx.n_moves;
+    let t0 = (model.cost / (ctx.n_placeable.max(1) as f64)).max(1.0);
+    let mut best_cost = model.cost;
+    // Journal of accepted moves `(a, old_slot, b, target_slot)`. The
+    // best assignment is reached by rolling the final assignment back
+    // to the last improvement instead of snapshotting the whole
+    // assignment on every improvement.
+    let mut journal: Vec<(u32, u32, u32, u32)> = Vec::with_capacity(n_moves / 4);
+    let mut journal_at_best = 0usize;
+    let mut attempted = 0usize;
+    let mut accepted = 0usize;
+    for step in 0..n_moves {
+        let frac = (1.0 - step as f64 / n_moves as f64).max(0.01);
+        let t = t0 * (frac * frac).max(1e-4);
+        let a = rng.gen_range(0..ctx.n_placeable);
+        // TimberWolf-style range limiting: the target slot is drawn from
+        // a 2-D window (rows x columns) around the cell's current slot
+        // that shrinks with the temperature, so late moves are local
+        // refinements in both axes instead of doomed cross-die jumps.
+        let n_rows = ctx.row_off.len() - 1;
+        let wr = ((n_rows as f64 * frac) as usize).max(1);
+        let target_slot = if 2 * wr >= n_rows {
+            rng.gen_range(0..ctx.slots.len())
+        } else {
+            let cur = model.slot_of[a];
+            let r = ctx.slot_row[cur] as usize;
+            let row = rng.gen_range(r.saturating_sub(wr)..(r + wr).min(n_rows - 1) + 1);
+            let rs = ctx.row_off[row] as usize;
+            let row_len = ctx.row_off[row + 1] as usize - rs;
+            let wc = ((row_len as f64 * frac) as usize).max(4);
+            let c = (cur - ctx.row_off[r] as usize).min(row_len - 1);
+            rs + rng.gen_range(c.saturating_sub(wc)..(c + wc).min(row_len - 1) + 1)
+        };
+        let b = model.cell_in_slot[target_slot];
+        if b == Some(a) {
+            continue;
+        }
+        attempted += 1;
+        let delta = model.eval_move(a, b, target_slot);
+        if delta > 0.0 && rng.gen::<f64>() >= (-delta / t).exp() {
+            model.revert(a, b, target_slot);
+        } else {
+            let old_slot = model.slot_of[a];
+            model.commit(a, b, target_slot);
+            journal.push((
+                a as u32,
+                old_slot as u32,
+                b.map_or(u32::MAX, |b| b as u32),
+                target_slot as u32,
+            ));
+            accepted += 1;
+            model.cost += delta;
+            if let Some(max_drift) = audit.as_deref_mut() {
+                let fresh = model.fresh_cost();
+                let rel = (model.cost - fresh).abs() / fresh.max(1.0);
+                if rel > *max_drift {
+                    *max_drift = rel;
+                }
+            }
+            #[cfg(debug_assertions)]
+            if accepted.is_multiple_of(DRIFT_CHECK_INTERVAL) {
+                let fresh = model.fresh_cost();
+                debug_assert!(
+                    (model.cost - fresh).abs() <= 1e-6 * fresh.max(1.0),
+                    "incremental cost drifted: running {} vs fresh {fresh}",
+                    model.cost
+                );
+            }
+            if model.cost < best_cost {
+                best_cost = model.cost;
+                journal_at_best = journal.len();
+            }
+        }
+    }
+    // Keep the best assignment seen (annealing may end on an uphill
+    // walk): undo the accepted moves past the last improvement, then
+    // report the exact cost, free of accumulation error.
+    let mut best_slot_of = std::mem::take(&mut model.slot_of);
+    for &(a, old_slot, b, target_slot) in journal[journal_at_best..].iter().rev() {
+        best_slot_of[a as usize] = old_slot as usize;
+        if b != u32::MAX {
+            best_slot_of[b as usize] = target_slot as usize;
+        }
+    }
+    model.slot_of = best_slot_of;
+    model.load_assignment_positions();
+    let cost = model.fresh_cost();
+    StartResult {
+        slot_of: std::mem::take(&mut model.slot_of),
+        cost,
+        attempted,
+        accepted,
     }
 }
 
@@ -73,6 +491,35 @@ pub fn place(
     floorplan: &Floorplan,
     seed: u64,
     effort: PlaceEffort,
+) -> Result<Placement, PhysicalError> {
+    place_inner(tech, netlist, floorplan, seed, effort, None)
+}
+
+/// [`place`] with the incremental-cost audit enabled: every accepted
+/// move cross-checks the running cost against a from-scratch recompute
+/// (starts run serially so the audit accumulator is shared). Returns
+/// the placement plus the maximum relative divergence observed. Test
+/// hook — quadratic in design size, do not use on hot paths.
+#[doc(hidden)]
+pub fn place_audited(
+    tech: &Technology,
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    seed: u64,
+    effort: PlaceEffort,
+) -> Result<(Placement, f64), PhysicalError> {
+    let mut drift = 0.0;
+    let placement = place_inner(tech, netlist, floorplan, seed, effort, Some(&mut drift))?;
+    Ok((placement, drift))
+}
+
+fn place_inner(
+    tech: &Technology,
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    seed: u64,
+    effort: PlaceEffort,
+    audit: Option<&mut f64>,
 ) -> Result<Placement, PhysicalError> {
     let cells = netlist.cells();
     let placeable: Vec<usize> = cells
@@ -117,22 +564,33 @@ pub fn place(
         });
     }
 
-    // cell -> slot assignment (initial: in order).
-    let mut slot_of: Vec<usize> = (0..placeable.len()).collect();
-    // slot -> Option<cell ordinal>
-    let mut cell_in_slot: Vec<Option<usize>> = vec![None; slots.len()];
-    for (ord, &slot) in slot_of.iter().enumerate() {
-        cell_in_slot[slot] = Some(ord);
+    // Row structure of the slot grid for the annealer's 2-D move
+    // windows: rows that round down to zero slots are compacted away so
+    // every row in `row_off` is non-empty.
+    let mut row_off: Vec<u32> = Vec::with_capacity(floorplan.rows.len() + 1);
+    let mut slot_row: Vec<u32> = Vec::with_capacity(slots.len());
+    row_off.push(0);
+    for row in &floorplan.rows {
+        let n = (row.width().value() / slot_w).floor() as usize;
+        if n == 0 {
+            continue;
+        }
+        let r = (row_off.len() - 1) as u32;
+        slot_row.extend(std::iter::repeat_n(r, n));
+        row_off.push(row_off[row_off.len() - 1] + n as u32);
     }
+    debug_assert_eq!(slot_row.len(), slots.len());
 
     // Static pin positions.
     let macro_centers: Vec<(String, (f64, f64))> = floorplan
         .macros
         .iter()
-        .map(|m| (m.instance.clone(), {
-            let (x, y) = m.center();
-            (x.value(), y.value())
-        }))
+        .map(|m| {
+            (m.instance.clone(), {
+                let (x, y) = m.center();
+                (x.value(), y.value())
+            })
+        })
         .collect();
     let n_pi = netlist.primary_inputs().len().max(1);
     let input_pins: Vec<(NetId, (f64, f64))> = netlist
@@ -165,114 +623,139 @@ pub fn place(
         })
         .collect();
 
-    // Net membership for incremental cost.
-    let mut nets_of_cell: Vec<Vec<usize>> = vec![Vec::new(); placeable.len()];
-    let mut pins_of_net: Vec<Vec<PinRef>> = vec![Vec::new(); netlist.net_count()];
+    // Net membership, CSR on both sides (one entry per pin occurrence,
+    // so incremental removals and rescans agree on multiplicity).
+    let n_nets = netlist.net_count();
+    let mut cell_off = vec![0u32; placeable.len() + 1];
     for (ord, &ci) in placeable.iter().enumerate() {
+        let pins = cells[ci].inputs.len() + cells[ci].outputs.len();
+        cell_off[ord + 1] = cell_off[ord] + pins as u32;
+    }
+    let mut pin_count = vec![0u32; n_nets];
+    for &ci in &placeable {
         for &net in cells[ci].inputs.iter().chain(cells[ci].outputs.iter()) {
-            nets_of_cell[ord].push(net.index());
-            pins_of_net[net.index()].push(PinRef::Cell(ord));
+            pin_count[net.index()] += 1;
         }
     }
+    let mut macro_pins: Vec<(u32, PinRef)> = Vec::new();
     for (i, m) in floorplan.macros.iter().enumerate() {
         let cell = cells
             .iter()
             .find(|c| c.name == m.instance)
             .expect("macro instance exists in netlist");
         for &net in cell.inputs.iter().chain(cell.outputs.iter()) {
-            pins_of_net[net.index()].push(PinRef::Macro(i));
+            macro_pins.push((net.index() as u32, PinRef::Macro(i)));
+            pin_count[net.index()] += 1;
         }
     }
     for (i, (net, _)) in input_pins.iter().enumerate() {
-        pins_of_net[net.index()].push(PinRef::Input(i));
+        macro_pins.push((net.index() as u32, PinRef::Input(i)));
+        pin_count[net.index()] += 1;
     }
     for (i, (net, _)) in output_pins.iter().enumerate() {
-        pins_of_net[net.index()].push(PinRef::Output(i));
+        macro_pins.push((net.index() as u32, PinRef::Output(i)));
+        pin_count[net.index()] += 1;
+    }
+    let mut net_off = vec![0u32; n_nets + 1];
+    for n in 0..n_nets {
+        net_off[n + 1] = net_off[n] + pin_count[n];
+    }
+    let mut cursor: Vec<u32> = net_off[..n_nets].to_vec();
+    let mut net_pins = vec![PinRef::Cell(usize::MAX); *net_off.last().unwrap() as usize];
+    // (net, flat position index) per cell pin occurrence; sorted by net
+    // within each cell below so move evaluation can merge the two
+    // cells' net lists instead of sorting per move.
+    let mut cell_pairs: Vec<(u32, u32)> = Vec::with_capacity(*cell_off.last().unwrap() as usize);
+    for (ord, &ci) in placeable.iter().enumerate() {
+        for &net in cells[ci].inputs.iter().chain(cells[ci].outputs.iter()) {
+            let n = net.index();
+            net_pins[cursor[n] as usize] = PinRef::Cell(ord);
+            cell_pairs.push((n as u32, cursor[n]));
+            cursor[n] += 1;
+        }
+    }
+    for ord in 0..placeable.len() {
+        cell_pairs[cell_off[ord] as usize..cell_off[ord + 1] as usize].sort_unstable();
+    }
+    let cell_nets: Vec<u32> = cell_pairs.iter().map(|&(n, _)| n).collect();
+    let cell_pin_idx: Vec<u32> = cell_pairs.iter().map(|&(_, i)| i).collect();
+    // Deduplicated, sentinel-terminated net list per cell for the move
+    // evaluator's branch-light merge.
+    let mut merge_off = vec![0u32; placeable.len() + 1];
+    let mut merge_nets: Vec<u32> = Vec::with_capacity(cell_nets.len() + placeable.len());
+    for ord in 0..placeable.len() {
+        let mut prev = u32::MAX;
+        for &n in &cell_nets[cell_off[ord] as usize..cell_off[ord + 1] as usize] {
+            if n != prev {
+                merge_nets.push(n);
+                prev = n;
+            }
+        }
+        merge_nets.push(u32::MAX);
+        merge_off[ord + 1] = merge_nets.len() as u32;
+    }
+    for &(n, pin) in &macro_pins {
+        net_pins[cursor[n as usize] as usize] = pin;
+        cursor[n as usize] += 1;
     }
 
-    let pin_pos = |pin: &PinRef, slot_of: &[usize]| -> (f64, f64) {
-        match *pin {
-            PinRef::Cell(ord) => slots[slot_of[ord]],
-            PinRef::Macro(i) => macro_centers[i].1,
-            PinRef::Input(i) => input_pins[i].1,
-            PinRef::Output(i) => output_pins[i].1,
-        }
-    };
-    let net_hpwl = |net: usize, slot_of: &[usize]| -> f64 {
-        let pins = &pins_of_net[net];
-        if pins.len() < 2 {
-            return 0.0;
-        }
-        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
-        for p in pins {
-            let (x, y) = pin_pos(p, slot_of);
-            x0 = x0.min(x);
-            x1 = x1.max(x);
-            y0 = y0.min(y);
-            y1 = y1.max(y);
-        }
-        (x1 - x0) + (y1 - y0)
-    };
-
-    let total_hpwl =
-        |slot_of: &[usize]| -> f64 { (0..netlist.net_count()).map(|n| net_hpwl(n, slot_of)).sum() };
-
-    // Annealing.
-    let mut rng = TestRng::seed_from_u64(seed);
-    let mut cost = total_hpwl(&slot_of);
     let n_moves = if placeable.len() < 2 {
         0
     } else {
-        ((placeable.len() * 60) as f64 * effort.0) as usize
+        ((placeable.len() * 30) as f64 * effort.moves) as usize
     };
-    let t0 = (cost / (placeable.len().max(1) as f64)).max(1.0);
-    let mut best_cost = cost;
-    let mut best_slot_of = slot_of.clone();
-    for step in 0..n_moves {
-        let t = t0 * (1.0 - step as f64 / n_moves as f64).max(0.01);
-        let a = rng.gen_range(0..placeable.len());
-        let target_slot = rng.gen_range(0..slots.len());
-        let b = cell_in_slot[target_slot];
-        if b == Some(a) {
-            continue;
-        }
-        // Affected nets.
-        let mut nets: Vec<usize> = nets_of_cell[a].clone();
-        if let Some(b) = b {
-            nets.extend(&nets_of_cell[b]);
-        }
-        nets.sort_unstable();
-        nets.dedup();
-        let before: f64 = nets.iter().map(|&n| net_hpwl(n, &slot_of)).sum();
-        // Apply move.
-        let old_slot = slot_of[a];
-        slot_of[a] = target_slot;
-        if let Some(b) = b {
-            slot_of[b] = old_slot;
-        }
-        cell_in_slot[old_slot] = b;
-        cell_in_slot[target_slot] = Some(a);
-        let after: f64 = nets.iter().map(|&n| net_hpwl(n, &slot_of)).sum();
-        let delta = after - before;
-        if delta > 0.0 && rng.gen::<f64>() >= (-delta / t).exp() {
-            // Revert.
-            slot_of[a] = old_slot;
-            if let Some(b) = b {
-                slot_of[b] = target_slot;
-            }
-            cell_in_slot[old_slot] = Some(a);
-            cell_in_slot[target_slot] = b;
+    let ctx = Ctx {
+        slots: &slots,
+        macro_centers: &macro_centers,
+        input_pins: &input_pins,
+        output_pins: &output_pins,
+        net_off: &net_off,
+        net_pins: &net_pins,
+        cell_off: &cell_off,
+        cell_pin_idx: &cell_pin_idx,
+        merge_off: &merge_off,
+        merge_nets: &merge_nets,
+        slot_row: &slot_row,
+        row_off: &row_off,
+        n_placeable: placeable.len(),
+        n_moves,
+    };
+
+    // Multi-start: per-start seeds are a SplitMix64 walk from the
+    // caller's seed; the winner is the strictly lowest final HPWL in
+    // seed order, so the result is independent of the worker count and
+    // of start completion order.
+    let (slot_of, final_cost, attempted, accepted, starts_run) = if n_moves == 0 {
+        // Nothing to anneal: keep the ordered assignment and report the
+        // work actually done (none).
+        let model = CostModel::new(&ctx);
+        (model.slot_of, model.cost, 0, 0, 0)
+    } else {
+        let starts = effort.starts.max(1);
+        let mut stream = seed;
+        let seeds: Vec<u64> = (0..starts).map(|_| splitmix64(&mut stream)).collect();
+        let results: Vec<StartResult> = if let Some(max_drift) = audit {
+            // Audited runs share one accumulator, so they stay serial.
+            seeds
+                .into_iter()
+                .map(|s| anneal(&ctx, s, Some(max_drift)))
+                .collect()
+        } else if effort.parallel_starts {
+            lim_par::par_map(seeds, |s| anneal(&ctx, s, None))
         } else {
-            cost += delta;
-            if cost < best_cost {
-                best_cost = cost;
-                best_slot_of.copy_from_slice(&slot_of);
+            seeds.into_iter().map(|s| anneal(&ctx, s, None)).collect()
+        };
+        let attempted: usize = results.iter().map(|r| r.attempted).sum();
+        let accepted: usize = results.iter().map(|r| r.accepted).sum();
+        let mut winner = 0;
+        for (i, r) in results.iter().enumerate().skip(1) {
+            if r.cost < results[winner].cost {
+                winner = i;
             }
         }
-    }
-    // Keep the best assignment seen (annealing may end on an uphill walk).
-    slot_of = best_slot_of;
-    let final_cost = total_hpwl(&slot_of);
+        let best = results.into_iter().nth(winner).expect("winner exists");
+        (best.slot_of, best.cost, attempted, accepted, starts)
+    };
 
     // Emit positions.
     let mut cell_pos: Vec<Option<(f64, f64)>> = vec![None; cells.len()];
@@ -280,23 +763,19 @@ pub fn place(
         cell_pos[ci] = Some(slots[slot_of[ord]]);
     }
 
-    lim_obs::counter_add("place.moves", n_moves as u64);
+    lim_obs::counter_add("place.moves", attempted as u64);
+    lim_obs::counter_add("place.incremental_moves", accepted as u64);
+    lim_obs::counter_add("place.starts", starts_run as u64);
     Ok(Placement {
         cell_pos,
         macro_centers,
         input_pins,
         output_pins,
         hpwl: final_cost,
-        moves: n_moves,
+        moves: attempted,
+        accepted,
+        starts: starts_run,
     })
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum PinRef {
-    Cell(usize),
-    Macro(usize),
-    Input(usize),
-    Output(usize),
 }
 
 /// Returns the position of every pin of `net` under `placement`
@@ -374,7 +853,7 @@ mod tests {
             assert!(p.1 >= 0.0 && p.1 <= fp.height.value());
         }
         // Annealed placement beats the trivial ordered placement.
-        let unannealed = place(&tech, &dec, &fp, 42, PlaceEffort(0.0)).unwrap();
+        let unannealed = place(&tech, &dec, &fp, 42, PlaceEffort::new(0.0)).unwrap();
         assert!(
             seeded.hpwl <= unannealed.hpwl * 1.001,
             "annealed {} vs initial {}",
@@ -400,5 +879,96 @@ mod tests {
         let pins = [(0.0, 0.0), (3.0, 4.0), (1.0, 1.0)];
         assert!((hpwl(&pins).value() - 7.0).abs() < 1e-12);
         assert_eq!(hpwl(&[(1.0, 1.0)]).value(), 0.0);
+    }
+
+    #[test]
+    fn incremental_cost_matches_recompute() {
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 5, 32, true).unwrap();
+        let fp = Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let (placement, drift) =
+            place_audited(&tech, &dec, &fp, 42, PlaceEffort::default()).unwrap();
+        assert!(drift < 1e-9, "incremental cost drifted by {drift}");
+        // Reported HPWL equals an API-level recompute over all nets.
+        let recomputed: f64 = (0..dec.net_count())
+            .map(|n| {
+                hpwl(&net_pin_positions(
+                    &dec,
+                    &placement,
+                    &fp,
+                    NetId::from_index(n),
+                ))
+                .value()
+            })
+            .sum();
+        assert!(
+            (placement.hpwl - recomputed).abs() <= 1e-9 * recomputed.max(1.0),
+            "reported {} vs recomputed {recomputed}",
+            placement.hpwl
+        );
+    }
+
+    #[test]
+    fn multi_start_never_loses_to_single_start() {
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 5, 32, true).unwrap();
+        let fp = Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let single = place(&tech, &dec, &fp, 9, PlaceEffort::default()).unwrap();
+        let multi = place(&tech, &dec, &fp, 9, PlaceEffort::starts(4)).unwrap();
+        // The first start of the multi-start run is the single-start
+        // run, so the winner can only be at least as good.
+        assert!(
+            multi.hpwl <= single.hpwl,
+            "multi {} vs single {}",
+            multi.hpwl,
+            single.hpwl
+        );
+        assert_eq!(multi.starts, 4);
+        assert!(multi.moves > single.moves);
+    }
+
+    #[test]
+    fn serial_and_parallel_starts_are_byte_identical() {
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 5, 32, true).unwrap();
+        let fp = Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let par = place(&tech, &dec, &fp, 5, PlaceEffort::starts(4)).unwrap();
+        let ser = place(&tech, &dec, &fp, 5, PlaceEffort::starts(4).serial()).unwrap();
+        assert_eq!(par.cell_pos, ser.cell_pos);
+        assert_eq!(par.hpwl.to_bits(), ser.hpwl.to_bits());
+        assert_eq!(par.moves, ser.moves);
+        assert_eq!(par.accepted, ser.accepted);
+    }
+
+    #[test]
+    fn counters_reflect_work_actually_done() {
+        let tech = Technology::cmos65();
+        // A single-cell design: nothing to anneal, so no moves and no
+        // starts may be reported.
+        let mut n = Netlist::new("one");
+        let a = n.add_input("a");
+        let out = n
+            .add_gate(lim_rtl::StdCellKind::Inv, 1.0, &[a], "y")
+            .unwrap();
+        n.mark_output(out);
+        let fp = Floorplan::build(&tech, &n, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let p = place(&tech, &n, &fp, 1, PlaceEffort::starts(8)).unwrap();
+        assert_eq!(p.moves, 0);
+        assert_eq!(p.accepted, 0);
+        assert_eq!(p.starts, 0);
+
+        // A real design reports the moves it evaluated, which is at
+        // most the budget (no-op draws are excluded) and nonzero.
+        let dec = decoder("dec", 4, 16, true).unwrap();
+        let fp = Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let p = place(&tech, &dec, &fp, 1, PlaceEffort::default()).unwrap();
+        assert!(p.moves > 0);
+        assert!(p.accepted <= p.moves);
+        assert_eq!(p.starts, 1);
     }
 }

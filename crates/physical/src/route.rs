@@ -6,7 +6,7 @@
 //! standard-cell and brick libraries.
 
 use crate::floorplan::Floorplan;
-use crate::place::{hpwl, net_pin_positions, Placement};
+use crate::place::{hpwl, Placement};
 use lim_brick::BrickLibrary;
 use lim_rtl::{CellKind, NetId, Netlist};
 use lim_tech::units::{Femtofarads, KiloOhms, Microns};
@@ -38,6 +38,110 @@ fn steiner_factor(pins: usize) -> f64 {
         1.0
     } else {
         1.0 + 0.18 * ((pins - 3) as f64).sqrt()
+    }
+}
+
+/// Pin positions of every net, built in one pass over the netlist and
+/// stored flat (CSR), so per-net queries are slice lookups instead of
+/// fresh allocations and full-netlist rescans.
+///
+/// Matches [`net_pin_positions`] pin for pin: one pin per (cell, net)
+/// incidence regardless of how many cell pins the net drives, cells
+/// without a resolvable position skipped, port pins appended last.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPinIndex {
+    offsets: Vec<usize>,
+    pos: Vec<(f64, f64)>,
+}
+
+impl NetPinIndex {
+    /// Builds the index for `netlist` under `placement`.
+    pub fn build(netlist: &Netlist, placement: &Placement, floorplan: &Floorplan) -> Self {
+        let n_nets = netlist.net_count();
+        let cells = netlist.cells();
+
+        // Resolve each cell's position once: placed std cells by their
+        // slot, macros by the placement's (or floorplan's) center.
+        let cell_pos: Vec<Option<(f64, f64)>> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                placement.cell_pos[i]
+                    .or_else(|| {
+                        placement
+                            .macro_centers
+                            .iter()
+                            .find(|(name, _)| name == &cell.name)
+                            .map(|(_, p)| *p)
+                    })
+                    .or_else(|| {
+                        floorplan
+                            .macros
+                            .iter()
+                            .find(|m| m.instance == cell.name)
+                            .map(|m| {
+                                let (x, y) = m.center();
+                                (x.value(), y.value())
+                            })
+                    })
+            })
+            .collect();
+
+        // Count pass. `seen` stamps deduplicate nets within one cell
+        // (a net on both an input and an output pin counts once).
+        let mut count = vec![0usize; n_nets];
+        let mut seen = vec![u32::MAX; n_nets];
+        for (i, cell) in cells.iter().enumerate() {
+            if cell_pos[i].is_none() {
+                continue;
+            }
+            for &net in cell.inputs.iter().chain(cell.outputs.iter()) {
+                if seen[net.index()] != i as u32 {
+                    seen[net.index()] = i as u32;
+                    count[net.index()] += 1;
+                }
+            }
+        }
+        for (net, _) in &placement.input_pins {
+            count[net.index()] += 1;
+        }
+        for (net, _) in &placement.output_pins {
+            count[net.index()] += 1;
+        }
+
+        let mut offsets = vec![0usize; n_nets + 1];
+        for n in 0..n_nets {
+            offsets[n + 1] = offsets[n] + count[n];
+        }
+        let mut cursor = offsets[..n_nets].to_vec();
+        let mut pos = vec![(0.0, 0.0); offsets[n_nets]];
+
+        // Fill pass, same order as the count: cells first, then ports.
+        seen.fill(u32::MAX);
+        for (i, cell) in cells.iter().enumerate() {
+            let Some(p) = cell_pos[i] else { continue };
+            for &net in cell.inputs.iter().chain(cell.outputs.iter()) {
+                if seen[net.index()] != i as u32 {
+                    seen[net.index()] = i as u32;
+                    pos[cursor[net.index()]] = p;
+                    cursor[net.index()] += 1;
+                }
+            }
+        }
+        for (net, p) in &placement.input_pins {
+            pos[cursor[net.index()]] = *p;
+            cursor[net.index()] += 1;
+        }
+        for (net, p) in &placement.output_pins {
+            pos[cursor[net.index()]] = *p;
+            cursor[net.index()] += 1;
+        }
+        NetPinIndex { offsets, pos }
+    }
+
+    /// Pin positions of one net.
+    pub fn pins(&self, net: NetId) -> &[(f64, f64)] {
+        &self.pos[self.offsets[net.index()]..self.offsets[net.index() + 1]]
     }
 }
 
@@ -82,11 +186,10 @@ pub fn estimate(
         }
     }
 
+    let index = NetPinIndex::build(netlist, placement, floorplan);
     for (n, &pin_cap) in pin_caps.iter().enumerate() {
-        let net = NetId::from_index(n);
-        let pins = net_pin_positions(netlist, placement, floorplan, net);
-        let length =
-            Microns::new(hpwl(&pins).value() * steiner_factor(pins.len()));
+        let pins = index.pins(NetId::from_index(n));
+        let length = Microns::new(hpwl(pins).value() * steiner_factor(pins.len()));
         routes.push(NetRoute {
             length,
             wire_cap: Femtofarads::new(tech.wire_c_per_um.value() * length.value()),
@@ -162,14 +265,14 @@ pub fn congestion(
     // tile, i.e. tile_um/0.2 tracks × tile_um length × 2.
     let supply_per_tile = (tile_um / 0.2) * tile_um * 2.0;
 
+    let index = NetPinIndex::build(netlist, placement, floorplan);
     for (n, route) in routes.iter().enumerate() {
-        let net = NetId::from_index(n);
-        let pins = crate::place::net_pin_positions(netlist, placement, floorplan, net);
+        let pins = index.pins(NetId::from_index(n));
         if pins.len() < 2 {
             continue;
         }
         let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
-        for &(x, y) in &pins {
+        for &(x, y) in pins {
             x0 = x0.min(x);
             x1 = x1.max(x);
             y0 = y0.min(y);
@@ -218,6 +321,21 @@ mod tests {
             if !fanout[i].is_empty() {
                 assert!(r.pin_cap.value() > 0.0, "net {i} has sinks but no pin cap");
             }
+        }
+    }
+
+    #[test]
+    fn pin_index_matches_per_net_scan() {
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 5, 32, true).unwrap();
+        let lib = BrickLibrary::new();
+        let fp = Floorplan::build(&tech, &dec, &lib, &FloorplanOptions::default()).unwrap();
+        let pl = place(&tech, &dec, &fp, 3, PlaceEffort::default()).unwrap();
+        let index = NetPinIndex::build(&dec, &pl, &fp);
+        for n in 0..dec.net_count() {
+            let net = NetId::from_index(n);
+            let scanned = crate::place::net_pin_positions(&dec, &pl, &fp, net);
+            assert_eq!(index.pins(net), scanned.as_slice(), "net {n}");
         }
     }
 

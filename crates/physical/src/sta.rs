@@ -69,11 +69,20 @@ pub fn analyze(
     input_slew: Picoseconds,
 ) -> Result<TimingReport, PhysicalError> {
     netlist.validate()?;
+    // One topological sort serves both the max (setup) and min (hold)
+    // passes.
     let order = netlist.topo_order()?;
     let n_nets = netlist.net_count();
     let mut arrivals: Vec<Option<Arrival>> = vec![None; n_nets];
     // Which cell drives each net and its name (for traceback labels).
     let driver = netlist.driver_map();
+
+    // Per-net wire delay, computed once up front instead of on every
+    // pin visit of both passes.
+    let wire_delays: Vec<f64> = routes
+        .iter()
+        .map(|r| r.wire_res.value() * (r.wire_cap.value() / 2.0 + r.pin_cap.value()))
+        .collect();
 
     // Launch points: primary inputs at t=0, sequential outputs at clk-to-q.
     for &pi in netlist.primary_inputs() {
@@ -122,13 +131,10 @@ pub fn analyze(
         }
     }
 
-    let wire_delay = |net: NetId| -> f64 {
-        let r = &routes[net.index()];
-        r.wire_res.value() * (r.wire_cap.value() / 2.0 + r.pin_cap.value())
-    };
+    let wire_delay = |net: NetId| -> f64 { wire_delays[net.index()] };
 
     // Propagate through combinational cells in topological order.
-    for cid in order {
+    for &cid in &order {
         let cell = netlist.cell(cid);
         let (kind, drive) = match &cell.kind {
             CellKind::Gate { kind, drive } if !kind.is_sequential() => (kind, *drive),
@@ -159,20 +165,46 @@ pub fn analyze(
         });
     }
 
-    // Endpoints.
+    // Endpoints. Names are derived lazily — only the binding endpoint
+    // is ever formatted, so collecting thousands of endpoints does not
+    // build thousands of strings.
+    enum EndpointKind {
+        /// D pin of the flip-flop at this cell index.
+        DffD(usize),
+        /// Non-clock input pin of the macro at this cell index.
+        MacroPin(usize, NetId),
+        /// Internal cycle bound of the macro at this cell index.
+        MacroInternal(usize),
+        /// Primary output.
+        Po(NetId),
+    }
     struct Endpoint {
-        name: String,
+        kind: EndpointKind,
         required: f64,
         via_net: usize,
     }
+    impl EndpointKind {
+        fn name(&self, netlist: &Netlist) -> String {
+            match *self {
+                EndpointKind::DffD(c) => format!("{}/D", netlist.cells()[c].name),
+                EndpointKind::MacroPin(c, net) => {
+                    format!("{}/{}", netlist.cells()[c].name, netlist.net_name(net))
+                }
+                EndpointKind::MacroInternal(c) => {
+                    format!("{}/internal", netlist.cells()[c].name)
+                }
+                EndpointKind::Po(net) => format!("PO {}", netlist.net_name(net)),
+            }
+        }
+    }
     let mut endpoints: Vec<Endpoint> = Vec::new();
-    for cell in netlist.cells() {
+    for (ci, cell) in netlist.cells().iter().enumerate() {
         match &cell.kind {
             CellKind::Gate { kind, .. } if kind.is_sequential() => {
                 for &input in &cell.inputs {
                     if let Some(a) = arrivals[input.index()] {
                         endpoints.push(Endpoint {
-                            name: format!("{}/D", cell.name),
+                            kind: EndpointKind::DffD(ci),
                             required: a.time + wire_delay(input) + DFF_SETUP.value(),
                             via_net: input.index(),
                         });
@@ -187,7 +219,7 @@ pub fn analyze(
                     }
                     if let Some(a) = arrivals[input.index()] {
                         endpoints.push(Endpoint {
-                            name: format!("{}/{}", cell.name, netlist.net_name(input)),
+                            kind: EndpointKind::MacroPin(ci, input),
                             required: a.time
                                 + wire_delay(input)
                                 + entry.estimate.setup.value(),
@@ -197,7 +229,7 @@ pub fn analyze(
                 }
                 // The macro's internal cycle also bounds the period.
                 endpoints.push(Endpoint {
-                    name: format!("{}/internal", cell.name),
+                    kind: EndpointKind::MacroInternal(ci),
                     required: entry.estimate.min_cycle().value(),
                     via_net: cell.outputs.first().map(|o| o.index()).unwrap_or(0),
                 });
@@ -208,7 +240,7 @@ pub fn analyze(
     for &po in netlist.primary_outputs() {
         if let Some(a) = arrivals[po.index()] {
             endpoints.push(Endpoint {
-                name: format!("PO {}", netlist.net_name(po)),
+                kind: EndpointKind::Po(po),
                 required: a.time + wire_delay(po),
                 via_net: po.index(),
             });
@@ -249,7 +281,7 @@ pub fn analyze(
             _ => {}
         }
     }
-    for cid in netlist.topo_order()? {
+    for &cid in &order {
         let cell = netlist.cell(cid);
         let (kind, drive) = match &cell.kind {
             CellKind::Gate { kind, drive } if !kind.is_sequential() => (kind, *drive),
@@ -319,7 +351,7 @@ pub fn analyze(
     Ok(TimingReport {
         min_period,
         fmax: min_period.to_frequency(),
-        worst_endpoint: worst.name.clone(),
+        worst_endpoint: worst.kind.name(netlist),
         worst_arrival: Picoseconds::new(worst.required),
         critical_path: path,
         worst_hold_slack: worst_hold_slack.map(Picoseconds::new),

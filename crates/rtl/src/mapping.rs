@@ -170,40 +170,42 @@ fn sweep_dead(n: &mut Netlist) -> usize {
 /// Returns the number of buffers inserted.
 fn buffer_fanout(n: &mut Netlist) -> usize {
     let mut inserted = 0usize;
-    loop {
-        let fanout = n.fanout_map();
-        let Some((net, sinks)) = fanout
-            .iter()
-            .enumerate()
-            .map(|(i, loads)| (NetId::from_index(i), loads))
-            .find(|(net, loads)| {
-                loads.len() > FANOUT_BUDGET
-                    // Don't buffer the clock: clock trees are synthesized
-                    // by the physical flow.
-                    && Some(*net) != n.clock()
-            })
-        else {
-            break;
-        };
-        // One balanced layer: every group of `FANOUT_BUDGET` sinks moves
-        // behind its own buffer; the source then drives only buffers
-        // (which a later iteration splits again if there are too many).
-        let groups: Vec<Vec<(crate::ir::CellId, usize)>> = sinks
-            .chunks(FANOUT_BUDGET)
-            .map(|c| c.to_vec())
-            .collect();
-        for group in groups {
-            let name = format!("{}_buf{}", n.net_name(net), inserted);
-            let buf_out = n
-                .add_gate(StdCellKind::Buf, 6.0, &[net], name)
-                .expect("buffer arity is 1");
-            for (cell, pin) in group {
-                n.rewire_input(cell, pin, buf_out);
-            }
-            inserted += 1;
+    // One fanout map suffices for the whole pass: buffering a net only
+    // rewires pins that sat on that net (and appends fresh cells), so
+    // the recorded sinks of every later net stay exact.
+    let fanout = n.fanout_map();
+    let clock = n.clock();
+    for (i, sinks) in fanout.into_iter().enumerate() {
+        let net = NetId::from_index(i);
+        // Don't buffer the clock: clock trees are synthesized by the
+        // physical flow.
+        if Some(net) == clock || sinks.len() <= FANOUT_BUDGET {
+            continue;
         }
-        if inserted > 50_000 {
-            break; // safety valve
+        // One balanced layer per round: every group of `FANOUT_BUDGET`
+        // sinks moves behind its own buffer; the layer of buffer inputs
+        // then becomes the sink set of the next round, giving
+        // `O(log_b S)` depth instead of a chain.
+        let mut sinks = sinks;
+        while sinks.len() > FANOUT_BUDGET {
+            let mut next: Vec<(crate::ir::CellId, usize)> =
+                Vec::with_capacity(sinks.len() / FANOUT_BUDGET + 1);
+            for group in sinks.chunks(FANOUT_BUDGET) {
+                let name = format!("{}_buf{}", n.net_name(net), inserted);
+                let buf_out = n
+                    .add_gate(StdCellKind::Buf, 6.0, &[net], name)
+                    .expect("buffer arity is 1");
+                let buf_cell = crate::ir::CellId(n.cell_count() - 1);
+                for &(cell, pin) in group {
+                    n.rewire_input(cell, pin, buf_out);
+                }
+                next.push((buf_cell, 0));
+                inserted += 1;
+            }
+            sinks = next;
+            if inserted > 50_000 {
+                return inserted; // safety valve
+            }
         }
     }
     inserted

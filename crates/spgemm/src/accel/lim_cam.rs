@@ -22,7 +22,6 @@ use crate::accel::{AccelResult, AccelStats};
 use crate::error::SpgemmError;
 use crate::matrix::{Csc, Triplets};
 use crate::semiring::{Arithmetic, Semiring};
-use std::collections::BTreeMap;
 
 /// Cycle-level model of the LiM CAM-SpGEMM chip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,19 +121,38 @@ impl LimCamAccelerator {
         let mut stats = AccelStats::default();
         let mut out = Triplets::new(a.rows(), b.cols());
 
+        // All per-column accelerator state is allocated once here and
+        // reused across every tile and panel: the CAM is a flat array
+        // bounded by `cam_entries` (matched by linear scan, as the
+        // hardware matches all entries at once), the spill area is a
+        // row-sorted flat array merged on flush, and the broadcast
+        // schedule is a k-sorted flat list instead of a fresh tree map
+        // per tile.
+        let width_max = self.n_columns.min(b.cols());
+        let mut cam: Vec<Vec<(usize, f64)>> =
+            vec![Vec::with_capacity(self.cam_entries); width_max];
+        let mut spill: Vec<Vec<(usize, f64)>> = vec![Vec::new(); width_max];
+        let mut col_work: Vec<u64> = vec![0u64; width_max];
+        let mut users: Vec<(usize, usize, f64)> = Vec::new();
+        let mut merged: Vec<(usize, f64)> = Vec::new();
+
         let panel_rows = self.panel_rows();
         for tile_start in (0..b.cols()).step_by(self.n_columns) {
             let tile_end = (tile_start + self.n_columns).min(b.cols());
             let width = tile_end - tile_start;
 
-            // Broadcast schedule: which tile columns consume each A column.
-            let mut users: BTreeMap<usize, Vec<(usize, f64)>> = BTreeMap::new();
+            // Broadcast schedule: which tile columns consume each A
+            // column, as `(k, tile column, B value)` grouped by k. The
+            // stable sort keeps each k's consumers in ascending tile
+            // order, matching the per-column broadcast sequence.
+            users.clear();
             for j in tile_start..tile_end {
                 for (k, bv) in b.column(j) {
                     stats.mem_reads += 1; // stream B element
-                    users.entry(k).or_default().push((j - tile_start, bv));
+                    users.push((k, j - tile_start, bv));
                 }
             }
+            users.sort_by_key(|&(k, _, _)| k);
 
             // Row panels: the key width bounds how many A rows a
             // sub-block pass can index, so tall matrices take several
@@ -144,39 +162,42 @@ impl LimCamAccelerator {
             for panel in 0..n_panels {
                 let row_lo = panel * panel_rows;
                 let row_hi = (row_lo + panel_rows).min(a.rows());
-
-                // Per-column accelerator state for this panel.
-                let mut cam: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); width];
-                let mut spill: Vec<BTreeMap<usize, f64>> = vec![BTreeMap::new(); width];
-                let mut col_work = vec![0u64; width];
+                col_work[..width].fill(0);
 
                 let mut stream_cycles = 0u64;
-                for (k, consumers) in &users {
-                    for (i, av) in a.column(*k) {
+                let mut run = 0usize;
+                while run < users.len() {
+                    let k = users[run].0;
+                    let mut run_end = run;
+                    while run_end < users.len() && users[run_end].0 == k {
+                        run_end += 1;
+                    }
+                    let consumers = &users[run..run_end];
+                    run = run_end;
+                    for (i, av) in a.column(k) {
                         if i < row_lo || i >= row_hi {
                             continue;
                         }
                         stream_cycles += 1;
                         stats.mem_reads += 1;
-                        for &(t, bv) in consumers {
+                        for &(_, t, bv) in consumers {
                             // Vertical + horizontal CAM match and MAC, one
                             // cycle of this column's unit.
                             col_work[t] += 1;
                             stats.cam_matches += 1;
                             stats.multiplies += 1;
-                            if let Some(v) = cam[t].get_mut(&i) {
+                            if let Some((_, v)) =
+                                cam[t].iter_mut().find(|&&mut (r, _)| r == i)
+                            {
                                 *v = s.plus(*v, s.times(av, bv));
                             } else {
                                 if cam[t].len() == self.cam_entries {
                                     stats.overflow_flushes += 1;
                                     col_work[t] += 2 * self.cam_entries as u64;
                                     stats.mem_writes += self.cam_entries as u64;
-                                    for (r, v) in std::mem::take(&mut cam[t]) {
-                                        let e = spill[t].entry(r).or_insert_with(|| s.zero());
-                                        *e = s.plus(*e, v);
-                                    }
+                                    flush_cam(&s, &mut cam[t], &mut spill[t], &mut merged);
                                 }
-                                cam[t].insert(i, s.times(av, bv));
+                                cam[t].push((i, s.times(av, bv)));
                                 stats.new_entries += 1;
                             }
                         }
@@ -195,21 +216,19 @@ impl LimCamAccelerator {
                 let mut max_drain = 0u64;
                 for t in 0..width {
                     let mut drain = 0u64;
-                    for (r, v) in std::mem::take(&mut cam[t]) {
-                        let e = spill[t].entry(r).or_insert_with(|| s.zero());
-                        *e = s.plus(*e, v);
-                    }
-                    for (r, v) in std::mem::take(&mut spill[t]) {
+                    flush_cam(&s, &mut cam[t], &mut spill[t], &mut merged);
+                    for &(r, v) in spill[t].iter() {
                         if !s.is_zero(v) {
                             out.push(r, tile_start + t, v).expect("in range");
                         }
                         drain += 1;
                         stats.mem_writes += 1;
                     }
+                    spill[t].clear();
                     max_drain = max_drain.max(drain);
                 }
 
-                let busiest = col_work.iter().copied().max().unwrap_or(0);
+                let busiest = col_work[..width].iter().copied().max().unwrap_or(0);
                 stats.cycles += stream_cycles.max(busiest) + max_drain;
             }
         }
@@ -219,6 +238,50 @@ impl LimCamAccelerator {
             stats,
         })
     }
+}
+
+/// Accumulates a column's CAM contents into its row-sorted spill area
+/// and empties the CAM, reusing `merged` as scratch so no call
+/// allocates in steady state. CAM rows are unique, so per-row values
+/// are independent of merge order.
+fn flush_cam<S: Semiring>(
+    s: &S,
+    cam: &mut Vec<(usize, f64)>,
+    spill: &mut Vec<(usize, f64)>,
+    merged: &mut Vec<(usize, f64)>,
+) {
+    if cam.is_empty() {
+        return;
+    }
+    cam.sort_unstable_by_key(|&(r, _)| r);
+    merged.clear();
+    merged.reserve(spill.len() + cam.len());
+    let (mut i, mut j) = (0, 0);
+    while i < spill.len() && j < cam.len() {
+        let (rs, vs) = spill[i];
+        let (rc, vc) = cam[j];
+        match rs.cmp(&rc) {
+            std::cmp::Ordering::Less => {
+                merged.push((rs, vs));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push((rc, s.plus(s.zero(), vc)));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push((rs, s.plus(vs, vc)));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&spill[i..]);
+    for &(r, v) in &cam[j..] {
+        merged.push((r, s.plus(s.zero(), v)));
+    }
+    std::mem::swap(spill, merged);
+    cam.clear();
 }
 
 #[cfg(test)]

@@ -13,6 +13,13 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # BENCH_report.json (full-run medians) is left untouched.
 BENCH_OUT=/tmp/tier1_bench_smoke.json ./scripts/bench.sh --smoke
 
+# Perf gate: every smoke median must stay within 1.5x of the committed
+# full-run median, failing the run loudly on large physical-flow or
+# spgemm regressions while tolerating machine noise on the fast rows.
+echo "== tier1: bench regression gate (1.5x vs committed medians) =="
+cargo run --release --offline -q -p lim-obs --bin obs_check -- \
+    --compare BENCH_report.json /tmp/tier1_bench_smoke.json --max-regress 1.5
+
 # Parallel-determinism smoke: the bench suite must emit the same row
 # set (timings aside) whether lim-par runs 1 worker or 4, and
 # obs_check --compare must accept the pair. A huge --max-regress keeps

@@ -122,6 +122,38 @@ fn dse_fingerprint(points: &[lim::dse::DsePoint]) -> Vec<String> {
         .collect()
 }
 
+/// Serializes tests that mutate `LIM_PAR_THREADS`: the process
+/// environment is global, so concurrent test threads would race.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn multistart_placement_is_byte_identical_across_worker_counts() {
+    // The multi-start contract: per-start seeds are a fixed walk from
+    // the caller's seed and the winner is the strictly lowest final
+    // HPWL in seed order, so the placement is byte-identical whether
+    // the starts run on 1 worker, 4 workers, or serially on the
+    // calling thread (start completion order must never matter).
+    let _env = ENV_LOCK.lock().unwrap();
+    let tech = Technology::cmos65();
+    let dec = decoder("dec", 5, 32, true).unwrap();
+    let fp =
+        Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default()).unwrap();
+    let effort = PlaceEffort::starts(4);
+    std::env::set_var(lim_par::ENV_THREADS, "1");
+    let one = place(&tech, &dec, &fp, 11, effort).unwrap();
+    std::env::set_var(lim_par::ENV_THREADS, "4");
+    let four = place(&tech, &dec, &fp, 11, effort).unwrap();
+    std::env::remove_var(lim_par::ENV_THREADS);
+    let serial = place(&tech, &dec, &fp, 11, effort.serial()).unwrap();
+    assert_eq!(one, four, "placement must not depend on the worker count");
+    assert_eq!(one, serial, "parallel starts must match the serial path");
+    assert_eq!(one.starts, 4);
+    // Multi-start actually searches: it must never do worse than its
+    // own first seed alone.
+    let single = place(&tech, &dec, &fp, 11, PlaceEffort::default()).unwrap();
+    assert!(one.hpwl <= single.hpwl);
+}
+
 #[test]
 fn parallel_results_are_independent_of_worker_count() {
     // par_map's output order contract: identical to serial for any
@@ -133,8 +165,9 @@ fn parallel_results_are_independent_of_worker_count() {
 
     // The DSE sweep inherits that contract end to end: same points, in
     // the same order, whether the pool runs 1 worker or 8. The env var
-    // is set and restored inside this one test to avoid cross-test
-    // races on process environment.
+    // is set and restored under `ENV_LOCK` to avoid cross-test races
+    // on process environment.
+    let _env = ENV_LOCK.lock().unwrap();
     let tech = Technology::cmos65();
     let sweep = || {
         lim::dse::explore(&tech, &[(128, 8), (128, 16)], &[16, 32]).expect("sweep must succeed")

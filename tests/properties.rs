@@ -4,6 +4,9 @@
 //! hermetic `lim-testkit` harness (seeded cases, failing-seed reporting).
 
 use lim_brick::lut::Lut2D;
+use lim_brick::BrickLibrary;
+use lim_physical::floorplan::{Floorplan, FloorplanOptions};
+use lim_physical::place::{place_audited, PlaceEffort};
 use lim_rtl::{Netlist, Simulator, StdCellKind};
 use lim_spgemm::accel::heap::HeapAccelerator;
 use lim_spgemm::accel::lim_cam::LimCamAccelerator;
@@ -62,6 +65,29 @@ fn any_netlist(rng: &mut TestRng, n_inputs: usize, max_gates: usize) -> Netlist 
         n.mark_output(o);
     }
     n
+}
+
+#[test]
+fn incremental_placement_cost_matches_fresh_recompute() {
+    // The annealer maintains its HPWL incrementally (per-net cached
+    // perimeters updated under swap moves); `place_audited` compares
+    // that running cost against a from-scratch recompute after every
+    // accepted move and reports the worst relative divergence. On any
+    // random netlist it must stay at floating-point-roundoff scale.
+    let tech = Technology::cmos65();
+    check("incremental_placement_cost_matches_fresh_recompute", |rng| {
+        let netlist = any_netlist(rng, 6, 48);
+        let fp = Floorplan::build(&tech, &netlist, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let seed = rng.next_u64();
+        let (placement, drift) =
+            place_audited(&tech, &netlist, &fp, seed, PlaceEffort::default()).unwrap();
+        assert!(
+            drift <= 1e-9,
+            "incremental cost drifted {drift:e} from a fresh recompute (seed {seed})"
+        );
+        assert!(placement.hpwl.is_finite() && placement.hpwl >= 0.0);
+    });
 }
 
 #[test]
