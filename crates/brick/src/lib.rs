@@ -63,7 +63,7 @@ pub use error::BrickError;
 pub use estimator::BankEstimate;
 pub use geometry::BrickLayout;
 pub use golden::GoldenMeasurement;
-pub use library::{BrickLibrary, LibraryEntry};
+pub use library::{BrickLibrary, LibraryEntry, SharedBrickLibrary};
 
 use std::fmt;
 

@@ -16,6 +16,15 @@ use crate::{BrickSpec, CompiledBrick};
 use lim_tech::patterns::PatternClass;
 use lim_tech::units::{Femtofarads, Microns, Picoseconds};
 use lim_tech::Technology;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// The macro name of a `(spec, stack)` library entry — the cache key
+/// used by [`BrickLibrary::get_or_insert`] and
+/// [`SharedBrickLibrary::with_entry`].
+pub fn entry_name(spec: &BrickSpec, stack: usize) -> String {
+    format!("{}_x{}", spec.instance_name(), stack)
+}
 
 /// One generated library cell: a bank of stacked bricks as a macro.
 #[derive(Debug, Clone)]
@@ -147,7 +156,7 @@ impl BrickLibrary {
 
         let layout = &brick.layout;
         Ok(LibraryEntry {
-            name: format!("{}_x{}", brick.spec().instance_name(), stack),
+            name: entry_name(brick.spec(), stack),
             brick: brick.clone(),
             stack,
             estimate,
@@ -188,7 +197,7 @@ impl BrickLibrary {
         spec: &BrickSpec,
         stack: usize,
     ) -> Result<&LibraryEntry, BrickError> {
-        let name = format!("{}_x{}", spec.instance_name(), stack);
+        let name = entry_name(spec, stack);
         if let Some(i) = self.entries.iter().position(|e| e.name == name) {
             self.hits = self.hits.saturating_add(1);
             lim_obs::counter_add("brick_lib.hits", 1);
@@ -215,9 +224,37 @@ impl BrickLibrary {
         Ok(brick)
     }
 
+    /// Folds every entry of `other` that this library does not already
+    /// hold (by macro name) into `self`, along with any unseen compiled
+    /// bricks. Hit/miss counters are summed.
+    ///
+    /// This is how a resident server merges the library a checked-out
+    /// [`LimFlow`-style] run grew back into its shared warm cache:
+    /// snapshot (clone) out, run, absorb back.
+    pub fn absorb(&mut self, other: BrickLibrary) {
+        for entry in other.entries {
+            if !self.entries.iter().any(|e| e.name == entry.name) {
+                self.entries.push(entry);
+            }
+        }
+        for brick in other.compiled {
+            if !self.compiled.iter().any(|b| b.spec() == brick.spec()) {
+                self.compiled.push(brick);
+            }
+        }
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+    }
+
     /// Times [`BrickLibrary::get_or_insert`] found an existing entry.
     pub fn cache_hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Number of distinct specs that went through the brick compiler
+    /// (each spec compiles at most once, whatever its stack counts).
+    pub fn compiled_count(&self) -> usize {
+        self.compiled.len()
     }
 
     /// Times [`BrickLibrary::get_or_insert`] had to generate an entry.
@@ -250,6 +287,115 @@ impl BrickLibrary {
             .iter()
             .find(|e| e.name == name)
             .ok_or_else(|| BrickError::UnknownEntry(name.to_owned()))
+    }
+}
+
+/// A process-wide, thread-safe brick library: the warm compile cache of
+/// a resident synthesis service.
+///
+/// Concurrent readers proceed in parallel; a miss takes the write lock,
+/// re-checks under it (another thread may have compiled the same key
+/// while this one waited), and only then compiles — so each `(spec,
+/// stack)` entry is characterized **exactly once** no matter how many
+/// threads request it simultaneously. Hits and misses are counted with
+/// atomics ([`SharedBrickLibrary::cache_hits`]) and mirrored to the
+/// `brick_lib.shared_hits` / `brick_lib.shared_misses` obs counters.
+#[derive(Debug, Default)]
+pub struct SharedBrickLibrary {
+    inner: RwLock<BrickLibrary>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedBrickLibrary {
+    /// Wraps an existing (possibly pre-warmed) library.
+    pub fn new(library: BrickLibrary) -> Self {
+        SharedBrickLibrary {
+            inner: RwLock::new(library),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `f` on the `(spec, stack)` entry, compiling it first if no
+    /// thread has yet. The closure runs under the library lock (read
+    /// lock on a hit, write lock on a miss), so it should be cheap —
+    /// extract what you need and return it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and estimator failures on a miss.
+    pub fn with_entry<R>(
+        &self,
+        tech: &Technology,
+        spec: &BrickSpec,
+        stack: usize,
+        f: impl FnOnce(&LibraryEntry) -> R,
+    ) -> Result<R, BrickError> {
+        let name = entry_name(spec, stack);
+        {
+            let lib = self.inner.read().expect("library lock poisoned");
+            if let Ok(entry) = lib.get(&name) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                lim_obs::counter_add("brick_lib.shared_hits", 1);
+                return Ok(f(entry));
+            }
+        }
+        let mut lib = self.inner.write().expect("library lock poisoned");
+        // Double-check: a racing thread may have filled the entry
+        // between our read unlock and write lock.
+        if lib.get(&name).is_ok() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            lim_obs::counter_add("brick_lib.shared_hits", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            lim_obs::counter_add("brick_lib.shared_misses", 1);
+        }
+        let entry = lib.get_or_insert(tech, spec, stack)?;
+        Ok(f(entry))
+    }
+
+    /// Clones the current library contents (for checking a warm library
+    /// out into a single-threaded flow run).
+    pub fn snapshot(&self) -> BrickLibrary {
+        self.inner.read().expect("library lock poisoned").clone()
+    }
+
+    /// Folds `grown` back into the shared library; see
+    /// [`BrickLibrary::absorb`].
+    pub fn absorb(&self, grown: BrickLibrary) {
+        self.inner
+            .write()
+            .expect("library lock poisoned")
+            .absorb(grown);
+    }
+
+    /// Times [`SharedBrickLibrary::with_entry`] found an existing entry.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Times [`SharedBrickLibrary::with_entry`] had to generate one.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("library lock poisoned").len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct specs compiled so far.
+    pub fn compiled_count(&self) -> usize {
+        self.inner
+            .read()
+            .expect("library lock poisoned")
+            .compiled_count()
     }
 }
 
@@ -319,6 +465,71 @@ mod tests {
         assert_eq!((lib.cache_hits(), lib.cache_misses()), (1, 2));
         assert_eq!(lib.len(), 2);
         assert_eq!(lib.compiled.len(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_without_duplicating() {
+        let t = tech();
+        let spec_a = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
+        let spec_b = BrickSpec::new(BitcellKind::Sram8T, 32, 12).unwrap();
+        let mut base = BrickLibrary::new();
+        base.get_or_insert(&t, &spec_a, 1).unwrap();
+        let mut grown = base.clone();
+        grown.get_or_insert(&t, &spec_a, 4).unwrap(); // new stack, shared spec
+        grown.get_or_insert(&t, &spec_b, 1).unwrap(); // new spec
+        base.absorb(grown);
+        assert_eq!(base.len(), 3);
+        assert_eq!(base.compiled_count(), 2);
+        assert!(base.get("brick_8t_16_10_x4").is_ok());
+        assert!(base.get("brick_8t_32_12_x1").is_ok());
+        // Absorbing the same content again changes nothing.
+        let snapshot = base.clone();
+        base.absorb(snapshot);
+        assert_eq!(base.len(), 3);
+        assert_eq!(base.compiled_count(), 2);
+    }
+
+    #[test]
+    fn shared_library_hammer_compiles_each_key_exactly_once() {
+        // N threads race on a small key set; every (spec, stack) must be
+        // characterized exactly once, every spec compiled exactly once,
+        // and hits + misses must account for every request.
+        let t = tech();
+        let shared = SharedBrickLibrary::default();
+        let keys = [
+            (BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap(), 1usize),
+            (BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap(), 4),
+            (BrickSpec::new(BitcellKind::Sram8T, 32, 12).unwrap(), 2),
+            (BrickSpec::new(BitcellKind::Cam, 16, 8).unwrap(), 1),
+        ];
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 16;
+        std::thread::scope(|scope| {
+            for worker in 0..THREADS {
+                let shared = &shared;
+                let t = &t;
+                let keys = &keys;
+                scope.spawn(move || {
+                    for round in 0..ROUNDS {
+                        // Walk the keys in a worker-dependent order so
+                        // contention hits every key from the start.
+                        let (spec, stack) = keys[(round + worker) % keys.len()];
+                        let name = shared
+                            .with_entry(t, &spec, stack, |e| e.name.clone())
+                            .unwrap();
+                        assert_eq!(name, entry_name(&spec, stack));
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.len(), keys.len(), "one entry per key");
+        assert_eq!(shared.compiled_count(), 3, "one compile per distinct spec");
+        assert_eq!(shared.cache_misses(), keys.len() as u64);
+        assert_eq!(
+            shared.cache_hits() + shared.cache_misses(),
+            (THREADS * ROUNDS) as u64,
+            "every request is either a hit or a miss"
+        );
     }
 
     #[test]

@@ -47,11 +47,29 @@ impl LimFlow {
 
     /// A flow over an explicit technology.
     pub fn new(tech: Technology) -> Self {
+        Self::with_library(tech, BrickLibrary::new())
+    }
+
+    /// A flow seeded with an existing (warm) brick library.
+    ///
+    /// This is the resident-process entry point: a long-lived server
+    /// snapshots its shared library, hands the clone to a flow run so
+    /// every already-characterized brick is a cache hit, and afterwards
+    /// folds the grown library back with [`LimFlow::into_library`] +
+    /// [`BrickLibrary::absorb`]. Results are identical to a cold flow —
+    /// cached entries are byte-for-byte what a fresh compile produces —
+    /// so warm and cold runs of the same design agree exactly.
+    pub fn with_library(tech: Technology, library: BrickLibrary) -> Self {
         LimFlow {
             tech,
-            library: BrickLibrary::new(),
+            library,
             options: FlowOptions::default(),
         }
+    }
+
+    /// Consumes the flow, returning the library it accumulated.
+    pub fn into_library(self) -> BrickLibrary {
+        self.library
     }
 
     /// The technology in use.
@@ -264,6 +282,32 @@ mod tests {
         assert_eq!(flow.library().cache_hits(), hits_before + 1);
         assert_eq!(flow.library().cache_misses(), misses_before);
         assert_eq!(flow.library().len(), 1);
+    }
+
+    #[test]
+    fn warm_library_flow_matches_cold_flow() {
+        // A resident process checks a warm library out, runs, and folds
+        // it back; the block report must match a cold run exactly and
+        // the warm run must not recompile anything.
+        let config = SramConfig::new(32, 10, 1, 16).unwrap();
+        let mut cold = LimFlow::cmos65();
+        let cold_block = cold.synthesize_sram(&config).unwrap();
+        let warm_library = cold.into_library();
+        assert_eq!(warm_library.cache_misses(), 1);
+
+        let mut warm = LimFlow::with_library(Technology::cmos65(), warm_library);
+        let warm_block = warm.synthesize_sram(&config).unwrap();
+        assert_eq!(warm.library().cache_misses(), 1, "no recompilation");
+        assert!(warm.library().cache_hits() >= 1);
+        assert_eq!(warm_block.report.fmax, cold_block.report.fmax);
+        assert_eq!(warm_block.report.die_area, cold_block.report.die_area);
+        assert_eq!(warm_block.gate_count, cold_block.gate_count);
+
+        // Folding the grown library back into a shared base keeps one
+        // entry per key.
+        let mut base = BrickLibrary::new();
+        base.absorb(warm.into_library());
+        assert_eq!(base.len(), 1);
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub fn number(x: f64) -> String {
     }
 }
 
+/// Maximum container nesting depth [`Value::parse`] accepts. The parser
+/// is recursive-descent, so unbounded nesting would overflow the stack;
+/// inputs deeper than this are rejected with a [`JsonError`] instead.
+pub const MAX_DEPTH: usize = 128;
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -69,6 +74,7 @@ impl Value {
             text,
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -112,6 +118,61 @@ impl Value {
     }
 }
 
+/// Renders a value back to JSON text, preserving object member order.
+/// Numbers go through [`number`], so `render(parse(render(v)))` is a
+/// fixed point: two values that render equal stay byte-identical through
+/// any number of round trips.
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out, false);
+    out
+}
+
+/// [`render`] with object members sorted by key at every level — a
+/// canonical form, so two values that differ only in member order render
+/// identically. Used for content-addressed request keying.
+pub fn render_canonical(v: &Value) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out, true);
+    out
+}
+
+fn render_into(v: &Value, out: &mut String, canonical: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(x) => out.push_str(&number(*x)),
+        Value::String(s) => out.push_str(&string(s)),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out, canonical);
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            out.push('{');
+            let mut order: Vec<usize> = (0..members.len()).collect();
+            if canonical {
+                order.sort_by(|&a, &b| members[a].0.cmp(&members[b].0));
+            }
+            for (i, &m) in order.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let (key, value) = &members[m];
+                out.push_str(&string(key));
+                out.push(':');
+                render_into(value, out, canonical);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// A JSON syntax error with the byte offset where it was detected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -133,6 +194,9 @@ struct Parser<'a> {
     text: &'a str,
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, capped at [`MAX_DEPTH`] so the
+    /// recursive descent cannot overflow the stack on hostile input.
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -185,12 +249,22 @@ impl Parser<'_> {
         }
     }
 
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than MAX_DEPTH"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Value, JsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Array(items));
         }
         loop {
@@ -201,6 +275,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Array(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -210,10 +285,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Value, JsonError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Object(members));
         }
         loop {
@@ -229,6 +306,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Object(members));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -410,6 +488,46 @@ mod tests {
         }
         // A bare leading zero is fine, "01" is not.
         assert!(Value::parse("0.5").is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // One past the cap fails cleanly...
+        let deep = "[".repeat(MAX_DEPTH + 1);
+        let err = Value::parse(&deep).unwrap_err();
+        assert!(err.message.contains("MAX_DEPTH"), "{err}");
+        // ...and a pathological input (this would previously crash the
+        // process with a stack overflow) is just another parse error.
+        let hostile = "[".repeat(100_000);
+        assert!(Value::parse(&hostile).is_err());
+        let hostile_objs = "{\"a\":".repeat(100_000);
+        assert!(Value::parse(&hostile_objs).is_err());
+        // Exactly MAX_DEPTH levels still parse.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn render_round_trips_byte_identically() {
+        let text = r#"{"b":1.5,"a":[true,null,"x\ny"],"c":{"z":-3,"y":2}}"#;
+        let v = Value::parse(text).unwrap();
+        let rendered = render(&v);
+        // Source order is preserved, and a second round trip is a fixed
+        // point.
+        assert_eq!(rendered, text);
+        assert_eq!(render(&Value::parse(&rendered).unwrap()), rendered);
+    }
+
+    #[test]
+    fn canonical_render_sorts_members_recursively() {
+        let a = Value::parse(r#"{"b":1,"a":{"d":2,"c":3}}"#).unwrap();
+        let b = Value::parse(r#"{"a":{"c":3,"d":2},"b":1}"#).unwrap();
+        let canon = render_canonical(&a);
+        assert_eq!(canon, r#"{"a":{"c":3,"d":2},"b":1}"#);
+        assert_eq!(canon, render_canonical(&b));
+        // Arrays keep their order — only object members sort.
+        let arr = Value::parse("[3,1,2]").unwrap();
+        assert_eq!(render_canonical(&arr), "[3,1,2]");
     }
 
     #[test]

@@ -196,6 +196,99 @@ impl Report {
         Ok(())
     }
 
+    /// Folds `other` into `self`: spans aggregate by path (calls and
+    /// totals sum), counters sum saturating, gauges are last-write-wins.
+    ///
+    /// This is how a long-lived server adopts per-request reports
+    /// captured on worker threads into one process-wide report: each
+    /// worker runs the request under its own thread-local spans, then
+    /// captures and merges into a shared `Mutex<Report>`. The merged
+    /// span list is re-emitted in pre-order, so it stays valid
+    /// `lim-obs-v1` output.
+    pub fn merge(&mut self, other: &Report) {
+        // Rebuild both span lists into one tree keyed by (parent, name).
+        struct Node {
+            name: String,
+            path: String,
+            calls: u64,
+            total: Duration,
+            children: Vec<usize>,
+        }
+        let mut nodes: Vec<Node> = Vec::with_capacity(self.spans.len() + other.spans.len());
+        let mut roots: Vec<usize> = Vec::new();
+        for report in [&*self, other] {
+            // Rows are pre-order, so a row's parent is the most recent
+            // shallower row; track the live chain by depth.
+            let mut chain: Vec<usize> = Vec::new();
+            for row in &report.spans {
+                chain.truncate(row.depth);
+                let parent = chain.last().copied();
+                let siblings: &[usize] = match parent {
+                    Some(p) => &nodes[p].children,
+                    None => &roots,
+                };
+                let existing = siblings
+                    .iter()
+                    .copied()
+                    .find(|&i| nodes[i].name == row.name);
+                let idx = match existing {
+                    Some(i) => {
+                        nodes[i].calls = nodes[i].calls.saturating_add(row.calls);
+                        nodes[i].total += row.total;
+                        i
+                    }
+                    None => {
+                        let idx = nodes.len();
+                        nodes.push(Node {
+                            name: row.name.clone(),
+                            path: row.path.clone(),
+                            calls: row.calls,
+                            total: row.total,
+                            children: Vec::new(),
+                        });
+                        match parent {
+                            Some(p) => nodes[p].children.push(idx),
+                            None => roots.push(idx),
+                        }
+                        idx
+                    }
+                };
+                chain.push(idx);
+            }
+        }
+        let mut spans = Vec::with_capacity(nodes.len());
+        let mut stack: Vec<(usize, usize)> =
+            roots.iter().rev().map(|&i| (i, 0usize)).collect();
+        while let Some((idx, depth)) = stack.pop() {
+            let node = &nodes[idx];
+            spans.push(SpanRow {
+                path: node.path.clone(),
+                name: node.name.clone(),
+                depth,
+                calls: node.calls,
+                total: node.total,
+            });
+            for &child in node.children.iter().rev() {
+                stack.push((child, depth + 1));
+            }
+        }
+        self.spans = spans;
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v = v.saturating_add(*value),
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+        self.counters.sort_by(|(a, _), (b, _)| a.cmp(b));
+        for (name, value) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v = *value,
+                None => self.gauges.push((name.clone(), *value)),
+            }
+        }
+        self.gauges.sort_by(|(a, _), (b, _)| a.cmp(b));
+    }
+
     /// [`Report::write_json_lines`] into a `String`.
     pub fn to_json_lines(&self) -> String {
         let mut buf = Vec::new();
@@ -333,6 +426,55 @@ mod tests {
         let v = crate::json::Value::parse(&line).unwrap();
         assert_eq!(v.get("type").and_then(crate::json::Value::as_str), Some("bench"));
         assert_eq!(v.get("median_ns").and_then(crate::json::Value::as_f64), Some(20.0));
+    }
+
+    #[test]
+    fn merge_aggregates_spans_counters_and_gauges() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        // Give b an extra subtree and some new/overlapping scalars.
+        b.spans.push(SpanRow {
+            path: "flow/route".into(),
+            name: "route".into(),
+            depth: 1,
+            calls: 3,
+            total: Duration::from_micros(100),
+        });
+        b.counters.push(("serve.requests".into(), 7));
+        b.gauges = vec![("route.wirelength_um".into(), 9.0)];
+        a.merge(&b);
+        // Overlapping spans sum calls and totals.
+        let place = a.span("flow/place").unwrap();
+        assert_eq!(place.calls, 4);
+        assert_eq!(place.total, Duration::from_micros(1800));
+        // The new subtree is adopted under its parent with correct depth.
+        let route = a.span("flow/route").unwrap();
+        assert_eq!((route.depth, route.calls), (1, 3));
+        assert_eq!(a.span("flow").unwrap().calls, 2);
+        // Counters sum, new ones appear; gauges are last-write-wins.
+        assert_eq!(a.counter("place.moves"), Some(2400));
+        assert_eq!(a.counter("serve.requests"), Some(7));
+        assert_eq!(a.gauge("route.wirelength_um"), Some(9.0));
+        // Pre-order invariant holds: children directly follow parents at
+        // depth+1, so the JSON-lines output stays schema-valid.
+        assert_eq!(a.spans[0].path, "flow");
+        assert!(a.spans[1..].iter().all(|s| s.depth == 1));
+        let n = crate::json::validate_lines(&a.to_json_lines()).unwrap();
+        assert_eq!(n, 4 + a.counters.len() + a.gauges.len());
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_everything() {
+        let mut empty = Report {
+            source: "server".into(),
+            spans: vec![],
+            counters: vec![],
+            gauges: vec![],
+        };
+        empty.merge(&sample_report());
+        assert_eq!(empty.spans.len(), 2);
+        assert_eq!(empty.span("flow/place").unwrap().calls, 2);
+        assert_eq!(empty.counter("place.moves"), Some(1200));
     }
 
     #[test]

@@ -14,9 +14,14 @@
 //!   **input order** — output is bit-identical for any worker count,
 //!   which keeps seeded tests and golden reports stable.
 //! * The worker count honours the `LIM_PAR_THREADS` environment
-//!   variable (clamped to `1..=64`), defaulting to
-//!   [`std::thread::available_parallelism`]. `LIM_PAR_THREADS=1` is an
-//!   exact serial execution on the calling thread.
+//!   variable, defaulting to [`std::thread::available_parallelism`].
+//!   Valid values are positive integers; they are clamped to `1..=64`
+//!   (so `LIM_PAR_THREADS=4096` runs 64 workers). `LIM_PAR_THREADS=1`
+//!   is an exact serial execution on the calling thread. Invalid values
+//!   — `0`, empty, or non-numeric — are **rejected**, not silently
+//!   coerced: the pool falls back to the default worker count, logs a
+//!   one-time warning to stderr, and bumps the `par.env_invalid` obs
+//!   counter so CI can catch a typoed override.
 //! * Per-pool-invocation `lim-obs` counters (`par.tasks`,
 //!   `par.chunks_stolen`, `par.busy_us`, per-worker
 //!   `par.worker<N>.busy_us`) are aggregated on the **calling** thread
@@ -44,16 +49,62 @@ const MAX_THREADS: usize = 64;
 /// finer-grained stealing at slightly higher bookkeeping cost.
 const CHUNKS_PER_WORKER: usize = 4;
 
+/// How the `LIM_PAR_THREADS` environment value classified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EnvThreads {
+    /// Variable not present: use the machine default.
+    Unset,
+    /// A positive integer, already clamped to `1..=MAX_THREADS`.
+    Valid(usize),
+    /// Present but unusable (`0`, empty, or non-numeric): warn and use
+    /// the machine default.
+    Invalid(String),
+}
+
+/// Strictly classifies a raw `LIM_PAR_THREADS` value. `0` is invalid
+/// (a pool cannot have zero workers, and silently running serial would
+/// mask the typo); values above [`MAX_THREADS`] clamp.
+fn classify_env(raw: Option<&str>) -> EnvThreads {
+    let Some(raw) = raw else {
+        return EnvThreads::Unset;
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => EnvThreads::Invalid(raw.to_owned()),
+        Ok(n) => EnvThreads::Valid(n.min(MAX_THREADS)),
+    }
+}
+
+/// The machine's available parallelism, clamped to `1..=MAX_THREADS`.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_THREADS)
+}
+
 /// The worker count [`par_map`] and [`par_for_each`] use: the
-/// `LIM_PAR_THREADS` override when set, otherwise the machine's
-/// available parallelism.
+/// `LIM_PAR_THREADS` override when set and valid, otherwise the
+/// machine's available parallelism. An invalid override (`0`, empty,
+/// non-numeric) falls back to the default with a one-time stderr
+/// warning and a `par.env_invalid` counter bump.
 pub fn threads() -> usize {
-    match std::env::var(ENV_THREADS).ok().and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) => n.clamp(1, MAX_THREADS),
-        None => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .clamp(1, MAX_THREADS),
+    let raw = std::env::var(ENV_THREADS).ok();
+    match classify_env(raw.as_deref()) {
+        EnvThreads::Valid(n) => n,
+        EnvThreads::Unset => default_threads(),
+        EnvThreads::Invalid(raw) => {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "lim-par: ignoring invalid {ENV_THREADS}=`{raw}` \
+                     (expected an integer in 1..={MAX_THREADS}); \
+                     using {} worker(s)",
+                    default_threads()
+                );
+                lim_obs::counter_add("par.env_invalid", 1);
+            });
+            default_threads()
+        }
     }
 }
 
@@ -298,5 +349,23 @@ mod tests {
         let n = par_map_with_threads(usize::MAX, vec![1u8, 2, 3], |x| x);
         assert_eq!(n, vec![1, 2, 3]);
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn env_override_classification_is_strict() {
+        assert_eq!(classify_env(None), EnvThreads::Unset);
+        assert_eq!(classify_env(Some("1")), EnvThreads::Valid(1));
+        assert_eq!(classify_env(Some("8")), EnvThreads::Valid(8));
+        assert_eq!(classify_env(Some(" 16 ")), EnvThreads::Valid(16));
+        // Above the cap clamps rather than errors.
+        assert_eq!(classify_env(Some("4096")), EnvThreads::Valid(MAX_THREADS));
+        // Zero, empty and non-numeric values are invalid, not coerced.
+        for bad in ["0", "", "  ", "four", "-2", "3.5", "0x8"] {
+            assert_eq!(
+                classify_env(Some(bad)),
+                EnvThreads::Invalid(bad.to_owned()),
+                "`{bad}` must be rejected"
+            );
+        }
     }
 }

@@ -1,0 +1,251 @@
+//! `lim-client`: one-shot caller and load generator for `lim-serve`.
+//!
+//! ```text
+//! lim-client --addr HOST:PORT --method M [--params JSON]   # one request
+//! lim-client --addr HOST:PORT --stats                      # server.stats
+//! lim-client --addr HOST:PORT --shutdown                   # drain server
+//! lim-client --addr HOST:PORT --concurrency N --requests M # load gen
+//! ```
+//!
+//! Single-shot mode prints the raw response line and exits nonzero on
+//! an error response. Load-generator mode opens one connection per
+//! worker, drives a request mix (either `--method/--params` or a
+//! built-in mixed workload), and reports throughput plus latency
+//! percentiles. Shed responses (429) are counted separately and do not
+//! fail the run — they are the server's backpressure working as
+//! designed; any other error does.
+
+use lim_obs::json::Value;
+use lim_serve::net::{percentile, write_line, LineReader};
+use lim_serve::protocol::ERR_OVERLOADED;
+use std::io;
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    addr: String,
+    method: Option<String>,
+    params: String,
+    concurrency: usize,
+    requests: usize,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lim-client --addr HOST:PORT (--method M [--params JSON] | --stats | \
+         --shutdown | --concurrency N --requests M [--method M [--params JSON]])"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7117".into(),
+        method: None,
+        params: "{}".into(),
+        concurrency: 0,
+        requests: 0,
+        quiet: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |what: &str| -> String {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("lim-client: {flag} needs {what}");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("host:port"),
+            "--method" => args.method = Some(value("a method name")),
+            "--params" => args.params = value("a JSON object"),
+            "--stats" => args.method = Some("server.stats".into()),
+            "--shutdown" => args.method = Some("server.shutdown".into()),
+            "--concurrency" => match value("a worker count").parse() {
+                Ok(n) if n > 0 => args.concurrency = n,
+                _ => usage(),
+            },
+            "--requests" => match value("a request count").parse() {
+                Ok(n) if n > 0 => args.requests = n,
+                _ => usage(),
+            },
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("lim-client: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// One request/response round trip over an established connection.
+fn roundtrip(
+    writer: &mut TcpStream,
+    reader: &mut LineReader,
+    id: usize,
+    method: &str,
+    params: &str,
+) -> io::Result<String> {
+    write_line(
+        writer,
+        &format!("{{\"id\":{id},\"method\":\"{method}\",\"params\":{params}}}"),
+    )?;
+    reader
+        .read_line(&|| false)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))
+}
+
+fn connect(addr: &str) -> io::Result<(TcpStream, LineReader)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader = LineReader::new(stream.try_clone()?);
+    Ok((stream, reader))
+}
+
+fn single_shot(args: &Args, method: &str) -> io::Result<bool> {
+    let (mut writer, mut reader) = connect(&args.addr)?;
+    let response = roundtrip(&mut writer, &mut reader, 0, method, &args.params)?;
+    println!("{response}");
+    let ok = Value::parse(&response)
+        .ok()
+        .and_then(|v| v.get("ok").cloned())
+        == Some(Value::Bool(true));
+    Ok(ok)
+}
+
+/// The built-in mixed workload: cache-friendly estimates, a DSE sweep,
+/// a full flow run and a ping, cycled per request.
+const MIX: &[(&str, &str)] = &[
+    ("brick.estimate", "{\"words\":16,\"bits\":10,\"stack\":4}"),
+    ("brick.estimate", "{\"words\":32,\"bits\":12,\"stack\":2}"),
+    (
+        "dse.explore",
+        "{\"memories\":[[128,16]],\"brick_words\":[16,32,64]}",
+    ),
+    ("server.ping", "{}"),
+    (
+        "flow.run",
+        "{\"words\":64,\"bits\":10,\"partitions\":1,\"brick_words\":16}",
+    ),
+];
+
+#[derive(Default)]
+struct WorkerTally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+}
+
+fn classify(response: &str, tally: &mut WorkerTally) {
+    let parsed = Value::parse(response).ok();
+    let ok = parsed.as_ref().and_then(|v| v.get("ok").cloned()) == Some(Value::Bool(true));
+    if ok {
+        tally.ok += 1;
+        return;
+    }
+    let code = parsed
+        .as_ref()
+        .and_then(|v| v.get("error"))
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_f64);
+    if code == Some(f64::from(ERR_OVERLOADED)) {
+        tally.shed += 1;
+    } else {
+        tally.errors += 1;
+    }
+}
+
+fn load_generator(args: &Args) -> io::Result<bool> {
+    let mix: Vec<(String, String)> = match &args.method {
+        Some(m) => vec![(m.clone(), args.params.clone())],
+        None => MIX
+            .iter()
+            .map(|&(m, p)| (m.to_owned(), p.to_owned()))
+            .collect(),
+    };
+    let workers = args.concurrency.min(args.requests);
+    let started = Instant::now();
+    let tallies: Vec<io::Result<WorkerTally>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let mix = &mix;
+                let addr = &args.addr;
+                // Split the request budget evenly; early workers take
+                // the remainder.
+                let share = args.requests / workers + usize::from(w < args.requests % workers);
+                s.spawn(move || -> io::Result<WorkerTally> {
+                    let mut tally = WorkerTally::default();
+                    let (mut writer, mut reader) = connect(addr)?;
+                    for i in 0..share {
+                        let (method, params) = &mix[(w + i) % mix.len()];
+                        let sw = Instant::now();
+                        let response = roundtrip(&mut writer, &mut reader, i, method, params)?;
+                        tally.latencies_us.push(sw.elapsed().as_micros() as u64);
+                        classify(&response, &mut tally);
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut all = WorkerTally::default();
+    for tally in tallies {
+        let tally = tally?;
+        all.latencies_us.extend(tally.latencies_us);
+        all.ok += tally.ok;
+        all.shed += tally.shed;
+        all.errors += tally.errors;
+    }
+    all.latencies_us.sort_unstable();
+    let total = all.latencies_us.len();
+    if !args.quiet {
+        println!(
+            "lim-client: {total} requests over {workers} connections in {:.1} ms \
+             ({:.0} req/s)",
+            elapsed.as_secs_f64() * 1e3,
+            total as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
+        println!(
+            "  ok {} | shed {} | errors {}",
+            all.ok, all.shed, all.errors
+        );
+        println!(
+            "  latency µs: p50 {} | p90 {} | p99 {} | max {}",
+            percentile(&all.latencies_us, 0.50),
+            percentile(&all.latencies_us, 0.90),
+            percentile(&all.latencies_us, 0.99),
+            all.latencies_us.last().copied().unwrap_or(0),
+        );
+    }
+    Ok(all.errors == 0)
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let outcome = if args.concurrency > 0 && args.requests > 0 {
+        load_generator(&args)
+    } else {
+        match args.method.as_deref() {
+            Some(method) => single_shot(&args, method),
+            None => usage(),
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("lim-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Content-addressed response memo: an LRU keyed by the request's
+//! [`cache_key`](crate::protocol::cache_key) holding fully rendered
+//! result strings under a byte budget.
+//!
+//! The list is woven through a slab of slots (index links, no pointer
+//! chasing, no unsafe): `head` is most recently used, `tail` is the
+//! eviction candidate. Accounting charges each entry its value length
+//! plus a fixed per-slot overhead so a flood of tiny responses cannot
+//! grow the map without bound.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+/// Fixed accounting overhead charged per cached entry (slot + map
+/// bookkeeping), on top of the value bytes.
+const SLOT_OVERHEAD: usize = 64;
+
+#[derive(Debug)]
+struct Slot {
+    key: u64,
+    value: String,
+    prev: usize,
+    next: usize,
+}
+
+/// A byte-budgeted LRU of rendered responses.
+#[derive(Debug)]
+pub struct ResponseCache {
+    budget: usize,
+    map: HashMap<u64, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResponseCache {
+    /// An empty cache with the given byte budget. A zero budget caches
+    /// nothing (every `get` misses, every `insert` is dropped).
+    pub fn new(budget: usize) -> Self {
+        ResponseCache {
+            budget,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn cost(value: &str) -> usize {
+        value.len() + SLOT_OVERHEAD
+    }
+
+    /// Looks a response up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&str> {
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                self.unlink(i);
+                self.push_front(i);
+                Some(&self.slots[i].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a response, evicting least-recently-used
+    /// entries until the budget holds. Values costing more than the
+    /// whole budget are dropped rather than cached.
+    pub fn insert(&mut self, key: u64, value: String) {
+        if Self::cost(&value) > self.budget {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.bytes -= Self::cost(&self.slots[i].value);
+            self.bytes += Self::cost(&value);
+            self.slots[i].value = value;
+            self.unlink(i);
+            self.push_front(i);
+        } else {
+            self.bytes += Self::cost(&value);
+            let slot = Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            };
+            let i = match self.free.pop() {
+                Some(i) => {
+                    self.slots[i] = slot;
+                    i
+                }
+                None => {
+                    self.slots.push(slot);
+                    self.slots.len() - 1
+                }
+            };
+            self.map.insert(key, i);
+            self.push_front(i);
+        }
+        while self.bytes > self.budget {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "over budget with an empty list");
+            self.unlink(victim);
+            self.map.remove(&self.slots[victim].key);
+            self.bytes -= Self::cost(&self.slots[victim].value);
+            self.slots[victim].value = String::new();
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Accounted bytes currently held (values + per-slot overhead).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries pushed out by the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_refresh() {
+        let mut c = ResponseCache::new(1 << 16);
+        assert!(c.get(1).is_none());
+        c.insert(1, "one".into());
+        c.insert(2, "two".into());
+        assert_eq!(c.get(1), Some("one"));
+        assert_eq!(c.len(), 2);
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // Refreshing a key replaces its value without growing the map.
+        c.insert(1, "uno".into());
+        assert_eq!(c.get(1), Some("uno"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_byte_pressure() {
+        // Room for exactly two entries of cost 100+64.
+        let mut c = ResponseCache::new(2 * (100 + 64));
+        let big = "x".repeat(100);
+        c.insert(1, big.clone());
+        c.insert(2, big.clone());
+        assert_eq!(c.get(1).map(str::len), Some(100)); // 1 is now MRU
+        c.insert(3, big.clone());
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(2).is_none(), "LRU key 2 evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert!(c.bytes() <= c.budget());
+    }
+
+    #[test]
+    fn oversized_values_and_zero_budget_are_dropped() {
+        let mut c = ResponseCache::new(32);
+        c.insert(1, "y".repeat(1000));
+        assert!(c.is_empty());
+        let mut z = ResponseCache::new(0);
+        z.insert(1, String::new());
+        assert!(z.is_empty());
+        assert!(z.get(1).is_none());
+    }
+
+    #[test]
+    fn slots_are_recycled_after_eviction() {
+        let mut c = ResponseCache::new(100 + 64);
+        for key in 0..50 {
+            c.insert(key, "x".repeat(100));
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 49);
+        assert!(c.slots.len() <= 2, "evicted slots must be reused");
+        assert_eq!(c.get(49).map(str::len), Some(100));
+    }
+}

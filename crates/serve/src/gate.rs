@@ -1,0 +1,128 @@
+//! Backpressure: a bounded in-flight gate with non-blocking admission.
+//!
+//! The server never queues work it cannot start — a request that finds
+//! the gate full is *shed* with an explicit
+//! [`ERR_OVERLOADED`](crate::protocol::ERR_OVERLOADED) error instead of
+//! being buffered, so latency under overload stays bounded and clients
+//! get an honest retry signal.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A counting gate admitting at most `max` concurrent holders.
+#[derive(Debug)]
+pub struct Gate {
+    max: usize,
+    in_flight: AtomicUsize,
+    shed: AtomicU64,
+}
+
+impl Gate {
+    /// A gate admitting up to `max` concurrent requests (minimum 1).
+    pub fn new(max: usize) -> Self {
+        Gate {
+            max: max.max(1),
+            in_flight: AtomicUsize::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to enter the gate. `None` means the request must be shed;
+    /// the shed counter has already been bumped.
+    pub fn try_acquire(&self) -> Option<GatePermit<'_>> {
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(GatePermit { gate: self }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Requests currently inside the gate.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// The admission limit.
+    pub fn max_in_flight(&self) -> usize {
+        self.max
+    }
+
+    /// Requests refused because the gate was full.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+}
+
+/// An admission token; leaving scope releases the slot.
+#[derive(Debug)]
+pub struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        self.gate.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_max_then_sheds() {
+        let gate = Gate::new(2);
+        let a = gate.try_acquire().unwrap();
+        let _b = gate.try_acquire().unwrap();
+        assert_eq!(gate.in_flight(), 2);
+        assert!(gate.try_acquire().is_none());
+        assert_eq!(gate.shed_count(), 1);
+        drop(a);
+        assert_eq!(gate.in_flight(), 1);
+        let _c = gate.try_acquire().unwrap();
+        assert_eq!(gate.shed_count(), 1);
+    }
+
+    #[test]
+    fn zero_max_is_clamped_to_one() {
+        let gate = Gate::new(0);
+        assert_eq!(gate.max_in_flight(), 1);
+        let _p = gate.try_acquire().unwrap();
+        assert!(gate.try_acquire().is_none());
+    }
+
+    #[test]
+    fn concurrent_holders_never_exceed_max() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let gate = Arc::new(Gate::new(3));
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let gate = Arc::clone(&gate);
+                let peak = Arc::clone(&peak);
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(_p) = gate.try_acquire() {
+                            let now = gate.in_flight();
+                            peak.fetch_max(now, Ordering::Relaxed);
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::Relaxed) <= 3);
+        assert_eq!(gate.in_flight(), 0);
+    }
+}

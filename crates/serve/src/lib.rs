@@ -1,0 +1,63 @@
+//! `lim-serve`: synthesis-as-a-service for the LiM flow.
+//!
+//! A resident daemon keeps the expensive state — compiled bricks,
+//! characterized library entries, rendered responses — warm across
+//! requests, turning the cold-start flow into a milliseconds-scale RPC.
+//! The moving parts:
+//!
+//! * [`protocol`] — the `lim-serve-v1` wire format: one JSON request
+//!   per line in, one JSON response per line out, over plain TCP. The
+//!   JSON is the same hand-rolled [`lim_obs::json`] used by the obs
+//!   reports; the crate has zero external dependencies.
+//! * [`service`] — transport-independent execution: method handlers
+//!   (`brick.estimate`, `golden.compare`, `flow.run`, `dse.explore`,
+//!   `batch`, …) over a process-wide [`lim_brick::SharedBrickLibrary`],
+//!   a content-addressed LRU response memo ([`cache`]), per-endpoint
+//!   latency accounting, and per-request obs span adoption.
+//! * [`gate`] — backpressure: a bounded in-flight gate; requests that
+//!   find it full are shed with an explicit 429-style error instead of
+//!   queueing.
+//! * [`server`] — the TCP accept loop, per-connection threads, and
+//!   graceful drain; [`net`] holds the timeout-tolerant line reader.
+//!
+//! Two binaries ship with the crate: `lim-serve` (the daemon) and
+//! `lim-client` (a one-shot caller that doubles as a load generator
+//! with latency percentiles).
+//!
+//! # Examples
+//!
+//! Boot an in-process server on an ephemeral port and call it:
+//!
+//! ```
+//! use lim_serve::{ServeConfig, Server};
+//! use lim_serve::net::{write_line, LineReader};
+//! use std::net::TcpStream;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let server = Server::bind("127.0.0.1:0", &ServeConfig::default())?;
+//! let addr = server.local_addr();
+//! let handle = server.spawn();
+//!
+//! let mut stream = TcpStream::connect(addr)?;
+//! write_line(&mut stream, r#"{"id":1,"method":"server.ping"}"#)?;
+//! let mut reader = LineReader::new(stream.try_clone()?);
+//! let reply = reader.read_line(&|| false)?.expect("one response line");
+//! assert!(reply.contains("\"pong\":true"));
+//!
+//! handle.shutdown_and_join()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod gate;
+pub mod net;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::ResponseCache;
+pub use gate::Gate;
+pub use protocol::{Request, ServeError, PROTOCOL};
+pub use server::{Server, ServerHandle};
+pub use service::{CallOutcome, ServeConfig, Service};

@@ -1,0 +1,153 @@
+//! Line-oriented socket plumbing shared by the server, the client
+//! binary and the tests.
+//!
+//! [`LineReader`] buffers manually instead of using `BufReader::
+//! read_line` because the server polls its shutdown flag via short read
+//! timeouts: a timed-out `read` must not lose bytes already received,
+//! and `read_line` gives no such guarantee mid-error. Partial lines stay
+//! in the buffer across timeouts and are completed by later reads.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on one request/response line; longer input is an error.
+pub const MAX_LINE_BYTES: usize = 16 << 20;
+
+/// An incremental, timeout-tolerant line reader over a [`TcpStream`].
+#[derive(Debug)]
+pub struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    scanned: usize,
+}
+
+impl LineReader {
+    /// Wraps a stream (which may have a read timeout set).
+    pub fn new(stream: TcpStream) -> Self {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            scanned: 0,
+        }
+    }
+
+    /// Reads the next `\n`-terminated line (terminator stripped, along
+    /// with an optional `\r`). Returns `Ok(None)` on clean EOF, or when
+    /// `stop()` reports true while waiting on a timed-out read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors, non-UTF-8 lines, and lines longer than
+    /// [`MAX_LINE_BYTES`].
+    pub fn read_line(&mut self, stop: &dyn Fn() -> bool) -> io::Result<Option<String>> {
+        loop {
+            if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let end = self.scanned + nl;
+                let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                let text = String::from_utf8(line).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "line is not valid UTF-8")
+                })?;
+                return Ok(Some(text));
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "line exceeds MAX_LINE_BYTES",
+                ));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop() {
+                        return Ok(None);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Writes `line` plus a newline and flushes.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// The value at quantile `p` (0..=1) of an ascending-sorted sample set,
+/// by nearest-rank. Returns 0 for an empty set.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn reads_lines_across_fragmented_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // One line split across writes, then two lines in one write.
+            s.write_all(b"hel").unwrap();
+            s.flush().unwrap();
+            s.write_all(b"lo\r\nsecond\nthird\n").unwrap();
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = LineReader::new(conn);
+        let stop = || false;
+        assert_eq!(reader.read_line(&stop).unwrap().as_deref(), Some("hello"));
+        assert_eq!(reader.read_line(&stop).unwrap().as_deref(), Some("second"));
+        assert_eq!(reader.read_line(&stop).unwrap().as_deref(), Some("third"));
+        assert_eq!(reader.read_line(&stop).unwrap(), None, "EOF");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn stop_predicate_ends_a_timed_out_read() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(std::time::Duration::from_millis(10)))
+            .unwrap();
+        let mut reader = LineReader::new(conn);
+        assert_eq!(reader.read_line(&|| true).unwrap(), None);
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 0.0), 1);
+        assert_eq!(percentile(&xs, 0.5), 51);
+        assert_eq!(percentile(&xs, 0.99), 99);
+        assert_eq!(percentile(&xs, 1.0), 100);
+    }
+}

@@ -1,0 +1,252 @@
+//! The `lim-serve-v1` wire protocol: newline-delimited JSON requests and
+//! responses, plus content-addressed cache keys.
+//!
+//! One request per line:
+//!
+//! ```json
+//! {"id":1,"method":"brick.estimate","params":{"words":16,"bits":10,"stack":4}}
+//! ```
+//!
+//! One response per line, `id` echoed back:
+//!
+//! ```json
+//! {"id":1,"ok":true,"cached":false,"result":{...}}
+//! {"id":2,"ok":false,"error":{"code":429,"message":"server overloaded"}}
+//! ```
+//!
+//! The `result` member is always last, rendered verbatim from the
+//! handler, so two responses carrying the same result are byte-identical
+//! after the `"result":` marker regardless of which thread or cache tier
+//! produced them.
+
+use lim_obs::json::{self, Value};
+use std::fmt;
+
+/// Protocol identifier, echoed by `server.ping` and `server.stats`.
+pub const PROTOCOL: &str = "lim-serve-v1";
+
+/// Malformed request line (bad JSON, missing/ill-typed members).
+pub const ERR_BAD_REQUEST: u32 = 400;
+/// Method name is not served.
+pub const ERR_UNKNOWN_METHOD: u32 = 404;
+/// The in-flight gate is full; the request was shed, try again later.
+pub const ERR_OVERLOADED: u32 = 429;
+/// Handler failure (compiler, estimator or flow error).
+pub const ERR_INTERNAL: u32 = 500;
+
+/// A protocol-level error: an HTTP-flavored code plus a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// One of the `ERR_*` codes.
+    pub code: u32,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    /// A 400 malformed-request error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServeError {
+            code: ERR_BAD_REQUEST,
+            message: message.into(),
+        }
+    }
+
+    /// A 404 unknown-method error.
+    pub fn unknown_method(method: &str) -> Self {
+        ServeError {
+            code: ERR_UNKNOWN_METHOD,
+            message: format!("unknown method {method:?}"),
+        }
+    }
+
+    /// A 429 load-shed error.
+    pub fn overloaded() -> Self {
+        ServeError {
+            code: ERR_OVERLOADED,
+            message: "server overloaded: in-flight limit reached, retry later".into(),
+        }
+    }
+
+    /// A 500 handler-failure error.
+    pub fn internal(message: impl fmt::Display) -> Self {
+        ServeError {
+            code: ERR_INTERNAL,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.message)
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id (null, number or string), echoed in
+    /// the response.
+    pub id: Value,
+    /// Dotted method name, e.g. `brick.estimate`.
+    pub method: String,
+    /// Method parameters; defaults to the empty object.
+    pub params: Value,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a 400 [`ServeError`] on malformed JSON, a non-object
+    /// request, a missing/non-string `method`, or an `id` that is not
+    /// null, a number or a string.
+    pub fn parse(line: &str) -> Result<Request, ServeError> {
+        let v = Value::parse(line).map_err(|e| ServeError::bad_request(e.to_string()))?;
+        if !matches!(v, Value::Object(_)) {
+            return Err(ServeError::bad_request("request must be a JSON object"));
+        }
+        let method = match v.get("method") {
+            Some(Value::String(m)) => m.clone(),
+            Some(_) => return Err(ServeError::bad_request("\"method\" must be a string")),
+            None => return Err(ServeError::bad_request("missing \"method\"")),
+        };
+        let id = match v.get("id") {
+            None => Value::Null,
+            Some(id @ (Value::Null | Value::Number(_) | Value::String(_))) => id.clone(),
+            Some(_) => {
+                return Err(ServeError::bad_request(
+                    "\"id\" must be null, a number or a string",
+                ))
+            }
+        };
+        let params = match v.get("params") {
+            None => Value::Object(Vec::new()),
+            Some(p @ Value::Object(_)) => p.clone(),
+            Some(_) => return Err(ServeError::bad_request("\"params\" must be an object")),
+        };
+        Ok(Request { id, method, params })
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Content address of a request: FNV-1a over the method name, a NUL
+/// separator, and the *canonical* rendering of the params (members
+/// sorted recursively), so `{"words":16,"bits":10}` and
+/// `{"bits":10,"words":16}` share one cache slot.
+pub fn cache_key(method: &str, params: &Value) -> u64 {
+    let mut bytes = Vec::with_capacity(64);
+    bytes.extend_from_slice(method.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(json::render_canonical(params).as_bytes());
+    fnv1a(&bytes)
+}
+
+/// Builds a success response line (no trailing newline). `result` must
+/// already be rendered JSON; it is embedded verbatim as the final
+/// member.
+pub fn ok_line(id: &Value, cached: bool, result: &str) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"cached\":{cached},\"result\":{result}}}",
+        json::render(id)
+    )
+}
+
+/// Builds an error response line (no trailing newline).
+pub fn error_line(id: &Value, err: &ServeError) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}}}}",
+        json::render(id),
+        err.code,
+        json::string(&err.message)
+    )
+}
+
+/// Extracts the verbatim `result` member bytes from a success response
+/// line, exploiting the fixed `,"result":` marker and trailing `}`.
+/// Returns `None` for error responses or anything not shaped like
+/// [`ok_line`] output.
+pub fn result_slice(response: &str) -> Option<&str> {
+    const MARKER: &str = ",\"result\":";
+    let idx = response.find(MARKER)?;
+    let rest = response[idx + MARKER.len()..].trim_end();
+    rest.strip_suffix('}')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_minimal_and_full_requests() {
+        let rq = Request::parse("{\"method\":\"server.ping\"}").unwrap();
+        assert_eq!(rq.method, "server.ping");
+        assert_eq!(rq.id, Value::Null);
+        assert_eq!(rq.params, Value::Object(Vec::new()));
+
+        let rq =
+            Request::parse("{\"id\":7,\"method\":\"brick.estimate\",\"params\":{\"words\":16}}")
+                .unwrap();
+        assert_eq!(rq.id, Value::Number(7.0));
+        assert_eq!(rq.params.get("words").and_then(Value::as_f64), Some(16.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        for (line, needle) in [
+            ("not json", "400"),
+            ("[1,2]", "object"),
+            ("{\"params\":{}}", "method"),
+            ("{\"method\":3}", "string"),
+            ("{\"method\":\"x\",\"id\":[1]}", "id"),
+            ("{\"method\":\"x\",\"params\":[1]}", "params"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert_eq!(err.code, ERR_BAD_REQUEST, "{line}");
+            assert!(
+                format!("{} {}", err.code, err.message).contains(needle),
+                "{line}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn cache_key_ignores_member_order_but_not_values() {
+        let a = Value::parse("{\"words\":16,\"bits\":10}").unwrap();
+        let b = Value::parse("{\"bits\":10,\"words\":16}").unwrap();
+        let c = Value::parse("{\"bits\":10,\"words\":17}").unwrap();
+        assert_eq!(cache_key("m", &a), cache_key("m", &b));
+        assert_ne!(cache_key("m", &a), cache_key("m", &c));
+        assert_ne!(cache_key("m", &a), cache_key("n", &a));
+    }
+
+    #[test]
+    fn response_lines_round_trip_and_result_is_sliceable() {
+        let ok = ok_line(&Value::Number(3.0), true, "{\"pong\":true}");
+        let v = Value::parse(&ok).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("cached"), Some(&Value::Bool(true)));
+        assert_eq!(result_slice(&ok), Some("{\"pong\":true}"));
+
+        let err = error_line(&Value::Null, &ServeError::overloaded());
+        let v = Value::parse(&err).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(
+            v.get("error").and_then(|e| e.get("code")).and_then(Value::as_f64),
+            Some(f64::from(ERR_OVERLOADED))
+        );
+        assert_eq!(result_slice(&err), None);
+    }
+}

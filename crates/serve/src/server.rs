@@ -1,0 +1,261 @@
+//! The TCP front end: accept loop, per-connection threads, admission
+//! gate, and graceful drain.
+//!
+//! The listener runs non-blocking and polls the shutdown flag between
+//! accepts; connection sockets carry a short read timeout so their
+//! threads poll the same flag between requests. `server.shutdown` (or
+//! [`ServerHandle::shutdown`]) therefore drains cleanly: in-flight
+//! requests finish, their responses are written, every connection
+//! thread is joined, and only then does [`Server::run`] return.
+
+use crate::gate::Gate;
+use crate::net::{write_line, LineReader};
+use crate::protocol::{error_line, ok_line, Request, ServeError, PROTOCOL};
+use crate::service::{ServeConfig, Service};
+use lim_obs::json::{self, Value};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: Arc<Service>,
+    gate: Arc<Gate>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) with a fresh
+    /// service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, config: &ServeConfig) -> io::Result<Server> {
+        Self::with_service(addr, Arc::new(Service::new(config)), config)
+    }
+
+    /// Binds to `addr` serving an existing (possibly pre-warmed)
+    /// service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn with_service(
+        addr: &str,
+        service: Arc<Service>,
+        config: &ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            service,
+            gate: Arc::new(Gate::new(config.max_in_flight)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (with the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the endpoints.
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Runs the accept loop until shutdown is requested, then drains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket failures (per-connection errors
+    /// only end that connection).
+    pub fn run(self) -> io::Result<()> {
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let ctx = ConnectionCtx {
+                        service: Arc::clone(&self.service),
+                        gate: Arc::clone(&self.gate),
+                        shutdown: Arc::clone(&self.shutdown),
+                        started: self.started,
+                    };
+                    workers.push(thread::spawn(move || {
+                        // A dropped client mid-write is that client's
+                        // problem, not the server's.
+                        let _ = handle_connection(stream, &ctx);
+                    }));
+                    workers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for handle in workers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle with
+    /// the bound address and shutdown control.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let service = self.service();
+        let shutdown = Arc::clone(&self.shutdown);
+        let join = thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            service,
+            shutdown,
+            join,
+        }
+    }
+}
+
+/// Control handle for a server running on a background thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the endpoints.
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Requests shutdown without waiting for the drain.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Requests shutdown and waits for the drain to finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the accept loop's exit status.
+    pub fn shutdown_and_join(self) -> io::Result<()> {
+        self.shutdown();
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("server thread panicked")),
+        }
+    }
+}
+
+struct ConnectionCtx {
+    service: Arc<Service>,
+    gate: Arc<Gate>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ConnectionCtx) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = LineReader::new(stream);
+    let shutdown = &ctx.shutdown;
+    let stop = || shutdown.load(Ordering::Acquire);
+    while let Some(line) = reader.read_line(&stop)? {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond(&line, ctx);
+        write_line(&mut writer, &response)?;
+        // Drain: finish the request in hand, then close the connection.
+        if stop() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Produces the response line for one request line. Transport-level
+/// methods (`server.stats`, `server.shutdown`) and shedding live here;
+/// everything else goes through the gate into [`Service::call`].
+fn respond(line: &str, ctx: &ConnectionCtx) -> String {
+    let rq = match Request::parse(line) {
+        Ok(rq) => rq,
+        Err(e) => return error_line(&Value::Null, &e),
+    };
+    match rq.method.as_str() {
+        "server.shutdown" => {
+            ctx.shutdown.store(true, Ordering::Release);
+            ok_line(&rq.id, false, "{\"draining\":true}")
+        }
+        "server.stats" => ok_line(&rq.id, false, &json::render(&stats_value(ctx))),
+        _ => match ctx.gate.try_acquire() {
+            None => error_line(&rq.id, &ServeError::overloaded()),
+            Some(permit) => {
+                let out = ctx.service.call(&rq.method, &rq.params);
+                drop(permit);
+                match out.result {
+                    Ok(result) => ok_line(&rq.id, out.cached, &result),
+                    Err(e) => error_line(&rq.id, &e),
+                }
+            }
+        },
+    }
+}
+
+/// Full server statistics: the service view wrapped with transport
+/// figures, with the live gate state mirrored into the obs gauges.
+fn stats_value(ctx: &ConnectionCtx) -> Value {
+    ctx.service
+        .set_gauge("serve.in_flight", ctx.gate.in_flight() as f64);
+    ctx.service
+        .set_gauge("serve.shed", ctx.gate.shed_count() as f64);
+    let service_stats = ctx.service.stats_value();
+    let mut members = vec![
+        ("protocol".to_owned(), Value::String(PROTOCOL.into())),
+        (
+            "uptime_ms".to_owned(),
+            Value::Number(ctx.started.elapsed().as_millis() as f64),
+        ),
+        (
+            "in_flight".to_owned(),
+            Value::Number(ctx.gate.in_flight() as f64),
+        ),
+        (
+            "max_in_flight".to_owned(),
+            Value::Number(ctx.gate.max_in_flight() as f64),
+        ),
+        (
+            "shed".to_owned(),
+            Value::Number(ctx.gate.shed_count() as f64),
+        ),
+    ];
+    if let Value::Object(service_members) = service_stats {
+        members.extend(service_members);
+    }
+    Value::Object(members)
+}

@@ -1,0 +1,795 @@
+//! Transport-independent request execution: the method handlers, the
+//! shared warm [`SharedBrickLibrary`], the content-addressed response
+//! memo, per-endpoint latency accounting, and obs span adoption.
+//!
+//! A [`Service`] is what both the TCP server and in-process callers
+//! (tests, benches) talk to, which is how the smoke test can assert
+//! that a response that crossed the wire is byte-identical to a direct
+//! library call: both sides are the same [`Service::call`].
+
+use crate::cache::ResponseCache;
+use crate::protocol::{cache_key, ServeError, PROTOCOL};
+use lim::dse::{self, DsePoint};
+use lim::{LimFlow, SramConfig};
+use lim_brick::{golden, BankEstimate, BitcellKind, BrickSpec, SharedBrickLibrary};
+use lim_obs::json::{self, Value};
+use lim_obs::Report;
+use lim_tech::Technology;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs shared by the service and the server front end.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum concurrently executing requests; excess is shed with a
+    /// 429-style error.
+    pub max_in_flight: usize,
+    /// Byte budget of the response memo.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            // Twice the worker pool: enough to keep the pool fed while
+            // requests park briefly on the library lock.
+            max_in_flight: lim_par::threads().saturating_mul(2).clamp(2, 64),
+            cache_bytes: 4 << 20,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct EndpointStat {
+    count: u64,
+    errors: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Outcome of one [`Service::call`]: the rendered result (or error) and
+/// whether it was served from the response memo.
+#[derive(Debug)]
+pub struct CallOutcome {
+    /// Rendered result JSON on success.
+    pub result: Result<String, ServeError>,
+    /// True when the response came out of the memo.
+    pub cached: bool,
+}
+
+/// The resident synthesis service.
+#[derive(Debug)]
+pub struct Service {
+    tech: Technology,
+    library: SharedBrickLibrary,
+    cache: Mutex<ResponseCache>,
+    endpoints: Mutex<BTreeMap<String, EndpointStat>>,
+    obs: Mutex<Report>,
+    requests: AtomicU64,
+}
+
+impl Service {
+    /// A service over the 65 nm-class technology.
+    pub fn new(config: &ServeConfig) -> Self {
+        Self::with_technology(Technology::cmos65(), config)
+    }
+
+    /// A service over an explicit technology.
+    pub fn with_technology(tech: Technology, config: &ServeConfig) -> Self {
+        Service {
+            tech,
+            library: SharedBrickLibrary::default(),
+            cache: Mutex::new(ResponseCache::new(config.cache_bytes)),
+            endpoints: Mutex::new(BTreeMap::new()),
+            obs: Mutex::new(Report {
+                source: "lim-serve".into(),
+                spans: Vec::new(),
+                counters: Vec::new(),
+                gauges: Vec::new(),
+            }),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared warm brick library behind all endpoints.
+    pub fn library(&self) -> &SharedBrickLibrary {
+        &self.library
+    }
+
+    /// Total calls accepted (including memo hits and failed handlers).
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Executes one request: memo lookup, handler dispatch, per-endpoint
+    /// latency accounting, and — when obs collection is enabled — folds
+    /// the calling thread's span/counter state into the service-wide
+    /// report and clears the thread's collector.
+    pub fn call(&self, method: &str, params: &Value) -> CallOutcome {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let sw = lim_obs::Stopwatch::start();
+        let (result, cached) = {
+            let _rq = lim_obs::Span::enter("serve.request");
+            lim_obs::counter_add("serve.requests", 1);
+            self.call_cached(method, params)
+        };
+        if lim_obs::enabled() {
+            let thread_report = Report::capture();
+            self.obs
+                .lock()
+                .expect("obs report lock poisoned")
+                .merge(&thread_report);
+            lim_obs::reset();
+        }
+        self.record_endpoint(method, sw.elapsed().as_micros() as u64, result.is_err());
+        CallOutcome { result, cached }
+    }
+
+    /// Memo layer: deterministic endpoints are served from the response
+    /// cache keyed by the canonical request rendering. `"nocache":true`
+    /// in the params bypasses the memo (used by load generators that
+    /// want to measure the compute path).
+    fn call_cached(&self, method: &str, params: &Value) -> (Result<String, ServeError>, bool) {
+        let memoizable = matches!(
+            method,
+            "brick.estimate" | "golden.compare" | "flow.run" | "dse.explore"
+        ) && params.get("nocache") != Some(&Value::Bool(true));
+        if !memoizable {
+            return (self.dispatch(method, params), false);
+        }
+        let key = cache_key(method, params);
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("response cache lock poisoned")
+            .get(key)
+            .map(str::to_owned)
+        {
+            lim_obs::counter_add("serve.cache_hits", 1);
+            return (Ok(hit), true);
+        }
+        lim_obs::counter_add("serve.cache_misses", 1);
+        let result = self.dispatch(method, params);
+        if let Ok(rendered) = &result {
+            self.cache
+                .lock()
+                .expect("response cache lock poisoned")
+                .insert(key, rendered.clone());
+        }
+        (result, false)
+    }
+
+    fn dispatch(&self, method: &str, params: &Value) -> Result<String, ServeError> {
+        let _span = lim_obs::Span::enter(method);
+        match method {
+            "server.ping" => Ok(format!(
+                "{{\"pong\":true,\"protocol\":{}}}",
+                json::string(PROTOCOL)
+            )),
+            "brick.estimate" => self.brick_estimate(params),
+            "golden.compare" => self.golden_compare(params),
+            "flow.run" => self.flow_run(params),
+            "dse.explore" => self.dse_explore(params),
+            "batch" => self.batch(params),
+            "debug.sleep" => debug_sleep(params),
+            _ => Err(ServeError::unknown_method(method)),
+        }
+    }
+
+    fn record_endpoint(&self, method: &str, us: u64, error: bool) {
+        let mut map = self.endpoints.lock().expect("endpoint stats lock poisoned");
+        let stat = map.entry(method.to_owned()).or_default();
+        stat.count += 1;
+        stat.errors += u64::from(error);
+        stat.total_us += us;
+        stat.max_us = stat.max_us.max(us);
+    }
+
+    fn spec_of(&self, params: &Value) -> Result<(BrickSpec, usize), ServeError> {
+        let bitcell = bitcell_param(params)?;
+        let words = req_usize(params, "words")?;
+        let bits = req_usize(params, "bits")?;
+        let stack = opt_usize(params, "stack")?.unwrap_or(1);
+        if stack == 0 {
+            return Err(ServeError::bad_request("\"stack\" must be at least 1"));
+        }
+        let spec = BrickSpec::new(bitcell, words, bits)
+            .map_err(|e| ServeError::bad_request(e.to_string()))?;
+        Ok((spec, stack))
+    }
+
+    fn brick_estimate(&self, params: &Value) -> Result<String, ServeError> {
+        let (spec, stack) = self.spec_of(params)?;
+        let estimate = self
+            .library
+            .with_entry(&self.tech, &spec, stack, |e| e.estimate.clone())
+            .map_err(ServeError::internal)?;
+        Ok(json::render(&estimate_value(&spec, stack, &estimate)))
+    }
+
+    fn golden_compare(&self, params: &Value) -> Result<String, ServeError> {
+        let (spec, stack) = self.spec_of(params)?;
+        let brick = self
+            .library
+            .with_entry(&self.tech, &spec, stack, |e| e.brick.clone())
+            .map_err(ServeError::internal)?;
+        let cmp = golden::compare(&brick, stack).map_err(ServeError::internal)?;
+        let bank = |rd: f64, re: f64, wd: f64, we: f64| {
+            obj(vec![
+                ("read_delay_ps", num(rd)),
+                ("read_energy_fj", num(re)),
+                ("write_delay_ps", num(wd)),
+                ("write_energy_fj", num(we)),
+            ])
+        };
+        Ok(json::render(&obj(vec![
+            ("spec", Value::String(spec.to_string())),
+            ("stack", num(stack as f64)),
+            (
+                "tool",
+                bank(
+                    cmp.tool.read_delay.value(),
+                    cmp.tool.read_energy.value(),
+                    cmp.tool.write_delay.value(),
+                    cmp.tool.write_energy.value(),
+                ),
+            ),
+            (
+                "golden",
+                bank(
+                    cmp.golden.read_delay.value(),
+                    cmp.golden.read_energy.value(),
+                    cmp.golden.write_delay.value(),
+                    cmp.golden.write_energy.value(),
+                ),
+            ),
+            (
+                "error",
+                obj(vec![
+                    ("delay", num(cmp.delay_error())),
+                    ("read_energy", num(cmp.read_energy_error())),
+                    ("write_energy", num(cmp.write_energy_error())),
+                ]),
+            ),
+        ])))
+    }
+
+    fn flow_run(&self, params: &Value) -> Result<String, ServeError> {
+        let bitcell = bitcell_param(params)?;
+        let words = req_usize(params, "words")?;
+        let bits = req_usize(params, "bits")?;
+        let partitions = opt_usize(params, "partitions")?.unwrap_or(1);
+        let brick_words = req_usize(params, "brick_words")?;
+        let config = SramConfig::with_bitcell(words, bits, partitions, brick_words, bitcell)
+            .map_err(|e| ServeError::bad_request(e.to_string()))?;
+        // Check the warm library out, run, fold the grown library back:
+        // cached entries are byte-identical to fresh compiles, so a warm
+        // run reports exactly what a cold run would.
+        let mut flow = LimFlow::with_library(self.tech.clone(), self.library.snapshot());
+        let block = flow
+            .synthesize_sram(&config)
+            .map_err(ServeError::internal)?;
+        self.library.absorb(flow.into_library());
+        let r = &block.report;
+        Ok(json::render(&obj(vec![
+            ("name", Value::String(block.name)),
+            ("gate_count", num(block.gate_count as f64)),
+            ("macro_count", num(block.macro_count as f64)),
+            ("fmax_mhz", num(r.fmax.value())),
+            ("min_period_ps", num(r.min_period.value())),
+            ("die_area_um2", num(r.die_area.value())),
+            ("macro_area_um2", num(r.macro_area.value())),
+            ("stdcell_area_um2", num(r.stdcell_area.value())),
+            ("wirelength_um", num(r.wirelength.value())),
+            (
+                "power_mw",
+                obj(vec![
+                    ("logic", num(r.power.logic_dynamic.value())),
+                    ("clock", num(r.power.clock.value())),
+                    ("macros", num(r.power.macros.value())),
+                    ("leakage", num(r.power.leakage.value())),
+                    ("total", num(r.power.total().value())),
+                ]),
+            ),
+            ("energy_per_cycle_fj", num(r.energy_per_cycle.value())),
+        ])))
+    }
+
+    fn dse_explore(&self, params: &Value) -> Result<String, ServeError> {
+        let memories = match params.get("memories") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|pair| match pair.as_array() {
+                    Some([w, b]) => {
+                        let w = value_usize(w, "memories[..][0]")?;
+                        let b = value_usize(b, "memories[..][1]")?;
+                        Ok((w, b))
+                    }
+                    _ => Err(ServeError::bad_request(
+                        "\"memories\" must be an array of [words, bits] pairs",
+                    )),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => {
+                return Err(ServeError::bad_request(
+                    "missing \"memories\": array of [words, bits] pairs",
+                ))
+            }
+        };
+        let brick_words = match params.get("brick_words") {
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|v| value_usize(v, "brick_words[..]"))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => {
+                return Err(ServeError::bad_request(
+                    "missing \"brick_words\": array of brick depths",
+                ))
+            }
+        };
+        if memories.is_empty() || brick_words.is_empty() {
+            return Err(ServeError::bad_request(
+                "\"memories\" and \"brick_words\" must be non-empty",
+            ));
+        }
+        if memories.len() * brick_words.len() > 4096 {
+            return Err(ServeError::bad_request(
+                "sweep larger than 4096 points; split the request",
+            ));
+        }
+        let points =
+            dse::explore(&self.tech, &memories, &brick_words).map_err(|e| ServeError {
+                code: crate::protocol::ERR_BAD_REQUEST,
+                message: e.to_string(),
+            })?;
+        let pareto = dse::pareto_front(&points);
+        Ok(json::render(&obj(vec![
+            (
+                "points",
+                Value::Array(points.iter().map(point_value).collect()),
+            ),
+            (
+                "pareto",
+                Value::Array(pareto.iter().map(|&i| num(i as f64)).collect()),
+            ),
+        ])))
+    }
+
+    /// Fans a list of sub-requests across the `lim-par` pool. Each entry
+    /// goes through the memo individually; results come back in input
+    /// order. Nested batches are rejected.
+    fn batch(&self, params: &Value) -> Result<String, ServeError> {
+        let requests = match params.get("requests") {
+            Some(Value::Array(items)) => items,
+            _ => {
+                return Err(ServeError::bad_request(
+                    "missing \"requests\": array of {method, params} objects",
+                ))
+            }
+        };
+        if requests.len() > 1024 {
+            return Err(ServeError::bad_request(
+                "batch larger than 1024 requests; split it",
+            ));
+        }
+        let jobs: Vec<(String, Value)> = requests
+            .iter()
+            .map(|rq| {
+                let method = match rq.get("method") {
+                    Some(Value::String(m)) => m.clone(),
+                    _ => {
+                        return Err(ServeError::bad_request(
+                            "each batch entry needs a string \"method\"",
+                        ))
+                    }
+                };
+                if method == "batch" {
+                    return Err(ServeError::bad_request("nested batches are not allowed"));
+                }
+                let params = match rq.get("params") {
+                    None => Value::Object(Vec::new()),
+                    Some(p @ Value::Object(_)) => p.clone(),
+                    Some(_) => {
+                        return Err(ServeError::bad_request(
+                            "batch entry \"params\" must be an object",
+                        ))
+                    }
+                };
+                Ok((method, params))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let results = lim_par::par_map(jobs, |(method, params)| {
+            let sw = lim_obs::Stopwatch::start();
+            let (result, cached) = self.call_cached(&method, &params);
+            self.record_endpoint(&method, sw.elapsed().as_micros() as u64, result.is_err());
+            match result {
+                Ok(rendered) => format!("{{\"ok\":true,\"cached\":{cached},\"result\":{rendered}}}"),
+                Err(e) => format!(
+                    "{{\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}}}}",
+                    e.code,
+                    json::string(&e.message)
+                ),
+            }
+        });
+        Ok(format!("{{\"results\":[{}]}}", results.join(",")))
+    }
+
+    /// Service-side statistics (memo, library, per-endpoint latency, and
+    /// the merged obs report). The TCP server wraps this with transport
+    /// figures (in-flight, shed, uptime).
+    pub fn stats_value(&self) -> Value {
+        let cache = self.cache.lock().expect("response cache lock poisoned");
+        let cache_v = obj(vec![
+            ("hits", num(cache.hits() as f64)),
+            ("misses", num(cache.misses() as f64)),
+            ("entries", num(cache.len() as f64)),
+            ("bytes", num(cache.bytes() as f64)),
+            ("budget", num(cache.budget() as f64)),
+            ("evictions", num(cache.evictions() as f64)),
+        ]);
+        drop(cache);
+        let library_v = obj(vec![
+            ("entries", num(self.library.len() as f64)),
+            ("compiled", num(self.library.compiled_count() as f64)),
+            ("hits", num(self.library.cache_hits() as f64)),
+            ("misses", num(self.library.cache_misses() as f64)),
+        ]);
+        let endpoints = self.endpoints.lock().expect("endpoint stats lock poisoned");
+        let endpoints_v = Value::Object(
+            endpoints
+                .iter()
+                .map(|(name, st)| {
+                    let mean = if st.count == 0 {
+                        0.0
+                    } else {
+                        st.total_us as f64 / st.count as f64
+                    };
+                    (
+                        name.clone(),
+                        obj(vec![
+                            ("count", num(st.count as f64)),
+                            ("errors", num(st.errors as f64)),
+                            ("mean_us", num(mean)),
+                            ("max_us", num(st.max_us as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        drop(endpoints);
+        let report = self.obs.lock().expect("obs report lock poisoned");
+        let obs_v = obj(vec![
+            (
+                "counters",
+                Value::Object(
+                    report
+                        .counters
+                        .iter()
+                        .map(|(name, v)| (name.clone(), num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Value::Object(
+                    report
+                        .gauges
+                        .iter()
+                        .map(|(name, v)| (name.clone(), num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "spans",
+                Value::Array(
+                    report
+                        .spans
+                        .iter()
+                        .map(|row| {
+                            obj(vec![
+                                ("path", Value::String(row.path.clone())),
+                                ("calls", num(row.calls as f64)),
+                                ("total_ns", num(row.total.as_nanos() as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        drop(report);
+        obj(vec![
+            ("requests", num(self.request_count() as f64)),
+            ("cache", cache_v),
+            ("library", library_v),
+            ("endpoints", endpoints_v),
+            ("obs", obs_v),
+        ])
+    }
+
+    /// A clone of the merged obs report adopted from request threads.
+    pub fn obs_report(&self) -> Report {
+        self.obs.lock().expect("obs report lock poisoned").clone()
+    }
+
+    /// Records a gauge directly on the merged service report; the TCP
+    /// front end uses this to expose live in-flight/shed figures.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut report = self.obs.lock().expect("obs report lock poisoned");
+        match report.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => {
+                report.gauges.push((name.to_owned(), value));
+                report.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+    }
+}
+
+fn debug_sleep(params: &Value) -> Result<String, ServeError> {
+    let ms = opt_usize(params, "ms")?.unwrap_or(10).min(5_000);
+    std::thread::sleep(std::time::Duration::from_millis(ms as u64));
+    Ok(format!("{{\"slept_ms\":{ms}}}"))
+}
+
+fn point_value(p: &DsePoint) -> Value {
+    obj(vec![
+        ("label", Value::String(p.label.clone())),
+        ("words", num(p.words as f64)),
+        ("bits", num(p.bits as f64)),
+        ("brick_words", num(p.brick_words as f64)),
+        ("stack", num(p.stack as f64)),
+        ("delay_ps", num(p.delay.value())),
+        ("energy_fj", num(p.energy.value())),
+        ("area_um2", num(p.area.value())),
+    ])
+}
+
+fn estimate_value(spec: &BrickSpec, stack: usize, est: &BankEstimate) -> Value {
+    let mut members = vec![
+        ("bitcell", Value::String(spec.bitcell().short_name().into())),
+        ("words", num(spec.words() as f64)),
+        ("bits", num(spec.bits() as f64)),
+        ("stack", num(stack as f64)),
+        (
+            "name",
+            Value::String(lim_brick::library::entry_name(spec, stack)),
+        ),
+        ("read_delay_ps", num(est.read_delay.value())),
+        ("write_delay_ps", num(est.write_delay.value())),
+        ("setup_ps", num(est.setup.value())),
+        ("hold_ps", num(est.hold.value())),
+        ("min_cycle_ps", num(est.min_cycle().value())),
+        ("fmax_mhz", num(est.max_frequency().value())),
+        ("read_energy_fj", num(est.read_energy.value())),
+        ("write_energy_fj", num(est.write_energy.value())),
+        ("area_um2", num(est.area.value())),
+        ("leakage_mw", num(est.leakage.value())),
+    ];
+    if let Some(d) = est.match_delay {
+        members.push(("match_delay_ps", num(d.value())));
+    }
+    if let Some(e) = est.match_energy {
+        members.push(("match_energy_fj", num(e.value())));
+    }
+    obj(members)
+}
+
+fn obj(members: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+fn num(x: f64) -> Value {
+    Value::Number(x)
+}
+
+fn value_usize(v: &Value, what: &str) -> Result<usize, ServeError> {
+    match v.as_f64() {
+        Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= 1e15 => Ok(x as usize),
+        _ => Err(ServeError::bad_request(format!(
+            "{what} must be a non-negative integer"
+        ))),
+    }
+}
+
+fn req_usize(params: &Value, key: &str) -> Result<usize, ServeError> {
+    match params.get(key) {
+        Some(v) => value_usize(v, &format!("\"{key}\"")),
+        None => Err(ServeError::bad_request(format!("missing \"{key}\""))),
+    }
+}
+
+fn opt_usize(params: &Value, key: &str) -> Result<Option<usize>, ServeError> {
+    match params.get(key) {
+        Some(v) => value_usize(v, &format!("\"{key}\"")).map(Some),
+        None => Ok(None),
+    }
+}
+
+fn bitcell_param(params: &Value) -> Result<BitcellKind, ServeError> {
+    match params.get("bitcell") {
+        None => Ok(BitcellKind::Sram8T),
+        Some(Value::String(s)) => BitcellKind::all()
+            .into_iter()
+            .find(|k| k.short_name() == s)
+            .ok_or_else(|| {
+                ServeError::bad_request(format!(
+                    "unknown bitcell {s:?}; expected one of 6t, 8t, cam, edram, 2p"
+                ))
+            }),
+        Some(_) => Err(ServeError::bad_request("\"bitcell\" must be a string")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ERR_BAD_REQUEST, ERR_UNKNOWN_METHOD};
+
+    fn params(text: &str) -> Value {
+        Value::parse(text).unwrap()
+    }
+
+    #[test]
+    fn ping_and_unknown_method() {
+        let svc = Service::new(&ServeConfig::default());
+        let out = svc.call("server.ping", &params("{}"));
+        assert!(out.result.unwrap().contains("\"pong\":true"));
+        let out = svc.call("no.such", &params("{}"));
+        assert_eq!(out.result.unwrap_err().code, ERR_UNKNOWN_METHOD);
+    }
+
+    #[test]
+    fn estimate_is_memoized_and_param_order_insensitive() {
+        let svc = Service::new(&ServeConfig::default());
+        let a = svc.call(
+            "brick.estimate",
+            &params("{\"words\":16,\"bits\":10,\"stack\":4}"),
+        );
+        assert!(!a.cached);
+        let b = svc.call(
+            "brick.estimate",
+            &params("{\"stack\":4,\"bits\":10,\"words\":16}"),
+        );
+        assert!(b.cached, "member order must not defeat the memo");
+        assert_eq!(a.result.unwrap(), b.result.unwrap());
+        assert_eq!(svc.library().cache_misses(), 1);
+
+        // nocache bypasses the memo but still hits the warm library.
+        let c = svc.call(
+            "brick.estimate",
+            &params("{\"words\":16,\"bits\":10,\"stack\":4,\"nocache\":true}"),
+        );
+        assert!(!c.cached);
+        assert_eq!(svc.library().cache_hits(), 1);
+    }
+
+    #[test]
+    fn estimate_rejects_bad_specs() {
+        let svc = Service::new(&ServeConfig::default());
+        for p in [
+            "{}",
+            "{\"words\":16}",
+            "{\"words\":0,\"bits\":10}",
+            "{\"words\":16,\"bits\":10,\"stack\":0}",
+            "{\"words\":16,\"bits\":10,\"bitcell\":\"9t\"}",
+            "{\"words\":1.5,\"bits\":10}",
+        ] {
+            let out = svc.call("brick.estimate", &params(p));
+            assert_eq!(out.result.unwrap_err().code, ERR_BAD_REQUEST, "{p}");
+        }
+    }
+
+    #[test]
+    fn batch_fans_out_and_preserves_order() {
+        let svc = Service::new(&ServeConfig::default());
+        let out = svc.call(
+            "batch",
+            &params(
+                "{\"requests\":[\
+                 {\"method\":\"brick.estimate\",\"params\":{\"words\":16,\"bits\":10}},\
+                 {\"method\":\"server.ping\"},\
+                 {\"method\":\"no.such\"}]}",
+            ),
+        );
+        let rendered = out.result.unwrap();
+        let v = Value::parse(&rendered).unwrap();
+        let results = v.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("ok"), Some(&Value::Bool(true)));
+        assert!(results[1].get("result").and_then(|r| r.get("pong")).is_some());
+        assert_eq!(
+            results[2]
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Value::as_f64),
+            Some(f64::from(ERR_UNKNOWN_METHOD))
+        );
+        // A nested batch is refused outright.
+        let out = svc.call(
+            "batch",
+            &params("{\"requests\":[{\"method\":\"batch\"}]}"),
+        );
+        assert_eq!(out.result.unwrap_err().code, ERR_BAD_REQUEST);
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let svc = Service::new(&ServeConfig::default());
+        svc.call("server.ping", &params("{}"));
+        svc.call(
+            "brick.estimate",
+            &params("{\"words\":16,\"bits\":10}"),
+        );
+        svc.call(
+            "brick.estimate",
+            &params("{\"words\":16,\"bits\":10}"),
+        );
+        let stats = svc.stats_value();
+        assert_eq!(
+            stats.get("requests").and_then(Value::as_f64),
+            Some(3.0)
+        );
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(cache.get("entries").and_then(Value::as_f64), Some(1.0));
+        let eps = stats.get("endpoints").unwrap();
+        assert_eq!(
+            eps.get("brick.estimate")
+                .and_then(|e| e.get("count"))
+                .and_then(Value::as_f64),
+            Some(2.0)
+        );
+        // The stats value renders as valid JSON.
+        let rendered = json::render(&stats);
+        Value::parse(&rendered).unwrap();
+    }
+
+    #[test]
+    fn flow_run_matches_direct_flow_and_warms_library() {
+        let svc = Service::new(&ServeConfig::default());
+        let out = svc.call(
+            "flow.run",
+            &params("{\"words\":32,\"bits\":10,\"partitions\":1,\"brick_words\":16}"),
+        );
+        let rendered = out.result.unwrap();
+        let v = Value::parse(&rendered).unwrap();
+
+        let mut flow = LimFlow::cmos65();
+        let block = flow
+            .synthesize_sram(&SramConfig::new(32, 10, 1, 16).unwrap())
+            .unwrap();
+        assert_eq!(
+            v.get("fmax_mhz").and_then(Value::as_f64),
+            Some(block.report.fmax.value())
+        );
+        assert_eq!(
+            v.get("gate_count").and_then(Value::as_f64),
+            Some(block.gate_count as f64)
+        );
+        // The run folded its bricks back into the shared library.
+        assert_eq!(svc.library().len(), 1);
+    }
+
+    #[test]
+    fn obs_adoption_folds_request_spans_into_service_report() {
+        let svc = Service::new(&ServeConfig::default());
+        lim_obs::set_enabled(true);
+        lim_obs::reset();
+        svc.call("server.ping", &params("{}"));
+        svc.call("brick.estimate", &params("{\"words\":16,\"bits\":10}"));
+        lim_obs::set_enabled(false);
+        let report = svc.obs_report();
+        assert!(report.span("serve.request").is_some());
+        assert!(report
+            .spans
+            .iter()
+            .any(|row| row.path.contains("brick.estimate")));
+        assert_eq!(report.counter("serve.requests"), Some(2));
+    }
+}

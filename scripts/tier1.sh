@@ -37,3 +37,37 @@ LIM_PAR_THREADS=4 cargo run --release --offline -q -p lim-bench --bin fig4c -- -
     >/tmp/tier1_fig4c_t4.json
 diff /tmp/tier1_fig4c_t1.json /tmp/tier1_fig4c_t4.json
 echo "== tier1: determinism smoke OK =="
+
+# Serve smoke: boot the daemon on an ephemeral port, hit every serving
+# endpoint once through lim-client, verify a repeat request comes out
+# of the response memo, and drain cleanly via server.shutdown.
+echo "== tier1: lim-serve smoke =="
+addr_file=/tmp/tier1_serve_addr
+rm -f "$addr_file"
+cargo run --release --offline -q -p lim-serve --bin lim-serve -- \
+    --port 0 --addr-file "$addr_file" --quiet &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    [[ -s "$addr_file" ]] && break
+    sleep 0.1
+done
+[[ -s "$addr_file" ]] || { echo "lim-serve never published its address" >&2; exit 1; }
+addr="$(head -n1 "$addr_file")"
+client() {
+    cargo run --release --offline -q -p lim-serve --bin lim-client -- --addr "$addr" "$@"
+}
+client --method server.ping >/dev/null
+client --method brick.estimate --params '{"words":16,"bits":10,"stack":4}' >/dev/null
+client --method golden.compare --params '{"words":16,"bits":10,"stack":2}' >/dev/null
+client --method flow.run --params '{"words":32,"bits":10,"partitions":1,"brick_words":16}' \
+    >/dev/null
+client --method dse.explore --params '{"memories":[[128,16]],"brick_words":[16,32,64]}' \
+    >/dev/null
+# The repeated estimate must be served from the response memo.
+client --method brick.estimate --params '{"words":16,"bits":10,"stack":4}' \
+    | grep -q '"cached":true'
+client --shutdown >/dev/null
+wait "$serve_pid"
+trap - EXIT
+echo "== tier1: lim-serve smoke OK =="

@@ -250,3 +250,98 @@ fn pareto_front_members_are_not_dominated() {
         }
     });
 }
+
+/// A random syntactically valid JSON document (bounded depth/width),
+/// used as raw material for truncation and mutation below.
+fn any_json_text(rng: &mut TestRng, depth: usize) -> String {
+    let kind = if depth == 0 {
+        rng.gen_range(0usize..4)
+    } else {
+        rng.gen_range(0usize..6)
+    };
+    match kind {
+        0 => "null".into(),
+        1 => if rng.gen_bool(0.5) { "true" } else { "false" }.into(),
+        2 => format!("{:.3}", rng.gen_range(-1.0e6..1.0e6)),
+        3 => {
+            let palette = ['a', 'Z', '0', ' ', '"', '\\', '\n', '\u{1f}', 'µ', '汉'];
+            let s: String = (0..rng.gen_range(0usize..12))
+                .map(|_| palette[rng.gen_range(0..palette.len())])
+                .collect();
+            lim_obs::json::string(&s)
+        }
+        4 => {
+            let items: Vec<String> = (0..rng.gen_range(0usize..4))
+                .map(|_| any_json_text(rng, depth - 1))
+                .collect();
+            format!("[{}]", items.join(","))
+        }
+        _ => {
+            let members: Vec<String> = (0..rng.gen_range(0usize..4))
+                .map(|i| format!("\"k{i}\":{}", any_json_text(rng, depth - 1)))
+                .collect();
+            format!("{{{}}}", members.join(","))
+        }
+    }
+}
+
+#[test]
+fn json_parser_survives_hostile_input() {
+    check("json_parser_survives_hostile_input", |rng| {
+        let input = match rng.gen_range(0usize..4) {
+            // Raw character soup, heavy on JSON punctuation.
+            0 => {
+                let palette = [
+                    '{', '}', '[', ']', '"', ':', ',', '\\', 'e', '-', '+', '.', '0', '9', 'n',
+                    't', 'f', ' ', '\n', 'u', '\u{0}', 'é',
+                ];
+                (0..rng.gen_range(0usize..64))
+                    .map(|_| palette[rng.gen_range(0..palette.len())])
+                    .collect()
+            }
+            // Valid documents truncated mid-flight.
+            1 => {
+                let full = any_json_text(rng, 3);
+                let cut = rng.gen_range(0..=full.len());
+                full.chars().take(cut).collect()
+            }
+            // Nesting far past the parser's depth bound.
+            2 => {
+                let depth = rng.gen_range(1usize..4 * lim_obs::json::MAX_DEPTH);
+                if rng.gen_bool(0.5) {
+                    "[".repeat(depth)
+                } else {
+                    "{\"a\":".repeat(depth)
+                }
+            }
+            // Valid documents with one random byte swapped in.
+            _ => {
+                let mut text = any_json_text(rng, 3);
+                if !text.is_empty() {
+                    let boundaries: Vec<usize> =
+                        text.char_indices().map(|(i, _)| i).collect();
+                    let at = boundaries[rng.gen_range(0..boundaries.len())];
+                    let garble = ['\\', '"', '}', 'x', '\u{7}'][rng.gen_range(0usize..5)];
+                    let tail: String = text[at..].chars().skip(1).collect();
+                    text.truncate(at);
+                    text.push(garble);
+                    text.push_str(&tail);
+                }
+                text
+            }
+        };
+        // The property: parsing must return, never panic or overflow.
+        // Accepted documents must round-trip to a render fixed point.
+        match lim_obs::json::Value::parse(&input) {
+            Ok(v) => {
+                let rendered = lim_obs::json::render(&v);
+                let again = lim_obs::json::Value::parse(&rendered)
+                    .expect("render output must re-parse");
+                assert_eq!(lim_obs::json::render(&again), rendered);
+            }
+            Err(e) => {
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    });
+}
