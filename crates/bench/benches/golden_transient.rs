@@ -2,9 +2,11 @@
 //!
 //! Quantifies the speed gap that justifies the paper's methodology — the
 //! estimator must be orders of magnitude cheaper than the SPICE-class
-//! reference while staying within the Table 1 error bands.
+//! reference while staying within the Table 1 error bands — and tracks
+//! the batched multi-RHS golden path: validating many configurations at
+//! once must amortize far below the per-run cost.
 
-use lim_brick::golden::measure_bank;
+use lim_brick::golden::{compare_batch_results, measure_bank};
 use lim_brick::{BitcellKind, BrickCompiler, BrickSpec};
 use lim_tech::Technology;
 use lim_testkit::bench::{black_box, Bench};
@@ -23,6 +25,41 @@ fn bench_tool_vs_golden(c: &mut Bench) {
     group.sample_size(10);
     group.bench_function("golden_16x10_x4", |b| {
         b.iter(|| black_box(measure_bank(&brick, 4).unwrap()))
+    });
+    group.finish();
+
+    // Batched golden validation, end-to-end (compile + panel solves +
+    // finish). Row names carry the entry count: divide the median by it
+    // to compare per-configuration cost against golden_16x10_x4 above.
+    let kinds = [
+        BitcellKind::Sram6T,
+        BitcellKind::Sram8T,
+        BitcellKind::Cam,
+        BitcellKind::Edram,
+        BitcellKind::DualPort,
+    ];
+    // A service-shaped batch: every bitcell at 16x10 x4 plus repeated
+    // requests for three of them (duplicates dedupe inside the solver;
+    // same-shape sims share lockstep panels).
+    let mixed: Vec<(BrickSpec, usize)> = kinds
+        .iter()
+        .chain([BitcellKind::Sram8T, BitcellKind::Sram6T, BitcellKind::Cam].iter())
+        .map(|&k| (BrickSpec::new(k, 16, 10).unwrap(), 4usize))
+        .collect();
+    // All-distinct configurations: the lower bound, with only the
+    // write-sim panels shared across bitcells.
+    let unique: Vec<(BrickSpec, usize)> = kinds
+        .iter()
+        .map(|&k| (BrickSpec::new(k, 16, 10).unwrap(), 4usize))
+        .collect();
+
+    let mut group = c.benchmark_group("golden_batch");
+    group.sample_size(10);
+    group.bench_function("mixed_8_configs_16x10_x4", |b| {
+        b.iter(|| black_box(compare_batch_results(&tech, &mixed)))
+    });
+    group.bench_function("unique_5_configs_16x10_x4", |b| {
+        b.iter(|| black_box(compare_batch_results(&tech, &unique)))
     });
     group.finish();
 }

@@ -16,6 +16,19 @@
 //! only the bitcell array is RC-extracted; consequently the reported
 //! tool-vs-golden error isolates the array modeling gap, exactly what
 //! Table 1 quantifies.
+//!
+//! # Batched validation
+//!
+//! Each configuration contributes two independent transients (read and
+//! write). [`compare_batch_results`] builds every circuit up front,
+//! groups the simulations by band pattern — circuit family, ladder
+//! segment counts and time step, which together determine the banded
+//! structure the solver sees — and submits each group to
+//! [`run_probed_batch`] so that same-shape configurations advance in
+//! lockstep as one multi-RHS panel. Results are bit-identical to
+//! running [`compare`] per configuration: the panel solver applies the
+//! exact same operations in the exact same order to each column as a
+//! lone solve does.
 
 use crate::compiler::{CompiledBrick, SENSE_INPUT_CAP};
 use crate::error::BrickError;
@@ -23,7 +36,10 @@ use crate::estimator::{NOMINAL_OUT_LOAD_X, WRITE_DRIVER_DRIVE};
 use crate::BrickSpec;
 use lim_circuit::extract::recharge_energy;
 use lim_circuit::waveform::Edge;
-use lim_circuit::{Circuit, TransientSim};
+use lim_circuit::{
+    run_probed_batch, BatchRun, Circuit, CircuitError, NodeId, SolverKind, SourceId,
+    TransientResult,
+};
 use lim_tech::logical_effort::{GateKind, Path, Stage};
 use lim_tech::units::{Femtofarads, Femtojoules, Picoseconds, Volts};
 
@@ -44,13 +60,70 @@ pub struct GoldenMeasurement {
     pub write_energy: Femtojoules,
 }
 
-/// Runs the golden transient measurement of a bank.
-///
-/// # Errors
-///
-/// Returns [`BrickError::InvalidStack`] for unsupported stack counts, or
-/// [`BrickError::Golden`] if the transient solver rejects the circuit.
-pub fn measure_bank(brick: &CompiledBrick, stack: usize) -> Result<GoldenMeasurement, BrickError> {
+/// A simulation's band pattern: which circuit family it is (read or
+/// write), the ladder segment counts that fix its connectivity, and the
+/// time-step bits. Two sims with equal signatures produce identically
+/// shaped banded systems stepped with the same `dt`, so they can share
+/// one lockstep panel in the solver.
+type SimSig = (bool, usize, usize, usize, u64);
+
+/// The two golden circuits of one bank configuration, built but not yet
+/// integrated, together with every analytic term the finishing pass
+/// needs to turn raw transients into a [`GoldenMeasurement`].
+struct BankSims {
+    spec: BrickSpec,
+    stack: usize,
+    // Read transient.
+    read_ckt: Circuit,
+    read_probes: [NodeId; 2], // [arbl_far, wl_far]
+    t_end: Picoseconds,
+    dt: Picoseconds,
+    read_sig: SimSig,
+    wl_src: SourceId,
+    wl_far: NodeId,
+    arbl_far: NodeId,
+    rbl_nodes: Vec<NodeId>,
+    arbl_nodes: Vec<NodeId>,
+    // Write transient.
+    write_ckt: Circuit,
+    write_probes: [NodeId; 1], // [cell_int]
+    w_end: Picoseconds,
+    wdt: Picoseconds,
+    write_sig: SimSig,
+    wbl_src: SourceId,
+    cell_int: NodeId,
+    // Shared pre-array periphery terms.
+    t_front: Picoseconds,
+    t_sense: Picoseconds,
+    t_out: Picoseconds,
+    e_clock: Femtojoules,
+    e_chain: Femtojoules,
+    e_col_gates: Femtojoules,
+}
+
+impl BankSims {
+    fn read_run(&self) -> BatchRun<'_> {
+        BatchRun {
+            circuit: &self.read_ckt,
+            probes: &self.read_probes,
+            t_end: self.t_end,
+            dt: self.dt,
+        }
+    }
+
+    fn write_run(&self) -> BatchRun<'_> {
+        BatchRun {
+            circuit: &self.write_ckt,
+            probes: &self.write_probes,
+            t_end: self.w_end,
+            dt: self.wdt,
+        }
+    }
+}
+
+/// Builds the read and write circuits of a bank plus the analytic
+/// periphery terms, without running anything.
+fn build_sims(brick: &CompiledBrick, stack: usize) -> Result<BankSims, BrickError> {
     brick.check_stack(stack)?;
     let tech = brick.technology();
     let vdd = tech.vdd;
@@ -82,6 +155,15 @@ pub fn measure_bank(brick: &CompiledBrick, stack: usize) -> Result<GoldenMeasure
         c_unit * (2.0 * NOMINAL_OUT_LOAD_X),
     );
     let t_front = t_control + t_chain;
+
+    let e_clock = (crate::compiler::CLK_LOAD_PER_BRICK * stack as f64).switch_energy(vdd);
+    let chain_cap = Femtofarads::new(
+        crate::compiler::DWL_PIN_CAP.value() * 1.5 + brick.wl_driver_drive * c_unit.value(),
+    );
+    let e_chain = chain_cap.switch_energy(vdd);
+    // The output load is already a node cap in the simulated ARBL, so only
+    // the sense-driver gate remains analytic here.
+    let e_col_gates = sense_driver_in.switch_energy(vdd);
 
     // ---- Read circuit ---------------------------------------------------
     let wl_spec = brick.wl_ladder();
@@ -157,40 +239,16 @@ pub fn measure_bank(brick: &CompiledBrick, stack: usize) -> Result<GoldenMeasure
 
     // Simulation window sized from the analytic estimate. Only the two
     // crossing-measurement nodes need waveforms; energies come from
-    // per-node final voltages, which `run_probed` keeps for every node.
+    // per-node final voltages, which the probed runs keep for every node.
     let est = brick.estimate_bank(stack)?;
     let t_end = Picoseconds::new(est.read_delay.value() * 3.0 + 300.0);
     let dt = Picoseconds::new((est.read_delay.value() / 3000.0).clamp(0.02, 0.5));
-    let res = TransientSim::new(&ckt).run_probed(&[arbl_far, wl_far], t_end, dt)?;
-
-    let t_array = res
-        .cross_time(arbl_far, half, Edge::Falling)
-        .ok_or(BrickError::Golden(lim_circuit::CircuitError::BadTimeStep {
-            dt: dt.value(),
-            t_end: t_end.value(),
-        }))?;
-    let read_delay = t_front + t_array + t_sense + t_out;
-
-    // Read energy: simulated wordline + per-column bitline recharges, plus
-    // the shared control/clock and gate-cap terms the tool also uses.
-    let sc = 1.0 + tech.short_circuit_fraction;
-    let bits = brick.spec().bits() as f64;
-    let e_clock = (crate::compiler::CLK_LOAD_PER_BRICK * stack as f64).switch_energy(vdd);
-    let chain_cap = Femtofarads::new(
-        crate::compiler::DWL_PIN_CAP.value() * 1.5 + brick.wl_driver_drive * c_unit.value(),
-    );
-    let e_chain = chain_cap.switch_energy(vdd);
-    let e_wl_sim = res.source_energy(wl_src);
-    let e_rbl_sim = recharge_energy(&ckt, &res, &rbl_nodes, vdd);
-    let e_arbl_sim = recharge_energy(&ckt, &res, &arbl_nodes, vdd);
-    // The output load is already a node cap in the simulated ARBL, so only
-    // the sense-driver gate remains analytic here.
-    let e_col_gates = sense_driver_in.switch_energy(vdd);
-    let read_energy = Femtojoules::new(
-        sc * (e_clock.value()
-            + e_chain.value()
-            + e_wl_sim.value()
-            + 0.5 * bits * (e_rbl_sim.value() + e_arbl_sim.value() + e_col_gates.value())),
+    let read_sig = (
+        false,
+        wl_spec.segments,
+        rbl_spec.segments,
+        arbl_spec.segments,
+        dt.value().to_bits(),
     );
 
     // ---- Write circuit ---------------------------------------------------
@@ -224,36 +282,115 @@ pub fn measure_bank(brick: &CompiledBrick, stack: usize) -> Result<GoldenMeasure
 
     let w_end = Picoseconds::new(est.write_delay.value() * 3.0 + 300.0);
     let wdt = Picoseconds::new((est.write_delay.value() / 3000.0).clamp(0.02, 0.5));
-    let wres = TransientSim::new(&wckt).run_probed(&[cell_int], w_end, wdt)?;
+    let write_sig = (true, wbl_spec.segments, 0, 0, wdt.value().to_bits());
+
+    Ok(BankSims {
+        spec: *brick.spec(),
+        stack,
+        read_ckt: ckt,
+        read_probes: [arbl_far, wl_far],
+        t_end,
+        dt,
+        read_sig,
+        wl_src,
+        wl_far,
+        arbl_far,
+        rbl_nodes,
+        arbl_nodes,
+        write_ckt: wckt,
+        write_probes: [cell_int],
+        w_end,
+        wdt,
+        write_sig,
+        wbl_src,
+        cell_int,
+        t_front,
+        t_sense,
+        t_out,
+        e_clock,
+        e_chain,
+        e_col_gates,
+    })
+}
+
+/// Turns the raw read/write transients of one bank into delays and
+/// energies.
+fn finish(
+    brick: &CompiledBrick,
+    sims: &BankSims,
+    res: &TransientResult,
+    wres: &TransientResult,
+) -> Result<GoldenMeasurement, BrickError> {
+    let tech = brick.technology();
+    let vdd = tech.vdd;
+    let half = Volts::new(vdd.value() / 2.0);
+
+    let t_array = res
+        .cross_time(sims.arbl_far, half, Edge::Falling)
+        .ok_or(BrickError::Golden(CircuitError::BadTimeStep {
+            dt: sims.dt.value(),
+            t_end: sims.t_end.value(),
+        }))?;
+    let read_delay = sims.t_front + t_array + sims.t_sense + sims.t_out;
+
+    // Read energy: simulated wordline + per-column bitline recharges, plus
+    // the shared control/clock and gate-cap terms the tool also uses.
+    let sc = 1.0 + tech.short_circuit_fraction;
+    let bits = brick.spec().bits() as f64;
+    let e_wl_sim = res.source_energy(sims.wl_src);
+    let e_rbl_sim = recharge_energy(&sims.read_ckt, res, &sims.rbl_nodes, vdd);
+    let e_arbl_sim = recharge_energy(&sims.read_ckt, res, &sims.arbl_nodes, vdd);
+    let read_energy = Femtojoules::new(
+        sc * (sims.e_clock.value()
+            + sims.e_chain.value()
+            + e_wl_sim.value()
+            + 0.5 * bits * (e_rbl_sim.value() + e_arbl_sim.value() + sims.e_col_gates.value())),
+    );
+
     let t_cell_written = wres
-        .cross_time(cell_int, half, Edge::Rising)
-        .ok_or(BrickError::Golden(lim_circuit::CircuitError::BadTimeStep {
-            dt: wdt.value(),
-            t_end: w_end.value(),
+        .cross_time(sims.cell_int, half, Edge::Rising)
+        .ok_or(BrickError::Golden(CircuitError::BadTimeStep {
+            dt: sims.wdt.value(),
+            t_end: sims.w_end.value(),
         }))?;
     // Wordline arrival is shared with the read simulation.
     let t_wl_sim = res
-        .cross_time(wl_far, half, Edge::Rising)
+        .cross_time(sims.wl_far, half, Edge::Rising)
         .unwrap_or(Picoseconds::ZERO);
-    let write_delay = t_front + t_wl_sim + t_cell_written;
+    let write_delay = sims.t_front + t_wl_sim + t_cell_written;
 
-    let e_wbl_sim = wres.source_energy(wbl_src);
+    let e_wbl_sim = wres.source_energy(sims.wbl_src);
     let e_cell_flip = brick.cell().write_internal_cap.switch_energy(vdd);
     let write_energy = Femtojoules::new(
-        sc * (e_clock.value()
-            + e_chain.value()
+        sc * (sims.e_clock.value()
+            + sims.e_chain.value()
             + e_wl_sim.value()
             + 0.5 * bits * (e_wbl_sim.value() + e_cell_flip.value())),
     );
 
     Ok(GoldenMeasurement {
-        spec: *brick.spec(),
-        stack,
+        spec: sims.spec,
+        stack: sims.stack,
         read_delay,
         read_energy,
         write_delay,
         write_energy,
     })
+}
+
+/// Runs the golden transient measurement of a bank.
+///
+/// # Errors
+///
+/// Returns [`BrickError::InvalidStack`] for unsupported stack counts, or
+/// [`BrickError::Golden`] if the transient solver rejects the circuit.
+pub fn measure_bank(brick: &CompiledBrick, stack: usize) -> Result<GoldenMeasurement, BrickError> {
+    let sims = build_sims(brick, stack)?;
+    let runs = [sims.read_run(), sims.write_run()];
+    let mut out = run_probed_batch(&runs, SolverKind::Auto).map_err(BrickError::Golden)?;
+    let wres = out.pop().expect("two runs yield two results");
+    let res = out.pop().expect("two runs yield two results");
+    finish(brick, &sims, &res, &wres)
 }
 
 /// Tool-vs-golden comparison for one configuration — one row of Table 1.
@@ -297,12 +434,162 @@ pub fn compare(brick: &CompiledBrick, stack: usize) -> Result<ToolVsGolden, Bric
     })
 }
 
+/// Outcome of a batched golden validation, with panel statistics.
+#[derive(Debug)]
+pub struct GoldenBatchReport {
+    /// Per-configuration outcomes, in input order.
+    pub results: Vec<Result<ToolVsGolden, BrickError>>,
+    /// Transient simulations submitted to the batched solver (two per
+    /// successfully built configuration).
+    pub sims: usize,
+    /// Lockstep panel groups those simulations collapsed into. `sims /
+    /// groups` is the mean panel occupancy: how many right-hand sides
+    /// each banded factorization advanced at once.
+    pub groups: usize,
+}
+
 /// Validates a whole batch of `(spec, stack)` configurations — the
-/// Table 1 workload — fanning the per-configuration golden transients
-/// across the `lim-par` pool. Each spec is compiled once on the calling
-/// thread (compilation is cheap and cached work is shared); the
-/// expensive transient solves run in parallel. Results come back in
-/// input order regardless of worker count.
+/// Table 1 workload — through the multi-RHS banded solver.
+///
+/// Each spec is compiled once on the calling thread (compilation is
+/// cheap and cached work is shared). All read and write circuits are
+/// built up front, grouped by band pattern (circuit family, ladder
+/// segment counts and time step), and each group is integrated as one
+/// lockstep panel by [`run_probed_batch`]; the groups fan out across
+/// the `lim-par` pool. Per-configuration failures (bad stack, compile
+/// or solver errors) are reported in place without aborting the rest of
+/// the batch. Results come back in input order regardless of worker
+/// count, bit-identical to sequential [`compare`] calls.
+pub fn compare_batch_results(
+    tech: &lim_tech::Technology,
+    configs: &[(BrickSpec, usize)],
+) -> GoldenBatchReport {
+    let _span = lim_obs::Span::enter("golden_batch");
+    let compiler = crate::compiler::BrickCompiler::new(tech);
+    let mut compiled: Vec<(BrickSpec, Result<CompiledBrick, BrickError>)> = Vec::new();
+
+    struct Entry {
+        brick: CompiledBrick,
+        sims: BankSims,
+    }
+    let entries: Vec<Result<Entry, BrickError>> = configs
+        .iter()
+        .map(|&(spec, stack)| {
+            let brick = match compiled.iter().find(|(s, _)| *s == spec) {
+                Some((_, b)) => b.clone(),
+                None => {
+                    let b = compiler.compile(&spec);
+                    compiled.push((spec, b.clone()));
+                    b
+                }
+            };
+            brick.and_then(|brick| {
+                let sims = build_sims(&brick, stack)?;
+                Ok(Entry { brick, sims })
+            })
+        })
+        .collect();
+
+    // Group the sims by band pattern, preserving first-seen order.
+    struct Job<'a> {
+        entry: usize,
+        write: bool,
+        run: BatchRun<'a>,
+    }
+    let mut groups: Vec<(SimSig, Vec<Job<'_>>)> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let Ok(entry) = e else { continue };
+        for (write, sig, run) in [
+            (false, entry.sims.read_sig, entry.sims.read_run()),
+            (true, entry.sims.write_sig, entry.sims.write_run()),
+        ] {
+            let job = Job {
+                entry: i,
+                write,
+                run,
+            };
+            match groups.iter_mut().find(|(s, _)| *s == sig) {
+                Some((_, g)) => g.push(job),
+                None => groups.push((sig, vec![job])),
+            }
+        }
+    }
+    let n_sims: usize = groups.iter().map(|(_, g)| g.len()).sum();
+    let n_groups = groups.len();
+
+    // One panel solve per group, fanned across the worker pool. A group
+    // failure falls back to per-sim solves so the error lands only on
+    // the configuration that caused it.
+    type Solved = Vec<(usize, bool, Result<TransientResult, CircuitError>)>;
+    let solved: Vec<Solved> =
+        lim_par::par_map(groups, |(_, jobs)| {
+            let runs: Vec<BatchRun<'_>> = jobs.iter().map(|j| j.run).collect();
+            let outs: Vec<Result<TransientResult, CircuitError>> =
+                match run_probed_batch(&runs, SolverKind::Auto) {
+                    Ok(rs) => rs.into_iter().map(Ok).collect(),
+                    Err(_) => runs
+                        .iter()
+                        .map(|r| {
+                            run_probed_batch(std::slice::from_ref(r), SolverKind::Auto)
+                                .map(|mut v| v.pop().expect("one run yields one result"))
+                        })
+                        .collect(),
+                };
+            jobs.into_iter()
+                .zip(outs)
+                .map(|(j, r)| (j.entry, j.write, r))
+                .collect()
+        });
+
+    let mut read_res: Vec<Option<Result<TransientResult, CircuitError>>> =
+        configs.iter().map(|_| None).collect();
+    let mut write_res: Vec<Option<Result<TransientResult, CircuitError>>> =
+        configs.iter().map(|_| None).collect();
+    for (entry, write, r) in solved.into_iter().flatten() {
+        if write {
+            write_res[entry] = Some(r);
+        } else {
+            read_res[entry] = Some(r);
+        }
+    }
+
+    let results = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let entry = match e {
+                Ok(entry) => entry,
+                Err(err) => return Err(err.clone()),
+            };
+            let res = read_res[i]
+                .take()
+                .expect("every built entry was simulated")
+                .map_err(BrickError::Golden)?;
+            let wres = write_res[i]
+                .take()
+                .expect("every built entry was simulated")
+                .map_err(BrickError::Golden)?;
+            let golden = finish(&entry.brick, &entry.sims, &res, &wres)?;
+            Ok(ToolVsGolden {
+                tool: entry.brick.estimate_bank(entry.sims.stack)?,
+                golden,
+            })
+        })
+        .collect();
+
+    GoldenBatchReport {
+        results,
+        sims: n_sims,
+        groups: n_groups,
+    }
+}
+
+/// Validates a whole batch of `(spec, stack)` configurations and
+/// collects the results, failing fast.
+///
+/// This is [`compare_batch_results`] with first-error semantics: the
+/// per-configuration outcomes are collapsed into one `Result`, keeping
+/// the first failure in input order.
 ///
 /// # Errors
 ///
@@ -312,22 +599,8 @@ pub fn compare_batch(
     tech: &lim_tech::Technology,
     configs: &[(BrickSpec, usize)],
 ) -> Result<Vec<ToolVsGolden>, BrickError> {
-    let _span = lim_obs::Span::enter("golden_batch");
-    let compiler = crate::compiler::BrickCompiler::new(tech);
-    let mut jobs = Vec::with_capacity(configs.len());
-    let mut compiled: Vec<(BrickSpec, CompiledBrick)> = Vec::new();
-    for &(spec, stack) in configs {
-        let brick = match compiled.iter().find(|(s, _)| *s == spec) {
-            Some((_, b)) => b.clone(),
-            None => {
-                let b = compiler.compile(&spec)?;
-                compiled.push((spec, b.clone()));
-                b
-            }
-        };
-        jobs.push((brick, stack));
-    }
-    lim_par::par_map(jobs, |(brick, stack)| compare(&brick, stack))
+    compare_batch_results(tech, configs)
+        .results
         .into_iter()
         .collect()
 }
@@ -366,17 +639,53 @@ mod tests {
 
     #[test]
     fn compare_batch_matches_sequential_compare() {
+        // Bit-identity pin: `GoldenMeasurement` and `BankEstimate` carry
+        // floats and derive `PartialEq`, so `assert_eq!` here demands the
+        // batched panel solves reproduce the sequential results to the
+        // last bit — including the duplicated configuration, which the
+        // solver executes once and clones.
         let tech = Technology::cmos65();
         let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
-        let configs = [(spec, 1usize), (spec, 4)];
+        let spec32 = BrickSpec::new(BitcellKind::Sram8T, 32, 12).unwrap();
+        let configs = [(spec, 1usize), (spec, 4), (spec32, 1), (spec, 4)];
         let batch = compare_batch(&tech, &configs).unwrap();
-        assert_eq!(batch.len(), 2);
-        let brick = compiled(16, 10);
-        for (got, &(_, stack)) in batch.iter().zip(&configs) {
+        assert_eq!(batch.len(), 4);
+        let compiler = BrickCompiler::new(&tech);
+        for (got, &(spec, stack)) in batch.iter().zip(&configs) {
+            let brick = compiler.compile(&spec).unwrap();
             let want = compare(&brick, stack).unwrap();
-            assert_eq!(got.golden, want.golden, "stack {stack}");
-            assert_eq!(got.tool, want.tool, "stack {stack}");
+            assert_eq!(got.golden, want.golden, "{spec:?} stack {stack}");
+            assert_eq!(got.tool, want.tool, "{spec:?} stack {stack}");
         }
+    }
+
+    #[test]
+    fn batch_report_counts_sims_and_groups() {
+        let tech = Technology::cmos65();
+        let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
+        let configs = [(spec, 1usize), (spec, 4), (spec, 4)];
+        let report = compare_batch_results(&tech, &configs);
+        assert_eq!(report.results.len(), 3);
+        assert!(report.results.iter().all(|r| r.is_ok()));
+        // Three configurations contribute six sims; the duplicated
+        // stack-4 pair shares its read and write groups, so only the
+        // distinct stacks (1 and 4) open panels: two read, two write.
+        assert_eq!(report.sims, 6);
+        assert_eq!(report.groups, 4);
+    }
+
+    #[test]
+    fn batch_reports_errors_in_place() {
+        let tech = Technology::cmos65();
+        let spec = BrickSpec::new(BitcellKind::Sram8T, 16, 10).unwrap();
+        let report = compare_batch_results(&tech, &[(spec, 99), (spec, 1)]);
+        assert!(matches!(
+            report.results[0],
+            Err(BrickError::InvalidStack(99))
+        ));
+        assert!(report.results[1].is_ok());
+        // The bad entry never produced sims.
+        assert_eq!(report.sims, 2);
     }
 
     #[test]

@@ -25,8 +25,10 @@ pub enum CircuitError {
     /// The conductance system was singular (a node with no DC path and no
     /// capacitance cannot be solved).
     SingularSystem {
-        /// Index of the pivot that vanished.
-        pivot: usize,
+        /// Node whose pivot fell below the acceptance threshold.
+        node: usize,
+        /// Magnitude of the rejected pivot.
+        magnitude: f64,
     },
 }
 
@@ -40,8 +42,11 @@ impl fmt::Display for CircuitError {
             CircuitError::BadTimeStep { dt, t_end } => {
                 write!(f, "invalid simulation window: dt = {dt} ps, t_end = {t_end} ps")
             }
-            CircuitError::SingularSystem { pivot } => {
-                write!(f, "singular conductance system at pivot {pivot}")
+            CircuitError::SingularSystem { node, magnitude } => {
+                write!(
+                    f,
+                    "singular conductance system at node {node} (pivot magnitude {magnitude:e})"
+                )
             }
         }
     }

@@ -53,5 +53,5 @@ pub mod waveform;
 pub use elmore::RcTree;
 pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId, SourceId, SwitchId};
-pub use transient::{SolverKind, TransientResult, TransientSim};
+pub use transient::{run_probed_batch, BatchRun, SolverKind, TransientResult, TransientSim};
 pub use waveform::{Edge, Waveform};

@@ -17,13 +17,23 @@
 //! with partial pivoting otherwise; both paths agree to solver tolerance
 //! and are cross-checked by a property test.
 //!
+//! The banded backend is a *multi-RHS panel engine*: any number of runs
+//! that share connectivity structure and stepping advance in lockstep,
+//! one panel column each ([`run_probed_batch`]). Columns whose stamped
+//! `G + C/Δt` matrices are bit-identical share a single factorization
+//! (a *factorization class*); when a column's switch state diverges it
+//! migrates to the class matching its new matrix, factoring afresh only
+//! if no class has seen that matrix. A single [`TransientSim::run`] is
+//! the same engine with a one-column panel, so batched and sequential
+//! results are bit-identical by construction.
+//!
 //! Supply energy is integrated alongside: every driver's delivered energy
 //! is `∫ v_target · i dt`, which for a full charge of capacitance C to Vdd
 //! converges to the textbook `C·Vdd²`.
 
 use crate::error::CircuitError;
 use crate::netlist::{Circuit, NodeId, SourceId, SwitchControl, SwitchTerminal};
-use crate::sparse::{adjacency, half_bandwidth, positions, rcm_order, Banded};
+use crate::sparse::{adjacency, half_bandwidth, positions, rcm_order, Banded, Panel};
 use crate::waveform::{Edge, Waveform};
 use lim_tech::units::{Femtojoules, Picoseconds, Volts};
 
@@ -47,25 +57,19 @@ pub struct TransientSim<'a> {
     solver: SolverKind,
 }
 
-/// The factorization backend chosen for a run.
-enum Factorization {
-    Dense {
-        /// Static conductance stamp (resistors + source conductances).
-        g_static: Vec<Vec<f64>>,
-        lu: Option<(Vec<Vec<f64>>, Vec<usize>)>,
-    },
-    Banded {
-        /// Static stamp in permuted coordinates, including `C/Δt` on the
-        /// diagonal; cloned and switch-stamped on each refresh.
-        template: Banded,
-        /// `pos[node] = row of node` in the permuted system.
-        pos: Vec<usize>,
-        /// `order[row] = node` (inverse of `pos`).
-        order: Vec<usize>,
-        lu: Option<Banded>,
-        /// Scratch vector for the permuted RHS/solution.
-        scratch: Vec<f64>,
-    },
+/// One run in a [`run_probed_batch`] call: a circuit, the nodes whose
+/// waveforms to record, and the integration window.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRun<'a> {
+    /// The circuit to integrate.
+    pub circuit: &'a Circuit,
+    /// Nodes whose waveforms are recorded (as for
+    /// [`TransientSim::run_probed`]).
+    pub probes: &'a [NodeId],
+    /// End of the integration window.
+    pub t_end: Picoseconds,
+    /// Fixed time step.
+    pub dt: Picoseconds,
 }
 
 impl<'a> TransientSim<'a> {
@@ -119,37 +123,307 @@ impl<'a> TransientSim<'a> {
         self.run_inner(Some(probes), t_end, dt)
     }
 
-    /// Builds the factorization backend for this run. `dt_v` is folded
-    /// into the banded template's diagonal (the dense path adds it per
-    /// refresh, matching the original implementation).
-    fn prepare(&self, dt_v: f64) -> Factorization {
+    fn run_inner(
+        &self,
+        probes: Option<&[NodeId]>,
+        t_end: Picoseconds,
+        dt: Picoseconds,
+    ) -> Result<TransientResult, CircuitError> {
         let ckt = self.circuit;
-        let n = ckt.node_count();
-        // Connectivity includes every switch whether or not it is closed,
-        // so the band structure is valid for all switch states.
-        let edges = ckt
-            .resistors
-            .iter()
-            .map(|r| (r.a, r.b))
-            .chain(ckt.switches.iter().filter_map(|s| match s.b {
-                SwitchTerminal::Node(b) => Some((s.a, b)),
-                SwitchTerminal::Ground => None,
-            }));
-        let adj = adjacency(n, edges);
-        let order = rcm_order(&adj);
-        let pos = positions(&order);
-        let k = half_bandwidth(&adj, &pos);
-        let banded = match self.solver {
-            SolverKind::Dense => false,
-            SolverKind::Banded => true,
-            // Banded factor is O(n·k²) vs dense O(n³) and each step's
-            // solve O(n·k) vs O(n²): worth it once the band is a small
-            // fraction of the matrix. Tiny systems stay dense — the
-            // reordering bookkeeping would dominate.
-            SolverKind::Auto => n >= 8 && 4 * k < n,
-        };
-        if banded {
+        ckt.validate()?;
+        check_window(t_end, dt)?;
+        let (dt_v, t_end_v) = (dt.value(), t_end.value());
+        let steps = (t_end_v / dt_v).ceil() as usize;
+        let probed = resolve_probes(probes, ckt.node_count());
+        let sym = analyze(ckt, self.solver);
+        if sym.banded {
             lim_obs::counter_add("transient.banded_runs", 1);
+            let jobs = vec![GroupJob { ckt, probed, steps }];
+            let mut out = run_banded_group(jobs, &sym.order, &sym.pos, sym.k, dt)?;
+            Ok(out.pop().expect("one job yields one result"))
+        } else {
+            lim_obs::counter_add("transient.dense_runs", 1);
+            run_dense(ckt, probed, steps, dt)
+        }
+    }
+}
+
+/// Integrates a batch of runs, advancing runs that share connectivity
+/// structure and stepping as one blocked multi-RHS banded solve.
+///
+/// Identical runs (same circuit, probes and window) are executed once
+/// and their results cloned. Within a lockstep group, columns whose
+/// stamped matrices are bit-identical share a single factorization per
+/// switch-state change. Each run's result is bit-identical to running
+/// it alone through [`TransientSim::run_probed`] with the same solver.
+///
+/// Observability counters: `transient.batched_runs` (runs submitted),
+/// `transient.batch_groups` (lockstep panels formed),
+/// `transient.shared_factorizations` (column joins to an existing
+/// factorization class), `transient.deduped_runs` (identical runs
+/// executed once).
+///
+/// # Errors
+///
+/// As for [`TransientSim::run`], for any run in the batch.
+pub fn run_probed_batch(
+    runs: &[BatchRun<'_>],
+    solver: SolverKind,
+) -> Result<Vec<TransientResult>, CircuitError> {
+    if runs.is_empty() {
+        return Ok(Vec::new());
+    }
+    lim_obs::counter_add("transient.batched_runs", runs.len() as u64);
+    let mut windows: Vec<(u64, usize)> = Vec::with_capacity(runs.len());
+    for r in runs {
+        r.circuit.validate()?;
+        check_window(r.t_end, r.dt)?;
+        let steps = (r.t_end.value() / r.dt.value()).ceil() as usize;
+        windows.push((r.dt.value().to_bits(), steps));
+    }
+
+    // Identical runs share one execution.
+    let mut rep_of: Vec<usize> = vec![0; runs.len()];
+    let mut reps: Vec<usize> = Vec::new();
+    'dedup: for (i, r) in runs.iter().enumerate() {
+        for &j in &reps {
+            let o = &runs[j];
+            if windows[i] == windows[j]
+                && r.t_end.value().to_bits() == o.t_end.value().to_bits()
+                && r.probes == o.probes
+                && r.circuit == o.circuit
+            {
+                rep_of[i] = j;
+                lim_obs::counter_add("transient.deduped_runs", 1);
+                continue 'dedup;
+            }
+        }
+        rep_of[i] = i;
+        reps.push(i);
+    }
+
+    // Symbolic analysis per representative; banded representatives with
+    // equal connectivity and stepping form one lockstep group.
+    let analyses: Vec<Symbolic> = reps
+        .iter()
+        .map(|&i| analyze(runs[i].circuit, solver))
+        .collect();
+    let mut groups: Vec<Vec<usize>> = Vec::new(); // indices into `reps`
+    let mut dense: Vec<usize> = Vec::new();
+    'group: for (ri, sym) in analyses.iter().enumerate() {
+        if !sym.banded {
+            dense.push(ri);
+            continue;
+        }
+        for g in &mut groups {
+            let first = g[0];
+            // Same step size and same connectivity: columns lockstep on
+            // shared t and ordering; differing step counts are fine — a
+            // shorter run retires early.
+            if windows[reps[ri]].0 == windows[reps[first]].0 && analyses[first].adj == sym.adj {
+                g.push(ri);
+                continue 'group;
+            }
+        }
+        groups.push(vec![ri]);
+    }
+
+    let mut results: Vec<Option<TransientResult>> = vec![None; runs.len()];
+    for g in &groups {
+        lim_obs::counter_add("transient.batch_groups", 1);
+        lim_obs::counter_add("transient.banded_runs", g.len() as u64);
+        let sym = &analyses[g[0]];
+        let dt = runs[reps[g[0]]].dt;
+        let jobs: Vec<GroupJob<'_>> = g
+            .iter()
+            .map(|&ri| {
+                let r = &runs[reps[ri]];
+                GroupJob {
+                    ckt: r.circuit,
+                    probed: resolve_probes(Some(r.probes), r.circuit.node_count()),
+                    steps: windows[reps[ri]].1,
+                }
+            })
+            .collect();
+        let out = run_banded_group(jobs, &sym.order, &sym.pos, sym.k, dt)?;
+        for (&ri, res) in g.iter().zip(out) {
+            results[reps[ri]] = Some(res);
+        }
+    }
+    for &ri in &dense {
+        lim_obs::counter_add("transient.dense_runs", 1);
+        let r = &runs[reps[ri]];
+        let (_, steps) = windows[reps[ri]];
+        let probed = resolve_probes(Some(r.probes), r.circuit.node_count());
+        results[reps[ri]] = Some(run_dense(r.circuit, probed, steps, r.dt)?);
+    }
+    for i in 0..runs.len() {
+        if rep_of[i] != i {
+            results[i] = results[rep_of[i]].clone();
+        }
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every run was executed or cloned"))
+        .collect())
+}
+
+fn check_window(t_end: Picoseconds, dt: Picoseconds) -> Result<(), CircuitError> {
+    let (dt_v, t_end_v) = (dt.value(), t_end.value());
+    if dt_v <= 0.0 || t_end_v < dt_v || !dt_v.is_finite() || !t_end_v.is_finite() {
+        return Err(CircuitError::BadTimeStep {
+            dt: dt_v,
+            t_end: t_end_v,
+        });
+    }
+    Ok(())
+}
+
+/// Sorted, deduplicated node indices to trace (all nodes when `None`).
+fn resolve_probes(probes: Option<&[NodeId]>, n: usize) -> Vec<usize> {
+    match probes {
+        Some(list) => {
+            let mut ids: Vec<usize> = list.iter().map(|p| p.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        }
+        None => (0..n).collect(),
+    }
+}
+
+/// Symbolic analysis of a circuit's connectivity: RCM ordering, band
+/// width of the permuted system, and the backend decision.
+struct Symbolic {
+    adj: Vec<Vec<usize>>,
+    order: Vec<usize>,
+    pos: Vec<usize>,
+    k: usize,
+    banded: bool,
+}
+
+fn analyze(ckt: &Circuit, solver: SolverKind) -> Symbolic {
+    let n = ckt.node_count();
+    // Connectivity includes every switch whether or not it is closed,
+    // so the band structure is valid for all switch states.
+    let edges = ckt
+        .resistors
+        .iter()
+        .map(|r| (r.a, r.b))
+        .chain(ckt.switches.iter().filter_map(|s| match s.b {
+            SwitchTerminal::Node(b) => Some((s.a, b)),
+            SwitchTerminal::Ground => None,
+        }));
+    let adj = adjacency(n, edges);
+    let order = rcm_order(&adj);
+    let pos = positions(&order);
+    let k = half_bandwidth(&adj, &pos);
+    let banded = match solver {
+        SolverKind::Dense => false,
+        SolverKind::Banded => true,
+        // Banded factor is O(n·k²) vs dense O(n³) and each step's
+        // solve O(n·k) vs O(n²): worth it once the band is a small
+        // fraction of the matrix. Tiny systems stay dense — the
+        // reordering bookkeeping would dominate.
+        SolverKind::Auto => n >= 8 && 4 * k < n,
+    };
+    Symbolic {
+        adj,
+        order,
+        pos,
+        k,
+        banded,
+    }
+}
+
+/// One member of a lockstep banded group.
+struct GroupJob<'a> {
+    ckt: &'a Circuit,
+    /// Sorted, deduplicated node indices to trace.
+    probed: Vec<usize>,
+    /// Steps this run integrates (columns may retire before the group's
+    /// longest run finishes).
+    steps: usize,
+}
+
+/// Per-run state inside the banded panel engine.
+struct Column<'a> {
+    ckt: &'a Circuit,
+    probed: Vec<usize>,
+    traces: Vec<Vec<f64>>,
+    /// Static stamp in permuted coordinates, including `C/Δt` on the
+    /// diagonal; cloned and switch-stamped on each state change.
+    template: Banded,
+    /// Permuted `C/Δt` history coefficients. Precomputing the division
+    /// is bit-identical to dividing every step (same operands) and
+    /// turns the hottest per-node-step op into a multiply.
+    c_over_dt_p: Vec<f64>,
+    /// Current switch states. Voltage-controlled switches latch once
+    /// triggered, so for those this doubles as the latch.
+    sw_state: Vec<bool>,
+    supply_energy: f64,
+    source_energy: Vec<f64>,
+    /// Index into the group's factorization classes.
+    class: usize,
+    /// This run's step count; past it the column is retired.
+    steps: usize,
+    /// Permuted voltages captured at the column's final step.
+    final_p: Vec<f64>,
+}
+
+const NO_CLASS: usize = usize::MAX;
+
+/// A factorization shared by every panel column whose stamped
+/// `G + C/Δt` matrix is bit-identical. `matrix` keeps the unfactored
+/// stamp for membership tests.
+struct FactorClass {
+    matrix: Banded,
+    lu: Banded,
+}
+
+fn stamp_switches(template: &Banded, ckt: &Circuit, sw_state: &[bool], pos: &[usize]) -> Banded {
+    let mut a = template.clone();
+    for (sw, closed) in ckt.switches.iter().zip(sw_state) {
+        if *closed {
+            let g = 1.0 / sw.r_on;
+            let pa = pos[sw.a];
+            match sw.b {
+                SwitchTerminal::Ground => a.add(pa, pa, g),
+                SwitchTerminal::Node(b) => {
+                    let pb = pos[b];
+                    a.add(pa, pa, g);
+                    a.add(pb, pb, g);
+                    a.add(pa, pb, -g);
+                    a.add(pb, pa, -g);
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Advances every job of one lockstep group as a blocked multi-RHS
+/// banded solve. All jobs share `order`/`pos` (equal connectivity) and
+/// the step size; each contributes one fixed panel column and retires
+/// after its own step count. Per-column arithmetic is independent and
+/// ordered exactly as a lone run's, so results are bit-identical to
+/// running each job alone.
+fn run_banded_group(
+    jobs: Vec<GroupJob<'_>>,
+    order: &[usize],
+    pos: &[usize],
+    k: usize,
+    dt: Picoseconds,
+) -> Result<Vec<TransientResult>, CircuitError> {
+    let dt_v = dt.value();
+    let n = order.len();
+    let b = jobs.len();
+    let max_steps = jobs.iter().map(|j| j.steps).max().unwrap_or(0);
+
+    let mut columns: Vec<Column<'_>> = jobs
+        .into_iter()
+        .map(|job| {
+            let ckt = job.ckt;
             let mut template = Banded::zeros(n, k);
             for r in &ckt.resistors {
                 let g = 1.0 / r.r;
@@ -163,163 +437,332 @@ impl<'a> TransientSim<'a> {
                 let p = pos[s.node];
                 template.add(p, p, 1.0 / s.r_series);
             }
+            let mut c_over_dt_p = vec![0.0; n];
             for (i, &c) in ckt.caps.iter().enumerate() {
                 template.add(pos[i], pos[i], c / dt_v);
+                c_over_dt_p[pos[i]] = c / dt_v;
             }
-            Factorization::Banded {
+            let traces = job
+                .probed
+                .iter()
+                .map(|&i| {
+                    let mut t = Vec::with_capacity(job.steps + 1);
+                    t.push(ckt.initial_v[i]);
+                    t
+                })
+                .collect();
+            Column {
+                ckt,
+                probed: job.probed,
+                traces,
                 template,
-                pos,
-                order,
-                lu: None,
-                scratch: vec![0.0; n],
+                c_over_dt_p,
+                sw_state: vec![false; ckt.switches.len()],
+                supply_energy: 0.0,
+                source_energy: vec![0.0; ckt.sources.len()],
+                class: NO_CLASS,
+                steps: job.steps,
+                final_p: Vec::new(),
             }
-        } else {
-            lim_obs::counter_add("transient.dense_runs", 1);
-            let mut g_static = vec![vec![0.0; n]; n];
-            for r in &ckt.resistors {
-                let g = 1.0 / r.r;
-                g_static[r.a][r.a] += g;
-                g_static[r.b][r.b] += g;
-                g_static[r.a][r.b] -= g;
-                g_static[r.b][r.a] -= g;
-            }
-            for s in &ckt.sources {
-                g_static[s.node][s.node] += 1.0 / s.r_series;
-            }
-            Factorization::Dense { g_static, lu: None }
+        })
+        .collect();
+
+    // Group-wide voltage panel: one fixed column per run, rows in the
+    // shared permuted coordinates.
+    let mut panel = Panel::new(n);
+    let mut vbuf = vec![0.0; n];
+    for col in &columns {
+        for (p, &node) in order.iter().enumerate() {
+            vbuf[p] = col.ckt.initial_v[node];
+        }
+        panel.push_col(&vbuf);
+    }
+    // `C/Δt` aligned with the panel, built once — columns never move.
+    let mut codt = vec![0.0; n * b];
+    for (c, col) in columns.iter().enumerate() {
+        for p in 0..n {
+            codt[p * b + c] = col.c_over_dt_p[p];
         }
     }
 
-    fn run_inner(
-        &self,
-        probes: Option<&[NodeId]>,
-        t_end: Picoseconds,
-        dt: Picoseconds,
-    ) -> Result<TransientResult, CircuitError> {
-        self.circuit.validate()?;
-        let (dt_v, t_end_v) = (dt.value(), t_end.value());
-        if dt_v <= 0.0 || t_end_v < dt_v || !dt_v.is_finite() || !t_end_v.is_finite() {
-            return Err(CircuitError::BadTimeStep {
-                dt: dt_v,
-                t_end: t_end_v,
-            });
-        }
+    let mut classes: Vec<FactorClass> = Vec::new();
+    // Interleaved coefficient streams for the k ≤ 1 fast path: each
+    // row carries every column's sub-diagonal L, super-diagonal U and
+    // reciprocal pivot, so one sweep advances all columns' mutually
+    // independent recurrences together — the serial dependency chain of
+    // a lone tridiagonal solve overlaps across columns.
+    let mut l_p = vec![0.0; n * b];
+    let mut u_p = vec![0.0; n * b];
+    let mut inv_p = vec![0.0; n * b];
+    let mut sw_buf: Vec<bool> = Vec::new();
 
-        let ckt = self.circuit;
-        let n = ckt.node_count();
-        let steps = (t_end_v / dt_v).ceil() as usize;
+    for step in 1..=max_steps {
+        let t = step as f64 * dt_v;
+        let mut classes_changed = false;
 
-        let mut v: Vec<f64> = ckt.initial_v.clone();
-        // One trace per probed node (all nodes when `probes` is `None`).
-        let probed: Vec<usize> = match probes {
-            Some(list) => {
-                let mut ids: Vec<usize> = list.iter().map(|p| p.0).collect();
-                ids.sort_unstable();
-                ids.dedup();
-                ids
+        // Phase 1: evaluate switches and reassign factorization classes
+        // for active columns whose state changed.
+        for (c, col) in columns.iter_mut().enumerate() {
+            if step > col.steps {
+                continue; // retired
             }
-            None => (0..n).collect(),
-        };
-        let mut traces: Vec<Vec<f64>> = probed
-            .iter()
-            .map(|&i| {
-                let mut t = Vec::with_capacity(steps + 1);
-                t.push(v[i]);
-                t
-            })
-            .collect();
-
-        let mut fact = self.prepare(dt_v);
-        let mut prev_switch_state: Option<Vec<bool>> = None;
-        // Voltage-controlled switches latch once triggered.
-        let mut latched = vec![false; ckt.switches.len()];
-
-        let mut supply_energy = 0.0;
-        let mut source_energy = vec![0.0; ckt.sources.len()];
-
-        let mut rhs = vec![0.0; n];
-        for step in 1..=steps {
-            let t = step as f64 * dt_v;
-
-            // Refresh factorization when the switch population changes.
-            let sw_state: Vec<bool> = ckt
-                .switches
-                .iter()
-                .enumerate()
-                .map(|(i, s)| match s.control {
+            sw_buf.clear();
+            for (i, s) in col.ckt.switches.iter().enumerate() {
+                let closed = match s.control {
                     SwitchControl::Timed { .. } => {
                         s.is_closed_at(t).expect("timed switch resolves by time")
                     }
                     SwitchControl::VoltageAbove { node, threshold } => {
-                        if v[node] >= threshold {
-                            latched[i] = true;
-                        }
-                        latched[i]
+                        col.sw_state[i] || panel.get(pos[node], c) >= threshold
                     }
                     SwitchControl::VoltageBelow { node, threshold } => {
-                        if v[node] <= threshold {
-                            latched[i] = true;
-                        }
-                        latched[i]
+                        col.sw_state[i] || panel.get(pos[node], c) <= threshold
                     }
-                })
-                .collect();
-            if prev_switch_state.as_ref() != Some(&sw_state) {
-                lim_obs::counter_add("transient.refactorizations", 1);
-                refresh(&mut fact, ckt, &sw_state, dt_v)?;
-                prev_switch_state = Some(sw_state);
+                };
+                sw_buf.push(closed);
             }
-
-            // RHS: history term + source currents at t.
-            for i in 0..n {
-                rhs[i] = ckt.caps[i] / dt_v * v[i];
+            let mut changed = col.class == NO_CLASS;
+            for (state, &new) in col.sw_state.iter_mut().zip(&sw_buf) {
+                if *state != new {
+                    *state = new;
+                    changed = true;
+                }
             }
-            for s in &ckt.sources {
-                rhs[s.node] += s.target_at(t) / s.r_series;
+            if !changed {
+                continue;
             }
+            let stamped = stamp_switches(&col.template, col.ckt, &col.sw_state, pos);
+            match classes.iter().position(|cl| cl.matrix.bitwise_eq(&stamped)) {
+                Some(ci) => {
+                    lim_obs::counter_add("transient.shared_factorizations", 1);
+                    col.class = ci;
+                }
+                None => {
+                    lim_obs::counter_add("transient.refactorizations", 1);
+                    let matrix = stamped.clone();
+                    let mut lu = stamped;
+                    lu.factor().map_err(|e| CircuitError::SingularSystem {
+                        node: order[e.row],
+                        magnitude: e.magnitude,
+                    })?;
+                    col.class = classes.len();
+                    classes.push(FactorClass { matrix, lu });
+                }
+            }
+            classes_changed = true;
+        }
 
-            solve(&mut fact, &rhs, &mut v);
+        // Phase 2: history RHS in place over the whole panel, source
+        // currents for active columns, then the solve sweep. Retired
+        // columns keep being swept (their values are never read again);
+        // skipping them would cost a branch in the hot loops.
+        for (d, &cdt) in panel.data_mut().iter_mut().zip(&codt) {
+            *d *= cdt;
+        }
+        for (c, col) in columns.iter().enumerate() {
+            if step > col.steps {
+                continue;
+            }
+            for src in &col.ckt.sources {
+                panel.data_mut()[pos[src.node] * b + c] += src.target_at(t) / src.r_series;
+            }
+        }
+        if k <= 1 {
+            if classes_changed {
+                for (c, col) in columns.iter().enumerate() {
+                    let lu = &classes[col.class].lu;
+                    let inv = lu.inv_diag();
+                    for i in 0..n {
+                        inv_p[i * b + c] = inv[i];
+                        if k == 1 {
+                            if i > 0 {
+                                l_p[i * b + c] = lu.get(i, i - 1);
+                            }
+                            if i + 1 < n {
+                                u_p[i * b + c] = lu.get(i, i + 1);
+                            }
+                        }
+                    }
+                }
+            }
+            solve_interleaved(panel.data_mut(), n, b, &l_p, &u_p, &inv_p);
+        } else {
+            // General bandwidth: gather each class's active members into
+            // a sub-panel and back-substitute them through the shared
+            // factorization.
+            for (ci, cl) in classes.iter().enumerate() {
+                let members: Vec<usize> = columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, col)| col.class == ci && step <= col.steps)
+                    .map(|(c, _)| c)
+                    .collect();
+                if members.is_empty() {
+                    continue;
+                }
+                let mut sub = Panel::new(n);
+                for &c in &members {
+                    panel.copy_col(c, &mut vbuf);
+                    sub.push_col(&vbuf);
+                }
+                cl.lu.solve_many(&mut sub);
+                for (si, &c) in members.iter().enumerate() {
+                    for p in 0..n {
+                        panel.set(p, c, sub.get(p, si));
+                    }
+                }
+            }
+        }
 
-            // Energy delivered by each driver over this step.
-            for (k, s) in ckt.sources.iter().enumerate() {
-                let vt = s.target_at(t);
-                let i_out = (vt - v[s.node]) / s.r_series; // mA
+        // Phase 3: integrate driver energies, record probes, capture
+        // final voltages of columns finishing this step.
+        for (c, col) in columns.iter_mut().enumerate() {
+            if step > col.steps {
+                continue;
+            }
+            for (ki, src) in col.ckt.sources.iter().enumerate() {
+                let vt = src.target_at(t);
+                let i_out = (vt - panel.get(pos[src.node], c)) / src.r_series; // mA
                 let e = vt * i_out * dt_v; // fJ
-                source_energy[k] += e;
-                supply_energy += e;
+                col.source_energy[ki] += e;
+                col.supply_energy += e;
             }
-
-            for (trace, &i) in traces.iter_mut().zip(&probed) {
-                trace.push(v[i]);
+            for (trace, &node) in col.traces.iter_mut().zip(&col.probed) {
+                trace.push(panel.get(pos[node], c));
+            }
+            if step == col.steps {
+                col.final_p = (0..n).map(|p| panel.get(p, c)).collect();
             }
         }
+    }
 
-        let mut waveforms: Vec<Option<Waveform>> = (0..n).map(|_| None).collect();
-        for (trace, &i) in traces.into_iter().zip(&probed) {
-            waveforms[i] = Some(Waveform::new(Picoseconds::ZERO, dt, trace));
-        }
-
-        Ok(TransientResult {
-            waveforms,
-            final_v: v,
-            supply_energy: Femtojoules::new(supply_energy),
-            source_energy: source_energy.into_iter().map(Femtojoules::new).collect(),
-            banded: matches!(fact, Factorization::Banded { .. }),
+    Ok(columns
+        .into_iter()
+        .map(|col| {
+            let mut final_v = vec![0.0; n];
+            for (p, &node) in order.iter().enumerate() {
+                final_v[node] = col.final_p[p];
+            }
+            let mut waveforms: Vec<Option<Waveform>> = (0..n).map(|_| None).collect();
+            for (trace, &i) in col.traces.into_iter().zip(&col.probed) {
+                waveforms[i] = Some(Waveform::new(Picoseconds::ZERO, dt, trace));
+            }
+            TransientResult {
+                waveforms,
+                final_v,
+                supply_energy: Femtojoules::new(col.supply_energy),
+                source_energy: col.source_energy.into_iter().map(Femtojoules::new).collect(),
+                banded: true,
+            }
         })
+        .collect())
+}
+
+/// Forward/backward substitution over a row-major panel where every
+/// column carries its own diagonal or tridiagonal factorization,
+/// interleaved so the per-column serial recurrences overlap. Each
+/// column's arithmetic order matches a lone solve of that column.
+fn solve_interleaved(data: &mut [f64], n: usize, b: usize, l_p: &[f64], u_p: &[f64], inv_p: &[f64]) {
+    if n == 0 || b == 0 {
+        return;
+    }
+    // Forward: x_i -= L(i, i−1) · x_{i−1}.
+    {
+        let mut rows = data.chunks_exact_mut(b);
+        let mut prev = rows.next().expect("n >= 1");
+        for (i, row) in rows.enumerate() {
+            let lrow = &l_p[(i + 1) * b..(i + 2) * b];
+            for ((d, s), &l) in row.iter_mut().zip(prev.iter()).zip(lrow) {
+                *d -= l * *s;
+            }
+            prev = row;
+        }
+    }
+    // Backward: x_i = (x_i − U(i, i+1) · x_{i+1}) · U(i,i)⁻¹.
+    {
+        let mut rows = data.rchunks_exact_mut(b);
+        let mut next = rows.next().expect("n >= 1");
+        for (d, &inv) in next.iter_mut().zip(&inv_p[(n - 1) * b..n * b]) {
+            *d *= inv;
+        }
+        for (ri, row) in rows.enumerate() {
+            let i = n - 2 - ri;
+            let urow = &u_p[i * b..(i + 1) * b];
+            let invrow = &inv_p[i * b..(i + 1) * b];
+            for (((d, s), &u), &inv) in row.iter_mut().zip(next.iter()).zip(urow).zip(invrow) {
+                *d = (*d - u * *s) * inv;
+            }
+            next = row;
+        }
     }
 }
 
-/// Rebuilds the factorization for a new switch population.
-fn refresh(
-    fact: &mut Factorization,
+/// Dense fallback: full LU with partial pivoting, refreshed per
+/// switch-state change.
+fn run_dense(
     ckt: &Circuit,
-    sw_state: &[bool],
-    dt_v: f64,
-) -> Result<(), CircuitError> {
-    match fact {
-        Factorization::Dense { g_static, lu } => {
+    probed: Vec<usize>,
+    steps: usize,
+    dt: Picoseconds,
+) -> Result<TransientResult, CircuitError> {
+    let dt_v = dt.value();
+    let n = ckt.node_count();
+    // Static conductance stamp (resistors + source conductances).
+    let mut g_static = vec![vec![0.0; n]; n];
+    for r in &ckt.resistors {
+        let g = 1.0 / r.r;
+        g_static[r.a][r.a] += g;
+        g_static[r.b][r.b] += g;
+        g_static[r.a][r.b] -= g;
+        g_static[r.b][r.a] -= g;
+    }
+    for s in &ckt.sources {
+        g_static[s.node][s.node] += 1.0 / s.r_series;
+    }
+
+    let mut v: Vec<f64> = ckt.initial_v.clone();
+    let mut traces: Vec<Vec<f64>> = probed
+        .iter()
+        .map(|&i| {
+            let mut t = Vec::with_capacity(steps + 1);
+            t.push(v[i]);
+            t
+        })
+        .collect();
+
+    let mut lu: Option<(Vec<Vec<f64>>, Vec<usize>)> = None;
+    // Voltage-controlled switches latch once triggered, so `sw_state`
+    // doubles as the latch.
+    let mut sw_state = vec![false; ckt.switches.len()];
+    let mut supply_energy = 0.0;
+    let mut source_energy = vec![0.0; ckt.sources.len()];
+    let mut rhs = vec![0.0; n];
+
+    for step in 1..=steps {
+        let t = step as f64 * dt_v;
+
+        let mut changed = lu.is_none();
+        for (i, s) in ckt.switches.iter().enumerate() {
+            let closed = match s.control {
+                SwitchControl::Timed { .. } => {
+                    s.is_closed_at(t).expect("timed switch resolves by time")
+                }
+                SwitchControl::VoltageAbove { node, threshold } => {
+                    sw_state[i] || v[node] >= threshold
+                }
+                SwitchControl::VoltageBelow { node, threshold } => {
+                    sw_state[i] || v[node] <= threshold
+                }
+            };
+            if sw_state[i] != closed {
+                sw_state[i] = closed;
+                changed = true;
+            }
+        }
+        if changed {
+            lim_obs::counter_add("transient.refactorizations", 1);
             let mut a = g_static.clone();
-            for (sw, closed) in ckt.switches.iter().zip(sw_state) {
+            for (sw, closed) in ckt.switches.iter().zip(&sw_state) {
                 if *closed {
                     let g = 1.0 / sw.r_on;
                     match sw.b {
@@ -337,58 +780,45 @@ fn refresh(
                 row[i] += ckt.caps[i] / dt_v;
             }
             let perm = lu_factor(&mut a)?;
-            *lu = Some((a, perm));
-            Ok(())
+            lu = Some((a, perm));
         }
-        Factorization::Banded {
-            template, pos, lu, ..
-        } => {
-            let mut a = template.clone();
-            for (sw, closed) in ckt.switches.iter().zip(sw_state) {
-                if *closed {
-                    let g = 1.0 / sw.r_on;
-                    let pa = pos[sw.a];
-                    match sw.b {
-                        SwitchTerminal::Ground => a.add(pa, pa, g),
-                        SwitchTerminal::Node(b) => {
-                            let pb = pos[b];
-                            a.add(pa, pa, g);
-                            a.add(pb, pb, g);
-                            a.add(pa, pb, -g);
-                            a.add(pb, pa, -g);
-                        }
-                    }
-                }
-            }
-            a.factor()
-                .map_err(|col| CircuitError::SingularSystem { pivot: col })?;
-            *lu = Some(a);
-            Ok(())
-        }
-    }
-}
 
-/// Solves the current factorization for `rhs`, leaving the node voltages
-/// (original ordering) in `v`.
-fn solve(fact: &mut Factorization, rhs: &[f64], v: &mut [f64]) {
-    match fact {
-        Factorization::Dense { lu, .. } => {
-            let (a, perm) = lu.as_ref().expect("factorization exists");
-            lu_solve(a, perm, rhs, v);
+        // RHS: history term + source currents at t.
+        for i in 0..n {
+            rhs[i] = ckt.caps[i] / dt_v * v[i];
         }
-        Factorization::Banded {
-            lu, order, scratch, ..
-        } => {
-            let a = lu.as_ref().expect("factorization exists");
-            for (p, &node) in order.iter().enumerate() {
-                scratch[p] = rhs[node];
-            }
-            a.solve(scratch);
-            for (p, &node) in order.iter().enumerate() {
-                v[node] = scratch[p];
-            }
+        for s in &ckt.sources {
+            rhs[s.node] += s.target_at(t) / s.r_series;
+        }
+
+        let (a, perm) = lu.as_ref().expect("factorization exists");
+        lu_solve(a, perm, &rhs, &mut v);
+
+        // Energy delivered by each driver over this step.
+        for (k, s) in ckt.sources.iter().enumerate() {
+            let vt = s.target_at(t);
+            let i_out = (vt - v[s.node]) / s.r_series; // mA
+            let e = vt * i_out * dt_v; // fJ
+            source_energy[k] += e;
+            supply_energy += e;
+        }
+
+        for (trace, &i) in traces.iter_mut().zip(&probed) {
+            trace.push(v[i]);
         }
     }
+
+    let mut waveforms: Vec<Option<Waveform>> = (0..n).map(|_| None).collect();
+    for (trace, &i) in traces.into_iter().zip(&probed) {
+        waveforms[i] = Some(Waveform::new(Picoseconds::ZERO, dt, trace));
+    }
+    Ok(TransientResult {
+        waveforms,
+        final_v: v,
+        supply_energy: Femtojoules::new(supply_energy),
+        source_energy: source_energy.into_iter().map(Femtojoules::new).collect(),
+        banded: false,
+    })
 }
 
 /// The outcome of a transient run: one waveform per probed node plus the
@@ -480,8 +910,17 @@ fn lu_factor(a: &mut [Vec<f64>]) -> Result<Vec<usize>, CircuitError> {
                 best_mag = mag;
             }
         }
-        if best_mag < 1e-18 {
-            return Err(CircuitError::SingularSystem { pivot: col });
+        // The dense path pivots, so the best candidate is judged
+        // relative to the whole column's magnitude (scale-independent,
+        // like the banded backend's row-relative test): a column whose
+        // candidates all vanished against its upper entries is
+        // (near-)singular, and an all-zero column certainly is.
+        let scale = a.iter().map(|row| row[col].abs()).fold(0.0f64, f64::max);
+        if best_mag < 1e-12 * scale || scale == 0.0 {
+            return Err(CircuitError::SingularSystem {
+                node: col,
+                magnitude: best_mag,
+            });
         }
         if best != col {
             a.swap(best, col);
@@ -641,7 +1080,13 @@ mod tests {
                 .with_solver(kind)
                 .run(Picoseconds::new(1.0), Picoseconds::new(0.1))
                 .unwrap_err();
-            assert!(matches!(err, CircuitError::SingularSystem { .. }));
+            match err {
+                CircuitError::SingularSystem { node, magnitude } => {
+                    assert_eq!(node, 0);
+                    assert_eq!(magnitude, 0.0);
+                }
+                other => panic!("expected SingularSystem, got {other:?}"),
+            }
         }
     }
 
@@ -683,6 +1128,25 @@ mod tests {
         for i in 1..n {
             let node = ckt.add_node(format!("n{i}"));
             ckt.add_resistor(prev, node, KiloOhms::new(0.05));
+            ckt.add_cap(node, Femtofarads::new(1.0));
+            prev = node;
+            last = node;
+        }
+        (ckt, last)
+    }
+
+    /// As [`long_ladder`] but with configurable segment resistance, so
+    /// same-structure circuits with different element values exist.
+    fn long_ladder_r(n: usize, seg_r: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let mut prev = ckt.add_node("n0");
+        ckt.add_cap(prev, Femtofarads::new(1.0));
+        let src = ckt.add_source(prev, KiloOhms::new(0.5), Volts::ZERO);
+        ckt.schedule(src, Picoseconds::ZERO, Volts::new(VDD));
+        let mut last = prev;
+        for i in 1..n {
+            let node = ckt.add_node(format!("n{i}"));
+            ckt.add_resistor(prev, node, KiloOhms::new(seg_r));
             ckt.add_cap(node, Femtofarads::new(1.0));
             prev = node;
             last = node;
@@ -736,6 +1200,122 @@ mod tests {
             .run_probed(&[far], Picoseconds::new(10.0), Picoseconds::new(0.1))
             .unwrap();
         let _ = res.waveform(NodeId(0));
+    }
+
+    fn assert_bit_identical(a: &TransientResult, b: &TransientResult, probe: NodeId, ctx: &str) {
+        let (wa, wb) = (a.waveform(probe), b.waveform(probe));
+        assert_eq!(wa.len(), wb.len(), "{ctx}: waveform length");
+        for s in 0..wa.len() {
+            assert_eq!(
+                wa.at(s).value().to_bits(),
+                wb.at(s).value().to_bits(),
+                "{ctx}: sample {s}"
+            );
+        }
+        assert_eq!(
+            a.supply_energy().value().to_bits(),
+            b.supply_energy().value().to_bits(),
+            "{ctx}: supply energy"
+        );
+        for i in 0..a.final_v.len() {
+            assert_eq!(
+                a.final_v[i].to_bits(),
+                b.final_v[i].to_bits(),
+                "{ctx}: final v node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_runs() {
+        // A mix of shapes: two same-structure ladders with different
+        // element values (lockstep, separate factorization classes), an
+        // exact duplicate (deduped), a different-length ladder (separate
+        // group), and a switched circuit (state change mid-run).
+        let (a, a_far) = long_ladder_r(24, 0.05);
+        let (b, b_far) = long_ladder_r(24, 0.08);
+        let (c, c_far) = long_ladder(16);
+        let mut d = Circuit::new();
+        let mut prev = d.add_node("n0");
+        d.add_cap(prev, Femtofarads::new(2.0));
+        d.set_initial(prev, Volts::new(VDD));
+        for i in 1..12 {
+            let node = d.add_node(format!("n{i}"));
+            d.add_resistor(prev, node, KiloOhms::new(0.1));
+            d.add_cap(node, Femtofarads::new(2.0));
+            d.set_initial(node, Volts::new(VDD));
+            prev = node;
+        }
+        d.add_switch_to_ground(prev, KiloOhms::new(1.0), Picoseconds::new(20.0));
+        let d_far = prev;
+
+        let t_end = Picoseconds::new(80.0);
+        let dt = Picoseconds::new(0.1);
+        let a_probe = [a_far];
+        let b_probe = [b_far];
+        let c_probe = [c_far];
+        let d_probe = [d_far];
+        let runs = [
+            BatchRun { circuit: &a, probes: &a_probe, t_end, dt },
+            BatchRun { circuit: &b, probes: &b_probe, t_end, dt },
+            BatchRun { circuit: &a, probes: &a_probe, t_end, dt }, // duplicate of run 0
+            BatchRun { circuit: &c, probes: &c_probe, t_end, dt },
+            BatchRun { circuit: &d, probes: &d_probe, t_end, dt },
+        ];
+        let batch = run_probed_batch(&runs, SolverKind::Auto).unwrap();
+        assert_eq!(batch.len(), runs.len());
+        for (i, run) in runs.iter().enumerate() {
+            let solo = TransientSim::new(run.circuit)
+                .run_probed(run.probes, t_end, dt)
+                .unwrap();
+            assert!(batch[i].used_banded_solver());
+            assert_bit_identical(&batch[i], &solo, run.probes[0], &format!("run {i}"));
+        }
+    }
+
+    #[test]
+    fn batch_handles_dense_and_empty_inputs() {
+        assert!(run_probed_batch(&[], SolverKind::Auto).unwrap().is_empty());
+        // Tiny circuits fall back to the dense path inside a batch too.
+        let (tiny, node, _) = charge_circuit(1.0, 10.0);
+        let probes = [node];
+        let runs = [BatchRun {
+            circuit: &tiny,
+            probes: &probes,
+            t_end: Picoseconds::new(50.0),
+            dt: Picoseconds::new(0.05),
+        }];
+        let batch = run_probed_batch(&runs, SolverKind::Auto).unwrap();
+        assert!(!batch[0].used_banded_solver());
+        let solo = TransientSim::new(&tiny)
+            .run_probed(&probes, Picoseconds::new(50.0), Picoseconds::new(0.05))
+            .unwrap();
+        assert_bit_identical(&batch[0], &solo, node, "dense batch run");
+    }
+
+    #[test]
+    fn batch_propagates_errors() {
+        let mut bad = Circuit::new();
+        let _ = bad.add_node("float");
+        let (good, far) = long_ladder(16);
+        let probes = [far];
+        let no_probes: [NodeId; 0] = [];
+        let runs = [
+            BatchRun {
+                circuit: &good,
+                probes: &probes,
+                t_end: Picoseconds::new(10.0),
+                dt: Picoseconds::new(0.1),
+            },
+            BatchRun {
+                circuit: &bad,
+                probes: &no_probes,
+                t_end: Picoseconds::new(10.0),
+                dt: Picoseconds::new(0.1),
+            },
+        ];
+        let err = run_probed_batch(&runs, SolverKind::Auto).unwrap_err();
+        assert!(matches!(err, CircuitError::SingularSystem { .. }));
     }
 
     /// Random RC topology: a connected resistor tree plus chords, caps on
@@ -808,6 +1388,33 @@ mod tests {
             }
             let (ea, eb) = (dense.supply_energy().value(), banded.supply_energy().value());
             assert!((ea - eb).abs() < 1e-6 * ea.abs().max(1.0), "{ea} vs {eb}");
+        });
+    }
+
+    #[test]
+    fn prop_batched_runs_match_sequential() {
+        prop::check("batch_sequential_agreement", |rng| {
+            let circuits: Vec<Circuit> = (0..3).map(|_| random_circuit(rng)).collect();
+            let t_end = Picoseconds::new(40.0);
+            let dt = Picoseconds::new(0.1);
+            let probes: Vec<[NodeId; 1]> = circuits.iter().map(|_| [NodeId(0)]).collect();
+            let runs: Vec<BatchRun<'_>> = circuits
+                .iter()
+                .zip(&probes)
+                .map(|(c, p)| BatchRun {
+                    circuit: c,
+                    probes: p,
+                    t_end,
+                    dt,
+                })
+                .collect();
+            let batch = run_probed_batch(&runs, SolverKind::Auto).unwrap();
+            for (i, run) in runs.iter().enumerate() {
+                let solo = TransientSim::new(run.circuit)
+                    .run_probed(run.probes, t_end, dt)
+                    .unwrap();
+                assert_bit_identical(&batch[i], &solo, NodeId(0), &format!("circuit {i}"));
+            }
         });
     }
 }

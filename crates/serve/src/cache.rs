@@ -231,6 +231,55 @@ mod tests {
     }
 
     #[test]
+    fn prop_bytes_accounting_matches_contents() {
+        // Mirror the cache with an explicit MRU-front list and check
+        // after every operation that `bytes()` equals the sum of entry
+        // costs — the invariant the budget loop relies on. The budget
+        // holds only a few entries, so inserts, refreshes (including
+        // refresh-to-larger, which must evict *other* entries), hits,
+        // misses, over-budget drops and evictions all interleave.
+        lim_testkit::prop::check("cache_bytes_accounting", |rng| {
+            let budget = 3 * (32 + SLOT_OVERHEAD);
+            let mut c = ResponseCache::new(budget);
+            let mut model: Vec<(u64, String)> = Vec::new();
+            for _ in 0..200 {
+                let key = rng.next_u64() % 8;
+                if rng.next_u64() % 3 < 2 {
+                    let len = (rng.next_u64() % 280) as usize;
+                    let value = "v".repeat(len);
+                    c.insert(key, value.clone());
+                    // Values costing more than the whole budget are
+                    // dropped and leave any previous entry untouched.
+                    if ResponseCache::cost(&value) <= budget {
+                        model.retain(|(k, _)| *k != key);
+                        model.insert(0, (key, value));
+                        let mut total: usize =
+                            model.iter().map(|(_, v)| ResponseCache::cost(v)).sum();
+                        while total > budget {
+                            let (_, v) = model.pop().expect("over budget implies entries");
+                            total -= ResponseCache::cost(&v);
+                        }
+                    }
+                } else {
+                    let got = c.get(key).map(str::to_owned);
+                    match model.iter().position(|(k, _)| *k == key) {
+                        Some(p) => {
+                            let entry = model.remove(p);
+                            assert_eq!(got.as_deref(), Some(entry.1.as_str()));
+                            model.insert(0, entry);
+                        }
+                        None => assert!(got.is_none()),
+                    }
+                }
+                let want: usize = model.iter().map(|(_, v)| ResponseCache::cost(v)).sum();
+                assert_eq!(c.bytes(), want, "bytes() must equal the sum of entry costs");
+                assert_eq!(c.len(), model.len());
+                assert!(c.bytes() <= budget);
+            }
+        });
+    }
+
+    #[test]
     fn slots_are_recycled_after_eviction() {
         let mut c = ResponseCache::new(100 + 64);
         for key in 0..50 {

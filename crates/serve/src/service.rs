@@ -67,6 +67,9 @@ pub struct Service {
     endpoints: Mutex<BTreeMap<String, EndpointStat>>,
     obs: Mutex<Report>,
     requests: AtomicU64,
+    golden_batches: AtomicU64,
+    golden_sims: AtomicU64,
+    golden_groups: AtomicU64,
 }
 
 impl Service {
@@ -89,6 +92,9 @@ impl Service {
                 gauges: Vec::new(),
             }),
             requests: AtomicU64::new(0),
+            golden_batches: AtomicU64::new(0),
+            golden_sims: AtomicU64::new(0),
+            golden_groups: AtomicU64::new(0),
         }
     }
 
@@ -215,44 +221,7 @@ impl Service {
             .with_entry(&self.tech, &spec, stack, |e| e.brick.clone())
             .map_err(ServeError::internal)?;
         let cmp = golden::compare(&brick, stack).map_err(ServeError::internal)?;
-        let bank = |rd: f64, re: f64, wd: f64, we: f64| {
-            obj(vec![
-                ("read_delay_ps", num(rd)),
-                ("read_energy_fj", num(re)),
-                ("write_delay_ps", num(wd)),
-                ("write_energy_fj", num(we)),
-            ])
-        };
-        Ok(json::render(&obj(vec![
-            ("spec", Value::String(spec.to_string())),
-            ("stack", num(stack as f64)),
-            (
-                "tool",
-                bank(
-                    cmp.tool.read_delay.value(),
-                    cmp.tool.read_energy.value(),
-                    cmp.tool.write_delay.value(),
-                    cmp.tool.write_energy.value(),
-                ),
-            ),
-            (
-                "golden",
-                bank(
-                    cmp.golden.read_delay.value(),
-                    cmp.golden.read_energy.value(),
-                    cmp.golden.write_delay.value(),
-                    cmp.golden.write_energy.value(),
-                ),
-            ),
-            (
-                "error",
-                obj(vec![
-                    ("delay", num(cmp.delay_error())),
-                    ("read_energy", num(cmp.read_energy_error())),
-                    ("write_energy", num(cmp.write_energy_error())),
-                ]),
-            ),
-        ])))
+        Ok(render_golden(&spec, stack, &cmp))
     }
 
     fn flow_run(&self, params: &Value) -> Result<String, ServeError> {
@@ -399,19 +368,93 @@ impl Service {
                 Ok((method, params))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let results = lim_par::par_map(jobs, |(method, params)| {
+        // `golden.compare` entries that miss the memo are peeled off and
+        // solved together: the whole sub-batch becomes one multi-RHS
+        // golden solve, with same-shape configurations advancing as one
+        // banded panel. Everything else fans out entry-by-entry.
+        let mut slots: Vec<Option<String>> = vec![None; jobs.len()];
+        let mut goldens: Vec<(usize, BrickSpec, usize, Option<u64>)> = Vec::new();
+        let mut others: Vec<(usize, String, Value)> = Vec::new();
+        for (i, (method, params)) in jobs.into_iter().enumerate() {
+            if method != "golden.compare" {
+                others.push((i, method, params));
+                continue;
+            }
+            let sw = lim_obs::Stopwatch::start();
+            match self.spec_of(&params) {
+                Err(e) => {
+                    self.record_endpoint(&method, sw.elapsed().as_micros() as u64, true);
+                    slots[i] = Some(entry_err(&e));
+                }
+                Ok((spec, stack)) => {
+                    if params.get("nocache") == Some(&Value::Bool(true)) {
+                        goldens.push((i, spec, stack, None));
+                        continue;
+                    }
+                    let key = cache_key(&method, &params);
+                    let hit = self
+                        .cache
+                        .lock()
+                        .expect("response cache lock poisoned")
+                        .get(key)
+                        .map(str::to_owned);
+                    if let Some(rendered) = hit {
+                        lim_obs::counter_add("serve.cache_hits", 1);
+                        self.record_endpoint(&method, sw.elapsed().as_micros() as u64, false);
+                        slots[i] = Some(entry_ok(true, &rendered));
+                    } else {
+                        lim_obs::counter_add("serve.cache_misses", 1);
+                        goldens.push((i, spec, stack, Some(key)));
+                    }
+                }
+            }
+        }
+        if !goldens.is_empty() {
+            let _span = lim_obs::Span::enter("golden.compare");
+            let sw = lim_obs::Stopwatch::start();
+            let configs: Vec<(BrickSpec, usize)> =
+                goldens.iter().map(|&(_, spec, stack, _)| (spec, stack)).collect();
+            let report = golden::compare_batch_results(&self.tech, &configs);
+            self.golden_batches.fetch_add(1, Ordering::Relaxed);
+            self.golden_sims.fetch_add(report.sims as u64, Ordering::Relaxed);
+            self.golden_groups.fetch_add(report.groups as u64, Ordering::Relaxed);
+            // The panel solve is shared work; each entry is billed its
+            // mean share of it.
+            let us = sw.elapsed().as_micros() as u64 / goldens.len() as u64;
+            for ((i, spec, stack, key), res) in goldens.iter().zip(report.results) {
+                self.record_endpoint("golden.compare", us, res.is_err());
+                slots[*i] = Some(match res {
+                    Ok(cmp) => {
+                        let rendered = render_golden(spec, *stack, &cmp);
+                        if let Some(key) = key {
+                            self.cache
+                                .lock()
+                                .expect("response cache lock poisoned")
+                                .insert(*key, rendered.clone());
+                        }
+                        entry_ok(false, &rendered)
+                    }
+                    Err(e) => entry_err(&ServeError::internal(e)),
+                });
+            }
+        }
+        let other_results = lim_par::par_map(others, |(i, method, params)| {
             let sw = lim_obs::Stopwatch::start();
             let (result, cached) = self.call_cached(&method, &params);
             self.record_endpoint(&method, sw.elapsed().as_micros() as u64, result.is_err());
-            match result {
-                Ok(rendered) => format!("{{\"ok\":true,\"cached\":{cached},\"result\":{rendered}}}"),
-                Err(e) => format!(
-                    "{{\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}}}}",
-                    e.code,
-                    json::string(&e.message)
-                ),
-            }
+            let rendered = match result {
+                Ok(rendered) => entry_ok(cached, &rendered),
+                Err(e) => entry_err(&e),
+            };
+            (i, rendered)
         });
+        for (i, rendered) in other_results {
+            slots[i] = Some(rendered);
+        }
+        let results: Vec<String> = slots
+            .into_iter()
+            .map(|s| s.expect("every batch entry was answered"))
+            .collect();
         Ok(format!("{{\"results\":[{}]}}", results.join(",")))
     }
 
@@ -434,6 +477,24 @@ impl Service {
             ("compiled", num(self.library.compiled_count() as f64)),
             ("hits", num(self.library.cache_hits() as f64)),
             ("misses", num(self.library.cache_misses() as f64)),
+        ]);
+        let batches = self.golden_batches.load(Ordering::Relaxed);
+        let sims = self.golden_sims.load(Ordering::Relaxed);
+        let groups = self.golden_groups.load(Ordering::Relaxed);
+        let golden_v = obj(vec![
+            ("batches", num(batches as f64)),
+            ("sims", num(sims as f64)),
+            ("panel_groups", num(groups as f64)),
+            (
+                // Mean right-hand sides advanced per banded panel; 1.0
+                // means batching never found sims to share a panel.
+                "panel_occupancy",
+                num(if groups == 0 {
+                    0.0
+                } else {
+                    sims as f64 / groups as f64
+                }),
+            ),
         ]);
         let endpoints = self.endpoints.lock().expect("endpoint stats lock poisoned");
         let endpoints_v = Value::Object(
@@ -502,6 +563,7 @@ impl Service {
             ("requests", num(self.request_count() as f64)),
             ("cache", cache_v),
             ("library", library_v),
+            ("golden", golden_v),
             ("endpoints", endpoints_v),
             ("obs", obs_v),
         ])
@@ -524,6 +586,64 @@ impl Service {
             }
         }
     }
+}
+
+/// Wraps a rendered handler reply as one batch-entry object.
+fn entry_ok(cached: bool, rendered: &str) -> String {
+    format!("{{\"ok\":true,\"cached\":{cached},\"result\":{rendered}}}")
+}
+
+/// Wraps a handler error as one batch-entry object.
+fn entry_err(e: &ServeError) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}}}}",
+        e.code,
+        json::string(&e.message)
+    )
+}
+
+/// Renders one tool-vs-golden comparison. Both the single endpoint and
+/// the batched path go through this, so a batch entry's `result` is
+/// byte-identical to a lone `golden.compare` reply for the same params.
+fn render_golden(spec: &BrickSpec, stack: usize, cmp: &golden::ToolVsGolden) -> String {
+    let bank = |rd: f64, re: f64, wd: f64, we: f64| {
+        obj(vec![
+            ("read_delay_ps", num(rd)),
+            ("read_energy_fj", num(re)),
+            ("write_delay_ps", num(wd)),
+            ("write_energy_fj", num(we)),
+        ])
+    };
+    json::render(&obj(vec![
+        ("spec", Value::String(spec.to_string())),
+        ("stack", num(stack as f64)),
+        (
+            "tool",
+            bank(
+                cmp.tool.read_delay.value(),
+                cmp.tool.read_energy.value(),
+                cmp.tool.write_delay.value(),
+                cmp.tool.write_energy.value(),
+            ),
+        ),
+        (
+            "golden",
+            bank(
+                cmp.golden.read_delay.value(),
+                cmp.golden.read_energy.value(),
+                cmp.golden.write_delay.value(),
+                cmp.golden.write_energy.value(),
+            ),
+        ),
+        (
+            "error",
+            obj(vec![
+                ("delay", num(cmp.delay_error())),
+                ("read_energy", num(cmp.read_energy_error())),
+                ("write_energy", num(cmp.write_energy_error())),
+            ]),
+        ),
+    ]))
 }
 
 fn debug_sleep(params: &Value) -> Result<String, ServeError> {
@@ -716,6 +836,79 @@ mod tests {
             &params("{\"requests\":[{\"method\":\"batch\"}]}"),
         );
         assert_eq!(out.result.unwrap_err().code, ERR_BAD_REQUEST);
+    }
+
+    #[test]
+    fn batch_golden_goes_through_panel_solver_and_matches_single() {
+        // Single endpoint on one service; batched path on a fresh one.
+        let single = Service::new(&ServeConfig::default());
+        let lone = single
+            .call("golden.compare", &params("{\"words\":16,\"bits\":10,\"stack\":1}"))
+            .result
+            .unwrap();
+
+        let svc = Service::new(&ServeConfig::default());
+        let out = svc.call(
+            "batch",
+            &params(
+                "{\"requests\":[\
+                 {\"method\":\"golden.compare\",\"params\":{\"words\":16,\"bits\":10,\"stack\":1}},\
+                 {\"method\":\"golden.compare\",\"params\":{\"words\":16,\"bits\":10,\"stack\":4}},\
+                 {\"method\":\"server.ping\"},\
+                 {\"method\":\"golden.compare\",\"params\":{\"words\":16,\"bits\":10,\"stack\":1}}]}",
+            ),
+        );
+        let v = Value::parse(&out.result.unwrap()).unwrap();
+        let results = v.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.get("ok"), Some(&Value::Bool(true)), "entry {i}");
+        }
+        // The batched reply matches the single-endpoint reply, and the
+        // duplicated entry matches the first.
+        assert_eq!(results[0].get("result"), Value::parse(&lone).ok().as_ref());
+        assert_eq!(results[3].get("result"), results[0].get("result"));
+
+        // The batch populated the shared memo: a follow-up single call
+        // with the same params is a hit.
+        let again = svc.call(
+            "golden.compare",
+            &params("{\"words\":16,\"bits\":10,\"stack\":4}"),
+        );
+        assert!(again.cached, "batch results must land in the memo");
+
+        // Panel statistics: three golden entries (one pair of distinct
+        // stacks plus a duplicate) = six sims over four panel groups.
+        let stats = svc.stats_value();
+        let golden = stats.get("golden").unwrap();
+        assert_eq!(golden.get("batches").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(golden.get("sims").and_then(Value::as_f64), Some(6.0));
+        assert_eq!(golden.get("panel_groups").and_then(Value::as_f64), Some(4.0));
+        assert_eq!(
+            golden.get("panel_occupancy").and_then(Value::as_f64),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn batch_golden_reports_bad_entries_in_place() {
+        let svc = Service::new(&ServeConfig::default());
+        let out = svc.call(
+            "batch",
+            &params(
+                "{\"requests\":[\
+                 {\"method\":\"golden.compare\",\"params\":{\"words\":16,\"bits\":10,\"stack\":99}},\
+                 {\"method\":\"golden.compare\",\"params\":{\"words\":16,\"bits\":10}}]}",
+            ),
+        );
+        let v = Value::parse(&out.result.unwrap()).unwrap();
+        let results = v.get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results[0].get("ok"), Some(&Value::Bool(false)));
+        assert!(results[0]
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .is_some());
+        assert_eq!(results[1].get("ok"), Some(&Value::Bool(true)));
     }
 
     #[test]

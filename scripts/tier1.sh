@@ -60,6 +60,22 @@ client() {
 client --method server.ping >/dev/null
 client --method brick.estimate --params '{"words":16,"bits":10,"stack":4}' >/dev/null
 client --method golden.compare --params '{"words":16,"bits":10,"stack":2}' >/dev/null
+# Batched golden validation: a small golden.compare batch must come
+# back all-ok through the multi-RHS panel path, a repeat of one entry
+# must hit the memo the batch populated, and server.stats must report
+# the panel-occupancy figures the batch recorded.
+golden_batch=$(client --method batch --params '{"requests":[{"method":"golden.compare","params":{"words":16,"bits":10,"stack":1}},{"method":"golden.compare","params":{"words":16,"bits":10,"stack":4}},{"method":"golden.compare","params":{"words":16,"bits":10,"stack":1}}]}')
+echo "$golden_batch" | grep -q '"ok":true' \
+    || { echo "golden.compare batch failed" >&2; exit 1; }
+if echo "$golden_batch" | grep -q '"ok":false'; then
+    echo "golden.compare batch had failing entries" >&2
+    exit 1
+fi
+client --method golden.compare --params '{"words":16,"bits":10,"stack":4}' \
+    | grep -q '"cached":true' \
+    || { echo "golden.compare batch did not populate the memo" >&2; exit 1; }
+client --method server.stats | grep -q '"panel_groups"' \
+    || { echo "server.stats missing golden panel figures" >&2; exit 1; }
 client --method flow.run --params '{"words":32,"bits":10,"partitions":1,"brick_words":16}' \
     >/dev/null
 client --method dse.explore --params '{"memories":[[128,16]],"brick_words":[16,32,64]}' \
