@@ -267,9 +267,68 @@ fn check_object(v: &Value) -> Result<(), String> {
                 .and_then(Value::as_array)
                 .ok_or("row lacks a `values` array")?;
         }
+        "hist" => {
+            require_str(v, "name")?;
+            require_num(v, "count")?;
+            require_num(v, "sum_ns")?;
+            check_percentiles(v)?;
+        }
+        "window" => {
+            require_str(v, "name")?;
+            let secs = require_num(v, "window_s")?;
+            if secs <= 0.0 {
+                return Err(format!("window has window_s={secs} (expected > 0)"));
+            }
+            require_num(v, "count")?;
+            check_percentiles(v)?;
+        }
+        "trace" => {
+            let id = require_str(v, "id")?;
+            if id.is_empty() || id.len() > 16 || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!("trace `id` is not a hex id: `{id}`"));
+            }
+            require_str(v, "method")?;
+            require_num(v, "total_ns")?;
+            let spans = v
+                .get("spans")
+                .and_then(Value::as_array)
+                .ok_or("trace lacks a `spans` array")?;
+            let mut prev_depth: Option<f64> = None;
+            for s in spans {
+                require_str(s, "path")?;
+                require_str(s, "name")?;
+                let depth = require_num(s, "depth")?;
+                require_num(s, "calls")?;
+                require_num(s, "total_ns")?;
+                // Pre-order: depth may only grow one level at a time.
+                let ok = match prev_depth {
+                    None => depth == 0.0,
+                    Some(p) => depth <= p + 1.0,
+                };
+                if !ok {
+                    return Err(format!("trace spans are not pre-order at depth {depth}"));
+                }
+                prev_depth = Some(depth);
+            }
+        }
         // Unknown types are forward-compatible: only the `type`
         // discriminant itself is required.
         _ => {}
+    }
+    Ok(())
+}
+
+/// Checks the shared `p50_ns <= p90_ns <= p99_ns <= max_ns` ordering of
+/// `hist` and `window` lines.
+fn check_percentiles(v: &Value) -> Result<(), String> {
+    let p50 = require_num(v, "p50_ns")?;
+    let p90 = require_num(v, "p90_ns")?;
+    let p99 = require_num(v, "p99_ns")?;
+    let max = require_num(v, "max_ns")?;
+    if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+        return Err(format!(
+            "percentiles out of order: p50={p50} p90={p90} p99={p99} max={max}"
+        ));
     }
     Ok(())
 }
@@ -327,6 +386,32 @@ mod tests {
         assert!(check(text, false).unwrap_err().contains("name"));
         let text = "{\"value\":1}\n";
         assert!(check(text, false).unwrap_err().contains("type"));
+    }
+
+    #[test]
+    fn telemetry_lines_validate() {
+        let text = concat!(
+            "{\"type\":\"hist\",\"name\":\"serve.request\",\"count\":3,\"sum_ns\":900,\"p50_ns\":100,\"p90_ns\":300,\"p99_ns\":500,\"max_ns\":500}\n",
+            "{\"type\":\"window\",\"name\":\"serve.request\",\"window_s\":60,\"count\":1,\"p50_ns\":7,\"p90_ns\":7,\"p99_ns\":7,\"max_ns\":7}\n",
+            "{\"type\":\"trace\",\"id\":\"00ab\",\"method\":\"m\",\"total_ns\":5,\"spans\":[{\"path\":\"a\",\"name\":\"a\",\"depth\":0,\"calls\":1,\"total_ns\":5},{\"path\":\"a/b\",\"name\":\"b\",\"depth\":1,\"calls\":1,\"total_ns\":2}]}\n",
+        );
+        assert_eq!(check(text, false).unwrap(), "3 lines OK (0 bench)");
+    }
+
+    #[test]
+    fn telemetry_lines_reject_violations() {
+        // Histogram percentiles out of order.
+        let text = "{\"type\":\"hist\",\"name\":\"h\",\"count\":1,\"sum_ns\":1,\"p50_ns\":9,\"p90_ns\":2,\"p99_ns\":3,\"max_ns\":9}\n";
+        assert!(check(text, false).unwrap_err().contains("out of order"));
+        // Non-positive window width.
+        let text = "{\"type\":\"window\",\"name\":\"w\",\"window_s\":0,\"count\":0,\"p50_ns\":0,\"p90_ns\":0,\"p99_ns\":0,\"max_ns\":0}\n";
+        assert!(check(text, false).unwrap_err().contains("window_s"));
+        // Non-hex trace id.
+        let text = "{\"type\":\"trace\",\"id\":\"zz\",\"method\":\"m\",\"total_ns\":1,\"spans\":[]}\n";
+        assert!(check(text, false).unwrap_err().contains("hex"));
+        // Spans that skip a depth level are not a valid pre-order tree.
+        let text = "{\"type\":\"trace\",\"id\":\"ab\",\"method\":\"m\",\"total_ns\":1,\"spans\":[{\"path\":\"a\",\"name\":\"a\",\"depth\":0,\"calls\":1,\"total_ns\":1},{\"path\":\"a/b/c\",\"name\":\"c\",\"depth\":2,\"calls\":1,\"total_ns\":1}]}\n";
+        assert!(check(text, false).unwrap_err().contains("pre-order"));
     }
 
     fn bench_line(suite: &str, name: &str, median: u64) -> String {

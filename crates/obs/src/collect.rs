@@ -57,6 +57,60 @@ impl Collector {
         idx
     }
 
+    /// Grafts a captured report's span tree under the currently open
+    /// span (or at the roots when none is open), aggregating by
+    /// `(parent, name)` exactly like live span entry; counters sum
+    /// saturating and gauges are last-write-wins.
+    fn absorb(&mut self, report: &crate::Report) {
+        let base = self.stack.last().copied();
+        // Rows are pre-order; track the grafted chain by depth.
+        let mut chain: Vec<usize> = Vec::new();
+        for row in &report.spans {
+            chain.truncate(row.depth);
+            let parent = chain.last().copied().or(base);
+            let siblings = match parent {
+                Some(p) => &self.nodes[p].children,
+                None => &self.roots,
+            };
+            let found = siblings
+                .iter()
+                .copied()
+                .find(|&i| self.nodes[i].name == row.name);
+            let idx = match found {
+                Some(i) => i,
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        name: row.name.clone(),
+                        children: Vec::new(),
+                        calls: 0,
+                        total: Duration::ZERO,
+                    });
+                    match parent {
+                        Some(p) => self.nodes[p].children.push(idx),
+                        None => self.roots.push(idx),
+                    }
+                    idx
+                }
+            };
+            let node = &mut self.nodes[idx];
+            node.calls = node.calls.saturating_add(row.calls);
+            node.total = node.total.saturating_add(row.total);
+            chain.push(idx);
+        }
+        for (name, value) in &report.counters {
+            match self.counters.get_mut(name) {
+                Some(v) => *v = v.saturating_add(*value),
+                None => {
+                    self.counters.insert(name.clone(), *value);
+                }
+            }
+        }
+        for (name, value) in &report.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+    }
+
     /// Closes the span at `idx`, folding `elapsed` into its totals.
     /// Defensive against out-of-order guard drops: pops until `idx` is
     /// found (inner spans leaked past their parent just get closed too).
@@ -146,6 +200,19 @@ pub fn gauge_set(name: &str, value: f64) {
     });
 }
 
+/// Grafts `report`'s span tree under this thread's innermost open span
+/// (or at the roots when none is open), summing counters and adopting
+/// gauges. This is how a thread that fanned work out over `lim-par`
+/// adopts its workers' captured spans back into its own request tree,
+/// so a trace covers the whole fan-out. No-op while collection is
+/// disabled.
+pub fn absorb_report(report: &crate::Report) {
+    if !crate::enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| c.borrow_mut().absorb(report));
+}
+
 /// Clears the calling thread's spans, counters and gauges. Open span
 /// guards from before the reset are discarded when they close.
 pub fn reset() {
@@ -231,6 +298,42 @@ mod tests {
             gauge_set("g", 2.5);
             let report = Report::capture();
             assert_eq!(report.gauge("g"), Some(2.5));
+        });
+    }
+
+    #[test]
+    fn absorb_grafts_under_open_span() {
+        with_clean_state(|| {
+            // A "worker" report captured elsewhere.
+            let worker = Report {
+                source: "worker".into(),
+                spans: vec![crate::SpanRow {
+                    path: "chunk".into(),
+                    name: "chunk".into(),
+                    depth: 0,
+                    calls: 2,
+                    total: std::time::Duration::from_micros(50),
+                }],
+                counters: vec![("par.busy_ns".into(), 7)],
+                gauges: vec![("w.g".into(), 1.5)],
+            };
+            {
+                let _req = Span::enter("request");
+                absorb_report(&worker);
+                absorb_report(&worker);
+            }
+            let report = Report::capture();
+            // Worker spans graft under the open request span and
+            // aggregate across repeated absorbs.
+            let chunk = report.span("request/chunk").expect("grafted span");
+            assert_eq!(chunk.calls, 4);
+            assert_eq!(chunk.total, std::time::Duration::from_micros(100));
+            assert_eq!(report.counter("par.busy_ns"), Some(14));
+            assert_eq!(report.gauge("w.g"), Some(1.5));
+            // With no span open, grafts land at the roots.
+            absorb_report(&worker);
+            let report = Report::capture();
+            assert_eq!(report.span("chunk").unwrap().calls, 2);
         });
     }
 

@@ -42,13 +42,19 @@
 //! assert_eq!(report.counter("place.moves"), Some(1200));
 //! ```
 
+pub mod hist;
 pub mod json;
 pub mod report;
+pub mod trace;
+pub mod window;
 
 mod collect;
 
-pub use collect::{counter_add, gauge_set, reset, Span};
+pub use collect::{absorb_report, counter_add, gauge_set, reset, Span};
+pub use hist::{hist_json_line, HistSummary, Histogram, SharedHistogram};
 pub use report::{bench_json_line, flush, Report, SpanRow};
+pub use trace::{trace_json_line, Trace, TraceBuffer, TraceId, TraceScope};
+pub use window::{window_json_line, RollingWindow};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::{Duration, Instant};

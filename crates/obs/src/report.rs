@@ -13,7 +13,14 @@
 //! {"type":"bench","suite":<string>,"name":<string>,"min_ns":<int>,"median_ns":<int>,"p95_ns":<int>,"samples":<int>,"iters":<int>}
 //! {"type":"table","name":<string>,"columns":[<string>...]}
 //! {"type":"row","table":<string>,"values":[<string>...]}
+//! {"type":"hist","name":<string>,"count":<int>,"sum_ns":<int>,"p50_ns":<int>,"p90_ns":<int>,"p99_ns":<int>,"max_ns":<int>}
+//! {"type":"window","name":<string>,"window_s":<int>,"count":<int>,"p50_ns":<int>,"p90_ns":<int>,"p99_ns":<int>,"max_ns":<int>}
+//! {"type":"trace","id":<string>,"method":<string>,"total_ns":<int>,"spans":[{"path":...,"name":...,"depth":...,"calls":...,"total_ns":...}...]}
 //! ```
+//!
+//! `hist` lines are emitted by [`crate::hist::hist_json_line`],
+//! `window` lines by [`crate::window::window_json_line`], and `trace`
+//! lines by [`crate::trace::trace_json_line`].
 //!
 //! `span` lines appear in pre-order, so a consumer can rebuild the tree
 //! from `depth` alone; `path` is the `/`-joined name chain. The golden
@@ -234,7 +241,11 @@ impl Report {
                 let idx = match existing {
                     Some(i) => {
                         nodes[i].calls = nodes[i].calls.saturating_add(row.calls);
-                        nodes[i].total += row.total;
+                        // Saturate: `Duration + Duration` panics on
+                        // overflow, and a long-lived server merging
+                        // per-request reports forever must never panic
+                        // on a counter edge.
+                        nodes[i].total = nodes[i].total.saturating_add(row.total);
                         i
                     }
                     None => {
@@ -461,6 +472,31 @@ mod tests {
         assert!(a.spans[1..].iter().all(|s| s.depth == 1));
         let n = crate::json::validate_lines(&a.to_json_lines()).unwrap();
         assert_eq!(n, 4 + a.counters.len() + a.gauges.len());
+    }
+
+    #[test]
+    fn merge_saturates_at_edge_values() {
+        let edge = |calls, total| Report {
+            source: "edge".into(),
+            spans: vec![SpanRow {
+                path: "s".into(),
+                name: "s".into(),
+                depth: 0,
+                calls,
+                total,
+            }],
+            counters: vec![("c".into(), u64::MAX - 1)],
+            gauges: vec![],
+        };
+        // Span totals near Duration::MAX would panic with `+=` (Duration
+        // addition panics on overflow); merge must saturate instead.
+        let mut a = edge(u64::MAX, Duration::MAX);
+        let b = edge(u64::MAX, Duration::MAX - Duration::from_nanos(1));
+        a.merge(&b);
+        let s = a.span("s").unwrap();
+        assert_eq!(s.calls, u64::MAX);
+        assert_eq!(s.total, Duration::MAX);
+        assert_eq!(a.counter("c"), Some(u64::MAX));
     }
 
     #[test]

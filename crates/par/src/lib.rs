@@ -27,6 +27,13 @@
 //!   `par.worker<N>.busy_us`) are aggregated on the **calling** thread
 //!   after the join, so they land in the caller's thread-local report
 //!   even though the work ran elsewhere.
+//! * **Trace and span adoption**: each worker inherits the calling
+//!   thread's `lim-obs` trace id for its lifetime, so a request id
+//!   minted before the fan-out is visible (`lim_obs::trace::current()`)
+//!   inside every task. When obs collection is enabled, each worker's
+//!   captured span tree is grafted back under the caller's currently
+//!   open span after the join — in worker-index order, so the adopted
+//!   tree is deterministic for a fixed worker count.
 //!
 //! # Examples
 //!
@@ -169,6 +176,9 @@ where
     struct WorkerStats {
         busy: Duration,
         steals: u64,
+        /// The worker's captured thread-local obs state (spans opened by
+        /// `f`, counters it bumped), adopted by the caller after join.
+        report: Option<lim_obs::Report>,
     }
 
     let results: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
@@ -177,10 +187,15 @@ where
     let f = &f;
     let results_ref = &results;
     let stats_ref = &stats;
+    let obs_on = lim_obs::enabled();
+    let trace = lim_obs::trace::current();
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             scope.spawn(move || {
+                // Inherit the caller's request trace id: worker threads
+                // are fresh, so this is their id for the whole lifetime.
+                lim_obs::trace::set_current(trace);
                 let mut busy = Duration::ZERO;
                 let mut steals = 0u64;
                 loop {
@@ -213,10 +228,18 @@ where
                         .expect("worker panicked holding results lock")
                         .push((chunk.id, out));
                 }
+                let report = obs_on.then(|| lim_obs::Report::capture_as("lim-par-worker"));
                 stats_ref
                     .lock()
                     .expect("worker panicked holding stats lock")
-                    .push((w, WorkerStats { busy, steals }));
+                    .push((
+                        w,
+                        WorkerStats {
+                            busy,
+                            steals,
+                            report,
+                        },
+                    ));
             });
         }
     });
@@ -231,6 +254,11 @@ where
         total_busy += s.busy;
         total_steals += s.steals;
         lim_obs::counter_add(&format!("par.worker{w}.busy_us"), s.busy.as_micros() as u64);
+        // Graft the worker's spans/counters under the caller's open
+        // span, in worker-index order for a deterministic merged tree.
+        if let Some(report) = &s.report {
+            lim_obs::absorb_report(report);
+        }
     }
     lim_obs::counter_add("par.tasks", n_items as u64);
     lim_obs::counter_add("par.chunks_stolen", total_steals);
@@ -320,8 +348,12 @@ mod tests {
         assert_eq!(sum.load(Ordering::Relaxed), 5050);
     }
 
+    /// Serializes tests that toggle the process-global obs flag.
+    static OBS_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn steal_counters_land_on_calling_thread() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         lim_obs::set_enabled(true);
         lim_obs::reset();
         let _ = par_map_with_threads(4, (0..64u32).collect(), |x| x);
@@ -331,6 +363,30 @@ mod tests {
         // exist once a parallel invocation ran.
         assert!(report.counter("par.chunks_stolen").is_some());
         lim_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn workers_inherit_trace_id_and_spans_are_adopted() {
+        use lim_obs::trace::{self, TraceId};
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        lim_obs::set_enabled(true);
+        lim_obs::reset();
+        let _scope_guard = trace::TraceScope::enter(TraceId(0xfeed));
+        let seen: Vec<Option<TraceId>> = {
+            let _fan = lim_obs::Span::enter("fan");
+            par_map_with_threads(4, (0..64u32).collect(), |_| {
+                let _s = lim_obs::Span::enter("task");
+                trace::current()
+            })
+        };
+        // Every task, on whatever worker it landed, saw the caller's id.
+        assert!(seen.iter().all(|&t| t == Some(TraceId(0xfeed))), "{seen:?}");
+        // Worker-side spans were grafted under the caller's open span.
+        let report = lim_obs::Report::capture();
+        let task = report.span("fan/task").expect("adopted worker span");
+        assert_eq!(task.calls, 64);
+        lim_obs::set_enabled(false);
+        lim_obs::reset();
     }
 
     #[test]

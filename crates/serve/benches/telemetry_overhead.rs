@@ -1,0 +1,49 @@
+//! Bench: the hot-path cost of the telemetry layer.
+//!
+//! Pins the budget the serving loop pays per request: a shared
+//! histogram record (the per-endpoint latency path, target < 100 ns), a
+//! rolling-window record (one mutex lock + a plain histogram record), a
+//! trace-id mint, and the disabled-observability span floor (one
+//! relaxed atomic load, nothing else).
+
+use lim_obs::{RollingWindow, SharedHistogram, Span, TraceId};
+use lim_testkit::bench::{black_box, Bench};
+use std::time::Duration;
+
+fn main() {
+    let mut c = Bench::from_args("telemetry_overhead");
+
+    // Walk a mixed latency range so bucket indexing is not trained on a
+    // single branch target.
+    let hist = SharedHistogram::new();
+    let mut ns = 1u64;
+    c.bench_function("hist_record", |b| {
+        b.iter(|| {
+            ns = ns.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(7);
+            hist.record_ns(black_box(ns & 0x000f_ffff));
+        })
+    });
+    black_box(hist.count());
+
+    let window = RollingWindow::new();
+    let mut tick = 0u64;
+    c.bench_function("window_record", |b| {
+        b.iter(|| {
+            tick = tick.wrapping_add(4099);
+            window.record(black_box(Duration::from_nanos(tick & 0x000f_ffff)));
+        })
+    });
+
+    c.bench_function("trace_mint", |b| b.iter(|| black_box(TraceId::mint().0)));
+
+    // With observability off a span must cost one relaxed atomic load.
+    lim_obs::set_enabled(false);
+    c.bench_function("disabled_span", |b| {
+        b.iter(|| {
+            let span = Span::enter(black_box("bench.noop"));
+            black_box(&span);
+        })
+    });
+
+    c.finish();
+}

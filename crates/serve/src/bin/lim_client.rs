@@ -14,14 +14,25 @@
 //! percentiles. Shed responses (429) are counted separately and do not
 //! fail the run — they are the server's backpressure working as
 //! designed; any other error does.
+//!
+//! Telemetry flags:
+//!
+//! - `--trace` (single-shot) mints a trace id, sends it with the
+//!   request, then fetches the server-side span tree via `server.trace`
+//!   and renders it indented.
+//! - `--latency-export PATH` (load gen) writes client-observed
+//!   p50/p90/p99 as `lim-obs-v1` bench rows.
+//! - `--telemetry-export PATH` fetches `server.telemetry` and writes
+//!   the returned `lim-obs-v1` lines verbatim (pipe into `obs_check`).
 
 use lim_obs::json::Value;
+use lim_obs::TraceId;
 use lim_serve::net::{percentile, write_line, LineReader};
 use lim_serve::protocol::ERR_OVERLOADED;
 use std::io;
 use std::net::TcpStream;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Args {
     addr: String,
@@ -30,12 +41,16 @@ struct Args {
     concurrency: usize,
     requests: usize,
     quiet: bool,
+    trace: bool,
+    latency_export: Option<String>,
+    telemetry_export: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lim-client --addr HOST:PORT (--method M [--params JSON] | --stats | \
-         --shutdown | --concurrency N --requests M [--method M [--params JSON]])"
+        "usage: lim-client --addr HOST:PORT (--method M [--params JSON] [--trace] | --stats | \
+         --shutdown | --concurrency N --requests M [--method M [--params JSON]] \
+         [--latency-export PATH] | --telemetry-export PATH)"
     );
     std::process::exit(2);
 }
@@ -48,6 +63,9 @@ fn parse_args() -> Args {
         concurrency: 0,
         requests: 0,
         quiet: false,
+        trace: false,
+        latency_export: None,
+        telemetry_export: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -72,6 +90,9 @@ fn parse_args() -> Args {
                 _ => usage(),
             },
             "--quiet" => args.quiet = true,
+            "--trace" => args.trace = true,
+            "--latency-export" => args.latency_export = Some(value("an output path")),
+            "--telemetry-export" => args.telemetry_export = Some(value("an output path")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("lim-client: unknown flag {other:?}");
@@ -90,9 +111,26 @@ fn roundtrip(
     method: &str,
     params: &str,
 ) -> io::Result<String> {
+    roundtrip_traced(writer, reader, id, method, params, None)
+}
+
+/// [`roundtrip`] with an optional client-minted trace id carried in the
+/// request line.
+fn roundtrip_traced(
+    writer: &mut TcpStream,
+    reader: &mut LineReader,
+    id: usize,
+    method: &str,
+    params: &str,
+    trace: Option<TraceId>,
+) -> io::Result<String> {
+    let trace_member = match trace {
+        Some(t) => format!(",\"trace\":\"{}\"", t.render()),
+        None => String::new(),
+    };
     write_line(
         writer,
-        &format!("{{\"id\":{id},\"method\":\"{method}\",\"params\":{params}}}"),
+        &format!("{{\"id\":{id},\"method\":\"{method}\"{trace_member},\"params\":{params}}}"),
     )?;
     reader
         .read_line(&|| false)?
@@ -108,13 +146,102 @@ fn connect(addr: &str) -> io::Result<(TcpStream, LineReader)> {
 
 fn single_shot(args: &Args, method: &str) -> io::Result<bool> {
     let (mut writer, mut reader) = connect(&args.addr)?;
-    let response = roundtrip(&mut writer, &mut reader, 0, method, &args.params)?;
+    let trace = args.trace.then(TraceId::mint);
+    let response = roundtrip_traced(&mut writer, &mut reader, 0, method, &args.params, trace)?;
     println!("{response}");
     let ok = Value::parse(&response)
         .ok()
         .and_then(|v| v.get("ok").cloned())
         == Some(Value::Bool(true));
+    if ok {
+        if let Some(id) = trace {
+            print_trace(&mut writer, &mut reader, id)?;
+        }
+    }
     Ok(ok)
+}
+
+/// Fetches the retained span tree for `id` via `server.trace` and
+/// renders it indented by span depth, one line per span.
+fn print_trace(writer: &mut TcpStream, reader: &mut LineReader, id: TraceId) -> io::Result<()> {
+    let params = format!("{{\"id\":\"{}\"}}", id.render());
+    let response = roundtrip(writer, reader, 1, "server.trace", &params)?;
+    let parsed = Value::parse(&response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let traces = parsed
+        .get("result")
+        .and_then(|r| r.get("traces"))
+        .and_then(Value::as_array);
+    let Some(Some(trace)) = traces.map(|t| t.first()) else {
+        println!("trace {}: not retained by the server", id.render());
+        return Ok(());
+    };
+    let method = trace.get("method").and_then(Value::as_str).unwrap_or("?");
+    let total_us = trace
+        .get("total_ns")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+        / 1e3;
+    println!("trace {} method={method} total={total_us:.1}us", id.render());
+    for span in trace
+        .get("spans")
+        .and_then(Value::as_array)
+        .into_iter()
+        .flatten()
+    {
+        let depth = span.get("depth").and_then(Value::as_f64).unwrap_or(0.0) as usize;
+        let name = span.get("name").and_then(Value::as_str).unwrap_or("?");
+        let calls = span.get("calls").and_then(Value::as_f64).unwrap_or(0.0);
+        let span_us = span.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0) / 1e3;
+        println!(
+            "{}{name} calls={calls:.0} total={span_us:.1}us",
+            "  ".repeat(depth + 1)
+        );
+    }
+    Ok(())
+}
+
+/// Writes client-observed latency percentiles as `lim-obs-v1` bench
+/// rows (suite `lim_client_load`), one row per percentile with
+/// min = median = p95 pinned to the observed value.
+fn export_latency(path: &str, latencies_us: &[u64]) -> io::Result<()> {
+    let mut out = String::new();
+    for (name, q) in [
+        ("latency_p50", 0.50),
+        ("latency_p90", 0.90),
+        ("latency_p99", 0.99),
+    ] {
+        let d = Duration::from_micros(percentile(latencies_us, q));
+        out.push_str(&lim_obs::bench_json_line(
+            "lim_client_load",
+            name,
+            d,
+            d,
+            d,
+            latencies_us.len(),
+            1,
+        ));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+/// Fetches `server.telemetry` and writes the returned `lim-obs-v1`
+/// lines verbatim to `path` (suitable for `obs_check` validation).
+fn export_telemetry(addr: &str, path: &str) -> io::Result<()> {
+    let (mut writer, mut reader) = connect(addr)?;
+    let response = roundtrip(&mut writer, &mut reader, 0, "server.telemetry", "{}")?;
+    let parsed = Value::parse(&response)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let lines = parsed
+        .get("result")
+        .and_then(|r| r.get("lines"))
+        .and_then(Value::as_str)
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "server.telemetry returned no lines")
+        })?
+        .to_owned();
+    std::fs::write(path, lines + "\n")
 }
 
 /// The built-in mixed workload: cache-friendly estimates, a DSE sweep,
@@ -227,6 +354,12 @@ fn load_generator(args: &Args) -> io::Result<bool> {
             all.latencies_us.last().copied().unwrap_or(0),
         );
     }
+    if let Some(path) = &args.latency_export {
+        export_latency(path, &all.latencies_us)?;
+        if !args.quiet {
+            println!("  latency rows written to {path}");
+        }
+    }
     Ok(all.errors == 0)
 }
 
@@ -237,9 +370,20 @@ fn main() -> ExitCode {
     } else {
         match args.method.as_deref() {
             Some(method) => single_shot(&args, method),
+            // --telemetry-export alone is a valid single-purpose run.
+            None if args.telemetry_export.is_some() => Ok(true),
             None => usage(),
         }
     };
+    let outcome = outcome.and_then(|ok| {
+        if let Some(path) = &args.telemetry_export {
+            export_telemetry(&args.addr, path)?;
+            if !args.quiet {
+                println!("telemetry written to {path}");
+            }
+        }
+        Ok(ok)
+    });
     match outcome {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,

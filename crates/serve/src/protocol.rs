@@ -93,6 +93,9 @@ pub struct Request {
     pub method: String,
     /// Method parameters; defaults to the empty object.
     pub params: Value,
+    /// Client-minted trace id (hex), echoed in the response and used as
+    /// the request's trace id; the server mints one when absent.
+    pub trace: Option<String>,
 }
 
 impl Request {
@@ -127,7 +130,21 @@ impl Request {
             Some(p @ Value::Object(_)) => p.clone(),
             Some(_) => return Err(ServeError::bad_request("\"params\" must be an object")),
         };
-        Ok(Request { id, method, params })
+        let trace = match v.get("trace") {
+            None => None,
+            Some(Value::String(t)) if lim_obs::TraceId::parse(t).is_some() => Some(t.clone()),
+            Some(_) => {
+                return Err(ServeError::bad_request(
+                    "\"trace\" must be a hex trace id (1-16 hex digits)",
+                ))
+            }
+        };
+        Ok(Request {
+            id,
+            method,
+            params,
+            trace,
+        })
     }
 }
 
@@ -157,8 +174,20 @@ pub fn cache_key(method: &str, params: &Value) -> u64 {
 /// already be rendered JSON; it is embedded verbatim as the final
 /// member.
 pub fn ok_line(id: &Value, cached: bool, result: &str) -> String {
+    ok_line_traced(id, cached, None, result)
+}
+
+/// [`ok_line`] with a `"trace"` member echoed before `result`. The
+/// member appears only when the request carried a trace id, so
+/// responses to untraced requests are byte-identical to pre-trace
+/// protocol output.
+pub fn ok_line_traced(id: &Value, cached: bool, trace: Option<&str>, result: &str) -> String {
+    let trace_member = match trace {
+        Some(t) => format!(",\"trace\":{}", json::string(t)),
+        None => String::new(),
+    };
     format!(
-        "{{\"id\":{},\"ok\":true,\"cached\":{cached},\"result\":{result}}}",
+        "{{\"id\":{},\"ok\":true,\"cached\":{cached}{trace_member},\"result\":{result}}}",
         json::render(id)
     )
 }
@@ -220,6 +249,32 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn trace_member_parses_and_echoes() {
+        let rq = Request::parse("{\"method\":\"server.ping\"}").unwrap();
+        assert_eq!(rq.trace, None);
+        let rq =
+            Request::parse("{\"method\":\"server.ping\",\"trace\":\"00ffab12\"}").unwrap();
+        assert_eq!(rq.trace.as_deref(), Some("00ffab12"));
+        // Non-hex and ill-typed trace ids are rejected.
+        for line in [
+            "{\"method\":\"x\",\"trace\":\"zz\"}",
+            "{\"method\":\"x\",\"trace\":7}",
+            "{\"method\":\"x\",\"trace\":\"\"}",
+        ] {
+            assert_eq!(Request::parse(line).unwrap_err().code, ERR_BAD_REQUEST);
+        }
+        // The trace member sits before `result`, so result_slice still
+        // works, and an untraced line is byte-identical to ok_line.
+        let traced = ok_line_traced(&Value::Number(1.0), false, Some("ab"), "{\"x\":1}");
+        assert!(traced.contains("\"trace\":\"ab\""));
+        assert_eq!(result_slice(&traced), Some("{\"x\":1}"));
+        assert_eq!(
+            ok_line_traced(&Value::Null, true, None, "{}"),
+            ok_line(&Value::Null, true, "{}")
+        );
     }
 
     #[test]

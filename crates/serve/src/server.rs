@@ -10,9 +10,10 @@
 
 use crate::gate::Gate;
 use crate::net::{write_line, LineReader};
-use crate::protocol::{error_line, ok_line, Request, ServeError, PROTOCOL};
+use crate::protocol::{error_line, ok_line, ok_line_traced, Request, ServeError, PROTOCOL};
 use crate::service::{ServeConfig, Service};
 use lim_obs::json::{self, Value};
+use lim_obs::TraceId;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -216,10 +217,17 @@ fn respond(line: &str, ctx: &ConnectionCtx) -> String {
         _ => match ctx.gate.try_acquire() {
             None => error_line(&rq.id, &ServeError::overloaded()),
             Some(permit) => {
-                let out = ctx.service.call(&rq.method, &rq.params);
+                // A client-minted trace id (already hex-validated by the
+                // parser) becomes the request's id and is echoed back;
+                // untraced requests get a server-minted id that stays
+                // server-side, keeping their responses byte-stable.
+                let trace = rq.trace.as_deref().and_then(TraceId::parse);
+                let out = ctx.service.call_traced(&rq.method, &rq.params, trace);
                 drop(permit);
                 match out.result {
-                    Ok(result) => ok_line(&rq.id, out.cached, &result),
+                    Ok(result) => {
+                        ok_line_traced(&rq.id, out.cached, rq.trace.as_deref(), &result)
+                    }
                     Err(e) => error_line(&rq.id, &e),
                 }
             }

@@ -13,11 +13,16 @@ use lim::dse::{self, DsePoint};
 use lim::{LimFlow, SramConfig};
 use lim_brick::{golden, BankEstimate, BitcellKind, BrickSpec, SharedBrickLibrary};
 use lim_obs::json::{self, Value};
-use lim_obs::Report;
+use lim_obs::trace::{trace_json_line, Trace, TraceBuffer, TraceId, TraceScope};
+use lim_obs::{hist_json_line, window_json_line, Report, RollingWindow, SharedHistogram};
 use lim_tech::Technology;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Traces retained per set (N most recent + N slowest).
+const TRACE_RETAIN: usize = 16;
 
 /// Tuning knobs shared by the service and the server front end.
 #[derive(Debug, Clone)]
@@ -40,12 +45,25 @@ impl Default for ServeConfig {
     }
 }
 
-#[derive(Debug, Default, Clone)]
-struct EndpointStat {
-    count: u64,
-    errors: u64,
-    total_us: u64,
-    max_us: u64,
+/// Latency telemetry for one endpoint (or flow stage): the lifetime
+/// histogram, the rolling 1 m / 5 m windows, and an error counter. The
+/// registry hands out `Arc`s so recording happens outside the map lock
+/// — the lifetime record path is the lock-free sharded histogram.
+#[derive(Debug, Default)]
+struct EndpointTelemetry {
+    errors: AtomicU64,
+    lifetime: SharedHistogram,
+    window: RollingWindow,
+}
+
+impl EndpointTelemetry {
+    fn record(&self, d: Duration, error: bool) {
+        self.lifetime.record(d);
+        self.window.record(d);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Outcome of one [`Service::call`]: the rendered result (or error) and
@@ -56,6 +74,8 @@ pub struct CallOutcome {
     pub result: Result<String, ServeError>,
     /// True when the response came out of the memo.
     pub cached: bool,
+    /// The request's trace id (client-provided or server-minted).
+    pub trace: TraceId,
 }
 
 /// The resident synthesis service.
@@ -64,7 +84,11 @@ pub struct Service {
     tech: Technology,
     library: SharedBrickLibrary,
     cache: Mutex<ResponseCache>,
-    endpoints: Mutex<BTreeMap<String, EndpointStat>>,
+    endpoints: Mutex<BTreeMap<String, Arc<EndpointTelemetry>>>,
+    /// Per-flow-stage latency (`flow.floorplan`, `flow.place`, ...),
+    /// fed from each `flow.run`'s per-stage `FlowStats` timings.
+    stages: Mutex<BTreeMap<String, Arc<EndpointTelemetry>>>,
+    traces: TraceBuffer,
     obs: Mutex<Report>,
     requests: AtomicU64,
     golden_batches: AtomicU64,
@@ -85,6 +109,8 @@ impl Service {
             library: SharedBrickLibrary::default(),
             cache: Mutex::new(ResponseCache::new(config.cache_bytes)),
             endpoints: Mutex::new(BTreeMap::new()),
+            stages: Mutex::new(BTreeMap::new()),
+            traces: TraceBuffer::new(TRACE_RETAIN),
             obs: Mutex::new(Report {
                 source: "lim-serve".into(),
                 spans: Vec::new(),
@@ -108,28 +134,56 @@ impl Service {
         self.requests.load(Ordering::Relaxed)
     }
 
+    /// [`Service::call_traced`] with a server-minted trace id.
+    pub fn call(&self, method: &str, params: &Value) -> CallOutcome {
+        self.call_traced(method, params, None)
+    }
+
     /// Executes one request: memo lookup, handler dispatch, per-endpoint
     /// latency accounting, and — when obs collection is enabled — folds
     /// the calling thread's span/counter state into the service-wide
-    /// report and clears the thread's collector.
-    pub fn call(&self, method: &str, params: &Value) -> CallOutcome {
+    /// report, retains the request's span tree as a trace, and clears
+    /// the thread's collector.
+    ///
+    /// The trace id (client-provided via `trace`, or minted here) is the
+    /// thread's active id for the whole request, so `lim-par` workers
+    /// inherit it across `batch` fan-out.
+    pub fn call_traced(
+        &self,
+        method: &str,
+        params: &Value,
+        trace: Option<TraceId>,
+    ) -> CallOutcome {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let id = trace.unwrap_or_else(TraceId::mint);
         let sw = lim_obs::Stopwatch::start();
         let (result, cached) = {
+            let _trace = TraceScope::enter(id);
             let _rq = lim_obs::Span::enter("serve.request");
             lim_obs::counter_add("serve.requests", 1);
             self.call_cached(method, params)
         };
+        let elapsed = sw.elapsed();
         if lim_obs::enabled() {
             let thread_report = Report::capture();
+            // Introspection endpoints are not retained: a monitoring
+            // poller must not evict the traces it came to read.
+            if !matches!(method, "server.trace" | "server.telemetry") {
+                self.traces
+                    .push(Trace::from_report(id, method, elapsed, &thread_report));
+            }
             self.obs
                 .lock()
                 .expect("obs report lock poisoned")
                 .merge(&thread_report);
             lim_obs::reset();
         }
-        self.record_endpoint(method, sw.elapsed().as_micros() as u64, result.is_err());
-        CallOutcome { result, cached }
+        self.record_endpoint(method, elapsed, result.is_err());
+        CallOutcome {
+            result,
+            cached,
+            trace: id,
+        }
     }
 
     /// Memo layer: deterministic endpoints are served from the response
@@ -178,18 +232,41 @@ impl Service {
             "flow.run" => self.flow_run(params),
             "dse.explore" => self.dse_explore(params),
             "batch" => self.batch(params),
+            "server.trace" => self.server_trace(params),
+            "server.telemetry" => Ok(self.telemetry_report()),
             "debug.sleep" => debug_sleep(params),
             _ => Err(ServeError::unknown_method(method)),
         }
     }
 
-    fn record_endpoint(&self, method: &str, us: u64, error: bool) {
-        let mut map = self.endpoints.lock().expect("endpoint stats lock poisoned");
-        let stat = map.entry(method.to_owned()).or_default();
-        stat.count += 1;
-        stat.errors += u64::from(error);
-        stat.total_us += us;
-        stat.max_us = stat.max_us.max(us);
+    /// Records one sample into a telemetry registry: a short map lock to
+    /// fetch (or create) the endpoint's `Arc`, then lock-free recording.
+    fn record_into(
+        registry: &Mutex<BTreeMap<String, Arc<EndpointTelemetry>>>,
+        name: &str,
+        d: Duration,
+        error: bool,
+    ) {
+        let stat = {
+            let mut map = registry.lock().expect("telemetry registry lock poisoned");
+            match map.get(name) {
+                Some(stat) => Arc::clone(stat),
+                None => {
+                    let stat = Arc::new(EndpointTelemetry::default());
+                    map.insert(name.to_owned(), Arc::clone(&stat));
+                    stat
+                }
+            }
+        };
+        stat.record(d, error);
+    }
+
+    fn record_endpoint(&self, method: &str, d: Duration, error: bool) {
+        Self::record_into(&self.endpoints, method, d, error);
+    }
+
+    fn record_stage(&self, stage: &str, d: Duration) {
+        Self::record_into(&self.stages, stage, d, false);
     }
 
     fn spec_of(&self, params: &Value) -> Result<(BrickSpec, usize), ServeError> {
@@ -241,6 +318,19 @@ impl Service {
             .map_err(ServeError::internal)?;
         self.library.absorb(flow.into_library());
         let r = &block.report;
+        // Per-stage latency: the flow's own stage timings feed the
+        // `flow.<stage>` histograms, so `server.stats` can localize a
+        // slow run to the stage that caused it.
+        for (stage, d) in [
+            ("flow.floorplan", r.stats.floorplan),
+            ("flow.place", r.stats.place),
+            ("flow.route", r.stats.route),
+            ("flow.sta", r.stats.sta),
+            ("flow.clock_tree", r.stats.clock_tree),
+            ("flow.power", r.stats.power),
+        ] {
+            self.record_stage(stage, d);
+        }
         Ok(json::render(&obj(vec![
             ("name", Value::String(block.name)),
             ("gate_count", num(block.gate_count as f64)),
@@ -383,7 +473,7 @@ impl Service {
             let sw = lim_obs::Stopwatch::start();
             match self.spec_of(&params) {
                 Err(e) => {
-                    self.record_endpoint(&method, sw.elapsed().as_micros() as u64, true);
+                    self.record_endpoint(&method, sw.elapsed(), true);
                     slots[i] = Some(entry_err(&e));
                 }
                 Ok((spec, stack)) => {
@@ -400,7 +490,7 @@ impl Service {
                         .map(str::to_owned);
                     if let Some(rendered) = hit {
                         lim_obs::counter_add("serve.cache_hits", 1);
-                        self.record_endpoint(&method, sw.elapsed().as_micros() as u64, false);
+                        self.record_endpoint(&method, sw.elapsed(), false);
                         slots[i] = Some(entry_ok(true, &rendered));
                     } else {
                         lim_obs::counter_add("serve.cache_misses", 1);
@@ -420,9 +510,9 @@ impl Service {
             self.golden_groups.fetch_add(report.groups as u64, Ordering::Relaxed);
             // The panel solve is shared work; each entry is billed its
             // mean share of it.
-            let us = sw.elapsed().as_micros() as u64 / goldens.len() as u64;
+            let share = sw.elapsed() / goldens.len() as u32;
             for ((i, spec, stack, key), res) in goldens.iter().zip(report.results) {
-                self.record_endpoint("golden.compare", us, res.is_err());
+                self.record_endpoint("golden.compare", share, res.is_err());
                 slots[*i] = Some(match res {
                     Ok(cmp) => {
                         let rendered = render_golden(spec, *stack, &cmp);
@@ -441,7 +531,7 @@ impl Service {
         let other_results = lim_par::par_map(others, |(i, method, params)| {
             let sw = lim_obs::Stopwatch::start();
             let (result, cached) = self.call_cached(&method, &params);
-            self.record_endpoint(&method, sw.elapsed().as_micros() as u64, result.is_err());
+            self.record_endpoint(&method, sw.elapsed(), result.is_err());
             let rendered = match result {
                 Ok(rendered) => entry_ok(cached, &rendered),
                 Err(e) => entry_err(&e),
@@ -456,6 +546,87 @@ impl Service {
             .map(|s| s.expect("every batch entry was answered"))
             .collect();
         Ok(format!("{{\"results\":[{}]}}", results.join(",")))
+    }
+
+    /// Serves retained request traces. Params: `"id"` looks one trace up
+    /// by hex id; otherwise `"order"` of `"slowest"` (default) or
+    /// `"recent"` with `"n"` (default 5, max [`TRACE_RETAIN`]) picks a
+    /// set. Each returned trace is a complete `lim-obs-v1` `trace`
+    /// object (span tree in pre-order).
+    ///
+    /// Traces are only retained while obs collection is enabled (the
+    /// daemon enables it; an embedded service must opt in).
+    fn server_trace(&self, params: &Value) -> Result<String, ServeError> {
+        let traces = match params.get("id") {
+            Some(Value::String(s)) => {
+                let id = TraceId::parse(s).ok_or_else(|| {
+                    ServeError::bad_request(format!("\"id\" is not a hex trace id: {s:?}"))
+                })?;
+                self.traces.find(id).into_iter().collect()
+            }
+            Some(_) => return Err(ServeError::bad_request("\"id\" must be a string")),
+            None => {
+                let n = opt_usize(params, "n")?.unwrap_or(5).clamp(1, TRACE_RETAIN);
+                match params.get("order").and_then(Value::as_str) {
+                    None | Some("slowest") => self.traces.slowest(n),
+                    Some("recent") => self.traces.recent(n),
+                    Some(other) => {
+                        return Err(ServeError::bad_request(format!(
+                            "unknown \"order\" {other:?}; expected slowest or recent"
+                        )))
+                    }
+                }
+            }
+        };
+        let rendered: Vec<String> = traces.iter().map(|t| trace_json_line(t)).collect();
+        Ok(format!("{{\"traces\":[{}]}}", rendered.join(",")))
+    }
+
+    /// Renders the full telemetry report as `lim-obs-v1` JSON lines —
+    /// per-endpoint `hist` + `window` lines, per-flow-stage `hist`
+    /// lines, and the retained `trace` lines — packed into one response
+    /// member so clients can write it straight to a file for
+    /// `obs_check`.
+    fn telemetry_report(&self) -> String {
+        let mut lines = String::from(
+            "{\"type\":\"meta\",\"schema\":\"lim-obs-v1\",\"source\":\"lim-serve\"}\n",
+        );
+        let snapshot = |registry: &Mutex<BTreeMap<String, Arc<EndpointTelemetry>>>| {
+            let map = registry.lock().expect("telemetry registry lock poisoned");
+            map.iter()
+                .map(|(name, t)| (name.clone(), Arc::clone(t)))
+                .collect::<Vec<_>>()
+        };
+        for (name, t) in snapshot(&self.endpoints) {
+            lines.push_str(&hist_json_line(&name, &t.lifetime.merged().summary()));
+            lines.push('\n');
+            for (secs, summary) in t.window.summaries() {
+                lines.push_str(&window_json_line(&name, secs, &summary));
+                lines.push('\n');
+            }
+        }
+        for (name, t) in snapshot(&self.stages) {
+            lines.push_str(&hist_json_line(&name, &t.lifetime.merged().summary()));
+            lines.push('\n');
+        }
+        let mut seen = Vec::new();
+        for t in self
+            .traces
+            .slowest(TRACE_RETAIN)
+            .into_iter()
+            .chain(self.traces.recent(TRACE_RETAIN))
+        {
+            if seen.contains(&t.id) {
+                continue;
+            }
+            seen.push(t.id);
+            lines.push_str(&trace_json_line(&t));
+            lines.push('\n');
+        }
+        format!(
+            "{{\"schema\":\"lim-obs-v1\",\"lines\":{}}}",
+            json::string(&lines)
+        )
     }
 
     /// Service-side statistics (memo, library, per-endpoint latency, and
@@ -496,29 +667,8 @@ impl Service {
                 }),
             ),
         ]);
-        let endpoints = self.endpoints.lock().expect("endpoint stats lock poisoned");
-        let endpoints_v = Value::Object(
-            endpoints
-                .iter()
-                .map(|(name, st)| {
-                    let mean = if st.count == 0 {
-                        0.0
-                    } else {
-                        st.total_us as f64 / st.count as f64
-                    };
-                    (
-                        name.clone(),
-                        obj(vec![
-                            ("count", num(st.count as f64)),
-                            ("errors", num(st.errors as f64)),
-                            ("mean_us", num(mean)),
-                            ("max_us", num(st.max_us as f64)),
-                        ]),
-                    )
-                })
-                .collect(),
-        );
-        drop(endpoints);
+        let endpoints_v = telemetry_value(&self.endpoints, true);
+        let stages_v = telemetry_value(&self.stages, false);
         let report = self.obs.lock().expect("obs report lock poisoned");
         let obs_v = obj(vec![
             (
@@ -565,6 +715,14 @@ impl Service {
             ("library", library_v),
             ("golden", golden_v),
             ("endpoints", endpoints_v),
+            ("flow_stages", stages_v),
+            (
+                "traces",
+                obj(vec![
+                    ("retained", num(self.traces.recent_len() as f64)),
+                    ("capacity", num(TRACE_RETAIN as f64)),
+                ]),
+            ),
             ("obs", obs_v),
         ])
     }
@@ -586,6 +744,62 @@ impl Service {
             }
         }
     }
+}
+
+/// Microsecond view of a nanosecond figure (stats are reported in µs to
+/// match the pre-telemetry `mean_us`/`max_us` fields).
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+/// Renders one telemetry registry for `server.stats`: per entry the
+/// lifetime count/errors/mean/max plus p50/p90/p99, and (for endpoints)
+/// a `last1m`/`last5m` window pair so "slow now" and "slow ever" are
+/// separately visible.
+fn telemetry_value(
+    registry: &Mutex<BTreeMap<String, Arc<EndpointTelemetry>>>,
+    windows: bool,
+) -> Value {
+    let map = registry.lock().expect("telemetry registry lock poisoned");
+    let entries: Vec<(String, Arc<EndpointTelemetry>)> = map
+        .iter()
+        .map(|(name, t)| (name.clone(), Arc::clone(t)))
+        .collect();
+    drop(map);
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(name, t)| {
+                let lifetime = t.lifetime.merged();
+                let s = lifetime.summary();
+                let mut members = vec![
+                    ("count", num(s.count as f64)),
+                    ("errors", num(t.errors.load(Ordering::Relaxed) as f64)),
+                    ("mean_us", num(lifetime.mean_ns() / 1_000.0)),
+                    ("max_us", num(us(s.max_ns))),
+                    ("p50_us", num(us(s.p50_ns))),
+                    ("p90_us", num(us(s.p90_ns))),
+                    ("p99_us", num(us(s.p99_ns))),
+                ];
+                if windows {
+                    for (secs, w) in t.window.summaries() {
+                        let label = if secs == 60 { "last1m" } else { "last5m" };
+                        members.push((
+                            label,
+                            obj(vec![
+                                ("count", num(w.count as f64)),
+                                ("p50_us", num(us(w.p50_ns))),
+                                ("p90_us", num(us(w.p90_ns))),
+                                ("p99_us", num(us(w.p99_ns))),
+                                ("max_us", num(us(w.max_ns))),
+                            ]),
+                        ));
+                    }
+                }
+                (name, obj(members))
+            })
+            .collect(),
+    )
 }
 
 /// Wraps a rendered handler reply as one batch-entry object.

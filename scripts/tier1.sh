@@ -83,6 +83,27 @@ client --method dse.explore --params '{"memories":[[128,16]],"brick_words":[16,3
 # The repeated estimate must be served from the response memo.
 client --method brick.estimate --params '{"words":16,"bits":10,"stack":4}' \
     | grep -q '"cached":true'
+# Telemetry: a traced request must come back with its rendered span
+# tree, server.stats must carry latency percentiles and rolling
+# windows, server.trace must serve retained traces, and the telemetry
+# export must validate as lim-obs-v1 (hist/window/trace rows).
+echo "== tier1: lim-serve telemetry smoke =="
+client --method brick.estimate --params '{"words":32,"bits":12,"stack":2}' --trace \
+    | grep -q '^trace ' \
+    || { echo "lim-client --trace rendered no span tree" >&2; exit 1; }
+stats=$(client --method server.stats)
+echo "$stats" | grep -q '"p99_us"' \
+    || { echo "server.stats missing latency percentiles" >&2; exit 1; }
+echo "$stats" | grep -q '"last1m"' \
+    || { echo "server.stats missing rolling windows" >&2; exit 1; }
+client --method server.trace --params '{"n":3,"order":"slowest"}' \
+    | grep -q '"spans"' \
+    || { echo "server.trace returned no retained traces" >&2; exit 1; }
+client --telemetry-export /tmp/tier1_telemetry.json --quiet
+grep -q '"type":"trace"' /tmp/tier1_telemetry.json \
+    || { echo "telemetry export retained no traces" >&2; exit 1; }
+cargo run --release --offline -q -p lim-obs --bin obs_check -- /tmp/tier1_telemetry.json
+echo "== tier1: lim-serve telemetry smoke OK =="
 client --shutdown >/dev/null
 wait "$serve_pid"
 trap - EXIT

@@ -1,12 +1,18 @@
-//! Cross-crate observability test: a full LimFlow run with `lim-obs`
+//! Cross-crate observability tests: a full LimFlow run with `lim-obs`
 //! enabled must emit the documented stage-span tree (floorplan, place,
-//! route, STA, power under `physical`) with nonzero counters, and the
+//! route, STA, power under `physical`) with nonzero counters, the
 //! captured report must serialize to schema-valid `lim-obs-v1` JSON
-//! lines.
+//! lines, and the telemetry histogram must merge to identical bucket
+//! counts regardless of how many workers recorded into it.
 
 use lim::flow::LimFlow;
 use lim::sram::SramConfig;
-use lim_obs::Report;
+use lim_obs::{Histogram, Report, SharedHistogram};
+
+/// Serializes tests that mutate `LIM_PAR_THREADS`: the process
+/// environment is global, so concurrent test threads would race (same
+/// pattern as `tests/determinism.rs`).
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 #[test]
 fn full_flow_emits_stage_span_tree_and_counters() {
@@ -56,4 +62,37 @@ fn full_flow_emits_stage_span_tree_and_counters() {
     assert!(lines.starts_with("{\"type\":\"meta\",\"schema\":\"lim-obs-v1\""));
 
     lim_obs::reset();
+}
+
+#[test]
+fn shared_histogram_buckets_are_identical_across_worker_counts() {
+    // The determinism contract for telemetry: bucket counts are a pure
+    // function of the recorded values, never of which thread shard
+    // received them or in what order. Record the same latency set under
+    // 1 worker and 4 workers and demand identical merged histograms.
+    let _env = ENV_LOCK.lock().unwrap();
+    let inputs: Vec<u64> = (0..4096u64)
+        .map(|i| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 44)
+        .collect();
+    let run = |threads: &str| -> Histogram {
+        std::env::set_var(lim_par::ENV_THREADS, threads);
+        let shared = SharedHistogram::new();
+        lim_par::par_map(inputs.clone(), |ns| shared.record_ns(ns));
+        std::env::remove_var(lim_par::ENV_THREADS);
+        shared.merged()
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(
+        one.buckets().as_slice(),
+        four.buckets().as_slice(),
+        "merged bucket counts must not depend on the worker count"
+    );
+    assert_eq!(one.count(), 4096);
+    assert_eq!(one.count(), four.count());
+    assert_eq!(one.sum_ns(), four.sum_ns());
+    assert_eq!(one.max_ns(), four.max_ns());
+    for q in [0.50, 0.90, 0.99] {
+        assert_eq!(one.percentile_ns(q), four.percentile_ns(q));
+    }
 }
