@@ -361,6 +361,16 @@ impl SharedBrickLibrary {
         self.inner.read().expect("library lock poisoned").clone()
     }
 
+    /// Visits every entry under the read lock without cloning the
+    /// library (used to persist entry keys to the on-disk cache after a
+    /// flow run grows the library). Keep `f` cheap: it blocks writers.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&LibraryEntry)) {
+        let lib = self.inner.read().expect("library lock poisoned");
+        for entry in lib.entries() {
+            f(entry);
+        }
+    }
+
     /// Folds `grown` back into the shared library; see
     /// [`BrickLibrary::absorb`].
     pub fn absorb(&self, grown: BrickLibrary) {

@@ -41,6 +41,7 @@ fn main() {
         &ServeConfig {
             max_in_flight: 8,
             cache_bytes: 1 << 20,
+            ..ServeConfig::default()
         },
     )
     .expect("bind ephemeral port");

@@ -29,6 +29,8 @@ use lim_obs::json::Value;
 use lim_obs::TraceId;
 use lim_serve::net::{percentile, write_line, LineReader};
 use lim_serve::protocol::ERR_OVERLOADED;
+use lim_serve::ring::route_key;
+use lim_serve::HashRing;
 use std::io;
 use std::net::TcpStream;
 use std::process::ExitCode;
@@ -36,6 +38,7 @@ use std::time::{Duration, Instant};
 
 struct Args {
     addr: String,
+    shards: Vec<String>,
     method: Option<String>,
     params: String,
     concurrency: usize,
@@ -48,7 +51,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lim-client --addr HOST:PORT (--method M [--params JSON] [--trace] | --stats | \
+        "usage: lim-client (--addr HOST:PORT | --shards H:P,H:P[,...]) \
+         (--method M [--params JSON] [--trace] | --stats | \
          --shutdown | --concurrency N --requests M [--method M [--params JSON]] \
          [--latency-export PATH] | --telemetry-export PATH)"
     );
@@ -58,6 +62,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:7117".into(),
+        shards: Vec::new(),
         method: None,
         params: "{}".into(),
         concurrency: 0,
@@ -77,6 +82,12 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--addr" => args.addr = value("host:port"),
+            "--shards" => args.shards.extend(
+                value("a comma-separated shard list")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned),
+            ),
             "--method" => args.method = Some(value("a method name")),
             "--params" => args.params = value("a JSON object"),
             "--stats" => args.method = Some("server.stats".into()),
@@ -144,15 +155,45 @@ fn connect(addr: &str) -> io::Result<(TcpStream, LineReader)> {
     Ok((stream, reader))
 }
 
+fn is_ok(response: &str) -> bool {
+    Value::parse(response)
+        .ok()
+        .and_then(|v| v.get("ok").cloned())
+        == Some(Value::Bool(true))
+}
+
+/// The shard a request belongs on — the same ring `lim-router` uses,
+/// so a router-less `--shards` client routes identically. Falls back
+/// to `--addr` when no shard list was given.
+fn target_addr(args: &Args, ring: Option<&HashRing>, method: &str, params: &str) -> String {
+    match ring {
+        Some(ring) => {
+            let params = Value::parse(params).unwrap_or_else(|_| Value::Object(Vec::new()));
+            args.shards[ring.shard_for(route_key(method, &params))].clone()
+        }
+        None => args.addr.clone(),
+    }
+}
+
 fn single_shot(args: &Args, method: &str) -> io::Result<bool> {
-    let (mut writer, mut reader) = connect(&args.addr)?;
+    // Control methods address the whole cluster, not one shard.
+    if !args.shards.is_empty() && matches!(method, "server.stats" | "server.shutdown") {
+        let mut all_ok = true;
+        for shard in &args.shards {
+            let (mut writer, mut reader) = connect(shard)?;
+            let response = roundtrip(&mut writer, &mut reader, 0, method, &args.params)?;
+            println!("{response}");
+            all_ok &= is_ok(&response);
+        }
+        return Ok(all_ok);
+    }
+    let ring = (!args.shards.is_empty()).then(|| HashRing::new(&args.shards));
+    let addr = target_addr(args, ring.as_ref(), method, &args.params);
+    let (mut writer, mut reader) = connect(&addr)?;
     let trace = args.trace.then(TraceId::mint);
     let response = roundtrip_traced(&mut writer, &mut reader, 0, method, &args.params, trace)?;
     println!("{response}");
-    let ok = Value::parse(&response)
-        .ok()
-        .and_then(|v| v.get("ok").cloned())
-        == Some(Value::Bool(true));
+    let ok = is_ok(&response);
     if ok {
         if let Some(id) = trace {
             print_trace(&mut writer, &mut reader, id)?;
@@ -296,22 +337,46 @@ fn load_generator(args: &Args) -> io::Result<bool> {
             .collect(),
     };
     let workers = args.concurrency.min(args.requests);
+    // Shard targets (just `--addr` without `--shards`) and, since the
+    // mix is fixed, each mix entry's target precomputed off the ring.
+    let targets: Vec<String> = if args.shards.is_empty() {
+        vec![args.addr.clone()]
+    } else {
+        args.shards.clone()
+    };
+    let ring = HashRing::new(&targets);
+    let route: Vec<usize> = mix
+        .iter()
+        .map(|(method, params)| {
+            let params = Value::parse(params).unwrap_or_else(|_| Value::Object(Vec::new()));
+            ring.shard_for(route_key(method, &params))
+        })
+        .collect();
     let started = Instant::now();
     let tallies: Vec<io::Result<WorkerTally>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let mix = &mix;
-                let addr = &args.addr;
+                let targets = &targets;
+                let route = &route;
                 // Split the request budget evenly; early workers take
                 // the remainder.
                 let share = args.requests / workers + usize::from(w < args.requests % workers);
                 s.spawn(move || -> io::Result<WorkerTally> {
                     let mut tally = WorkerTally::default();
-                    let (mut writer, mut reader) = connect(addr)?;
+                    // One lazily opened connection per shard.
+                    let mut conns: Vec<Option<(TcpStream, LineReader)>> =
+                        (0..targets.len()).map(|_| None).collect();
                     for i in 0..share {
-                        let (method, params) = &mix[(w + i) % mix.len()];
+                        let k = (w + i) % mix.len();
+                        let (method, params) = &mix[k];
+                        let t = route[k];
+                        if conns[t].is_none() {
+                            conns[t] = Some(connect(&targets[t])?);
+                        }
+                        let (writer, reader) = conns[t].as_mut().expect("just connected");
                         let sw = Instant::now();
-                        let response = roundtrip(&mut writer, &mut reader, i, method, params)?;
+                        let response = roundtrip(writer, reader, i, method, params)?;
                         tally.latencies_us.push(sw.elapsed().as_micros() as u64);
                         classify(&response, &mut tally);
                     }
@@ -377,7 +442,10 @@ fn main() -> ExitCode {
     };
     let outcome = outcome.and_then(|ok| {
         if let Some(path) = &args.telemetry_export {
-            export_telemetry(&args.addr, path)?;
+            // With --shards, telemetry comes from the first shard (the
+            // export file holds one server's worth of lines).
+            let addr = args.shards.first().unwrap_or(&args.addr);
+            export_telemetry(addr, path)?;
             if !args.quiet {
                 println!("telemetry written to {path}");
             }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! lim-serve [--addr HOST] [--port N] [--max-in-flight N]
-//!           [--cache-bytes N] [--addr-file PATH] [--quiet]
+//!           [--cache-bytes N] [--cache-dir PATH]
+//!           [--idle-timeout-secs N] [--addr-file PATH] [--quiet]
 //! ```
 //!
 //! Binds a `lim-serve-v1` NDJSON endpoint (port 0 picks an ephemeral
@@ -10,6 +11,13 @@
 //! poll). Obs collection is enabled so `server.stats` carries live span
 //! and counter data. The process exits after a `server.shutdown`
 //! request has drained all connections.
+//!
+//! `--cache-dir` points at the persistent compile cache: responses and
+//! library keys written by earlier runs are served (and the brick
+//! library re-warmed on a background thread) so a restarted daemon
+//! answers repeated requests byte-identically without recompiling.
+//! `--idle-timeout-secs` closes connections that stay silent that long
+//! (off by default; idle connections are cheap under the poll loop).
 
 use lim_serve::{ServeConfig, Server};
 use std::process::ExitCode;
@@ -25,7 +33,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: lim-serve [--addr HOST] [--port N] [--max-in-flight N] \
-         [--cache-bytes N] [--addr-file PATH] [--quiet]"
+         [--cache-bytes N] [--cache-dir PATH] [--idle-timeout-secs N] \
+         [--addr-file PATH] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -60,6 +69,13 @@ fn parse_args() -> Args {
                 Ok(n) => args.config.cache_bytes = n,
                 Err(_) => usage(),
             },
+            "--cache-dir" => args.config.disk_dir = Some(value("a directory").into()),
+            "--idle-timeout-secs" => match value("a duration in seconds").parse() {
+                Ok(n) if n > 0 => {
+                    args.config.idle_timeout = Some(std::time::Duration::from_secs(n));
+                }
+                _ => usage(),
+            },
             "--addr-file" => args.addr_file = Some(value("a path")),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
@@ -92,11 +108,28 @@ fn main() -> ExitCode {
     }
     if !args.quiet {
         println!(
-            "lim-serve listening on {addr} ({}, max-in-flight {}, cache {} bytes)",
+            "lim-serve listening on {addr} ({}, max-in-flight {}, cache {} bytes{})",
             lim_serve::PROTOCOL,
             args.config.max_in_flight,
-            args.config.cache_bytes
+            args.config.cache_bytes,
+            match &args.config.disk_dir {
+                Some(dir) => format!(", disk cache {}", dir.display()),
+                None => String::new(),
+            }
         );
+    }
+    // Re-warm the brick library from the persistent cache off the
+    // serving path: first requests race the warmer and never wait on
+    // it (a not-yet-recompiled entry just compiles on demand).
+    if args.config.disk_dir.is_some() {
+        let service = server.service();
+        let quiet = args.quiet;
+        std::thread::spawn(move || {
+            let warmed = service.warm_from_disk();
+            if !quiet && warmed > 0 {
+                println!("lim-serve: re-warmed {warmed} library entries from disk");
+            }
+        });
     }
     match server.run() {
         Ok(()) => {

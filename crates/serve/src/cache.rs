@@ -86,6 +86,14 @@ impl ResponseCache {
         value.len() + SLOT_OVERHEAD
     }
 
+    /// True when `key` is resident, with no side effects: recency,
+    /// hit and miss accounting are all untouched. The poll loop uses
+    /// this to decide whether a request is a probable memo hit worth
+    /// running inline on the event thread.
+    pub fn contains(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
     /// Looks a response up, refreshing its recency on a hit.
     pub fn get(&mut self, key: u64) -> Option<&str> {
         match self.map.get(&key).copied() {

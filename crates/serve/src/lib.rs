@@ -17,8 +17,16 @@
 //! * [`gate`] — backpressure: a bounded in-flight gate; requests that
 //!   find it full are shed with an explicit 429-style error instead of
 //!   queueing.
-//! * [`server`] — the TCP accept loop, per-connection threads, and
-//!   graceful drain; [`net`] holds the timeout-tolerant line reader.
+//! * [`server`] — the TCP front end and graceful drain. On Linux a
+//!   `poll(2)` event loop (one thread, a small worker pool) carries
+//!   every connection, so thousands of idle clients cost ~zero CPU;
+//!   elsewhere a thread-per-connection fallback keeps identical wire
+//!   behavior. [`net`] holds the line framing shared by both.
+//! * [`disk`] — the persistent compile cache: responses and library
+//!   keys survive restarts, so a rebooted shard answers repeated
+//!   requests from disk, byte-identical, without recompiling.
+//! * [`ring`]/[`router`] — cluster mode: `lim-router` consistent-hashes
+//!   brick keys across shards and scatter/gathers `batch` requests.
 //!
 //! Two binaries ship with the crate: `lim-serve` (the daemon) and
 //! `lim-client` (a one-shot caller that doubles as a load generator
@@ -50,14 +58,21 @@
 //! ```
 
 pub mod cache;
+pub mod disk;
 pub mod gate;
 pub mod net;
+#[cfg(target_os = "linux")]
+mod poll;
 pub mod protocol;
+pub mod ring;
+pub mod router;
 pub mod server;
 pub mod service;
 
 pub use cache::ResponseCache;
+pub use disk::DiskCache;
 pub use gate::Gate;
 pub use protocol::{Request, ServeError, PROTOCOL};
+pub use ring::HashRing;
 pub use server::{Server, ServerHandle};
 pub use service::{CallOutcome, ServeConfig, Service};

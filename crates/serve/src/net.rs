@@ -1,8 +1,14 @@
-//! Line-oriented socket plumbing shared by the server, the client
-//! binary and the tests.
+//! Line-oriented socket plumbing shared by the server, the router, the
+//! client binary and the tests.
+//!
+//! The framing core is [`LineBuffer`]: a socket-free incremental line
+//! assembler that bytes are pushed into as they arrive and complete
+//! lines are popped out of. The poll-based server feeds it from
+//! readiness events; the blocking [`LineReader`] wraps it with a read
+//! loop for clients and tests.
 //!
 //! [`LineReader`] buffers manually instead of using `BufReader::
-//! read_line` because the server polls its shutdown flag via short read
+//! read_line` because blocking callers poll a stop flag via short read
 //! timeouts: a timed-out `read` must not lose bytes already received,
 //! and `read_line` gives no such guarantee mid-error. Partial lines stay
 //! in the buffer across timeouts and are completed by later reads.
@@ -13,12 +19,97 @@ use std::net::TcpStream;
 /// Hard cap on one request/response line; longer input is an error.
 pub const MAX_LINE_BYTES: usize = 16 << 20;
 
+/// Framing failure while assembling a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineError {
+    /// More than [`MAX_LINE_BYTES`] arrived without a newline.
+    TooLong,
+    /// A completed line was not valid UTF-8.
+    NotUtf8,
+}
+
+impl LineError {
+    /// The human-readable detail used in error responses and
+    /// [`io::Error`] conversions.
+    pub fn message(self) -> &'static str {
+        match self {
+            LineError::TooLong => "line exceeds MAX_LINE_BYTES",
+            LineError::NotUtf8 => "line is not valid UTF-8",
+        }
+    }
+}
+
+impl From<LineError> for io::Error {
+    fn from(e: LineError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.message())
+    }
+}
+
+/// An incremental line assembler: push raw bytes in as they arrive,
+/// pop `\n`-terminated lines out (terminator stripped, along with an
+/// optional `\r`). The scan cursor is remembered across calls so a
+/// large line fragmented over many reads is scanned once, not
+/// re-scanned per chunk.
+#[derive(Debug, Default)]
+pub struct LineBuffer {
+    buf: Vec<u8>,
+    scanned: usize,
+}
+
+impl LineBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Buffered bytes not yet popped as lines.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pops the next complete line, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`LineError::TooLong`] once the unterminated tail exceeds
+    /// [`MAX_LINE_BYTES`]; [`LineError::NotUtf8`] when a completed line
+    /// is not UTF-8.
+    pub fn next_line(&mut self) -> Result<Option<String>, LineError> {
+        if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            let end = self.scanned + nl;
+            let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            self.scanned = 0;
+            let text = String::from_utf8(line).map_err(|_| LineError::NotUtf8)?;
+            return Ok(Some(text));
+        }
+        self.scanned = self.buf.len();
+        if self.buf.len() > MAX_LINE_BYTES {
+            return Err(LineError::TooLong);
+        }
+        Ok(None)
+    }
+}
+
 /// An incremental, timeout-tolerant line reader over a [`TcpStream`].
 #[derive(Debug)]
 pub struct LineReader {
     stream: TcpStream,
-    buf: Vec<u8>,
-    scanned: usize,
+    lines: LineBuffer,
 }
 
 impl LineReader {
@@ -26,8 +117,7 @@ impl LineReader {
     pub fn new(stream: TcpStream) -> Self {
         LineReader {
             stream,
-            buf: Vec::new(),
-            scanned: 0,
+            lines: LineBuffer::new(),
         }
     }
 
@@ -41,30 +131,13 @@ impl LineReader {
     /// [`MAX_LINE_BYTES`].
     pub fn read_line(&mut self, stop: &dyn Fn() -> bool) -> io::Result<Option<String>> {
         loop {
-            if let Some(nl) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
-                let end = self.scanned + nl;
-                let mut line: Vec<u8> = self.buf.drain(..=end).collect();
-                line.pop();
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                self.scanned = 0;
-                let text = String::from_utf8(line).map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "line is not valid UTF-8")
-                })?;
-                return Ok(Some(text));
-            }
-            self.scanned = self.buf.len();
-            if self.buf.len() > MAX_LINE_BYTES {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "line exceeds MAX_LINE_BYTES",
-                ));
+            if let Some(line) = self.lines.next_line()? {
+                return Ok(Some(line));
             }
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
                 Ok(0) => return Ok(None),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.lines.push(&chunk[..n]),
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -139,6 +212,33 @@ mod tests {
             .unwrap();
         let mut reader = LineReader::new(conn);
         assert_eq!(reader.read_line(&|| true).unwrap(), None);
+    }
+
+    #[test]
+    fn line_buffer_assembles_fragments_and_flags_errors() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"ab");
+        assert_eq!(lb.next_line().unwrap(), None);
+        lb.push(b"c\nxy");
+        assert_eq!(lb.next_line().unwrap().as_deref(), Some("abc"));
+        assert_eq!(lb.next_line().unwrap(), None);
+        assert_eq!(lb.len(), 2);
+        // Invalid UTF-8 surfaces once the line completes.
+        lb.push(&[0xff, 0xfe, b'\n']);
+        assert_eq!(lb.next_line().unwrap_err(), LineError::NotUtf8);
+    }
+
+    #[test]
+    fn line_buffer_rejects_oversized_lines() {
+        let mut lb = LineBuffer::new();
+        // Grow past the cap without ever sending a newline.
+        let chunk = vec![b'x'; 1 << 20];
+        for _ in 0..16 {
+            lb.push(&chunk);
+            assert_eq!(lb.next_line().unwrap(), None);
+        }
+        lb.push(b"xx");
+        assert_eq!(lb.next_line().unwrap_err(), LineError::TooLong);
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub const ERR_UNKNOWN_METHOD: u32 = 404;
 pub const ERR_OVERLOADED: u32 = 429;
 /// Handler failure (compiler, estimator or flow error).
 pub const ERR_INTERNAL: u32 = 500;
+/// A cluster shard could not be reached (router only).
+pub const ERR_BAD_GATEWAY: u32 = 502;
 
 /// A protocol-level error: an HTTP-flavored code plus a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +74,14 @@ impl ServeError {
     pub fn internal(message: impl fmt::Display) -> Self {
         ServeError {
             code: ERR_INTERNAL,
+            message: message.to_string(),
+        }
+    }
+
+    /// A 502 unreachable-shard error (router only).
+    pub fn bad_gateway(message: impl fmt::Display) -> Self {
+        ServeError {
+            code: ERR_BAD_GATEWAY,
             message: message.to_string(),
         }
     }

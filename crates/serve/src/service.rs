@@ -8,15 +8,18 @@
 //! library call: both sides are the same [`Service::call`].
 
 use crate::cache::ResponseCache;
-use crate::protocol::{cache_key, ServeError, PROTOCOL};
+use crate::disk::{DiskCache, LibKey};
+use crate::protocol::{cache_key, fnv1a, ServeError, PROTOCOL};
 use lim::dse::{self, DsePoint};
 use lim::{LimFlow, SramConfig};
+use lim_brick::library::LibraryEntry;
 use lim_brick::{golden, BankEstimate, BitcellKind, BrickSpec, SharedBrickLibrary};
 use lim_obs::json::{self, Value};
 use lim_obs::trace::{trace_json_line, Trace, TraceBuffer, TraceId, TraceScope};
 use lim_obs::{hist_json_line, window_json_line, Report, RollingWindow, SharedHistogram};
 use lim_tech::Technology;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -32,6 +35,12 @@ pub struct ServeConfig {
     pub max_in_flight: usize,
     /// Byte budget of the response memo.
     pub cache_bytes: usize,
+    /// Root of the persistent compile cache; `None` disables disk
+    /// persistence entirely.
+    pub disk_dir: Option<PathBuf>,
+    /// Close connections idle longer than this; `None` keeps them
+    /// forever (clients are expected to hold connections open).
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +50,8 @@ impl Default for ServeConfig {
             // requests park briefly on the library lock.
             max_in_flight: lim_par::threads().saturating_mul(2).clamp(2, 64),
             cache_bytes: 4 << 20,
+            disk_dir: None,
+            idle_timeout: None,
         }
     }
 }
@@ -84,6 +95,8 @@ pub struct Service {
     tech: Technology,
     library: SharedBrickLibrary,
     cache: Mutex<ResponseCache>,
+    /// Persistent tier under the memo; `None` when no cache dir is set.
+    disk: Option<Arc<DiskCache>>,
     endpoints: Mutex<BTreeMap<String, Arc<EndpointTelemetry>>>,
     /// Per-flow-stage latency (`flow.floorplan`, `flow.place`, ...),
     /// fed from each `flow.run`'s per-stage `FlowStats` timings.
@@ -104,10 +117,20 @@ impl Service {
 
     /// A service over an explicit technology.
     pub fn with_technology(tech: Technology, config: &ServeConfig) -> Self {
+        // A cache dir that cannot be opened degrades to no persistence
+        // rather than refusing to serve: disk is an accelerator tier,
+        // never a correctness dependency.
+        let disk = config.disk_dir.as_deref().and_then(|dir| {
+            DiskCache::open(dir)
+                .map_err(|e| eprintln!("lim-serve: disabling disk cache at {dir:?}: {e}"))
+                .ok()
+                .map(Arc::new)
+        });
         Service {
             tech,
             library: SharedBrickLibrary::default(),
             cache: Mutex::new(ResponseCache::new(config.cache_bytes)),
+            disk,
             endpoints: Mutex::new(BTreeMap::new()),
             stages: Mutex::new(BTreeMap::new()),
             traces: TraceBuffer::new(TRACE_RETAIN),
@@ -209,6 +232,13 @@ impl Service {
             lim_obs::counter_add("serve.cache_hits", 1);
             return (Ok(hit), true);
         }
+        // Memo miss: the persistent tier may still have the canonical
+        // bytes from a previous process. A disk hit is promoted into the
+        // memo and reported `cached` — byte-identical to a cold compile
+        // because the stored bytes *are* a cold compile's rendering.
+        if let Some(body) = self.disk_probe(key) {
+            return (Ok(body), true);
+        }
         lim_obs::counter_add("serve.cache_misses", 1);
         let result = self.dispatch(method, params);
         if let Ok(rendered) = &result {
@@ -216,8 +246,41 @@ impl Service {
                 .lock()
                 .expect("response cache lock poisoned")
                 .insert(key, rendered.clone());
+            if let Some(disk) = &self.disk {
+                disk.store_response(key, method, rendered);
+            }
         }
         (result, false)
+    }
+
+    /// True when `method`+`params` would be answered from the in-memory
+    /// memo right now. No side effects: recency and hit/miss accounting
+    /// stay untouched and the persistent tier is not probed. The poll
+    /// loop uses this to run probable memo hits inline on the event
+    /// thread instead of paying a worker handoff.
+    pub fn memo_probe(&self, method: &str, params: &Value) -> bool {
+        matches!(
+            method,
+            "brick.estimate" | "golden.compare" | "flow.run" | "dse.explore"
+        ) && params.get("nocache") != Some(&Value::Bool(true))
+            && self
+                .cache
+                .lock()
+                .expect("response cache lock poisoned")
+                .contains(cache_key(method, params))
+    }
+
+    /// Probes the persistent tier for `key`, promoting a hit into the
+    /// in-memory memo.
+    fn disk_probe(&self, key: u64) -> Option<String> {
+        let disk = self.disk.as_ref()?;
+        let body = disk.load_response(key)?;
+        lim_obs::counter_add("serve.disk_hits", 1);
+        self.cache
+            .lock()
+            .expect("response cache lock poisoned")
+            .insert(key, body.clone());
+        Some(body)
     }
 
     fn dispatch(&self, method: &str, params: &Value) -> Result<String, ServeError> {
@@ -288,17 +351,91 @@ impl Service {
             .library
             .with_entry(&self.tech, &spec, stack, |e| e.estimate.clone())
             .map_err(ServeError::internal)?;
+        self.persist_lib(&spec, stack, &estimate);
         Ok(json::render(&estimate_value(&spec, stack, &estimate)))
     }
 
     fn golden_compare(&self, params: &Value) -> Result<String, ServeError> {
         let (spec, stack) = self.spec_of(params)?;
-        let brick = self
+        let (brick, estimate) = self
             .library
-            .with_entry(&self.tech, &spec, stack, |e| e.brick.clone())
+            .with_entry(&self.tech, &spec, stack, |e| {
+                (e.brick.clone(), e.estimate.clone())
+            })
             .map_err(ServeError::internal)?;
+        self.persist_lib(&spec, stack, &estimate);
         let cmp = golden::compare(&brick, stack).map_err(ServeError::internal)?;
         Ok(render_golden(&spec, stack, &cmp))
+    }
+
+    /// Records one compiled entry's key and estimate fingerprint in the
+    /// persistent tier (no-op without a disk cache, cheap when already
+    /// recorded).
+    fn persist_lib(&self, spec: &BrickSpec, stack: usize, estimate: &BankEstimate) {
+        let Some(disk) = &self.disk else { return };
+        disk.store_lib_key(
+            &lim_brick::library::entry_name(spec, stack),
+            &LibKey {
+                bitcell: spec.bitcell().short_name().into(),
+                words: spec.words(),
+                bits: spec.bits(),
+                stack,
+                fingerprint: estimate_fingerprint(spec, stack, estimate),
+            },
+        );
+    }
+
+    /// Persists the key of every entry currently in the shared library
+    /// (called after a flow run folds freshly compiled bricks back in).
+    fn persist_library(&self) {
+        if self.disk.is_none() {
+            return;
+        }
+        let mut entries: Vec<(BrickSpec, usize, BankEstimate)> = Vec::new();
+        self.library.for_each_entry(|e: &LibraryEntry| {
+            entries.push((*e.brick.spec(), e.stack, e.estimate.clone()));
+        });
+        for (spec, stack, estimate) in entries {
+            self.persist_lib(&spec, stack, &estimate);
+        }
+    }
+
+    /// Recompiles every library entry recorded in the persistent tier,
+    /// verifying each against its stored estimate fingerprint; entries
+    /// that no longer reproduce (foreign store, changed compiler) are
+    /// dropped as stale. Returns the number of entries warmed.
+    ///
+    /// The daemon runs this on a background thread at startup, so
+    /// requests arriving mid-warm simply race the compile through the
+    /// shared library's exactly-once `with_entry`.
+    pub fn warm_from_disk(&self) -> usize {
+        let Some(disk) = &self.disk else { return 0 };
+        let mut warmed = 0;
+        for (name, key) in disk.lib_keys() {
+            let spec = BitcellKind::all()
+                .into_iter()
+                .find(|k| k.short_name() == key.bitcell)
+                .and_then(|b| BrickSpec::new(b, key.words, key.bits).ok());
+            let ok = key.stack >= 1
+                && spec.is_some_and(|spec| {
+                    self.library
+                        .with_entry(&self.tech, &spec, key.stack, |e| e.estimate.clone())
+                        .is_ok_and(|est| {
+                            estimate_fingerprint(&spec, key.stack, &est) == key.fingerprint
+                        })
+                });
+            if ok {
+                warmed += 1;
+            } else {
+                disk.drop_stale_lib(&name);
+            }
+        }
+        warmed
+    }
+
+    /// The persistent tier, when one is configured.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_deref()
     }
 
     fn flow_run(&self, params: &Value) -> Result<String, ServeError> {
@@ -317,6 +454,7 @@ impl Service {
             .synthesize_sram(&config)
             .map_err(ServeError::internal)?;
         self.library.absorb(flow.into_library());
+        self.persist_library();
         let r = &block.report;
         // Per-stage latency: the flow's own stage timings feed the
         // `flow.<stage>` histograms, so `server.stats` can localize a
@@ -492,6 +630,9 @@ impl Service {
                         lim_obs::counter_add("serve.cache_hits", 1);
                         self.record_endpoint(&method, sw.elapsed(), false);
                         slots[i] = Some(entry_ok(true, &rendered));
+                    } else if let Some(body) = self.disk_probe(key) {
+                        self.record_endpoint(&method, sw.elapsed(), false);
+                        slots[i] = Some(entry_ok(true, &body));
                     } else {
                         lim_obs::counter_add("serve.cache_misses", 1);
                         goldens.push((i, spec, stack, Some(key)));
@@ -521,6 +662,9 @@ impl Service {
                                 .lock()
                                 .expect("response cache lock poisoned")
                                 .insert(*key, rendered.clone());
+                            if let Some(disk) = &self.disk {
+                                disk.store_response(*key, "golden.compare", &rendered);
+                            }
                         }
                         entry_ok(false, &rendered)
                     }
@@ -643,6 +787,20 @@ impl Service {
             ("evictions", num(cache.evictions() as f64)),
         ]);
         drop(cache);
+        let disk_v = match &self.disk {
+            Some(disk) => {
+                let s = disk.stats();
+                obj(vec![
+                    ("enabled", Value::Bool(true)),
+                    ("hits", num(s.hits as f64)),
+                    ("misses", num(s.misses as f64)),
+                    ("writes", num(s.writes as f64)),
+                    ("corrupt", num(s.corrupt as f64)),
+                    ("stale", num(s.stale as f64)),
+                ])
+            }
+            None => obj(vec![("enabled", Value::Bool(false))]),
+        };
         let library_v = obj(vec![
             ("entries", num(self.library.len() as f64)),
             ("compiled", num(self.library.compiled_count() as f64)),
@@ -712,6 +870,7 @@ impl Service {
         obj(vec![
             ("requests", num(self.request_count() as f64)),
             ("cache", cache_v),
+            ("disk", disk_v),
             ("library", library_v),
             ("golden", golden_v),
             ("endpoints", endpoints_v),
@@ -744,6 +903,28 @@ impl Service {
             }
         }
     }
+
+    /// Records a lifetime counter directly on the merged service report;
+    /// the TCP front end uses this for connection accounting
+    /// (accepted/closed/timed-out totals).
+    pub fn set_counter(&self, name: &str, value: u64) {
+        let mut report = self.obs.lock().expect("obs report lock poisoned");
+        match report.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => {
+                report.counters.push((name.to_owned(), value));
+                report.counters.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+    }
+}
+
+/// Content fingerprint of a compiled entry: FNV-1a over the rendered
+/// estimate JSON — the exact bytes `brick.estimate` serves — so a
+/// persisted library key only warms a restart if recompilation
+/// reproduces the original entry bit-exactly.
+fn estimate_fingerprint(spec: &BrickSpec, stack: usize, est: &BankEstimate) -> u64 {
+    fnv1a(json::render(&estimate_value(spec, stack, est)).as_bytes())
 }
 
 /// Microsecond view of a nanosecond figure (stats are reported in µs to
@@ -1181,6 +1362,98 @@ mod tests {
         );
         // The run folded its bricks back into the shared library.
         assert_eq!(svc.library().len(), 1);
+    }
+
+    fn disk_config(tag: &str) -> (ServeConfig, PathBuf) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "lim_service_{tag}_{}_{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServeConfig {
+            disk_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        (config, dir)
+    }
+
+    #[test]
+    fn restart_on_populated_disk_serves_cached_byte_identical() {
+        let (config, dir) = disk_config("restart");
+        let p = params("{\"words\":16,\"bits\":10,\"stack\":4}");
+
+        // Cold process: compute, memoize, persist.
+        let cold = Service::new(&config);
+        let first = cold.call("brick.estimate", &p);
+        assert!(!first.cached);
+        let cold_bytes = first.result.unwrap();
+        drop(cold);
+
+        // "Restarted" process on the same cache dir: the first repeat
+        // answers from disk, flagged cached, byte-identical to cold.
+        let warm = Service::new(&config);
+        let again = warm.call("brick.estimate", &p);
+        assert!(again.cached, "restart must hit the persistent tier");
+        assert_eq!(again.result.unwrap(), cold_bytes);
+        let disk = warm.disk().expect("disk tier configured");
+        assert_eq!(disk.stats().hits, 1);
+
+        // The hit was promoted into the memo: a second repeat is served
+        // without another disk read.
+        let third = warm.call("brick.estimate", &p);
+        assert!(third.cached);
+        assert_eq!(disk.stats().hits, 1, "memo now fronts the disk");
+
+        // Library warming recompiles the persisted key and verifies the
+        // fingerprint.
+        let rewarmed = Service::new(&config);
+        assert_eq!(rewarmed.warm_from_disk(), 1);
+        assert_eq!(rewarmed.library().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_golden_probes_and_populates_the_disk_tier() {
+        let (config, dir) = disk_config("batch");
+        let batch = params(
+            "{\"requests\":[\
+             {\"method\":\"golden.compare\",\"params\":{\"words\":16,\"bits\":10,\"stack\":1}},\
+             {\"method\":\"golden.compare\",\"params\":{\"words\":16,\"bits\":10,\"stack\":2}}]}",
+        );
+        let cold = Service::new(&config);
+        let cold_out = cold.call("batch", &batch).result.unwrap();
+        assert_eq!(cold.disk().unwrap().stats().writes, 2);
+        drop(cold);
+
+        let warm = Service::new(&config);
+        let warm_out = warm.call("batch", &batch).result.unwrap();
+        assert_eq!(warm.disk().unwrap().stats().hits, 2);
+        // Same entry bytes, now flagged cached.
+        assert_eq!(
+            warm_out,
+            cold_out.replace("\"cached\":false", "\"cached\":true")
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memo_probe_sees_residency_without_side_effects() {
+        let svc = Service::new(&ServeConfig::default());
+        let p = params("{\"words\":16,\"bits\":10}");
+        assert!(!svc.memo_probe("brick.estimate", &p));
+        svc.call("brick.estimate", &p);
+        assert!(svc.memo_probe("brick.estimate", &p));
+        // Probing is free: hit/miss accounting is untouched.
+        let stats = svc.stats_value();
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(cache.get("misses").and_then(Value::as_f64), Some(1.0));
+        // Non-memoizable shapes never probe true.
+        assert!(!svc.memo_probe("server.ping", &params("{}")));
+        let nocache = params("{\"words\":16,\"bits\":10,\"nocache\":true}");
+        assert!(!svc.memo_probe("brick.estimate", &nocache));
     }
 
     #[test]

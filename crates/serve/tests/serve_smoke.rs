@@ -3,11 +3,13 @@
 //! in-process library calls.
 
 use lim_obs::json::Value;
-use lim_serve::net::{write_line, LineReader};
+use lim_serve::net::{write_line, LineReader, MAX_LINE_BYTES};
 use lim_serve::protocol::{result_slice, ERR_BAD_REQUEST, ERR_OVERLOADED};
 use lim_serve::{ServeConfig, Server, Service};
+use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
 fn connect(addr: std::net::SocketAddr) -> (TcpStream, LineReader) {
     let stream = TcpStream::connect(addr).expect("connect");
@@ -68,6 +70,7 @@ fn concurrent_traffic_matches_direct_calls_and_warms_caches() {
         &ServeConfig {
             max_in_flight: 8,
             cache_bytes: 1 << 20,
+            ..ServeConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -189,6 +192,7 @@ fn overload_is_shed_with_explicit_errors() {
         &ServeConfig {
             max_in_flight: 1,
             cache_bytes: 1 << 16,
+            ..ServeConfig::default()
         },
     )
     .expect("bind ephemeral port");
@@ -243,6 +247,199 @@ fn overload_is_shed_with_explicit_errors() {
         .expect("shed stat");
     assert_eq!(reported as u64, shed);
 
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn oversized_line_gets_an_error_response_before_close() {
+    // A client that streams past MAX_LINE_BYTES without a newline must
+    // get a well-formed 400 error line back — not a silent reset — and
+    // then the connection closes.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServeConfig {
+            max_in_flight: 2,
+            cache_bytes: 1 << 16,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let (mut writer, mut reader) = connect(addr);
+    let chunk = vec![b'x'; 64 << 10];
+    let mut sent = 0usize;
+    while sent <= MAX_LINE_BYTES {
+        writer.write_all(&chunk).expect("oversized write accepted");
+        sent += chunk.len();
+    }
+    // Half-close so the server's discard phase sees EOF promptly.
+    writer
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let response = reader
+        .read_line(&|| false)
+        .expect("error line readable")
+        .expect("one error line before close");
+    let v = Value::parse(&response).expect("well-formed JSON error line");
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{response}");
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Value::as_f64),
+        Some(f64::from(ERR_BAD_REQUEST)),
+        "{response}"
+    );
+    assert!(
+        response.contains("MAX_LINE_BYTES"),
+        "error names the limit: {response}"
+    );
+    // Then EOF: the connection is closed, nothing else arrives.
+    assert_eq!(reader.read_line(&|| false).expect("clean close"), None);
+
+    // The server survives and stays responsive.
+    let (mut writer, mut reader) = connect(addr);
+    let pong = roundtrip(&mut writer, &mut reader, 1, "server.ping", "{}");
+    assert!(pong.contains("\"pong\":true"));
+    handle.shutdown_and_join().expect("clean drain");
+}
+
+#[test]
+fn restart_on_warm_disk_answers_cached_and_byte_identical() {
+    // Boot on a persistent cache dir, compute a golden compare, shut
+    // down; reboot on the same dir and demand the first repeat comes
+    // back cached:true with byte-identical result bytes — the restart
+    // warm-path acceptance for the disk tier, end to end over TCP.
+    let dir = std::env::temp_dir().join(format!("lim-serve-smoke-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        max_in_flight: 2,
+        cache_bytes: 1 << 20,
+        disk_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    const METHOD: &str = "golden.compare";
+    const PARAMS: &str = "{\"words\":24,\"bits\":9,\"stack\":2}";
+
+    let server = Server::bind("127.0.0.1:0", &config).expect("bind cold server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let (mut writer, mut reader) = connect(addr);
+    let cold = roundtrip(&mut writer, &mut reader, 7, METHOD, PARAMS);
+    assert!(cold.contains("\"cached\":false"), "first compute: {cold}");
+    handle.shutdown_and_join().expect("cold drain");
+
+    let server = Server::bind("127.0.0.1:0", &config).expect("bind warm server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let (mut writer, mut reader) = connect(addr);
+    let warm = roundtrip(&mut writer, &mut reader, 7, METHOD, PARAMS);
+    assert_eq!(
+        warm,
+        cold.replace("\"cached\":false", "\"cached\":true"),
+        "restart answer must come from disk, byte-identical"
+    );
+    handle.shutdown_and_join().expect("warm drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn a_thousand_idle_connections_cost_no_threads() {
+    // The poll loop's reason to exist: idle connections are slab slots,
+    // not threads. Open 1000, verify the process thread count is flat
+    // and the server still answers promptly, then drop them and watch
+    // the accounting drain.
+    fn thread_count() -> u64 {
+        std::fs::read_to_string("/proc/self/status")
+            .expect("/proc/self/status")
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .expect("Threads: line")
+            .trim()
+            .parse()
+            .expect("thread count parses")
+    }
+    fn connections(stats: &str) -> (u64, u64, u64) {
+        let v = Value::parse(stats).expect("stats parse");
+        let conns = v
+            .get("result")
+            .and_then(|r| r.get("connections"))
+            .expect("connections object")
+            .clone();
+        let get = |k: &str| conns.get(k).and_then(Value::as_f64).expect(k) as u64;
+        (get("open"), get("accepted"), get("closed"))
+    }
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServeConfig {
+            max_in_flight: 4,
+            cache_bytes: 1 << 20,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let (mut writer, mut reader) = connect(addr);
+    roundtrip(&mut writer, &mut reader, 0, "server.ping", "{}");
+    let before = thread_count();
+
+    const IDLE: usize = 1000;
+    let idle: Vec<TcpStream> = (0..IDLE)
+        .map(|i| {
+            TcpStream::connect(addr).unwrap_or_else(|e| panic!("idle connect {i}: {e}"))
+        })
+        .collect();
+    // Wait for the server to accept them all (it batches accepts per
+    // poll wakeup).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = roundtrip(&mut writer, &mut reader, 1, "server.stats", "{}");
+        let (open, _, _) = connections(&stats);
+        if open >= (IDLE + 1) as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server accepted only {open} connections: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let after = thread_count();
+    assert!(
+        after <= before + 4,
+        "idle connections must not spawn threads: {before} -> {after}"
+    );
+    // Still responsive with 1000 idle connections parked.
+    let started = Instant::now();
+    let pong = roundtrip(&mut writer, &mut reader, 2, "server.ping", "{}");
+    assert!(pong.contains("\"pong\":true"));
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "ping under idle load took {:?}",
+        started.elapsed()
+    );
+
+    drop(idle);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = roundtrip(&mut writer, &mut reader, 3, "server.stats", "{}");
+        let (open, accepted, closed) = connections(&stats);
+        if open <= 1 {
+            assert_eq!(accepted, closed + open, "accounting must balance");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "dropped connections not reaped: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
     handle.shutdown_and_join().expect("clean drain");
 }
 

@@ -88,8 +88,11 @@ client --method brick.estimate --params '{"words":16,"bits":10,"stack":4}' \
 # windows, server.trace must serve retained traces, and the telemetry
 # export must validate as lim-obs-v1 (hist/window/trace rows).
 echo "== tier1: lim-serve telemetry smoke =="
-client --method brick.estimate --params '{"words":32,"bits":12,"stack":2}' --trace \
-    | grep -q '^trace ' \
+# Capture, then grep: piping straight into `grep -q` lets grep close
+# the pipe after the first match while lim-client is still printing
+# the rest of the tree, which pipefail reports as a client failure.
+traced=$(client --method brick.estimate --params '{"words":32,"bits":12,"stack":2}' --trace)
+echo "$traced" | grep -q '^trace ' \
     || { echo "lim-client --trace rendered no span tree" >&2; exit 1; }
 stats=$(client --method server.stats)
 echo "$stats" | grep -q '"p99_us"' \
@@ -108,3 +111,92 @@ client --shutdown >/dev/null
 wait "$serve_pid"
 trap - EXIT
 echo "== tier1: lim-serve smoke OK =="
+
+# Helpers for the multi-daemon smokes below: boot a daemon, wait for
+# its address file, talk to an explicit address.
+boot_serve() { # boot_serve ADDR_FILE [extra flags...]
+    local addr_file="$1"; shift
+    rm -f "$addr_file"
+    cargo run --release --offline -q -p lim-serve --bin lim-serve -- \
+        --port 0 --addr-file "$addr_file" --quiet "$@" &
+}
+wait_addr() { # wait_addr ADDR_FILE -> prints the address
+    local addr_file="$1"
+    for _ in $(seq 1 100); do
+        [[ -s "$addr_file" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$addr_file" ]] || { echo "daemon never published $addr_file" >&2; exit 1; }
+    head -n1 "$addr_file"
+}
+client_at() { # client_at ADDR [client flags...]
+    local at="$1"; shift
+    cargo run --release --offline -q -p lim-serve --bin lim-client -- --addr "$at" "$@"
+}
+
+# Restart-warm smoke: a daemon booted on a populated --cache-dir must
+# answer the first repeat of an earlier request cached:true and
+# byte-identical (cached flag aside) to the cold compute.
+echo "== tier1: lim-serve restart-warm smoke =="
+disk_dir=/tmp/tier1_serve_disk
+rm -rf "$disk_dir"
+boot_serve /tmp/tier1_serve_addr_disk --cache-dir "$disk_dir"
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+addr="$(wait_addr /tmp/tier1_serve_addr_disk)"
+cold=$(client_at "$addr" --method golden.compare --params '{"words":24,"bits":9,"stack":2}')
+echo "$cold" | grep -q '"cached":false' \
+    || { echo "cold run unexpectedly cached: $cold" >&2; exit 1; }
+client_at "$addr" --shutdown >/dev/null
+wait "$serve_pid"
+boot_serve /tmp/tier1_serve_addr_disk --cache-dir "$disk_dir"
+serve_pid=$!
+addr="$(wait_addr /tmp/tier1_serve_addr_disk)"
+warm=$(client_at "$addr" --method golden.compare --params '{"words":24,"bits":9,"stack":2}')
+echo "$warm" | grep -q '"cached":true' \
+    || { echo "restarted daemon did not come up warm: $warm" >&2; exit 1; }
+[[ "$warm" == "${cold/\"cached\":false/\"cached\":true}" ]] \
+    || { echo "warm answer differs from cold compute" >&2; \
+         echo "cold: $cold" >&2; echo "warm: $warm" >&2; exit 1; }
+client_at "$addr" --shutdown >/dev/null
+wait "$serve_pid"
+trap - EXIT
+rm -rf "$disk_dir"
+echo "== tier1: lim-serve restart-warm smoke OK =="
+
+# Cluster smoke: lim-router over two shards must answer a batch
+# byte-identically to a lone shard, lim-client --shards must route,
+# and a shutdown through the router must drain every process.
+echo "== tier1: lim-serve cluster smoke =="
+boot_serve /tmp/tier1_shard1_addr; shard1_pid=$!
+boot_serve /tmp/tier1_shard2_addr; shard2_pid=$!
+boot_serve /tmp/tier1_single_addr; single_pid=$!
+trap 'kill "$shard1_pid" "$shard2_pid" "$single_pid" 2>/dev/null || true' EXIT
+shard1="$(wait_addr /tmp/tier1_shard1_addr)"
+shard2="$(wait_addr /tmp/tier1_shard2_addr)"
+single="$(wait_addr /tmp/tier1_single_addr)"
+rm -f /tmp/tier1_router_addr
+cargo run --release --offline -q -p lim-serve --bin lim-router -- \
+    --port 0 --shards "$shard1,$shard2" --addr-file /tmp/tier1_router_addr --quiet &
+router_pid=$!
+trap 'kill "$shard1_pid" "$shard2_pid" "$single_pid" "$router_pid" 2>/dev/null || true' EXIT
+router="$(wait_addr /tmp/tier1_router_addr)"
+cluster_batch='{"requests":[{"method":"server.ping"},{"method":"brick.estimate","params":{"words":24,"bits":9,"stack":2}},{"method":"golden.compare","params":{"words":40,"bits":8,"stack":2}},{"method":"brick.estimate","params":{"words":128,"bits":12,"stack":4}}]}'
+routed=$(client_at "$router" --method batch --params "$cluster_batch")
+direct=$(client_at "$single" --method batch --params "$cluster_batch")
+[[ "$routed" == "$direct" ]] \
+    || { echo "router batch differs from lone shard" >&2; \
+         echo "routed: $routed" >&2; echo "direct: $direct" >&2; exit 1; }
+# Router-less client-side routing over the same ring.
+cargo run --release --offline -q -p lim-serve --bin lim-client -- \
+    --shards "$shard1,$shard2" \
+    --method brick.estimate --params '{"words":64,"bits":12,"stack":2}' \
+    | grep -q '"ok":true' \
+    || { echo "lim-client --shards failed to route" >&2; exit 1; }
+# Drain the whole cluster through the router, then the lone shard.
+client_at "$router" --shutdown >/dev/null
+wait "$router_pid" "$shard1_pid" "$shard2_pid"
+client_at "$single" --shutdown >/dev/null
+wait "$single_pid"
+trap - EXIT
+echo "== tier1: lim-serve cluster smoke OK =="

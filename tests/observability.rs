@@ -2,8 +2,9 @@
 //! enabled must emit the documented stage-span tree (floorplan, place,
 //! route, STA, power under `physical`) with nonzero counters, the
 //! captured report must serialize to schema-valid `lim-obs-v1` JSON
-//! lines, and the telemetry histogram must merge to identical bucket
-//! counts regardless of how many workers recorded into it.
+//! lines, the telemetry histogram must merge to identical bucket
+//! counts regardless of how many workers recorded into it, and the
+//! serve layer's connection accounting must balance.
 
 use lim::flow::LimFlow;
 use lim::sram::SramConfig;
@@ -95,4 +96,103 @@ fn shared_histogram_buckets_are_identical_across_worker_counts() {
     for q in [0.50, 0.90, 0.99] {
         assert_eq!(one.percentile_ns(q), four.percentile_ns(q));
     }
+}
+
+#[test]
+fn server_connection_accounting_balances_and_reports_timeouts() {
+    // The `connections` object in `server.stats` must tell the truth:
+    // `accepted == open + closed` at quiescent moments, the open gauge
+    // tracks live sockets, and idle-timed-out connections show up in
+    // `timed_out` (and in `closed` — a timeout is also a close).
+    use lim_obs::json::Value;
+    use lim_serve::net::{write_line, LineReader};
+    use lim_serve::{ServeConfig, Server};
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        &ServeConfig {
+            max_in_flight: 2,
+            cache_bytes: 1 << 16,
+            idle_timeout: Some(Duration::from_millis(300)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+
+    let stats = |writer: &mut TcpStream, reader: &mut LineReader| -> (u64, u64, u64, u64) {
+        write_line(writer, "{\"id\":0,\"method\":\"server.stats\",\"params\":{}}")
+            .expect("stats request");
+        let line = reader
+            .read_line(&|| false)
+            .expect("stats read")
+            .expect("stats line");
+        let v = Value::parse(&line).expect("stats parse");
+        let conns = v
+            .get("result")
+            .and_then(|r| r.get("connections"))
+            .unwrap_or_else(|| panic!("connections object missing: {line}"))
+            .clone();
+        let get = |k: &str| conns.get(k).and_then(Value::as_f64).expect(k) as u64;
+        (
+            get("open"),
+            get("accepted"),
+            get("closed"),
+            get("timed_out"),
+        )
+    };
+
+    // One live connection: itself.
+    let probe = TcpStream::connect(addr).expect("probe connect");
+    probe.set_nodelay(true).unwrap();
+    let mut reader = LineReader::new(probe.try_clone().unwrap());
+    let mut writer = probe;
+    let (open, accepted, closed, timed_out) = stats(&mut writer, &mut reader);
+    assert_eq!(open, 1, "the stats connection itself");
+    assert_eq!(accepted, 1);
+    assert_eq!(closed, 0);
+    assert_eq!(timed_out, 0);
+
+    // Two more connections come and go cleanly; a third goes silent and
+    // must be reaped by the idle timeout.
+    for _ in 0..2 {
+        let extra = TcpStream::connect(addr).expect("extra connect");
+        drop(extra);
+    }
+    let silent = TcpStream::connect(addr).expect("silent connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (open, accepted, closed, timed_out) = loop {
+        let snap = stats(&mut writer, &mut reader);
+        if snap.3 >= 1 && snap.1 == snap.0 + snap.2 {
+            break snap;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "idle connection never timed out: {snap:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(accepted, 4, "stats conn + 2 dropped + 1 silent");
+    assert_eq!(timed_out, 1, "exactly the silent connection timed out");
+    assert_eq!(closed, 3, "2 dropped + 1 timed out");
+    assert_eq!(open, 1, "the stats connection keeps talking");
+    assert_eq!(accepted, open + closed, "accounting must balance");
+
+    // The reaped socket really is closed: reads see EOF.
+    use std::io::Read;
+    let mut silent = silent;
+    silent
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 8];
+    assert_eq!(
+        silent.read(&mut buf).expect("EOF, not a timeout"),
+        0,
+        "server must close a timed-out connection"
+    );
+
+    handle.shutdown_and_join().expect("clean drain");
 }
