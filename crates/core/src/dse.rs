@@ -45,7 +45,7 @@ impl fmt::Display for DsePoint {
             "{}: {:.0} ps, {:.1} pJ, {:.0} µm²",
             self.label,
             self.delay.value(),
-            self.energy.to_picojoules().value() * 1e3 / 1e3,
+            self.energy.to_picojoules().value(),
             self.area.value()
         )
     }
@@ -228,21 +228,62 @@ impl NestingPlan {
 
 /// Returns the indices of the pareto-optimal points minimizing
 /// (delay, energy, area): a point survives unless some other point is no
-/// worse in every dimension and strictly better in one.
+/// worse in every dimension and strictly better in one. Indices come
+/// back in ascending (input) order.
+///
+/// `O(n log n)`: points are swept in lexicographic (delay, energy,
+/// area) order, so any dominator of a point precedes it, and a
+/// staircase of the survivors' (energy, area) pairs — energy strictly
+/// ascending, area strictly descending — answers "does any earlier
+/// survivor have energy ≤ e and area ≤ a" with one binary search.
+/// Checking survivors only is sound because domination chains always
+/// end at a survivor. Points with identical (delay, energy, area)
+/// never dominate each other, so they are processed as one group.
 pub fn pareto_front(points: &[DsePoint]) -> Vec<usize> {
-    let dominated = |a: &DsePoint, b: &DsePoint| -> bool {
-        // b dominates a.
-        let le = b.delay.value() <= a.delay.value()
-            && b.energy.value() <= a.energy.value()
-            && b.area.value() <= a.area.value();
-        let lt = b.delay.value() < a.delay.value()
-            || b.energy.value() < a.energy.value()
-            || b.area.value() < a.area.value();
-        le && lt
+    let n = points.len();
+    let key = |i: usize| {
+        let p = &points[i];
+        (p.delay.value(), p.energy.value(), p.area.value())
     };
-    (0..points.len())
-        .filter(|&i| !points.iter().enumerate().any(|(j, b)| j != i && dominated(&points[i], b)))
-        .collect()
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by(|&i, &j| {
+        let (di, ei, ai) = key(i);
+        let (dj, ej, aj) = key(j);
+        di.total_cmp(&dj)
+            .then(ei.total_cmp(&ej))
+            .then(ai.total_cmp(&aj))
+            .then(i.cmp(&j))
+    });
+    let mut stair: Vec<(f64, f64)> = Vec::new();
+    let mut kept: Vec<usize> = Vec::new();
+    let mut g = 0;
+    while g < n {
+        let mut h = g + 1;
+        while h < n && key(order[h]) == key(order[g]) {
+            h += 1;
+        }
+        let (_, e, a) = key(order[g]);
+        // Every lex-earlier survivor with energy ≤ e also has delay ≤ e's
+        // delay and differs somewhere, so finding one with area ≤ a means
+        // this whole group is dominated. Area decreases along the
+        // staircase, so the last entry with energy ≤ e has the least area.
+        let le = stair.partition_point(|&(se, _)| se <= e);
+        let dominated = le > 0 && stair[le - 1].1 <= a;
+        if !dominated {
+            kept.extend_from_slice(&order[g..h]);
+            // Entries with energy ≥ e and area ≥ a cover a subset of the
+            // new pair's region; replace them with (e, a).
+            let lo = stair.partition_point(|&(se, _)| se < e);
+            let mut hi = lo;
+            while hi < stair.len() && stair[hi].1 >= a {
+                hi += 1;
+            }
+            stair.splice(lo..hi, [(e, a)]);
+        }
+        g = h;
+    }
+    kept.sort_unstable();
+    kept
 }
 
 /// Normalizes each metric to the minimum across `points` (the Fig. 4c
@@ -350,6 +391,50 @@ mod tests {
                 assert!(!dominates, "{} dominates {}", pts[j].label, pts[i].label);
             }
         }
+    }
+
+    /// The O(n²) definition the sweep implementation must agree with.
+    fn naive_pareto_front(points: &[DsePoint]) -> Vec<usize> {
+        let dominated = |a: &DsePoint, b: &DsePoint| -> bool {
+            let le = b.delay.value() <= a.delay.value()
+                && b.energy.value() <= a.energy.value()
+                && b.area.value() <= a.area.value();
+            let lt = b.delay.value() < a.delay.value()
+                || b.energy.value() < a.energy.value()
+                || b.area.value() < a.area.value();
+            le && lt
+        };
+        (0..points.len())
+            .filter(|&i| {
+                !points
+                    .iter()
+                    .enumerate()
+                    .any(|(j, b)| j != i && dominated(&points[i], b))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pareto_front_matches_naive_on_random_points() {
+        // Small discrete coordinate ranges force heavy ties — the regime
+        // where a sweep's strict/non-strict domination edges go wrong.
+        lim_testkit::prop::check("pareto_front_matches_naive", |rng| {
+            let n = rng.gen_range(0usize..60);
+            let pts: Vec<DsePoint> = (0..n)
+                .map(|i| DsePoint {
+                    label: format!("p{i}"),
+                    words: 128,
+                    bits: 8,
+                    brick_words: 16,
+                    stack: 1,
+                    delay: Picoseconds::new(rng.gen_range(1u64..6) as f64),
+                    energy: Femtojoules::new(rng.gen_range(1u64..6) as f64),
+                    area: SquareMicrons::new(rng.gen_range(1u64..6) as f64),
+                    elapsed: Duration::ZERO,
+                })
+                .collect();
+            assert_eq!(pareto_front(&pts), naive_pareto_front(&pts));
+        });
     }
 
     #[test]

@@ -77,6 +77,15 @@ pub struct FlowStats {
     pub place_accepted: usize,
     /// Independent annealing starts the placer ran.
     pub place_starts: usize,
+    /// Whether the annealer started from the analytic B2B seed (false
+    /// under `SeedMode::Cold` or for degenerate designs).
+    pub place_seeded: bool,
+    /// Conjugate-gradient iterations the analytic seed spent (both
+    /// axes, all reweight rounds; zero when unseeded).
+    pub place_analytic_iters: usize,
+    /// Legalization displacement of the analytic seed, rounded to whole
+    /// µm (integer so `FlowStats` stays `Eq`; zero when unseeded).
+    pub place_legalize_displacement_um: u64,
     /// Nets the router estimated.
     pub nets_routed: usize,
     /// Timing endpoints STA evaluated.
@@ -231,6 +240,9 @@ impl<'a> PhysicalSynthesis<'a> {
         stats.place_moves = placement.moves;
         stats.place_accepted = placement.accepted;
         stats.place_starts = placement.starts;
+        stats.place_seeded = placement.seeded;
+        stats.place_analytic_iters = placement.analytic_iters;
+        stats.place_legalize_displacement_um = placement.legalize_displacement.round() as u64;
 
         let (routes, elapsed) = lim_obs::timed("route", || {
             route::estimate(self.tech, netlist, &placement, &fp, self.library)
@@ -273,6 +285,8 @@ mod tests {
         assert!(rep.stats.place_moves > 0);
         assert!(rep.stats.place_accepted <= rep.stats.place_moves);
         assert_eq!(rep.stats.place_starts, 1);
+        assert!(rep.stats.place_seeded);
+        assert!(rep.stats.place_analytic_iters > 0);
         assert!(rep.stats.nets_routed > 0);
         assert!(rep.stats.sta_endpoints > 0);
         assert_eq!(rep.stats.sta_endpoints, rep.timing.endpoints);

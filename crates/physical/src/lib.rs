@@ -10,8 +10,11 @@
 //!
 //! * [`floorplan`] — die sizing, macro (brick bank) legalization, standard
 //!   cell rows, restrictive-patterning guard-space accounting.
-//! * [`place`] — seeded simulated-annealing placement minimizing
-//!   half-perimeter wirelength.
+//! * [`analytic`] — deterministic B2B quadratic global placement
+//!   (Jacobi-preconditioned CG, Tetris legalization) seeding the
+//!   annealer.
+//! * [`place`] — analytic-seeded, seeded simulated-annealing placement
+//!   minimizing half-perimeter wirelength.
 //! * [`route`] — per-net Steiner-factor wire estimates with RC
 //!   parasitics (the `.spef` of the flow).
 //! * [`sta`] — NLDM-style static timing analysis: slew-aware arrival
@@ -40,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod analytic;
 pub mod clock;
 pub mod error;
 pub mod floorplan;

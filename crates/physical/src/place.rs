@@ -1,8 +1,14 @@
-//! Simulated-annealing standard-cell placement.
+//! Standard-cell placement: analytic global placement seeding a short
+//! refinement anneal.
 //!
-//! Cells occupy uniform slots on the floorplan's rows; the annealer swaps
-//! cells (or moves them to empty slots) to minimize total half-perimeter
-//! wirelength. Seeded for reproducibility.
+//! Cells occupy uniform slots on the floorplan's rows. By default
+//! ([`SeedMode::Analytic`]) a deterministic analytic global placer
+//! (`crate::analytic`: bound-to-bound quadratic net model solved per
+//! axis with Jacobi-preconditioned conjugate gradient, legalized
+//! Tetris-style onto the slot grid) produces the initial assignment,
+//! and the annealer runs as a short low-temperature refinement on top
+//! of it. [`SeedMode::Cold`] keeps the pre-analytic behavior: every
+//! start anneals from the ordered assignment with the full schedule.
 //!
 //! # Incremental cost
 //!
@@ -27,10 +33,14 @@
 //! [`PlaceEffort::starts`] runs several independently seeded anneals
 //! (through `lim-par::par_map` unless
 //! [`PlaceEffort::parallel_starts`] is cleared) and keeps the
-//! lowest-HPWL result. Per-start seeds derive from the caller's seed by
-//! a SplitMix64 walk and the winner is chosen by strictly-lower final
-//! HPWL in seed order, so the output is byte-identical for any
-//! `LIM_PAR_THREADS` value and independent of start completion order.
+//! lowest-HPWL result. Under [`SeedMode::Analytic`] the analytic solve
+//! and legalization run **once** and every start refines the same
+//! legalized assignment with its own move stream — K jittered
+//! refinements instead of K cold anneals. Per-start seeds derive from
+//! the caller's seed by a SplitMix64 walk and the winner is chosen by
+//! strictly-lower final HPWL in seed order, so the output is
+//! byte-identical for any `LIM_PAR_THREADS` value and independent of
+//! start completion order.
 
 use crate::error::PhysicalError;
 use crate::floorplan::Floorplan;
@@ -43,6 +53,18 @@ use lim_testkit::TestRng;
 /// Accepted moves between from-scratch cost cross-checks in debug
 /// builds.
 pub const DRIFT_CHECK_INTERVAL: usize = 1024;
+
+/// Fraction of the cold move budget a seeded refinement start spends.
+pub(crate) const REFINE_BUDGET: f64 = 0.15;
+
+/// Initial-temperature multiplier of a seeded refinement relative to a
+/// cold start: low enough that the analytic placement is polished, not
+/// scrambled.
+pub(crate) const REFINE_T0: f64 = 0.06;
+
+/// Move-window multiplier of a seeded refinement: targets stay local to
+/// the analytic placement from the first move.
+pub(crate) const REFINE_WINDOW: f64 = 0.35;
 
 /// Where every pin of the design sits.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +88,15 @@ pub struct Placement {
     pub accepted: usize,
     /// Annealing starts actually run (0 when annealing was skipped).
     pub starts: usize,
+    /// Conjugate-gradient iterations the analytic seed solve spent
+    /// (both axes, all reweight rounds); 0 when no analytic solve ran.
+    pub analytic_iters: usize,
+    /// Total µm of displacement the Tetris legalizer applied to the
+    /// analytic solution; 0.0 when no analytic solve ran.
+    pub legalize_displacement: f64,
+    /// Whether the annealing starts refined an analytic seed (`false`
+    /// for cold anneals and designs with nothing to place).
+    pub seeded: bool,
 }
 
 impl Placement {
@@ -90,8 +121,21 @@ impl Placement {
     }
 }
 
-/// Placement effort: the annealing move budget and the number of
-/// independent starts.
+/// How each annealing start gets its initial assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedMode {
+    /// One shared analytic global placement (B2B quadratic model,
+    /// Tetris legalization) seeds every start; the anneal is a short
+    /// low-temperature refinement. The default.
+    #[default]
+    Analytic,
+    /// Every start anneals cold from the ordered assignment with the
+    /// full move budget and schedule.
+    Cold,
+}
+
+/// Placement effort: the annealing move budget, the number of
+/// independent starts, and how starts are seeded.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlaceEffort {
     /// Multiplier on the per-start annealing move budget.
@@ -104,6 +148,9 @@ pub struct PlaceEffort {
     /// inside an outer parallel sweep (see `lim::dse::nesting_plan`).
     /// Never affects the result, only where the work runs.
     pub parallel_starts: bool,
+    /// How starts get their initial assignment (analytic seed by
+    /// default).
+    pub seed_mode: SeedMode,
 }
 
 impl PlaceEffort {
@@ -113,6 +160,7 @@ impl PlaceEffort {
             moves,
             starts: 1,
             parallel_starts: true,
+            seed_mode: SeedMode::default(),
         }
     }
 
@@ -132,6 +180,13 @@ impl PlaceEffort {
         self.parallel_starts = false;
         self
     }
+
+    /// Returns `self` annealing cold (no analytic seed), the
+    /// pre-analytic behavior.
+    pub fn cold(mut self) -> Self {
+        self.seed_mode = SeedMode::Cold;
+        self
+    }
 }
 
 impl Default for PlaceEffort {
@@ -141,7 +196,7 @@ impl Default for PlaceEffort {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum PinRef {
+pub(crate) enum PinRef {
     Cell(usize),
     Macro(usize),
     Input(usize),
@@ -150,35 +205,37 @@ enum PinRef {
 
 /// Static per-design placement context shared (read-only) by every
 /// start: the slot grid, fixed pin positions, and CSR net membership.
-struct Ctx<'a> {
-    slots: &'a [(f64, f64)],
-    macro_centers: &'a [(String, (f64, f64))],
-    input_pins: &'a [(NetId, (f64, f64))],
-    output_pins: &'a [(NetId, (f64, f64))],
+pub(crate) struct Ctx<'a> {
+    pub(crate) slots: &'a [(f64, f64)],
+    pub(crate) macro_centers: &'a [(String, (f64, f64))],
+    pub(crate) input_pins: &'a [(NetId, (f64, f64))],
+    pub(crate) output_pins: &'a [(NetId, (f64, f64))],
     /// CSR: pins of each net, one entry per pin occurrence (net-major,
     /// the same layout as every `CostModel`'s position array).
-    net_off: &'a [u32],
-    net_pins: &'a [PinRef],
+    pub(crate) net_off: &'a [u32],
+    pub(crate) net_pins: &'a [PinRef],
     /// CSR offsets of each placeable cell's pin occurrences.
-    cell_off: &'a [u32],
+    pub(crate) cell_off: &'a [u32],
     /// Flat position-array index of each cell pin occurrence.
-    cell_pin_idx: &'a [u32],
+    pub(crate) cell_pin_idx: &'a [u32],
     /// CSR: deduplicated ascending net list of each placeable cell,
     /// each run terminated by a `u32::MAX` sentinel so the move
     /// evaluator's two-list merge needs no exhaustion branches.
-    merge_off: &'a [u32],
-    merge_nets: &'a [u32],
+    pub(crate) merge_off: &'a [u32],
+    pub(crate) merge_nets: &'a [u32],
     /// Row index of each slot (empty rows compacted away).
-    slot_row: &'a [u32],
+    pub(crate) slot_row: &'a [u32],
     /// CSR offsets of each row's contiguous slot range.
-    row_off: &'a [u32],
-    n_placeable: usize,
-    /// Per-start annealing move budget.
-    n_moves: usize,
+    pub(crate) row_off: &'a [u32],
+    pub(crate) n_placeable: usize,
+    /// Per-start annealing move budget (cold schedule).
+    pub(crate) n_moves: usize,
+    /// Die dimensions, for the analytic solver's weak center anchor.
+    pub(crate) die: (f64, f64),
 }
 
 impl Ctx<'_> {
-    fn pin_idx_of(&self, ord: usize) -> &[u32] {
+    pub(crate) fn pin_idx_of(&self, ord: usize) -> &[u32] {
         &self.cell_pin_idx[self.cell_off[ord] as usize..self.cell_off[ord + 1] as usize]
     }
 
@@ -186,23 +243,297 @@ impl Ctx<'_> {
         &self.merge_nets[self.merge_off[ord] as usize..self.merge_off[ord + 1] as usize]
     }
 
-    fn net_count(&self) -> usize {
+    pub(crate) fn net_count(&self) -> usize {
         self.net_off.len() - 1
+    }
+
+    /// Position of one pin occurrence under an assignment mapping cell
+    /// ordinals to slots (fixed pins ignore the assignment).
+    pub(crate) fn pin_position(&self, pin: PinRef, slot_of: &[usize]) -> (f64, f64) {
+        match pin {
+            PinRef::Cell(ord) => self.slots[slot_of[ord]],
+            PinRef::Macro(i) => self.macro_centers[i].1,
+            PinRef::Input(i) => self.input_pins[i].1,
+            PinRef::Output(i) => self.output_pins[i].1,
+        }
+    }
+}
+
+/// The owned placement problem: everything `Ctx` borrows, built once
+/// per design and shared by the analytic seeder and every annealing
+/// start.
+pub(crate) struct Problem {
+    slots: Vec<(f64, f64)>,
+    macro_centers: Vec<(String, (f64, f64))>,
+    input_pins: Vec<(NetId, (f64, f64))>,
+    output_pins: Vec<(NetId, (f64, f64))>,
+    net_off: Vec<u32>,
+    net_pins: Vec<PinRef>,
+    cell_off: Vec<u32>,
+    cell_pin_idx: Vec<u32>,
+    merge_off: Vec<u32>,
+    merge_nets: Vec<u32>,
+    slot_row: Vec<u32>,
+    row_off: Vec<u32>,
+    /// Netlist cell index of each placeable ordinal.
+    pub(crate) placeable: Vec<usize>,
+    n_moves: usize,
+    die: (f64, f64),
+}
+
+impl Problem {
+    /// Builds the slot grid, fixed pin positions, and CSR net
+    /// membership for `netlist` on `floorplan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicalError::DoesNotFit`] when the rows offer fewer
+    /// slots than there are placeable cells.
+    pub(crate) fn build(
+        tech: &Technology,
+        netlist: &Netlist,
+        floorplan: &Floorplan,
+        effort_moves: f64,
+    ) -> Result<Self, PhysicalError> {
+        let cells = netlist.cells();
+        let placeable: Vec<usize> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c.kind, CellKind::Macro { .. }))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Uniform slot grid across the rows, sized from the average cell
+        // footprint; shrink if rounding leaves too few slots.
+        let total_area = netlist.stdcell_area(tech).value();
+        let avg_width = if placeable.is_empty() {
+            1.0
+        } else {
+            (total_area / placeable.len() as f64 / tech.row_height.value()).max(0.2)
+        };
+        let mut slot_w = avg_width;
+        let build_slots = |slot_w: f64| -> Vec<(f64, f64)> {
+            let mut slots = Vec::new();
+            for row in &floorplan.rows {
+                let usable = row.width().value();
+                let n = (usable / slot_w).floor() as usize;
+                for k in 0..n {
+                    slots.push((
+                        row.x_start.value() + (k as f64 + 0.5) * slot_w,
+                        row.y.value() + tech.row_height.value() / 2.0,
+                    ));
+                }
+            }
+            slots
+        };
+        let mut slots = build_slots(slot_w);
+        while slots.len() < placeable.len() && slot_w > 0.05 {
+            slot_w *= 0.8;
+            slots = build_slots(slot_w);
+        }
+        if slots.len() < placeable.len() {
+            return Err(PhysicalError::DoesNotFit {
+                demand: placeable.len() as f64,
+                capacity: slots.len() as f64,
+            });
+        }
+
+        // Row structure of the slot grid for the annealer's 2-D move
+        // windows: rows that round down to zero slots are compacted away
+        // so every row in `row_off` is non-empty.
+        let mut row_off: Vec<u32> = Vec::with_capacity(floorplan.rows.len() + 1);
+        let mut slot_row: Vec<u32> = Vec::with_capacity(slots.len());
+        row_off.push(0);
+        for row in &floorplan.rows {
+            let n = (row.width().value() / slot_w).floor() as usize;
+            if n == 0 {
+                continue;
+            }
+            let r = (row_off.len() - 1) as u32;
+            slot_row.extend(std::iter::repeat_n(r, n));
+            row_off.push(row_off[row_off.len() - 1] + n as u32);
+        }
+        debug_assert_eq!(slot_row.len(), slots.len());
+
+        // Static pin positions.
+        let macro_centers: Vec<(String, (f64, f64))> = floorplan
+            .macros
+            .iter()
+            .map(|m| {
+                (m.instance.clone(), {
+                    let (x, y) = m.center();
+                    (x.value(), y.value())
+                })
+            })
+            .collect();
+        let n_pi = netlist.primary_inputs().len().max(1);
+        let input_pins: Vec<(NetId, (f64, f64))> = netlist
+            .primary_inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (
+                    n,
+                    (
+                        0.0,
+                        floorplan.height.value() * (i as f64 + 0.5) / n_pi as f64,
+                    ),
+                )
+            })
+            .collect();
+        let n_po = netlist.primary_outputs().len().max(1);
+        let output_pins: Vec<(NetId, (f64, f64))> = netlist
+            .primary_outputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                (
+                    n,
+                    (
+                        floorplan.width.value(),
+                        floorplan.height.value() * (i as f64 + 0.5) / n_po as f64,
+                    ),
+                )
+            })
+            .collect();
+
+        // Net membership, CSR on both sides (one entry per pin
+        // occurrence, so incremental removals and rescans agree on
+        // multiplicity).
+        let n_nets = netlist.net_count();
+        let mut cell_off = vec![0u32; placeable.len() + 1];
+        for (ord, &ci) in placeable.iter().enumerate() {
+            let pins = cells[ci].inputs.len() + cells[ci].outputs.len();
+            cell_off[ord + 1] = cell_off[ord] + pins as u32;
+        }
+        let mut pin_count = vec![0u32; n_nets];
+        for &ci in &placeable {
+            for &net in cells[ci].inputs.iter().chain(cells[ci].outputs.iter()) {
+                pin_count[net.index()] += 1;
+            }
+        }
+        let mut macro_pins: Vec<(u32, PinRef)> = Vec::new();
+        for (i, m) in floorplan.macros.iter().enumerate() {
+            let cell = cells
+                .iter()
+                .find(|c| c.name == m.instance)
+                .expect("macro instance exists in netlist");
+            for &net in cell.inputs.iter().chain(cell.outputs.iter()) {
+                macro_pins.push((net.index() as u32, PinRef::Macro(i)));
+                pin_count[net.index()] += 1;
+            }
+        }
+        for (i, (net, _)) in input_pins.iter().enumerate() {
+            macro_pins.push((net.index() as u32, PinRef::Input(i)));
+            pin_count[net.index()] += 1;
+        }
+        for (i, (net, _)) in output_pins.iter().enumerate() {
+            macro_pins.push((net.index() as u32, PinRef::Output(i)));
+            pin_count[net.index()] += 1;
+        }
+        let mut net_off = vec![0u32; n_nets + 1];
+        for n in 0..n_nets {
+            net_off[n + 1] = net_off[n] + pin_count[n];
+        }
+        let mut cursor: Vec<u32> = net_off[..n_nets].to_vec();
+        let mut net_pins = vec![PinRef::Cell(usize::MAX); *net_off.last().unwrap() as usize];
+        // (net, flat position index) per cell pin occurrence; sorted by
+        // net within each cell below so move evaluation can merge the
+        // two cells' net lists instead of sorting per move.
+        let mut cell_pairs: Vec<(u32, u32)> =
+            Vec::with_capacity(*cell_off.last().unwrap() as usize);
+        for (ord, &ci) in placeable.iter().enumerate() {
+            for &net in cells[ci].inputs.iter().chain(cells[ci].outputs.iter()) {
+                let n = net.index();
+                net_pins[cursor[n] as usize] = PinRef::Cell(ord);
+                cell_pairs.push((n as u32, cursor[n]));
+                cursor[n] += 1;
+            }
+        }
+        for ord in 0..placeable.len() {
+            cell_pairs[cell_off[ord] as usize..cell_off[ord + 1] as usize].sort_unstable();
+        }
+        let cell_nets: Vec<u32> = cell_pairs.iter().map(|&(n, _)| n).collect();
+        let cell_pin_idx: Vec<u32> = cell_pairs.iter().map(|&(_, i)| i).collect();
+        // Deduplicated, sentinel-terminated net list per cell for the
+        // move evaluator's branch-light merge.
+        let mut merge_off = vec![0u32; placeable.len() + 1];
+        let mut merge_nets: Vec<u32> = Vec::with_capacity(cell_nets.len() + placeable.len());
+        for ord in 0..placeable.len() {
+            let mut prev = u32::MAX;
+            for &n in &cell_nets[cell_off[ord] as usize..cell_off[ord + 1] as usize] {
+                if n != prev {
+                    merge_nets.push(n);
+                    prev = n;
+                }
+            }
+            merge_nets.push(u32::MAX);
+            merge_off[ord + 1] = merge_nets.len() as u32;
+        }
+        for &(n, pin) in &macro_pins {
+            net_pins[cursor[n as usize] as usize] = pin;
+            cursor[n as usize] += 1;
+        }
+
+        let n_moves = if placeable.len() < 2 {
+            0
+        } else {
+            ((placeable.len() * 30) as f64 * effort_moves) as usize
+        };
+
+        Ok(Problem {
+            slots,
+            macro_centers,
+            input_pins,
+            output_pins,
+            net_off,
+            net_pins,
+            cell_off,
+            cell_pin_idx,
+            merge_off,
+            merge_nets,
+            slot_row,
+            row_off,
+            placeable,
+            n_moves,
+            die: (floorplan.width.value(), floorplan.height.value()),
+        })
+    }
+
+    /// Borrowed view shared by the analytic seeder and the anneals.
+    pub(crate) fn ctx(&self) -> Ctx<'_> {
+        Ctx {
+            slots: &self.slots,
+            macro_centers: &self.macro_centers,
+            input_pins: &self.input_pins,
+            output_pins: &self.output_pins,
+            net_off: &self.net_off,
+            net_pins: &self.net_pins,
+            cell_off: &self.cell_off,
+            cell_pin_idx: &self.cell_pin_idx,
+            merge_off: &self.merge_off,
+            merge_nets: &self.merge_nets,
+            slot_row: &self.slot_row,
+            row_off: &self.row_off,
+            n_placeable: self.placeable.len(),
+            n_moves: self.n_moves,
+            die: self.die,
+        }
     }
 }
 
 /// The mutable annealing state of one start: the assignment, the flat
 /// pin-position array, the cached per-net perimeters, the running cost,
 /// and reusable scratch.
-struct CostModel<'a> {
+pub(crate) struct CostModel<'a> {
     ctx: &'a Ctx<'a>,
-    slot_of: Vec<usize>,
+    pub(crate) slot_of: Vec<usize>,
     cell_in_slot: Vec<Option<usize>>,
     /// Position of every pin occurrence, parallel to `ctx.net_pins`.
     pos: Vec<(f64, f64)>,
     /// Cached half-perimeter of every net.
     perim: Vec<f64>,
-    cost: f64,
+    pub(crate) cost: f64,
     /// Nets touched by the current move, ascending and deduplicated.
     touched: Vec<u32>,
     /// Their re-derived perimeters, parallel to `touched`.
@@ -212,20 +543,22 @@ struct CostModel<'a> {
 impl<'a> CostModel<'a> {
     /// Ordered initial assignment (cell ordinal i → slot i).
     fn new(ctx: &'a Ctx<'a>) -> Self {
-        let slot_of: Vec<usize> = (0..ctx.n_placeable).collect();
+        Self::with_assignment(ctx, (0..ctx.n_placeable).collect())
+    }
+
+    /// Model over an explicit assignment (`slot_of[ord]` = slot of cell
+    /// ordinal `ord`; must be a valid injection into the slot grid).
+    pub(crate) fn with_assignment(ctx: &'a Ctx<'a>, slot_of: Vec<usize>) -> Self {
+        debug_assert_eq!(slot_of.len(), ctx.n_placeable);
         let mut cell_in_slot: Vec<Option<usize>> = vec![None; ctx.slots.len()];
         for (ord, &slot) in slot_of.iter().enumerate() {
+            debug_assert!(cell_in_slot[slot].is_none(), "slot {slot} double-booked");
             cell_in_slot[slot] = Some(ord);
         }
         let pos: Vec<(f64, f64)> = ctx
             .net_pins
             .iter()
-            .map(|&pin| match pin {
-                PinRef::Cell(ord) => ctx.slots[slot_of[ord]],
-                PinRef::Macro(i) => ctx.macro_centers[i].1,
-                PinRef::Input(i) => ctx.input_pins[i].1,
-                PinRef::Output(i) => ctx.output_pins[i].1,
-            })
+            .map(|&pin| ctx.pin_position(pin, &slot_of))
             .collect();
         let mut model = CostModel {
             ctx,
@@ -369,6 +702,27 @@ impl<'a> CostModel<'a> {
 /// swap partner.
 const SENTINEL: &[u32] = &[u32::MAX];
 
+/// Annealing schedule parameters: cold starts search globally with the
+/// full budget; seeded refinements polish locally with a fraction of
+/// it.
+struct Schedule {
+    t0_mult: f64,
+    window_mult: f64,
+    budget_mult: f64,
+}
+
+const COLD: Schedule = Schedule {
+    t0_mult: 1.0,
+    window_mult: 1.0,
+    budget_mult: 1.0,
+};
+
+const REFINE: Schedule = Schedule {
+    t0_mult: REFINE_T0,
+    window_mult: REFINE_WINDOW,
+    budget_mult: REFINE_BUDGET,
+};
+
 /// The outcome of one annealing start.
 struct StartResult {
     slot_of: Vec<usize>,
@@ -378,14 +732,24 @@ struct StartResult {
     accepted: usize,
 }
 
-/// One seeded annealing start. With `audit` set, the running cost is
-/// compared against a from-scratch recompute after **every** accepted
-/// move and the maximum relative divergence is folded into it.
-fn anneal(ctx: &Ctx<'_>, seed: u64, mut audit: Option<&mut f64>) -> StartResult {
-    let mut model = CostModel::new(ctx);
+/// One seeded annealing start over `init` (the ordered assignment when
+/// `None`). With `audit` set, the running cost is compared against a
+/// from-scratch recompute after **every** accepted move and the maximum
+/// relative divergence is folded into it.
+fn anneal(
+    ctx: &Ctx<'_>,
+    seed: u64,
+    init: Option<&[usize]>,
+    sched: &Schedule,
+    mut audit: Option<&mut f64>,
+) -> StartResult {
+    let mut model = match init {
+        Some(slot_of) => CostModel::with_assignment(ctx, slot_of.to_vec()),
+        None => CostModel::new(ctx),
+    };
     let mut rng = TestRng::seed_from_u64(seed);
-    let n_moves = ctx.n_moves;
-    let t0 = (model.cost / (ctx.n_placeable.max(1) as f64)).max(1.0);
+    let n_moves = ((ctx.n_moves as f64 * sched.budget_mult) as usize).max(1);
+    let t0 = (model.cost / (ctx.n_placeable.max(1) as f64)).max(1.0) * sched.t0_mult;
     let mut best_cost = model.cost;
     // Journal of accepted moves `(a, old_slot, b, target_slot)`. The
     // best assignment is reached by rolling the final assignment back
@@ -403,8 +767,11 @@ fn anneal(ctx: &Ctx<'_>, seed: u64, mut audit: Option<&mut f64>) -> StartResult 
         // a 2-D window (rows x columns) around the cell's current slot
         // that shrinks with the temperature, so late moves are local
         // refinements in both axes instead of doomed cross-die jumps.
+        // Seeded refinements start the window already shrunk
+        // (`window_mult`): the analytic seed made the global decisions.
         let n_rows = ctx.row_off.len() - 1;
-        let wr = ((n_rows as f64 * frac) as usize).max(1);
+        let wfrac = frac * sched.window_mult;
+        let wr = ((n_rows as f64 * wfrac) as usize).max(1);
         let target_slot = if 2 * wr >= n_rows {
             rng.gen_range(0..ctx.slots.len())
         } else {
@@ -413,7 +780,7 @@ fn anneal(ctx: &Ctx<'_>, seed: u64, mut audit: Option<&mut f64>) -> StartResult 
             let row = rng.gen_range(r.saturating_sub(wr)..(r + wr).min(n_rows - 1) + 1);
             let rs = ctx.row_off[row] as usize;
             let row_len = ctx.row_off[row + 1] as usize - rs;
-            let wc = ((row_len as f64 * frac) as usize).max(4);
+            let wc = ((row_len as f64 * wfrac) as usize).max(4);
             let c = (cur - ctx.row_off[r] as usize).min(row_len - 1);
             rs + rng.gen_range(c.saturating_sub(wc)..(c + wc).min(row_len - 1) + 1)
         };
@@ -521,214 +888,38 @@ fn place_inner(
     effort: PlaceEffort,
     audit: Option<&mut f64>,
 ) -> Result<Placement, PhysicalError> {
-    let cells = netlist.cells();
-    let placeable: Vec<usize> = cells
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| !matches!(c.kind, CellKind::Macro { .. }))
-        .map(|(i, _)| i)
-        .collect();
+    let problem = Problem::build(tech, netlist, floorplan, effort.moves)?;
+    let ctx = problem.ctx();
 
-    // Uniform slot grid across the rows, sized from the average cell
-    // footprint; shrink if rounding leaves too few slots.
-    let total_area = netlist.stdcell_area(tech).value();
-    let avg_width = if placeable.is_empty() {
-        1.0
+    // Analytic seed: one deterministic B2B solve + legalization shared
+    // by every start. Skipped for degenerate designs (< 2 movable
+    // cells) and under `SeedMode::Cold`.
+    let analytic = if effort.seed_mode == SeedMode::Analytic && ctx.n_placeable >= 2 {
+        Some(crate::analytic::seed_assignment(&ctx))
     } else {
-        (total_area / placeable.len() as f64 / tech.row_height.value()).max(0.2)
+        None
     };
-    let mut slot_w = avg_width;
-    let build_slots = |slot_w: f64| -> Vec<(f64, f64)> {
-        let mut slots = Vec::new();
-        for row in &floorplan.rows {
-            let usable = row.width().value();
-            let n = (usable / slot_w).floor() as usize;
-            for k in 0..n {
-                slots.push((
-                    row.x_start.value() + (k as f64 + 0.5) * slot_w,
-                    row.y.value() + tech.row_height.value() / 2.0,
-                ));
-            }
-        }
-        slots
+    let (init, analytic_iters, legalize_displacement) = match &analytic {
+        Some(seed) => (
+            Some(seed.slot_of.as_slice()),
+            seed.cg_iters,
+            seed.displacement,
+        ),
+        None => (None, 0, 0.0),
     };
-    let mut slots = build_slots(slot_w);
-    while slots.len() < placeable.len() && slot_w > 0.05 {
-        slot_w *= 0.8;
-        slots = build_slots(slot_w);
-    }
-    if slots.len() < placeable.len() {
-        return Err(PhysicalError::DoesNotFit {
-            demand: placeable.len() as f64,
-            capacity: slots.len() as f64,
-        });
-    }
-
-    // Row structure of the slot grid for the annealer's 2-D move
-    // windows: rows that round down to zero slots are compacted away so
-    // every row in `row_off` is non-empty.
-    let mut row_off: Vec<u32> = Vec::with_capacity(floorplan.rows.len() + 1);
-    let mut slot_row: Vec<u32> = Vec::with_capacity(slots.len());
-    row_off.push(0);
-    for row in &floorplan.rows {
-        let n = (row.width().value() / slot_w).floor() as usize;
-        if n == 0 {
-            continue;
-        }
-        let r = (row_off.len() - 1) as u32;
-        slot_row.extend(std::iter::repeat_n(r, n));
-        row_off.push(row_off[row_off.len() - 1] + n as u32);
-    }
-    debug_assert_eq!(slot_row.len(), slots.len());
-
-    // Static pin positions.
-    let macro_centers: Vec<(String, (f64, f64))> = floorplan
-        .macros
-        .iter()
-        .map(|m| {
-            (m.instance.clone(), {
-                let (x, y) = m.center();
-                (x.value(), y.value())
-            })
-        })
-        .collect();
-    let n_pi = netlist.primary_inputs().len().max(1);
-    let input_pins: Vec<(NetId, (f64, f64))> = netlist
-        .primary_inputs()
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| {
-            (
-                n,
-                (
-                    0.0,
-                    floorplan.height.value() * (i as f64 + 0.5) / n_pi as f64,
-                ),
-            )
-        })
-        .collect();
-    let n_po = netlist.primary_outputs().len().max(1);
-    let output_pins: Vec<(NetId, (f64, f64))> = netlist
-        .primary_outputs()
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| {
-            (
-                n,
-                (
-                    floorplan.width.value(),
-                    floorplan.height.value() * (i as f64 + 0.5) / n_po as f64,
-                ),
-            )
-        })
-        .collect();
-
-    // Net membership, CSR on both sides (one entry per pin occurrence,
-    // so incremental removals and rescans agree on multiplicity).
-    let n_nets = netlist.net_count();
-    let mut cell_off = vec![0u32; placeable.len() + 1];
-    for (ord, &ci) in placeable.iter().enumerate() {
-        let pins = cells[ci].inputs.len() + cells[ci].outputs.len();
-        cell_off[ord + 1] = cell_off[ord] + pins as u32;
-    }
-    let mut pin_count = vec![0u32; n_nets];
-    for &ci in &placeable {
-        for &net in cells[ci].inputs.iter().chain(cells[ci].outputs.iter()) {
-            pin_count[net.index()] += 1;
-        }
-    }
-    let mut macro_pins: Vec<(u32, PinRef)> = Vec::new();
-    for (i, m) in floorplan.macros.iter().enumerate() {
-        let cell = cells
-            .iter()
-            .find(|c| c.name == m.instance)
-            .expect("macro instance exists in netlist");
-        for &net in cell.inputs.iter().chain(cell.outputs.iter()) {
-            macro_pins.push((net.index() as u32, PinRef::Macro(i)));
-            pin_count[net.index()] += 1;
-        }
-    }
-    for (i, (net, _)) in input_pins.iter().enumerate() {
-        macro_pins.push((net.index() as u32, PinRef::Input(i)));
-        pin_count[net.index()] += 1;
-    }
-    for (i, (net, _)) in output_pins.iter().enumerate() {
-        macro_pins.push((net.index() as u32, PinRef::Output(i)));
-        pin_count[net.index()] += 1;
-    }
-    let mut net_off = vec![0u32; n_nets + 1];
-    for n in 0..n_nets {
-        net_off[n + 1] = net_off[n] + pin_count[n];
-    }
-    let mut cursor: Vec<u32> = net_off[..n_nets].to_vec();
-    let mut net_pins = vec![PinRef::Cell(usize::MAX); *net_off.last().unwrap() as usize];
-    // (net, flat position index) per cell pin occurrence; sorted by net
-    // within each cell below so move evaluation can merge the two
-    // cells' net lists instead of sorting per move.
-    let mut cell_pairs: Vec<(u32, u32)> = Vec::with_capacity(*cell_off.last().unwrap() as usize);
-    for (ord, &ci) in placeable.iter().enumerate() {
-        for &net in cells[ci].inputs.iter().chain(cells[ci].outputs.iter()) {
-            let n = net.index();
-            net_pins[cursor[n] as usize] = PinRef::Cell(ord);
-            cell_pairs.push((n as u32, cursor[n]));
-            cursor[n] += 1;
-        }
-    }
-    for ord in 0..placeable.len() {
-        cell_pairs[cell_off[ord] as usize..cell_off[ord + 1] as usize].sort_unstable();
-    }
-    let cell_nets: Vec<u32> = cell_pairs.iter().map(|&(n, _)| n).collect();
-    let cell_pin_idx: Vec<u32> = cell_pairs.iter().map(|&(_, i)| i).collect();
-    // Deduplicated, sentinel-terminated net list per cell for the move
-    // evaluator's branch-light merge.
-    let mut merge_off = vec![0u32; placeable.len() + 1];
-    let mut merge_nets: Vec<u32> = Vec::with_capacity(cell_nets.len() + placeable.len());
-    for ord in 0..placeable.len() {
-        let mut prev = u32::MAX;
-        for &n in &cell_nets[cell_off[ord] as usize..cell_off[ord + 1] as usize] {
-            if n != prev {
-                merge_nets.push(n);
-                prev = n;
-            }
-        }
-        merge_nets.push(u32::MAX);
-        merge_off[ord + 1] = merge_nets.len() as u32;
-    }
-    for &(n, pin) in &macro_pins {
-        net_pins[cursor[n as usize] as usize] = pin;
-        cursor[n as usize] += 1;
-    }
-
-    let n_moves = if placeable.len() < 2 {
-        0
-    } else {
-        ((placeable.len() * 30) as f64 * effort.moves) as usize
-    };
-    let ctx = Ctx {
-        slots: &slots,
-        macro_centers: &macro_centers,
-        input_pins: &input_pins,
-        output_pins: &output_pins,
-        net_off: &net_off,
-        net_pins: &net_pins,
-        cell_off: &cell_off,
-        cell_pin_idx: &cell_pin_idx,
-        merge_off: &merge_off,
-        merge_nets: &merge_nets,
-        slot_row: &slot_row,
-        row_off: &row_off,
-        n_placeable: placeable.len(),
-        n_moves,
-    };
+    let sched = if init.is_some() { &REFINE } else { &COLD };
 
     // Multi-start: per-start seeds are a SplitMix64 walk from the
     // caller's seed; the winner is the strictly lowest final HPWL in
     // seed order, so the result is independent of the worker count and
     // of start completion order.
-    let (slot_of, final_cost, attempted, accepted, starts_run) = if n_moves == 0 {
-        // Nothing to anneal: keep the ordered assignment and report the
-        // work actually done (none).
-        let model = CostModel::new(&ctx);
+    let (slot_of, final_cost, attempted, accepted, starts_run) = if ctx.n_moves == 0 {
+        // Nothing to anneal: keep the seed assignment (analytic when it
+        // ran, ordered otherwise) and report the work actually done.
+        let model = match init {
+            Some(slot_of) => CostModel::with_assignment(&ctx, slot_of.to_vec()),
+            None => CostModel::new(&ctx),
+        };
         (model.slot_of, model.cost, 0, 0, 0)
     } else {
         let starts = effort.starts.max(1);
@@ -738,12 +929,15 @@ fn place_inner(
             // Audited runs share one accumulator, so they stay serial.
             seeds
                 .into_iter()
-                .map(|s| anneal(&ctx, s, Some(max_drift)))
+                .map(|s| anneal(&ctx, s, init, sched, Some(max_drift)))
                 .collect()
         } else if effort.parallel_starts {
-            lim_par::par_map(seeds, |s| anneal(&ctx, s, None))
+            lim_par::par_map(seeds, |s| anneal(&ctx, s, init, sched, None))
         } else {
-            seeds.into_iter().map(|s| anneal(&ctx, s, None)).collect()
+            seeds
+                .into_iter()
+                .map(|s| anneal(&ctx, s, init, sched, None))
+                .collect()
         };
         let attempted: usize = results.iter().map(|r| r.attempted).sum();
         let accepted: usize = results.iter().map(|r| r.accepted).sum();
@@ -758,14 +952,29 @@ fn place_inner(
     };
 
     // Emit positions.
+    let cells = netlist.cells();
     let mut cell_pos: Vec<Option<(f64, f64)>> = vec![None; cells.len()];
-    for (ord, &ci) in placeable.iter().enumerate() {
-        cell_pos[ci] = Some(slots[slot_of[ord]]);
+    for (ord, &ci) in problem.placeable.iter().enumerate() {
+        cell_pos[ci] = Some(problem.slots[slot_of[ord]]);
     }
 
     lim_obs::counter_add("place.moves", attempted as u64);
     lim_obs::counter_add("place.incremental_moves", accepted as u64);
     lim_obs::counter_add("place.starts", starts_run as u64);
+    if analytic.is_some() {
+        lim_obs::counter_add("place.analytic_iters", analytic_iters as u64);
+        lim_obs::counter_add(
+            "place.legalize_displacement",
+            legalize_displacement.round() as u64,
+        );
+        lim_obs::counter_add("place.seeded", starts_run as u64);
+    }
+    let Problem {
+        macro_centers,
+        input_pins,
+        output_pins,
+        ..
+    } = problem;
     Ok(Placement {
         cell_pos,
         macro_centers,
@@ -775,6 +984,9 @@ fn place_inner(
         moves: attempted,
         accepted,
         starts: starts_run,
+        analytic_iters,
+        legalize_displacement,
+        seeded: analytic.is_some(),
     })
 }
 
@@ -846,17 +1058,19 @@ mod tests {
             .unwrap();
         let seeded = place(&tech, &dec, &fp, 42, PlaceEffort::default()).unwrap();
         assert!(seeded.hpwl > 0.0);
+        assert!(seeded.seeded);
+        assert!(seeded.analytic_iters > 0);
         // All std cells have positions inside the die.
         for (i, pos) in seeded.cell_pos.iter().enumerate() {
             let p = pos.unwrap_or_else(|| panic!("cell {i} unplaced"));
             assert!(p.0 >= 0.0 && p.0 <= fp.width.value());
             assert!(p.1 >= 0.0 && p.1 <= fp.height.value());
         }
-        // Annealed placement beats the trivial ordered placement.
+        // The refined placement beats its unrefined analytic seed.
         let unannealed = place(&tech, &dec, &fp, 42, PlaceEffort::new(0.0)).unwrap();
         assert!(
             seeded.hpwl <= unannealed.hpwl * 1.001,
-            "annealed {} vs initial {}",
+            "refined {} vs analytic seed {}",
             seeded.hpwl,
             unannealed.hpwl
         );
@@ -910,6 +1124,21 @@ mod tests {
     }
 
     #[test]
+    fn cold_anneal_audit_still_clean() {
+        // The audit hook covers both schedules.
+        let tech = Technology::cmos65();
+        let dec = decoder("dec", 4, 16, true).unwrap();
+        let fp = Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+            .unwrap();
+        let (placement, drift) =
+            place_audited(&tech, &dec, &fp, 42, PlaceEffort::default().cold()).unwrap();
+        assert!(drift < 1e-9, "incremental cost drifted by {drift}");
+        assert!(!placement.seeded);
+        assert_eq!(placement.analytic_iters, 0);
+        assert_eq!(placement.legalize_displacement, 0.0);
+    }
+
+    #[test]
     fn multi_start_never_loses_to_single_start() {
         let tech = Technology::cmos65();
         let dec = decoder("dec", 5, 32, true).unwrap();
@@ -944,10 +1173,43 @@ mod tests {
     }
 
     #[test]
+    fn seeded_refine_tracks_cold_anneal_on_decoders() {
+        // Generated decoders are the seed's worst case: their netlist
+        // order is near-optimal by construction, so the ordered-start
+        // cold anneal is a very strong baseline and the analytic solve
+        // usually falls back to the ordered candidate. Even then the
+        // seeded refinement must track a full cold anneal closely (the
+        // 8% slack absorbs per-seed annealing noise at the refinement's
+        // 15% move budget) while spending under half that budget. The
+        // strict seeded ≤ cold requirement lives in the flow-netlist
+        // test `tests/place_quality.rs`, where mapped netlists give
+        // the analytic seed real work to do.
+        let tech = Technology::cmos65();
+        for (bits, words) in [(4usize, 16usize), (5, 32)] {
+            let dec = decoder("dec", bits, words, true).unwrap();
+            let fp =
+                Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default())
+                    .unwrap();
+            let seeded = place(&tech, &dec, &fp, 7, PlaceEffort::default()).unwrap();
+            let cold = place(&tech, &dec, &fp, 7, PlaceEffort::default().cold()).unwrap();
+            assert!(seeded.seeded);
+            assert!(!cold.seeded);
+            assert!(
+                seeded.hpwl <= cold.hpwl * 1.08,
+                "dec{bits}x{words}: seeded {} vs cold {}",
+                seeded.hpwl,
+                cold.hpwl
+            );
+            // The refinement spends a fraction of the cold budget.
+            assert!(seeded.moves < cold.moves / 2);
+        }
+    }
+
+    #[test]
     fn counters_reflect_work_actually_done() {
         let tech = Technology::cmos65();
-        // A single-cell design: nothing to anneal, so no moves and no
-        // starts may be reported.
+        // A single-cell design: nothing to anneal, so no moves, no
+        // starts, and no analytic solve may be reported.
         let mut n = Netlist::new("one");
         let a = n.add_input("a");
         let out = n
@@ -960,6 +1222,8 @@ mod tests {
         assert_eq!(p.moves, 0);
         assert_eq!(p.accepted, 0);
         assert_eq!(p.starts, 0);
+        assert!(!p.seeded);
+        assert_eq!(p.analytic_iters, 0);
 
         // A real design reports the moves it evaluated, which is at
         // most the budget (no-op draws are excluded) and nonzero.
@@ -970,5 +1234,6 @@ mod tests {
         assert!(p.moves > 0);
         assert!(p.accepted <= p.moves);
         assert_eq!(p.starts, 1);
+        assert!(p.seeded);
     }
 }

@@ -9,6 +9,13 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Placement-quality gate: the analytic-seeded placer must keep the
+# flow-bench netlists' final HPWL at or below both the cold anneal and
+# the pinned bounds in tests/place_quality.rs (25402 / 9605 µm). Runs
+# in release so the gate measures the shipped annealing budget.
+echo "== tier1: placement HPWL quality gate =="
+cargo test -q --release --offline --test place_quality
 # Smoke the bench harness into a scratch report so the committed
 # BENCH_report.json (full-run medians) is left untouched.
 BENCH_OUT=/tmp/tier1_bench_smoke.json ./scripts/bench.sh --smoke

@@ -155,6 +155,33 @@ fn multistart_placement_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn analytic_placement_is_byte_identical_across_worker_counts() {
+    // The analytic seed's contract is stronger than the annealer's: the
+    // B2B/CG solve is strictly serial by construction, so its output —
+    // positions, iteration counts, legalization displacement — must be
+    // byte-identical for any `LIM_PAR_THREADS`, not merely equal in
+    // HPWL.
+    let _env = ENV_LOCK.lock().unwrap();
+    let tech = Technology::cmos65();
+    let dec = decoder("dec", 6, 64, true).unwrap();
+    let fp =
+        Floorplan::build(&tech, &dec, &BrickLibrary::new(), &FloorplanOptions::default()).unwrap();
+    std::env::set_var(lim_par::ENV_THREADS, "1");
+    let one = lim_physical::analytic::analytic_place(&tech, &dec, &fp).unwrap();
+    std::env::set_var(lim_par::ENV_THREADS, "4");
+    let four = lim_physical::analytic::analytic_place(&tech, &dec, &fp).unwrap();
+    std::env::remove_var(lim_par::ENV_THREADS);
+    assert_eq!(one.cg_iters, four.cg_iters);
+    assert_eq!(one.hpwl.to_bits(), four.hpwl.to_bits());
+    assert_eq!(one.displacement.to_bits(), four.displacement.to_bits());
+    assert_eq!(one.positions.len(), four.positions.len());
+    for (a, b) in one.positions.iter().zip(four.positions.iter()) {
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+}
+
+#[test]
 fn parallel_results_are_independent_of_worker_count() {
     // par_map's output order contract: identical to serial for any
     // worker count, including when chunks are stolen.
