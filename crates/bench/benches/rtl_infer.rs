@@ -1,0 +1,54 @@
+//! Bench: the RTL memory-inference frontend on the committed
+//! `examples/smart_mem.v` design (1024x16) — parse alone, the full
+//! parse→infer→lower pipeline, and `rtl.infer`'s whole
+//! `infer_and_synthesize` path through physical synthesis.
+
+use lim::flow::LimFlow;
+use lim::rtl_infer::infer_and_synthesize;
+use lim_rtl::infer::infer;
+use lim_rtl::smartmem::{lower, MemLowering};
+use lim_testkit::bench::{black_box, Bench};
+use std::collections::BTreeMap;
+
+const SRC: &str = include_str!("../../../examples/smart_mem.v");
+
+fn bench_rtl_infer(c: &mut Bench) {
+    let mut group = c.benchmark_group("rtl_infer");
+    group.bench_function("parse_1024x16", |b| {
+        b.iter(|| black_box(lim_rtl::parse(SRC).unwrap().source_lines))
+    });
+    group.bench_function("frontend_1024x16", |b| {
+        // Parse → infer → lower with a pinned decomposition, measuring
+        // the frontend alone (no DSE sweep, no physical flow).
+        let plans: BTreeMap<String, MemLowering> = [(
+            "mem".to_owned(),
+            MemLowering {
+                brick_words: 64,
+                entry_names: vec!["brick_8t_64_16_x16".to_owned()],
+            },
+        )]
+        .into_iter()
+        .collect();
+        b.iter(|| {
+            let module = lim_rtl::parse(SRC).unwrap();
+            let inference = infer(&module);
+            let netlist = lower(&module, &inference, &plans).unwrap();
+            black_box(netlist.net_count())
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("flow_1024x16", |b| {
+        b.iter(|| {
+            let mut flow = LimFlow::cmos65();
+            let report = infer_and_synthesize(&mut flow, SRC, &[16, 32, 64]).unwrap();
+            black_box(report.block.report.fmax.value())
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = Bench::from_args("rtl_infer");
+    bench_rtl_infer(&mut c);
+    c.finish();
+}

@@ -21,6 +21,10 @@
 //!   [`LimBlock`] report.
 //! * [`dse`] — rapid design-space exploration over brick/partition
 //!   choices (paper Fig. 4c), with pareto-front extraction.
+//! * [`rtl_infer`] — the behavioral-RTL entry point: parse a
+//!   `reg [W-1:0] mem [D-1:0]` design, infer its memories, choose each
+//!   one's brick decomposition via [`dse`], lower to a smart memory and
+//!   run the full flow ([`infer_and_synthesize`]).
 //! * [`chip`] — silicon emulation: die-to-die variation and measurement
 //!   noise sampling so library-based simulation can be compared against
 //!   "chip measurements" (paper Fig. 4b).
@@ -51,6 +55,7 @@ pub mod error;
 pub mod flow;
 pub mod interpolation;
 pub mod parallel_access;
+pub mod rtl_infer;
 pub mod soc;
 pub mod sram;
 pub mod sram_sim;
@@ -60,4 +65,5 @@ pub use dse::{pareto_front, DsePoint};
 pub use error::LimError;
 pub use flow::{LimBlock, LimFlow};
 pub use parallel_access::ParallelAccessConfig;
+pub use rtl_infer::{infer_and_synthesize, MemoryPlan, RtlInferReport};
 pub use sram::SramConfig;

@@ -1,0 +1,1051 @@
+//! Memory inference over the behavioral IR: recognizes each 2-D
+//! register array together with its read and write ports, classifies
+//! synchronicity and write-enable shape, and rejects un-inferable
+//! patterns with precise diagnostics.
+//!
+//! The pass is total: every array in the module lands either in
+//! [`Inference::memories`] (lowerable to a brick-backed smart memory)
+//! or in [`Inference::rejected`] with a [`RejectKind`] and source
+//! position. Registered outputs and continuous assigns that do not
+//! touch an array (plain `q <= d`, `if (en) q <= d`, `assign y = x`)
+//! are left for the lowering pass to map onto flops and buffers.
+
+use crate::behav::{BehavModule, Cond, MemDecl, PartSelect, PortDir, Rvalue, Stmt};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why an array could not be inferred as a smart memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// No clocked write port drives the array.
+    NoWritePort,
+    /// More than one write site targets the array (multi-port write).
+    MultipleWritePorts,
+    /// More than one distinct read address samples the array.
+    MultipleReadPorts,
+    /// The array is read combinationally (`assign q = mem[addr]`);
+    /// bricks only provide clocked reads.
+    AsyncReadPort,
+    /// Write-data or read-data width disagrees with the declared word.
+    WidthMismatch,
+    /// Address signal width disagrees with ⌈log₂ depth⌉.
+    AddrWidthMismatch,
+    /// Byte-enable lanes overlap, leave gaps, or reuse an enable bit.
+    BadLanes,
+    /// Word wider than the 64-bit interpreter/testbench limit.
+    WordTooWide,
+    /// Reads and writes are clocked by different signals.
+    MixedClocks,
+    /// Anything else outside the inferable subset.
+    UnsupportedPattern,
+}
+
+impl fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectKind::NoWritePort => "no-write-port",
+            RejectKind::MultipleWritePorts => "multiple-write-ports",
+            RejectKind::MultipleReadPorts => "multiple-read-ports",
+            RejectKind::AsyncReadPort => "async-read-port",
+            RejectKind::WidthMismatch => "width-mismatch",
+            RejectKind::AddrWidthMismatch => "addr-width-mismatch",
+            RejectKind::BadLanes => "bad-lanes",
+            RejectKind::WordTooWide => "word-too-wide",
+            RejectKind::MixedClocks => "mixed-clocks",
+            RejectKind::UnsupportedPattern => "unsupported-pattern",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One array the pass could not lower, with the reason and position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Array name.
+    pub mem: String,
+    /// Taxonomy bucket.
+    pub kind: RejectKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl fmt::Display for Rejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: memory `{}` not inferred ({}): {}",
+            self.line, self.col, self.mem, self.kind, self.message
+        )
+    }
+}
+
+/// One byte-enable lane: bit `we_bit` of the enable vector guards word
+/// bits `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane {
+    /// Enable-vector bit that gates this lane.
+    pub we_bit: usize,
+    /// Lowest word bit in the lane.
+    pub lo: usize,
+    /// Highest word bit in the lane.
+    pub hi: usize,
+}
+
+impl Lane {
+    /// Lane width in bits.
+    pub fn width(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+}
+
+/// Shape of the write-enable network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteEnable {
+    /// Unconditional write every cycle.
+    Always,
+    /// Whole word gated by one scalar signal.
+    Signal(String),
+    /// Per-lane enables: `if (we[k]) mem[addr][hi:lo] <= din[hi:lo];`.
+    Lanes {
+        /// Enable vector name.
+        signal: String,
+        /// Lanes sorted by `lo`, covering the word exactly.
+        lanes: Vec<Lane>,
+    },
+}
+
+impl WriteEnable {
+    /// Lanes view: one full-word lane for `Always`/`Signal`.
+    pub fn lanes_for(&self, bits: usize) -> Vec<Lane> {
+        match self {
+            WriteEnable::Lanes { lanes, .. } => lanes.clone(),
+            _ => vec![Lane {
+                we_bit: 0,
+                lo: 0,
+                hi: bits - 1,
+            }],
+        }
+    }
+}
+
+/// One synchronous read port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPort {
+    /// Address input port.
+    pub addr: String,
+    /// Data output port.
+    pub out: String,
+    /// `true` for registered (`dout <= mem[raddr]`) reads, `false` for
+    /// combinational (`assign q = mem[addr]`) reads.
+    pub sync: bool,
+    /// 1-based source line of the read.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// A fully classified, lowerable memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferredMemory {
+    /// Array name.
+    pub name: String,
+    /// Word count.
+    pub words: usize,
+    /// Word width in bits.
+    pub bits: usize,
+    /// Address width: ⌈log₂ words⌉ (min 1).
+    pub addr_bits: usize,
+    /// Clock port.
+    pub clock: String,
+    /// Write address input port.
+    pub write_addr: String,
+    /// Write data input port.
+    pub write_data: String,
+    /// Write-enable shape.
+    pub enable: WriteEnable,
+    /// The single read port.
+    pub read: ReadPort,
+    /// 1-based source line of the declaration.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+impl InferredMemory {
+    /// Byte-enable lanes (one full-word lane when not byte-enabled).
+    pub fn lanes(&self) -> Vec<Lane> {
+        self.enable.lanes_for(self.bits)
+    }
+}
+
+/// Result of running [`infer`] over a module.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Inference {
+    /// Lowerable memories, in declaration order.
+    pub memories: Vec<InferredMemory>,
+    /// Arrays outside the subset, with diagnostics.
+    pub rejected: Vec<Rejection>,
+}
+
+/// Address width for `words` words: ⌈log₂ words⌉, floor 1 — the same
+/// rule the SRAM generator uses.
+pub fn addr_bits_for(words: usize) -> usize {
+    if words <= 1 {
+        return 1;
+    }
+    (usize::BITS - (words - 1).leading_zeros()) as usize
+}
+
+/// One raw write site gathered from the always blocks.
+#[derive(Debug, Clone)]
+struct WriteSite {
+    clock: String,
+    addr: String,
+    sel: Option<PartSelect>,
+    rhs: Rvalue,
+    conds: Vec<Cond>,
+    line: usize,
+    col: usize,
+}
+
+/// One raw read site (sync: from a clocked block; async: from assign).
+#[derive(Debug, Clone)]
+struct ReadSite {
+    clock: Option<String>,
+    addr: String,
+    out: String,
+    sel: Option<PartSelect>,
+    line: usize,
+    col: usize,
+}
+
+#[derive(Debug, Default)]
+struct MemSites {
+    writes: Vec<WriteSite>,
+    reads: Vec<ReadSite>,
+}
+
+fn collect_block(
+    clock: &str,
+    body: &[Stmt],
+    conds: &mut Vec<Cond>,
+    sites: &mut BTreeMap<String, MemSites>,
+    plain: &mut Vec<(Stmt, Vec<Cond>)>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::MemWrite {
+                mem,
+                addr,
+                sel,
+                rhs,
+                line,
+                col,
+            } => {
+                sites.entry(mem.clone()).or_default().writes.push(WriteSite {
+                    clock: clock.to_owned(),
+                    addr: addr.clone(),
+                    sel: *sel,
+                    rhs: rhs.clone(),
+                    conds: conds.clone(),
+                    line: *line,
+                    col: *col,
+                });
+            }
+            Stmt::RegWrite {
+                dst,
+                rhs,
+                line,
+                col,
+            } => {
+                if let Rvalue::MemRead {
+                    mem,
+                    addr,
+                    sel,
+                } = rhs
+                {
+                    sites.entry(mem.clone()).or_default().reads.push(ReadSite {
+                        clock: Some(clock.to_owned()),
+                        addr: addr.clone(),
+                        out: dst.clone(),
+                        sel: *sel,
+                        line: *line,
+                        col: *col,
+                    });
+                    if !conds.is_empty() {
+                        // Conditional reads need an output-hold enable;
+                        // record as a site and reject later.
+                        sites
+                            .entry(mem.clone())
+                            .or_default()
+                            .reads
+                            .last_mut()
+                            .expect("just pushed")
+                            .clock = None;
+                    }
+                } else {
+                    plain.push((stmt.clone(), conds.clone()));
+                }
+            }
+            Stmt::If {
+                cond,
+                body,
+                ..
+            } => {
+                conds.push(cond.clone());
+                collect_block(clock, body, conds, sites, plain);
+                conds.pop();
+            }
+        }
+    }
+}
+
+fn reject(
+    mem: &MemDecl,
+    kind: RejectKind,
+    message: impl Into<String>,
+    line: usize,
+    col: usize,
+) -> Rejection {
+    Rejection {
+        mem: mem.name.clone(),
+        kind,
+        message: message.into(),
+        line,
+        col,
+    }
+}
+
+/// Checks that `name` is an input port of width `want`; returns a
+/// rejection message on failure.
+fn want_input(module: &BehavModule, name: &str, want: usize, what: &str) -> Result<(), String> {
+    match module.port(name) {
+        Some(p) if p.dir == PortDir::Input => {
+            if p.width == want {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{what} `{name}` is {} bits, expected {want}",
+                    p.width
+                ))
+            }
+        }
+        Some(_) => Err(format!("{what} `{name}` must be an input port")),
+        None => Err(format!("{what} `{name}` is not a module port")),
+    }
+}
+
+fn classify_mem(
+    module: &BehavModule,
+    mem: &MemDecl,
+    sites: &MemSites,
+) -> Result<InferredMemory, Rejection> {
+    if mem.width > 64 {
+        return Err(reject(
+            mem,
+            RejectKind::WordTooWide,
+            format!("word is {} bits, the frontend caps words at 64", mem.width),
+            mem.line,
+            mem.col,
+        ));
+    }
+    if sites.writes.is_empty() {
+        return Err(reject(
+            mem,
+            RejectKind::NoWritePort,
+            "array is never written from a clocked block",
+            mem.line,
+            mem.col,
+        ));
+    }
+
+    // --- Write side ------------------------------------------------
+    let first = &sites.writes[0];
+    for w in &sites.writes[1..] {
+        if w.clock != first.clock {
+            return Err(reject(
+                mem,
+                RejectKind::MixedClocks,
+                format!(
+                    "writes clocked by both `{}` and `{}`",
+                    first.clock, w.clock
+                ),
+                w.line,
+                w.col,
+            ));
+        }
+        if w.addr != first.addr {
+            return Err(reject(
+                mem,
+                RejectKind::MultipleWritePorts,
+                format!(
+                    "writes through both address `{}` and `{}` — bricks expose one write port",
+                    first.addr, w.addr
+                ),
+                w.line,
+                w.col,
+            ));
+        }
+    }
+
+    // All writes share one address. Either a single full-word write, or
+    // a set of lane writes covering the word exactly.
+    let full_word: Vec<&WriteSite> = sites.writes.iter().filter(|w| w.sel.is_none()).collect();
+    let lane_writes: Vec<&WriteSite> = sites.writes.iter().filter(|w| w.sel.is_some()).collect();
+    if !full_word.is_empty() && !lane_writes.is_empty() {
+        let w = lane_writes[0];
+        return Err(reject(
+            mem,
+            RejectKind::MultipleWritePorts,
+            "array mixes full-word and part-select writes",
+            w.line,
+            w.col,
+        ));
+    }
+
+    let (write_data, enable) = if lane_writes.is_empty() {
+        if full_word.len() > 1 {
+            let w = full_word[1];
+            return Err(reject(
+                mem,
+                RejectKind::MultipleWritePorts,
+                "array has more than one full-word write site",
+                w.line,
+                w.col,
+            ));
+        }
+        let w = full_word[0];
+        let data = match &w.rhs {
+            Rvalue::Signal { name, sel: None } => name.clone(),
+            Rvalue::Signal { name, sel: Some(_) } => {
+                return Err(reject(
+                    mem,
+                    RejectKind::WidthMismatch,
+                    format!("full-word write from a part-select of `{name}`"),
+                    w.line,
+                    w.col,
+                ))
+            }
+            Rvalue::MemRead { .. } => {
+                return Err(reject(
+                    mem,
+                    RejectKind::UnsupportedPattern,
+                    "write data sourced from an array read",
+                    w.line,
+                    w.col,
+                ))
+            }
+        };
+        if let Err(msg) = want_input(module, &data, mem.width, "write data") {
+            return Err(reject(mem, RejectKind::WidthMismatch, msg, w.line, w.col));
+        }
+        let enable = match w.conds.as_slice() {
+            [] => WriteEnable::Always,
+            [c] => {
+                if let Err(msg) = want_input(module, &c.signal, 1, "write enable") {
+                    if c.bit.is_none() {
+                        return Err(reject(
+                            mem,
+                            RejectKind::UnsupportedPattern,
+                            msg,
+                            w.line,
+                            w.col,
+                        ));
+                    }
+                }
+                match c.bit {
+                    None => WriteEnable::Signal(c.signal.clone()),
+                    Some(bit) => {
+                        // `if (we[0])` over a full-word write: treat as
+                        // a single lane covering the word.
+                        if let Err(msg) = want_input(module, &c.signal, bit + 1, "write enable") {
+                            // Wider vectors are fine; only missing port
+                            // or too-narrow vector is an error.
+                            let ok = module
+                                .port(&c.signal)
+                                .is_some_and(|p| p.dir == PortDir::Input && p.width > bit);
+                            if !ok {
+                                return Err(reject(
+                                    mem,
+                                    RejectKind::UnsupportedPattern,
+                                    msg,
+                                    w.line,
+                                    w.col,
+                                ));
+                            }
+                        }
+                        WriteEnable::Lanes {
+                            signal: c.signal.clone(),
+                            lanes: vec![Lane {
+                                we_bit: bit,
+                                lo: 0,
+                                hi: mem.width - 1,
+                            }],
+                        }
+                    }
+                }
+            }
+            _ => {
+                return Err(reject(
+                    mem,
+                    RejectKind::UnsupportedPattern,
+                    "write nested under more than one enable condition",
+                    w.line,
+                    w.col,
+                ))
+            }
+        };
+        (data, enable)
+    } else {
+        // Byte-enable lanes: every lane write must be
+        // `if (we[k]) mem[addr][hi:lo] <= din[hi:lo];` with one shared
+        // enable vector and data port.
+        let mut signal: Option<String> = None;
+        let mut data: Option<String> = None;
+        let mut lanes: Vec<Lane> = Vec::new();
+        for w in &lane_writes {
+            let sel = w.sel.expect("lane writes carry a part-select");
+            let cond = match w.conds.as_slice() {
+                [c] if c.bit.is_some() => c,
+                _ => {
+                    return Err(reject(
+                        mem,
+                        RejectKind::BadLanes,
+                        "lane write must be guarded by exactly one `if (we[k])`",
+                        w.line,
+                        w.col,
+                    ))
+                }
+            };
+            let we_bit = cond.bit.expect("checked above");
+            match &signal {
+                None => signal = Some(cond.signal.clone()),
+                Some(s) if *s == cond.signal => {}
+                Some(s) => {
+                    return Err(reject(
+                        mem,
+                        RejectKind::BadLanes,
+                        format!("lanes gated by both `{s}` and `{}`", cond.signal),
+                        w.line,
+                        w.col,
+                    ))
+                }
+            }
+            let (dname, dsel) = match &w.rhs {
+                Rvalue::Signal { name, sel } => (name.clone(), *sel),
+                Rvalue::MemRead { .. } => {
+                    return Err(reject(
+                        mem,
+                        RejectKind::UnsupportedPattern,
+                        "lane data sourced from an array read",
+                        w.line,
+                        w.col,
+                    ))
+                }
+            };
+            if dsel != Some(sel) {
+                return Err(reject(
+                    mem,
+                    RejectKind::BadLanes,
+                    format!(
+                        "lane writes bits [{}:{}] but data slice is {:?}",
+                        sel.hi, sel.lo, dsel
+                    ),
+                    w.line,
+                    w.col,
+                ));
+            }
+            match &data {
+                None => data = Some(dname),
+                Some(d) if *d == dname => {}
+                Some(d) => {
+                    return Err(reject(
+                        mem,
+                        RejectKind::BadLanes,
+                        format!("lanes sourced from both `{d}` and `{dname}`"),
+                        w.line,
+                        w.col,
+                    ))
+                }
+            }
+            if lanes.iter().any(|l| l.we_bit == we_bit) {
+                return Err(reject(
+                    mem,
+                    RejectKind::BadLanes,
+                    format!("enable bit we[{we_bit}] gates more than one lane"),
+                    w.line,
+                    w.col,
+                ));
+            }
+            lanes.push(Lane {
+                we_bit,
+                lo: sel.lo,
+                hi: sel.hi,
+            });
+        }
+        lanes.sort_by_key(|l| l.lo);
+        // Lanes must tile the word exactly.
+        let mut next = 0usize;
+        for l in &lanes {
+            if l.lo != next {
+                let w = lane_writes[0];
+                return Err(reject(
+                    mem,
+                    RejectKind::BadLanes,
+                    format!(
+                        "lanes {} the word at bit {next}",
+                        if l.lo > next { "leave a gap in" } else { "overlap" }
+                    ),
+                    w.line,
+                    w.col,
+                ));
+            }
+            next = l.hi + 1;
+        }
+        if next != mem.width {
+            let w = lane_writes[0];
+            return Err(reject(
+                mem,
+                RejectKind::BadLanes,
+                format!("lanes cover bits 0..{next} of a {}-bit word", mem.width),
+                w.line,
+                w.col,
+            ));
+        }
+        let signal = signal.expect("at least one lane");
+        let data = data.expect("at least one lane");
+        let w = lane_writes[0];
+        if let Err(msg) = want_input(module, &data, mem.width, "write data") {
+            return Err(reject(mem, RejectKind::WidthMismatch, msg, w.line, w.col));
+        }
+        let max_bit = lanes.iter().map(|l| l.we_bit).max().expect("nonempty");
+        let we_ok = module
+            .port(&signal)
+            .is_some_and(|p| p.dir == PortDir::Input && p.width > max_bit);
+        if !we_ok {
+            return Err(reject(
+                mem,
+                RejectKind::BadLanes,
+                format!("enable vector `{signal}` narrower than we[{max_bit}] or not an input"),
+                w.line,
+                w.col,
+            ));
+        }
+        (data, WriteEnable::Lanes { signal, lanes })
+    };
+
+    let wsite = &sites.writes[0];
+    let addr_bits = addr_bits_for(mem.depth);
+    if let Err(msg) = want_input(module, &wsite.addr, addr_bits, "write address") {
+        return Err(reject(
+            mem,
+            RejectKind::AddrWidthMismatch,
+            msg,
+            wsite.line,
+            wsite.col,
+        ));
+    }
+
+    // --- Read side -------------------------------------------------
+    if sites.reads.is_empty() {
+        return Err(reject(
+            mem,
+            RejectKind::UnsupportedPattern,
+            "array is written but never read",
+            mem.line,
+            mem.col,
+        ));
+    }
+    let distinct_outs: Vec<&ReadSite> = {
+        let mut seen = Vec::new();
+        for r in &sites.reads {
+            if !seen.iter().any(|s: &&ReadSite| s.out == r.out) {
+                seen.push(r);
+            }
+        }
+        seen
+    };
+    if distinct_outs.len() > 1 {
+        let r = distinct_outs[1];
+        return Err(reject(
+            mem,
+            RejectKind::MultipleReadPorts,
+            format!(
+                "array read into both `{}` and `{}` — bricks expose one read port",
+                distinct_outs[0].out, r.out
+            ),
+            r.line,
+            r.col,
+        ));
+    }
+    let r = &sites.reads[0];
+    if sites.reads.len() > 1 {
+        let extra = &sites.reads[1];
+        return Err(reject(
+            mem,
+            RejectKind::MultipleReadPorts,
+            "array has more than one read site",
+            extra.line,
+            extra.col,
+        ));
+    }
+    let sync = match &r.clock {
+        Some(c) => {
+            if *c != wsite.clock {
+                return Err(reject(
+                    mem,
+                    RejectKind::MixedClocks,
+                    format!("read clocked by `{c}`, write by `{}`", wsite.clock),
+                    r.line,
+                    r.col,
+                ));
+            }
+            true
+        }
+        None => false,
+    };
+    if !sync {
+        return Err(reject(
+            mem,
+            RejectKind::AsyncReadPort,
+            "combinational or conditional read — bricks provide registered reads only",
+            r.line,
+            r.col,
+        ));
+    }
+    if r.sel.is_some() {
+        return Err(reject(
+            mem,
+            RejectKind::WidthMismatch,
+            "read applies a part-select to the word",
+            r.line,
+            r.col,
+        ));
+    }
+    if let Err(msg) = want_input(module, &r.addr, addr_bits, "read address") {
+        return Err(reject(
+            mem,
+            RejectKind::AddrWidthMismatch,
+            msg,
+            r.line,
+            r.col,
+        ));
+    }
+    match module.port(&r.out) {
+        Some(p) if p.dir == PortDir::Output && p.is_reg && p.width == mem.width => {}
+        Some(p) if p.dir == PortDir::Output && p.is_reg => {
+            return Err(reject(
+                mem,
+                RejectKind::WidthMismatch,
+                format!(
+                    "read data `{}` is {} bits, word is {}",
+                    r.out, p.width, mem.width
+                ),
+                r.line,
+                r.col,
+            ))
+        }
+        _ => {
+            return Err(reject(
+                mem,
+                RejectKind::UnsupportedPattern,
+                format!("read data `{}` must be an `output reg` port", r.out),
+                r.line,
+                r.col,
+            ))
+        }
+    }
+
+    Ok(InferredMemory {
+        name: mem.name.clone(),
+        words: mem.depth,
+        bits: mem.width,
+        addr_bits,
+        clock: wsite.clock.clone(),
+        write_addr: wsite.addr.clone(),
+        write_data,
+        enable,
+        read: ReadPort {
+            addr: r.addr.clone(),
+            out: r.out.clone(),
+            sync,
+            line: r.line,
+            col: r.col,
+        },
+        line: mem.line,
+        col: mem.col,
+    })
+}
+
+/// Runs memory inference over a parsed module.
+pub fn infer(module: &BehavModule) -> Inference {
+    let mut sites: BTreeMap<String, MemSites> = BTreeMap::new();
+    let mut plain = Vec::new();
+    for block in &module.always {
+        let mut conds = Vec::new();
+        collect_block(&block.clock, &block.body, &mut conds, &mut sites, &mut plain);
+    }
+    // Async reads: assigns whose rhs reads an array.
+    for a in &module.assigns {
+        if let Rvalue::MemRead { mem, addr, sel } = &a.rhs {
+            sites.entry(mem.clone()).or_default().reads.push(ReadSite {
+                clock: None,
+                addr: addr.clone(),
+                out: a.dst.clone(),
+                sel: *sel,
+                line: a.line,
+                col: a.col,
+            });
+        }
+    }
+
+    let mut out = Inference::default();
+    for mem in &module.mems {
+        let empty = MemSites::default();
+        let s = sites.get(&mem.name).unwrap_or(&empty);
+        match classify_mem(module, mem, s) {
+            Ok(m) => out.memories.push(m),
+            Err(r) => out.rejected.push(r),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn infer_src(src: &str) -> Inference {
+        infer(&parse(src).expect("source parses"))
+    }
+
+    const GOOD: &str = "\
+module spram (
+  input wire clk,
+  input wire we,
+  input wire [3:0] waddr,
+  input wire [3:0] raddr,
+  input wire [7:0] din,
+  output reg [7:0] dout
+);
+  reg [7:0] mem [15:0];
+  always @(posedge clk) begin
+    if (we)
+      mem[waddr] <= din;
+    dout <= mem[raddr];
+  end
+endmodule
+";
+
+    #[test]
+    fn infers_single_port_memory() {
+        let inf = infer_src(GOOD);
+        assert!(inf.rejected.is_empty(), "{:?}", inf.rejected);
+        assert_eq!(inf.memories.len(), 1);
+        let m = &inf.memories[0];
+        assert_eq!(m.words, 16);
+        assert_eq!(m.bits, 8);
+        assert_eq!(m.addr_bits, 4);
+        assert_eq!(m.enable, WriteEnable::Signal("we".into()));
+        assert_eq!(m.read.out, "dout");
+        assert!(m.read.sync);
+        assert_eq!(m.lanes().len(), 1);
+    }
+
+    #[test]
+    fn infers_byte_enable_lanes() {
+        let inf = infer_src(
+            "\
+module be (
+  input clk,
+  input [1:0] we,
+  input [2:0] waddr,
+  input [2:0] raddr,
+  input [15:0] din,
+  output reg [15:0] dout
+);
+  reg [15:0] m [7:0];
+  always @(posedge clk) begin
+    if (we[0]) m[waddr][7:0] <= din[7:0];
+    if (we[1]) m[waddr][15:8] <= din[15:8];
+    dout <= m[raddr];
+  end
+endmodule
+",
+        );
+        assert!(inf.rejected.is_empty(), "{:?}", inf.rejected);
+        let m = &inf.memories[0];
+        match &m.enable {
+            WriteEnable::Lanes { signal, lanes } => {
+                assert_eq!(signal, "we");
+                assert_eq!(
+                    lanes,
+                    &vec![
+                        Lane {
+                            we_bit: 0,
+                            lo: 0,
+                            hi: 7
+                        },
+                        Lane {
+                            we_bit: 1,
+                            lo: 8,
+                            hi: 15
+                        },
+                    ]
+                );
+            }
+            other => panic!("expected lanes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_async_read() {
+        let inf = infer_src(
+            "\
+module ar (
+  input clk,
+  input we,
+  input [1:0] waddr,
+  input [1:0] raddr,
+  input [3:0] din,
+  output [3:0] q
+);
+  reg [3:0] m [3:0];
+  always @(posedge clk)
+    if (we) m[waddr] <= din;
+  assign q = m[raddr];
+endmodule
+",
+        );
+        assert_eq!(inf.memories.len(), 0);
+        assert_eq!(inf.rejected.len(), 1);
+        let r = &inf.rejected[0];
+        assert_eq!(r.kind, RejectKind::AsyncReadPort);
+        assert_eq!(r.line, 12);
+        assert!(r.col >= 1);
+    }
+
+    #[test]
+    fn rejects_multiple_read_ports() {
+        let inf = infer_src(
+            "\
+module mr (
+  input clk,
+  input we,
+  input [1:0] waddr,
+  input [1:0] ra0,
+  input [1:0] ra1,
+  input [3:0] din,
+  output reg [3:0] q0,
+  output reg [3:0] q1
+);
+  reg [3:0] m [3:0];
+  always @(posedge clk) begin
+    if (we) m[waddr] <= din;
+    q0 <= m[ra0];
+    q1 <= m[ra1];
+  end
+endmodule
+",
+        );
+        assert_eq!(inf.rejected[0].kind, RejectKind::MultipleReadPorts);
+    }
+
+    #[test]
+    fn rejects_no_write_and_addr_mismatch() {
+        let inf = infer_src(
+            "\
+module nw (
+  input clk,
+  input [1:0] raddr,
+  output reg [3:0] q
+);
+  reg [3:0] m [3:0];
+  always @(posedge clk)
+    q <= m[raddr];
+endmodule
+",
+        );
+        assert_eq!(inf.rejected[0].kind, RejectKind::NoWritePort);
+
+        let inf = infer_src(
+            "\
+module aw (
+  input clk,
+  input we,
+  input [2:0] waddr,
+  input [1:0] raddr,
+  input [3:0] din,
+  output reg [3:0] q
+);
+  reg [3:0] m [3:0];
+  always @(posedge clk) begin
+    if (we) m[waddr] <= din;
+    q <= m[raddr];
+  end
+endmodule
+",
+        );
+        assert_eq!(inf.rejected[0].kind, RejectKind::AddrWidthMismatch);
+    }
+
+    #[test]
+    fn rejects_bad_lanes() {
+        // Gap: lanes cover [7:0] and [15:12].
+        let inf = infer_src(
+            "\
+module gap (
+  input clk,
+  input [1:0] we,
+  input [2:0] waddr,
+  input [2:0] raddr,
+  input [15:0] din,
+  output reg [15:0] dout
+);
+  reg [15:0] m [7:0];
+  always @(posedge clk) begin
+    if (we[0]) m[waddr][7:0] <= din[7:0];
+    if (we[1]) m[waddr][15:12] <= din[15:12];
+    dout <= m[raddr];
+  end
+endmodule
+",
+        );
+        assert_eq!(inf.rejected[0].kind, RejectKind::BadLanes);
+        assert!(inf.rejected[0].message.contains("gap"), "{}", inf.rejected[0].message);
+    }
+
+    #[test]
+    fn plain_register_logic_is_not_a_memory() {
+        let inf = infer_src(
+            "\
+module ff (
+  input clk,
+  input en,
+  input d,
+  output reg q
+);
+  always @(posedge clk)
+    if (en) q <= d;
+endmodule
+",
+        );
+        assert!(inf.memories.is_empty());
+        assert!(inf.rejected.is_empty());
+    }
+
+    #[test]
+    fn addr_bits_rule_matches_sram_generator() {
+        assert_eq!(addr_bits_for(1), 1);
+        assert_eq!(addr_bits_for(2), 1);
+        assert_eq!(addr_bits_for(3), 2);
+        assert_eq!(addr_bits_for(16), 4);
+        assert_eq!(addr_bits_for(17), 5);
+        assert_eq!(addr_bits_for(1024), 10);
+    }
+}

@@ -23,6 +23,20 @@
 //!   flow) for power analysis.
 //! * [`verilog`] — structural Verilog emission.
 //!
+//! The memory-inference frontend turns *behavioral* Verilog into the
+//! structural world above:
+//!
+//! * [`parse`] — a hand-rolled parser for a behavioral subset
+//!   (`module`/ports, `reg [W-1:0] mem [D-1:0]` arrays, clocked `always`
+//!   write blocks, sync read ports) into [`behav::BehavModule`].
+//! * [`behav`] — the frontend IR plus [`behav::BehavInterp`], the
+//!   reference non-blocking-assignment interpreter.
+//! * [`infer`] — memory inference: port classification and a rejection
+//!   taxonomy with line/column diagnostics.
+//! * [`smartmem`] — lowering of inferred memories to brick-macro columns
+//!   with synthesized decoder/enable/driver periphery, plus a
+//!   co-simulation testbench.
+//!
 //! # Examples
 //!
 //! Generate and exercise the paper's 5-to-32 decoder:
@@ -42,16 +56,24 @@
 //! # }
 //! ```
 
+pub mod behav;
 pub mod error;
 pub mod generators;
+pub mod infer;
 pub mod ir;
 pub mod mapping;
+pub mod parse;
 pub mod sim;
+pub mod smartmem;
 pub mod stats;
 pub mod stdcell;
 pub mod verilog;
 
+pub use behav::{BehavInterp, BehavModule};
 pub use error::RtlError;
+pub use infer::{Inference, InferredMemory, RejectKind, Rejection};
 pub use ir::{CellId, CellKind, NetId, Netlist};
+pub use parse::{parse, ParseError};
 pub use sim::{Simulator, SwitchingActivity};
+pub use smartmem::{MemLowering, SmartMemTestbench};
 pub use stdcell::StdCellKind;

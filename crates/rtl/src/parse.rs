@@ -1,0 +1,868 @@
+//! Hand-rolled parser for the behavioral Verilog subset consumed by the
+//! memory-inference frontend — zero external crates, same discipline as
+//! the `lim-obs` JSON parser.
+//!
+//! Accepted grammar (ANSI-style header, literal constant ranges):
+//!
+//! ```text
+//! module     := "module" ident "(" port ("," port)* ")" ";" item* "endmodule"
+//! port       := ("input"|"output") ("wire"|"reg")? range? ident
+//! range      := "[" number ":" number "]"          // msb:0 only
+//! item       := reg-decl | always | assign
+//! reg-decl   := "reg" range? ident range? ";"      // second range = array depth
+//! always     := "always" "@" "(" "posedge" ident ")" stmt-or-block
+//! assign     := "assign" ident "=" rvalue ";"
+//! stmt       := if-stmt | nonblocking
+//! if-stmt    := "if" "(" ident bitsel? ")" stmt-or-block
+//! nonblocking:= lvalue "<=" rvalue ";"
+//! lvalue     := ident | ident "[" ident "]" range?
+//! rvalue     := ident range? | ident "[" ident "]" range?
+//! bitsel     := "[" number "]"
+//! ```
+//!
+//! Everything outside the subset is rejected with a [`ParseError`]
+//! carrying the 1-based line and column of the offending token.
+
+use crate::behav::{
+    AlwaysBlock, Assign, BehavModule, Cond, MemDecl, PartSelect, Port, PortDir, Rvalue, Stmt,
+};
+use std::fmt;
+
+/// A diagnostic with a precise source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    Punct(char),   // ( ) [ ] : ; , @ .
+    Assign,        // =
+    NonBlocking,   // <=
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Number(n) => write!(f, "`{n}`"),
+            Tok::Punct(c) => write!(f, "`{c}`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::NonBlocking => write!(f, "`<=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+    max_line: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            max_line: 1,
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.max_line = self.max_line.max(self.line);
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, line: usize, col: usize, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.peek_byte() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek_byte() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(self.err(line, col, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Next token plus the line/column it starts at.
+    fn next_tok(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let b = match self.peek_byte() {
+            Some(b) => b,
+            None => return Ok((Tok::Eof, line, col)),
+        };
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = self.pos;
+            while let Some(c) = self.peek_byte() {
+                if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .map_err(|_| self.err(line, col, "identifier is not valid UTF-8"))?;
+            return Ok((Tok::Ident(text.to_owned()), line, col));
+        }
+        if b.is_ascii_digit() {
+            let start = self.pos;
+            while let Some(c) = self.peek_byte() {
+                if c.is_ascii_alphanumeric() || c == b'\'' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+            let n: u64 = text.parse().map_err(|_| {
+                self.err(
+                    line,
+                    col,
+                    format!("unsupported number literal `{text}` (plain decimal only)"),
+                )
+            })?;
+            return Ok((Tok::Number(n), line, col));
+        }
+        match b {
+            b'(' | b')' | b'[' | b']' | b':' | b';' | b',' | b'@' | b'.' => {
+                self.bump();
+                Ok((Tok::Punct(b as char), line, col))
+            }
+            b'<' => {
+                self.bump();
+                if self.peek_byte() == Some(b'=') {
+                    self.bump();
+                    Ok((Tok::NonBlocking, line, col))
+                } else {
+                    Err(self.err(line, col, "expected `<=`"))
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek_byte() == Some(b'=') {
+                    return Err(self.err(line, col, "comparison operators are not supported"));
+                }
+                Ok((Tok::Assign, line, col))
+            }
+            _ => Err(self.err(
+                line,
+                col,
+                format!("unexpected character `{}`", escape_byte(b)),
+            )),
+        }
+    }
+}
+
+fn escape_byte(b: u8) -> String {
+    if b.is_ascii_graphic() || b == b' ' {
+        (b as char).to_string()
+    } else {
+        format!("\\x{b:02x}")
+    }
+}
+
+/// Deepest `if` nesting the recursive-descent parser will follow; the
+/// same stack-overflow guard discipline as `lim-obs`'s JSON parser.
+const MAX_NESTING: usize = 64;
+
+struct Parser<'s> {
+    lexer: Lexer<'s>,
+    tok: Tok,
+    line: usize,
+    col: usize,
+    depth: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(src: &'s str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let (tok, line, col) = lexer.next_tok()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            line,
+            col,
+            depth: 0,
+        })
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Result<Tok, ParseError> {
+        let (tok, line, col) = self.lexer.next_tok()?;
+        self.line = line;
+        self.col = col;
+        Ok(std::mem::replace(&mut self.tok, tok))
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        if self.tok == Tok::Punct(c) {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected `{c}`, found {}", self.tok)))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, usize, usize), ParseError> {
+        let (line, col) = (self.line, self.col);
+        match self.advance()? {
+            Tok::Ident(s) => Ok((s, line, col)),
+            other => Err(ParseError {
+                line,
+                col,
+                msg: format!("expected {what}, found {other}"),
+            }),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let (s, line, col) = self.expect_ident(&format!("`{kw}`"))?;
+        if s == kw {
+            Ok(())
+        } else {
+            Err(ParseError {
+                line,
+                col,
+                msg: format!("expected `{kw}`, found `{s}`"),
+            })
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<(u64, usize, usize), ParseError> {
+        let (line, col) = (self.line, self.col);
+        match self.advance()? {
+            Tok::Number(n) => Ok((n, line, col)),
+            other => Err(ParseError {
+                line,
+                col,
+                msg: format!("expected {what}, found {other}"),
+            }),
+        }
+    }
+
+    fn at_ident(&self, kw: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == kw)
+    }
+
+    /// `[msb:lsb]` — lsb must be 0; returns msb+1 (the width).
+    fn range_width(&mut self, what: &str) -> Result<usize, ParseError> {
+        self.expect_punct('[')?;
+        let (msb, line, col) = self.expect_number("a constant msb")?;
+        self.expect_punct(':')?;
+        let (lsb, lline, lcol) = self.expect_number("a constant lsb")?;
+        self.expect_punct(']')?;
+        if lsb != 0 {
+            return Err(ParseError {
+                line: lline,
+                col: lcol,
+                msg: format!("{what} range must end at bit 0, found `[{msb}:{lsb}]`"),
+            });
+        }
+        let width = msb as usize + 1;
+        if width > 4096 {
+            return Err(ParseError {
+                line,
+                col,
+                msg: format!("{what} range `[{msb}:0]` is implausibly wide"),
+            });
+        }
+        Ok(width)
+    }
+
+    /// Optional `[hi:lo]` part-select (hi >= lo, both literal).
+    fn opt_part_select(&mut self) -> Result<Option<PartSelect>, ParseError> {
+        if self.tok != Tok::Punct('[') {
+            return Ok(None);
+        }
+        self.advance()?;
+        let (hi, line, col) = self.expect_number("a constant bit index")?;
+        self.expect_punct(':')?;
+        let (lo, ..) = self.expect_number("a constant bit index")?;
+        self.expect_punct(']')?;
+        if lo > hi {
+            return Err(ParseError {
+                line,
+                col,
+                msg: format!("part-select `[{hi}:{lo}]` has lo > hi"),
+            });
+        }
+        Ok(Some(PartSelect {
+            hi: hi as usize,
+            lo: lo as usize,
+        }))
+    }
+
+    fn port(&mut self) -> Result<Port, ParseError> {
+        let (dir_kw, line, col) = self.expect_ident("`input` or `output`")?;
+        let dir = match dir_kw.as_str() {
+            "input" => PortDir::Input,
+            "output" => PortDir::Output,
+            other => {
+                return Err(ParseError {
+                    line,
+                    col,
+                    msg: format!("expected `input` or `output`, found `{other}`"),
+                })
+            }
+        };
+        let mut is_reg = false;
+        if self.at_ident("wire") {
+            self.advance()?;
+        } else if self.at_ident("reg") {
+            is_reg = true;
+            self.advance()?;
+        }
+        let width = if self.tok == Tok::Punct('[') {
+            self.range_width("port")?
+        } else {
+            1
+        };
+        let (name, nline, ncol) = self.expect_ident("a port name")?;
+        if is_reg && dir == PortDir::Input {
+            return Err(ParseError {
+                line: nline,
+                col: ncol,
+                msg: format!("input port `{name}` may not be declared `reg`"),
+            });
+        }
+        Ok(Port {
+            name,
+            width,
+            dir,
+            is_reg,
+            line: nline,
+            col: ncol,
+        })
+    }
+
+    /// `ident` | `ident [ ident ]`, each with an optional trailing
+    /// `[hi:lo]` part-select.
+    fn rvalue(&mut self) -> Result<Rvalue, ParseError> {
+        let (name, ..) = self.expect_ident("a signal or memory name")?;
+        // Lookahead: `[` followed by an identifier is an array index;
+        // `[` followed by a number is a part-select on the signal.
+        if self.tok == Tok::Punct('[') {
+            // Peek past `[` without consuming on the part-select path.
+            let save = (self.lexer.pos, self.lexer.line, self.lexer.col);
+            let save_tok = (self.tok.clone(), self.line, self.col);
+            self.advance()?;
+            if let Tok::Ident(_) = self.tok {
+                let (addr, ..) = self.expect_ident("an address signal")?;
+                self.expect_punct(']')?;
+                let sel = self.opt_part_select()?;
+                return Ok(Rvalue::MemRead {
+                    mem: name,
+                    addr,
+                    sel,
+                });
+            }
+            // Rewind: it was `name[number...`, parse as part-select.
+            (self.lexer.pos, self.lexer.line, self.lexer.col) = save;
+            (self.tok, self.line, self.col) = save_tok;
+            let sel = self.opt_part_select()?;
+            return Ok(Rvalue::Signal { name, sel });
+        }
+        Ok(Rvalue::Signal { name, sel: None })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let (line, col) = (self.line, self.col);
+        if self.at_ident("if") {
+            self.advance()?;
+            self.expect_punct('(')?;
+            let (signal, ..) = self.expect_ident("an enable signal")?;
+            let bit = if self.tok == Tok::Punct('[') {
+                self.advance()?;
+                let (b, ..) = self.expect_number("a constant bit index")?;
+                self.expect_punct(']')?;
+                Some(b as usize)
+            } else {
+                None
+            };
+            self.expect_punct(')')?;
+            if self.at_ident("else") {
+                return Err(self.err_here("`else` is not supported"));
+            }
+            self.depth += 1;
+            if self.depth > MAX_NESTING {
+                return Err(ParseError {
+                    line,
+                    col,
+                    msg: format!("`if` nesting deeper than {MAX_NESTING} levels"),
+                });
+            }
+            let body = self.stmt_or_block()?;
+            self.depth -= 1;
+            if self.at_ident("else") {
+                return Err(self.err_here("`else` is not supported"));
+            }
+            return Ok(Stmt::If {
+                cond: Cond { signal, bit },
+                body,
+                line,
+                col,
+            });
+        }
+        // Non-blocking assignment.
+        let (dst, dline, dcol) = self.expect_ident("a register or memory name")?;
+        if self.tok == Tok::Punct('[') {
+            self.advance()?;
+            let (aline, acol) = (self.line, self.col);
+            let addr = match self.advance()? {
+                Tok::Ident(s) => s,
+                Tok::Number(_) => {
+                    return Err(ParseError {
+                        line: dline,
+                        col: dcol,
+                        msg: format!(
+                            "constant-indexed write to `{dst}` is not inferable \
+                             (address must be a signal)"
+                        ),
+                    })
+                }
+                other => {
+                    return Err(ParseError {
+                        line: aline,
+                        col: acol,
+                        msg: format!("expected an address signal, found {other}"),
+                    })
+                }
+            };
+            self.expect_punct(']')?;
+            let sel = self.opt_part_select()?;
+            if self.tok != Tok::NonBlocking {
+                return Err(self.err_here(format!(
+                    "expected `<=` after memory write target, found {}",
+                    self.tok
+                )));
+            }
+            self.advance()?;
+            let rhs = self.rvalue()?;
+            self.expect_punct(';')?;
+            return Ok(Stmt::MemWrite {
+                mem: dst,
+                addr,
+                sel,
+                rhs,
+                line,
+                col,
+            });
+        }
+        match self.tok {
+            Tok::NonBlocking => {
+                self.advance()?;
+            }
+            Tok::Assign => {
+                return Err(self.err_here(
+                    "blocking assignment `=` in a clocked block is not inferable; use `<=`",
+                ))
+            }
+            _ => {
+                return Err(self.err_here(format!("expected `<=`, found {}", self.tok)));
+            }
+        }
+        let rhs = self.rvalue()?;
+        self.expect_punct(';')?;
+        Ok(Stmt::RegWrite {
+            dst,
+            rhs,
+            line,
+            col,
+        })
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.at_ident("begin") {
+            self.advance()?;
+            let mut body = Vec::new();
+            while !self.at_ident("end") {
+                if self.tok == Tok::Eof {
+                    return Err(self.err_here("unterminated `begin` block"));
+                }
+                body.push(self.stmt()?);
+            }
+            self.advance()?; // consume `end`
+            Ok(body)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn always(&mut self) -> Result<AlwaysBlock, ParseError> {
+        let (line, col) = (self.line, self.col);
+        self.expect_keyword("always")?;
+        if self.tok != Tok::Punct('@') {
+            return Err(self.err_here("expected `@` after `always`"));
+        }
+        self.advance()?;
+        self.expect_punct('(')?;
+        let (edge, eline, ecol) = self.expect_ident("`posedge`")?;
+        if edge != "posedge" {
+            return Err(ParseError {
+                line: eline,
+                col: ecol,
+                msg: format!("only `posedge` clocking is inferable, found `{edge}`"),
+            });
+        }
+        let (clock, ..) = self.expect_ident("a clock signal")?;
+        self.expect_punct(')')?;
+        let body = self.stmt_or_block()?;
+        Ok(AlwaysBlock {
+            clock,
+            body,
+            line,
+            col,
+        })
+    }
+
+    fn module(&mut self) -> Result<BehavModule, ParseError> {
+        self.expect_keyword("module")?;
+        let (name, ..) = self.expect_ident("a module name")?;
+        self.expect_punct('(')?;
+        let mut ports = Vec::new();
+        if self.tok != Tok::Punct(')') {
+            loop {
+                ports.push(self.port()?);
+                if self.tok == Tok::Punct(',') {
+                    self.advance()?;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(')')?;
+        self.expect_punct(';')?;
+
+        let mut module = BehavModule {
+            name,
+            ports,
+            ..BehavModule::default()
+        };
+        loop {
+            if self.at_ident("endmodule") {
+                self.advance()?;
+                break;
+            }
+            match &self.tok {
+                Tok::Ident(kw) if kw == "reg" => {
+                    self.advance()?;
+                    let width = if self.tok == Tok::Punct('[') {
+                        self.range_width("reg")?
+                    } else {
+                        1
+                    };
+                    let (name, line, col) = self.expect_ident("a reg name")?;
+                    if self.tok == Tok::Punct('[') {
+                        let depth = self.range_width("array depth")?;
+                        self.expect_punct(';')?;
+                        module.mems.push(MemDecl {
+                            name,
+                            width,
+                            depth,
+                            line,
+                            col,
+                        });
+                    } else {
+                        return Err(ParseError {
+                            line,
+                            col,
+                            msg: format!(
+                                "internal scalar reg `{name}` is not supported; \
+                                 declare registered outputs as `output reg` ports"
+                            ),
+                        });
+                    }
+                }
+                Tok::Ident(kw) if kw == "always" => {
+                    let block = self.always()?;
+                    module.always.push(block);
+                }
+                Tok::Ident(kw) if kw == "assign" => {
+                    let (line, col) = (self.line, self.col);
+                    self.advance()?;
+                    let (dst, ..) = self.expect_ident("an output name")?;
+                    if self.tok != Tok::Assign {
+                        return Err(self.err_here(format!(
+                            "expected `=` in assign, found {}",
+                            self.tok
+                        )));
+                    }
+                    self.advance()?;
+                    let rhs = self.rvalue()?;
+                    self.expect_punct(';')?;
+                    module.assigns.push(Assign {
+                        dst,
+                        rhs,
+                        line,
+                        col,
+                    });
+                }
+                Tok::Eof => {
+                    return Err(self.err_here("expected `endmodule`, found end of input"));
+                }
+                other => {
+                    return Err(self.err_here(format!(
+                        "unsupported module item starting with {other}"
+                    )));
+                }
+            }
+        }
+        if self.tok != Tok::Eof {
+            return Err(self.err_here(format!(
+                "trailing input after `endmodule`: {}",
+                self.tok
+            )));
+        }
+        module.source_lines = self.lexer.max_line;
+        Ok(module)
+    }
+}
+
+/// Parses one behavioral module from `source`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with 1-based line/column on any input
+/// outside the supported subset.
+pub fn parse(source: &str) -> Result<BehavModule, ParseError> {
+    let mut p = Parser::new(source)?;
+    p.module()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behav::PortDir;
+
+    const SAMPLE: &str = "\
+// Single-port synchronous-read memory.
+module spram (
+  input wire clk,
+  input wire we,
+  input wire [3:0] waddr,
+  input wire [3:0] raddr,
+  input wire [7:0] din,
+  output reg [7:0] dout
+);
+  reg [7:0] mem [15:0];
+  always @(posedge clk) begin
+    if (we)
+      mem[waddr] <= din;
+    dout <= mem[raddr];
+  end
+endmodule
+";
+
+    #[test]
+    fn parses_single_port_memory() {
+        let m = parse(SAMPLE).unwrap();
+        assert_eq!(m.name, "spram");
+        assert_eq!(m.ports.len(), 6);
+        assert_eq!(m.ports[4].width, 8);
+        assert_eq!(m.ports[5].dir, PortDir::Output);
+        assert!(m.ports[5].is_reg);
+        assert_eq!(m.mems.len(), 1);
+        assert_eq!(m.mems[0].width, 8);
+        assert_eq!(m.mems[0].depth, 16);
+        assert_eq!(m.always.len(), 1);
+        assert_eq!(m.always[0].clock, "clk");
+        assert_eq!(m.always[0].body.len(), 2);
+        assert!(m.source_lines >= 16);
+    }
+
+    #[test]
+    fn parses_byte_enable_and_async_read() {
+        let src = "\
+module be (
+  input clk,
+  input [1:0] we,
+  input [2:0] addr,
+  input [15:0] din,
+  output [15:0] q
+);
+  reg [15:0] m [7:0];
+  always @(posedge clk) begin
+    if (we[0]) m[addr][7:0] <= din[7:0];
+    if (we[1]) m[addr][15:8] <= din[15:8];
+  end
+  assign q = m[addr];
+endmodule
+";
+        let m = parse(src).unwrap();
+        assert_eq!(m.always[0].body.len(), 2);
+        match &m.always[0].body[1] {
+            Stmt::If { cond, body, .. } => {
+                assert_eq!(cond.signal, "we");
+                assert_eq!(cond.bit, Some(1));
+                match &body[0] {
+                    Stmt::MemWrite { sel, rhs, .. } => {
+                        assert_eq!(*sel, Some(PartSelect { hi: 15, lo: 8 }));
+                        assert_eq!(
+                            *rhs,
+                            Rvalue::Signal {
+                                name: "din".into(),
+                                sel: Some(PartSelect { hi: 15, lo: 8 }),
+                            }
+                        );
+                    }
+                    other => panic!("expected MemWrite, got {other:?}"),
+                }
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+        assert_eq!(m.assigns.len(), 1);
+        assert_eq!(
+            m.assigns[0].rhs,
+            Rvalue::MemRead {
+                mem: "m".into(),
+                addr: "addr".into(),
+                sel: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_with_position() {
+        let err = parse("module m (input clk);\n  wire x;\nendmodule").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 3);
+        assert!(err.msg.contains("unsupported module item"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_blocking_assign_in_always() {
+        let src = "module m (input clk, input d, output reg q);\n\
+                   always @(posedge clk) q = d;\nendmodule";
+        let err = parse(src).unwrap_err();
+        assert!(err.msg.contains("blocking assignment"), "{}", err.msg);
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_negedge_and_else() {
+        let err = parse(
+            "module m (input clk, input d, output reg q);\n\
+             always @(negedge clk) q <= d;\nendmodule",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("posedge"), "{}", err.msg);
+        let err = parse(
+            "module m (input clk, input e, input d, output reg q);\n\
+             always @(posedge clk) begin\n  if (e) q <= d; else q <= d;\nend\nendmodule",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("else"), "{}", err.msg);
+    }
+
+    #[test]
+    fn rejects_nonzero_lsb_range() {
+        let err =
+            parse("module m (input clk, input [7:4] a, output reg q);\nendmodule").unwrap_err();
+        assert!(err.msg.contains("bit 0"), "{}", err.msg);
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn deep_if_nesting_is_bounded_not_a_stack_overflow() {
+        let src = format!(
+            "module m (input clk, input a, output reg q);\n\
+             always @(posedge clk) {}q <= a;\nendmodule",
+            "if (a) ".repeat(100_000)
+        );
+        let err = parse(&src).unwrap_err();
+        assert!(err.msg.contains("nesting"), "{}", err.msg);
+        assert!(err.line >= 1 && err.col >= 1);
+    }
+
+    #[test]
+    fn errors_always_carry_positions() {
+        for src in [
+            "",
+            "module",
+            "module m",
+            "module m (",
+            "module m (input clk); reg [7:0] x;",
+            "module m (input clk); always @(posedge clk) begin endmodule",
+            "garbage !!",
+            "module m (input clk); reg [7:0] a [3:0]; always @(posedge clk) a[0] <= 1; endmodule",
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.line >= 1, "line for {src:?}");
+            assert!(err.col >= 1, "col for {src:?}");
+        }
+    }
+}

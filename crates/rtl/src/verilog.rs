@@ -4,7 +4,8 @@
 //! module dumps the synthesized standard-cell logic so a full design can
 //! be inspected or shipped to an external flow.
 
-use crate::ir::{CellKind, Netlist};
+use crate::ir::{CellKind, NetId, Netlist};
+use std::collections::{HashMap, HashSet};
 
 /// Sanitizes a net name into a Verilog identifier (`[`/`]` → `_`).
 fn ident(name: &str) -> String {
@@ -13,27 +14,68 @@ fn ident(name: &str) -> String {
         .collect()
 }
 
+/// One emission's identifier namespace: sanitization alone maps
+/// distinct source names (`a[0]`, `a_0_`) onto the same identifier, so
+/// each original name is assigned once and later colliders pick up a
+/// uniquifying `_2`, `_3`, … suffix. First-come keeps the plain
+/// sanitized form, so collision-free netlists emit unchanged.
+#[derive(Debug, Default)]
+struct NameTable {
+    assigned: HashMap<String, String>,
+    used: HashSet<String>,
+}
+
+impl NameTable {
+    fn resolve(&mut self, original: &str) -> String {
+        if let Some(done) = self.assigned.get(original) {
+            return done.clone();
+        }
+        let base = ident(original);
+        let name = if self.used.insert(base.clone()) {
+            base
+        } else {
+            let mut k = 2usize;
+            loop {
+                let candidate = format!("{base}_{k}");
+                if self.used.insert(candidate.clone()) {
+                    break candidate;
+                }
+                k += 1;
+            }
+        };
+        self.assigned.insert(original.to_owned(), name.clone());
+        name
+    }
+}
+
 /// Emits the netlist as structural Verilog.
 pub fn emit(netlist: &Netlist) -> String {
     use std::fmt::Write as _;
+    // Nets and instances are distinct Verilog namespaces; each gets its
+    // own collision table. Resolution order (ports, internal wires by
+    // index, then cells) is deterministic, so emission is reproducible.
+    let mut net_names = NameTable::default();
+    let mut inst_names = NameTable::default();
+    let net = |id: NetId, t: &mut NameTable| t.resolve(netlist.net_name(id));
+
     let mut v = String::new();
     let _ = writeln!(v, "// Auto-generated structural netlist: {}", netlist.name());
     let _ = writeln!(v, "module {} (", ident(netlist.name()));
     let mut ports: Vec<String> = Vec::new();
     for &pi in netlist.primary_inputs() {
-        ports.push(format!("  input  wire {}", ident(netlist.net_name(pi))));
+        ports.push(format!("  input  wire {}", net(pi, &mut net_names)));
     }
     for &po in netlist.primary_outputs() {
-        ports.push(format!("  output wire {}", ident(netlist.net_name(po))));
+        ports.push(format!("  output wire {}", net(po, &mut net_names)));
     }
     let _ = writeln!(v, "{}", ports.join(",\n"));
     let _ = writeln!(v, ");");
 
     // Internal wires: everything that isn't a port.
     for i in 0..netlist.net_count() {
-        let id = crate::ir::NetId::from_index(i);
+        let id = NetId::from_index(i);
         if !netlist.primary_inputs().contains(&id) && !netlist.primary_outputs().contains(&id) {
-            let _ = writeln!(v, "  wire {};", ident(netlist.net_name(id)));
+            let _ = writeln!(v, "  wire {};", net(id, &mut net_names));
         }
     }
 
@@ -43,15 +85,15 @@ pub fn emit(netlist: &Netlist) -> String {
                 let pins: Vec<String> = cell
                     .inputs
                     .iter()
-                    .map(|&n| ident(netlist.net_name(n)))
-                    .chain(cell.outputs.iter().map(|&n| ident(netlist.net_name(n))))
+                    .chain(cell.outputs.iter())
+                    .map(|&n| net(n, &mut net_names))
                     .collect();
                 let _ = writeln!(
                     v,
                     "  {}_X{} {} ({});",
                     kind.name(),
                     (*drive).round() as i64,
-                    ident(&cell.name),
+                    inst_names.resolve(&cell.name),
                     pins.join(", ")
                 );
             }
@@ -60,13 +102,13 @@ pub fn emit(netlist: &Netlist) -> String {
                     .inputs
                     .iter()
                     .chain(cell.outputs.iter())
-                    .map(|&n| ident(netlist.net_name(n)))
+                    .map(|&n| net(n, &mut net_names))
                     .collect();
                 let _ = writeln!(
                     v,
                     "  {} {} ({});",
                     ident(lib_name),
-                    ident(&cell.name),
+                    inst_names.resolve(&cell.name),
                     pins.join(", ")
                 );
             }
@@ -74,7 +116,7 @@ pub fn emit(netlist: &Netlist) -> String {
                 let _ = writeln!(
                     v,
                     "  assign {} = 1'b{};",
-                    ident(netlist.net_name(cell.outputs[0])),
+                    net(cell.outputs[0], &mut net_names),
                     *value as u8
                 );
             }
@@ -100,6 +142,30 @@ mod tests {
         assert!(v.contains("INV_X2"));
         assert!(v.contains("AND2_X1"));
         assert!(v.contains("endmodule"));
+    }
+
+    #[test]
+    fn colliding_sanitized_names_are_uniquified() {
+        use crate::ir::Netlist;
+        use crate::stdcell::StdCellKind;
+        // `a[0]` and `a_0_` both sanitize to `a_0_`; the second comer
+        // must pick up a suffix instead of silently shorting the wires.
+        let mut n = Netlist::new("clash");
+        let a = n.add_input("a[0]");
+        let b = n.add_input("a_0_");
+        let x = n.add_gate(StdCellKind::And2, 1.0, &[a, b], "y").unwrap();
+        n.mark_output(x);
+        let v = emit(&n);
+        assert!(v.contains("input  wire a_0_,"), "first comer keeps the plain name:\n{v}");
+        assert!(v.contains("input  wire a_0__2"), "second comer is uniquified:\n{v}");
+        assert!(v.contains("AND2_X1 u_y (a_0_, a_0__2, y);"), "{v}");
+        // Every emitted identifier is unique across the port list.
+        let mut seen = std::collections::HashSet::new();
+        for line in v.lines() {
+            if let Some(name) = line.trim().strip_prefix("input  wire ") {
+                assert!(seen.insert(name.trim_end_matches(',').to_owned()), "{line}");
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! fail the run — they are the server's backpressure working as
 //! designed; any other error does.
 //!
+//! `--source-file PATH` reads a file and splices its text into the
+//! request as the `"source"` param — the ergonomic way to drive
+//! `rtl.infer` with a Verilog file.
+//!
 //! Telemetry flags:
 //!
 //! - `--trace` (single-shot) mints a trace id, sends it with the
@@ -41,6 +45,7 @@ struct Args {
     shards: Vec<String>,
     method: Option<String>,
     params: String,
+    source_file: Option<String>,
     concurrency: usize,
     requests: usize,
     quiet: bool,
@@ -52,7 +57,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: lim-client (--addr HOST:PORT | --shards H:P,H:P[,...]) \
-         (--method M [--params JSON] [--trace] | --stats | \
+         (--method M [--params JSON] [--source-file PATH] [--trace] | --stats | \
          --shutdown | --concurrency N --requests M [--method M [--params JSON]] \
          [--latency-export PATH] | --telemetry-export PATH)"
     );
@@ -65,6 +70,7 @@ fn parse_args() -> Args {
         shards: Vec::new(),
         method: None,
         params: "{}".into(),
+        source_file: None,
         concurrency: 0,
         requests: 0,
         quiet: false,
@@ -90,6 +96,7 @@ fn parse_args() -> Args {
             ),
             "--method" => args.method = Some(value("a method name")),
             "--params" => args.params = value("a JSON object"),
+            "--source-file" => args.source_file = Some(value("a Verilog file path")),
             "--stats" => args.method = Some("server.stats".into()),
             "--shutdown" => args.method = Some("server.shutdown".into()),
             "--concurrency" => match value("a worker count").parse() {
@@ -146,6 +153,28 @@ fn roundtrip_traced(
     reader
         .read_line(&|| false)?
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))
+}
+
+/// Reads `path` and splices its text into the params object as the
+/// `"source"` member (for `rtl.infer`, whose source argument is
+/// unwieldy to pass inline on a command line).
+fn inject_source(params: &str, path: &str) -> io::Result<String> {
+    let text = std::fs::read_to_string(path)?;
+    let mut parsed = Value::parse(params)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("--params: {e}")))?;
+    match &mut parsed {
+        Value::Object(members) => {
+            members.retain(|(k, _)| k != "source");
+            members.push(("source".to_owned(), Value::String(text)));
+        }
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "--params must be a JSON object",
+            ))
+        }
+    }
+    Ok(lim_obs::json::render(&parsed))
 }
 
 fn connect(addr: &str) -> io::Result<(TcpStream, LineReader)> {
@@ -429,7 +458,16 @@ fn load_generator(args: &Args) -> io::Result<bool> {
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
+    let mut args = parse_args();
+    if let Some(path) = args.source_file.take() {
+        match inject_source(&args.params, &path) {
+            Ok(p) => args.params = p,
+            Err(e) => {
+                eprintln!("lim-client: --source-file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let outcome = if args.concurrency > 0 && args.requests > 0 {
         load_generator(&args)
     } else {

@@ -11,7 +11,7 @@ use crate::cache::ResponseCache;
 use crate::disk::{DiskCache, LibKey};
 use crate::protocol::{cache_key, fnv1a, ServeError, PROTOCOL};
 use lim::dse::{self, DsePoint};
-use lim::{LimFlow, SramConfig};
+use lim::{LimBlock, LimError, LimFlow, MemoryPlan, SramConfig};
 use lim_brick::library::LibraryEntry;
 use lim_brick::{golden, BankEstimate, BitcellKind, BrickSpec, SharedBrickLibrary};
 use lim_obs::json::{self, Value};
@@ -216,7 +216,7 @@ impl Service {
     fn call_cached(&self, method: &str, params: &Value) -> (Result<String, ServeError>, bool) {
         let memoizable = matches!(
             method,
-            "brick.estimate" | "golden.compare" | "flow.run" | "dse.explore"
+            "brick.estimate" | "golden.compare" | "flow.run" | "dse.explore" | "rtl.infer"
         ) && params.get("nocache") != Some(&Value::Bool(true));
         if !memoizable {
             return (self.dispatch(method, params), false);
@@ -261,7 +261,7 @@ impl Service {
     pub fn memo_probe(&self, method: &str, params: &Value) -> bool {
         matches!(
             method,
-            "brick.estimate" | "golden.compare" | "flow.run" | "dse.explore"
+            "brick.estimate" | "golden.compare" | "flow.run" | "dse.explore" | "rtl.infer"
         ) && params.get("nocache") != Some(&Value::Bool(true))
             && self
                 .cache
@@ -294,6 +294,7 @@ impl Service {
             "golden.compare" => self.golden_compare(params),
             "flow.run" => self.flow_run(params),
             "dse.explore" => self.dse_explore(params),
+            "rtl.infer" => self.rtl_infer(params),
             "batch" => self.batch(params),
             "server.trace" => self.server_trace(params),
             "server.telemetry" => Ok(self.telemetry_report()),
@@ -455,41 +456,87 @@ impl Service {
             .map_err(ServeError::internal)?;
         self.library.absorb(flow.into_library());
         self.persist_library();
-        let r = &block.report;
-        // Per-stage latency: the flow's own stage timings feed the
-        // `flow.<stage>` histograms, so `server.stats` can localize a
-        // slow run to the stage that caused it.
+        self.record_flow_stages(&block);
+        Ok(json::render(&block_value(&block)))
+    }
+
+    /// Per-stage latency: a synthesized block's own stage timings feed
+    /// the `flow.<stage>` histograms, so `server.stats` can localize a
+    /// slow run to the stage that caused it.
+    fn record_flow_stages(&self, block: &LimBlock) {
+        let s = &block.report.stats;
         for (stage, d) in [
-            ("flow.floorplan", r.stats.floorplan),
-            ("flow.place", r.stats.place),
-            ("flow.route", r.stats.route),
-            ("flow.sta", r.stats.sta),
-            ("flow.clock_tree", r.stats.clock_tree),
-            ("flow.power", r.stats.power),
+            ("flow.floorplan", s.floorplan),
+            ("flow.place", s.place),
+            ("flow.route", s.route),
+            ("flow.sta", s.sta),
+            ("flow.clock_tree", s.clock_tree),
+            ("flow.power", s.power),
         ] {
             self.record_stage(stage, d);
         }
+    }
+
+    /// Behavioral-RTL entry point: parses `params["source"]`, infers
+    /// its register arrays, picks each one's brick decomposition by
+    /// analytic DSE, lowers the module to a brick-backed smart memory
+    /// and drives the full physical flow. `"brick_words"` (optional
+    /// array) narrows the depth candidates. Responses go through the
+    /// memo like `flow.run`; parse and inference rejections come back
+    /// as bad-request errors carrying `line:col` diagnostics and are
+    /// never cached.
+    fn rtl_infer(&self, params: &Value) -> Result<String, ServeError> {
+        let source = match params.get("source") {
+            Some(Value::String(s)) => s,
+            Some(_) => return Err(ServeError::bad_request("\"source\" must be a string")),
+            None => {
+                return Err(ServeError::bad_request(
+                    "missing \"source\": behavioral Verilog text",
+                ))
+            }
+        };
+        if source.len() > (1 << 20) {
+            return Err(ServeError::bad_request(
+                "\"source\" larger than 1 MiB; split the design",
+            ));
+        }
+        let brick_words = match params.get("brick_words") {
+            None => Vec::new(),
+            Some(Value::Array(items)) => items
+                .iter()
+                .map(|v| value_usize(v, "brick_words[..]"))
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => {
+                return Err(ServeError::bad_request(
+                    "\"brick_words\" must be an array of brick depths",
+                ))
+            }
+        };
+        let mut flow = LimFlow::with_library(self.tech.clone(), self.library.snapshot());
+        let report =
+            lim::infer_and_synthesize(&mut flow, source, &brick_words).map_err(|e| match e {
+                LimError::BadConfig { .. } => ServeError::bad_request(e.to_string()),
+                other => ServeError::internal(other),
+            })?;
+        self.library.absorb(flow.into_library());
+        self.persist_library();
+        for (stage, d) in [
+            ("rtl.parse", report.timings.parse),
+            ("rtl.infer", report.timings.infer),
+            ("rtl.lower", report.timings.lower),
+        ] {
+            self.record_stage(stage, d);
+        }
+        self.record_flow_stages(&report.block);
         Ok(json::render(&obj(vec![
-            ("name", Value::String(block.name)),
-            ("gate_count", num(block.gate_count as f64)),
-            ("macro_count", num(block.macro_count as f64)),
-            ("fmax_mhz", num(r.fmax.value())),
-            ("min_period_ps", num(r.min_period.value())),
-            ("die_area_um2", num(r.die_area.value())),
-            ("macro_area_um2", num(r.macro_area.value())),
-            ("stdcell_area_um2", num(r.stdcell_area.value())),
-            ("wirelength_um", num(r.wirelength.value())),
+            ("module", Value::String(report.module.clone())),
+            ("parse_lines", num(report.parse_lines as f64)),
             (
-                "power_mw",
-                obj(vec![
-                    ("logic", num(r.power.logic_dynamic.value())),
-                    ("clock", num(r.power.clock.value())),
-                    ("macros", num(r.power.macros.value())),
-                    ("leakage", num(r.power.leakage.value())),
-                    ("total", num(r.power.total().value())),
-                ]),
+                "memories",
+                Value::Array(report.memories.iter().map(memory_plan_value).collect()),
             ),
-            ("energy_per_cycle_fj", num(r.energy_per_cycle.value())),
+            ("report", block_value(&report.block)),
+            ("verilog", Value::String(report.verilog.clone())),
         ])))
     }
 
@@ -1047,6 +1094,63 @@ fn debug_sleep(params: &Value) -> Result<String, ServeError> {
     Ok(format!("{{\"slept_ms\":{ms}}}"))
 }
 
+/// Renders one synthesized block's physical report. `flow.run` and
+/// `rtl.infer` both go through this, so the report member set and order
+/// are identical across endpoints.
+fn block_value(block: &LimBlock) -> Value {
+    let r = &block.report;
+    obj(vec![
+        ("name", Value::String(block.name.clone())),
+        ("gate_count", num(block.gate_count as f64)),
+        ("macro_count", num(block.macro_count as f64)),
+        ("fmax_mhz", num(r.fmax.value())),
+        ("min_period_ps", num(r.min_period.value())),
+        ("die_area_um2", num(r.die_area.value())),
+        ("macro_area_um2", num(r.macro_area.value())),
+        ("stdcell_area_um2", num(r.stdcell_area.value())),
+        ("wirelength_um", num(r.wirelength.value())),
+        (
+            "power_mw",
+            obj(vec![
+                ("logic", num(r.power.logic_dynamic.value())),
+                ("clock", num(r.power.clock.value())),
+                ("macros", num(r.power.macros.value())),
+                ("leakage", num(r.power.leakage.value())),
+                ("total", num(r.power.total().value())),
+            ]),
+        ),
+        ("energy_per_cycle_fj", num(r.energy_per_cycle.value())),
+    ])
+}
+
+/// Renders one inferred memory's DSE-chosen decomposition.
+fn memory_plan_value(m: &MemoryPlan) -> Value {
+    obj(vec![
+        ("name", Value::String(m.name.clone())),
+        ("words", num(m.words as f64)),
+        ("bits", num(m.bits as f64)),
+        (
+            "lanes",
+            Value::Array(m.lane_bits.iter().map(|&w| num(w as f64)).collect()),
+        ),
+        ("brick_words", num(m.brick_words as f64)),
+        ("stack", num(m.stack as f64)),
+        (
+            "entries",
+            Value::Array(
+                m.entry_names
+                    .iter()
+                    .map(|e| Value::String(e.clone()))
+                    .collect(),
+            ),
+        ),
+        ("candidates", num(m.candidates as f64)),
+        ("delay_ps", num(m.delay.value())),
+        ("energy_fj", num(m.energy.value())),
+        ("area_um2", num(m.area.value())),
+    ])
+}
+
 fn point_value(p: &DsePoint) -> Value {
     obj(vec![
         ("label", Value::String(p.label.clone())),
@@ -1362,6 +1466,76 @@ mod tests {
         );
         // The run folded its bricks back into the shared library.
         assert_eq!(svc.library().len(), 1);
+    }
+
+    #[test]
+    fn rtl_infer_runs_end_to_end_memoizes_and_rejects_bad_source() {
+        const SRC: &str = "\
+module spram (
+  input wire clk,
+  input wire we,
+  input wire [4:0] waddr,
+  input wire [4:0] raddr,
+  input wire [9:0] din,
+  output reg [9:0] dout
+);
+  reg [9:0] mem [31:0];
+  always @(posedge clk) begin
+    if (we)
+      mem[waddr] <= din;
+    dout <= mem[raddr];
+  end
+endmodule
+";
+        let svc = Service::new(&ServeConfig::default());
+        let p = Value::Object(vec![
+            ("source".to_owned(), Value::String(SRC.to_owned())),
+            (
+                "brick_words".to_owned(),
+                Value::Array(vec![num(8.0), num(16.0), num(32.0)]),
+            ),
+        ]);
+        let cold = svc.call("rtl.infer", &p);
+        assert!(!cold.cached);
+        let rendered = cold.result.unwrap();
+        let v = Value::parse(&rendered).unwrap();
+        assert_eq!(v.get("module"), Some(&Value::String("spram".into())));
+        let mems = v.get("memories").and_then(Value::as_array).unwrap();
+        assert_eq!(mems.len(), 1);
+        let m = &mems[0];
+        let bw = m.get("brick_words").and_then(Value::as_f64).unwrap();
+        let stack = m.get("stack").and_then(Value::as_f64).unwrap();
+        assert_eq!(bw * stack, 32.0);
+        let report = v.get("report").unwrap();
+        assert!(report.get("fmax_mhz").and_then(Value::as_f64).unwrap() > 0.0);
+        assert_eq!(report.get("macro_count").and_then(Value::as_f64), Some(1.0));
+        assert!(v
+            .get("verilog")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("module spram ("));
+        // The run registered its bank entries in the shared library.
+        assert!(!svc.library().is_empty());
+
+        // Repeat is a memo hit, byte-identical.
+        let warm = svc.call("rtl.infer", &p);
+        assert!(warm.cached, "rtl.infer must be memoized");
+        assert_eq!(warm.result.unwrap(), rendered);
+
+        // Parse failures are bad requests carrying line:col, not cached.
+        let bad = Value::Object(vec![(
+            "source".to_owned(),
+            Value::String("module busted".to_owned()),
+        )]);
+        let err = svc.call("rtl.infer", &bad).result.unwrap_err();
+        assert_eq!(err.code, ERR_BAD_REQUEST);
+        assert!(err.message.contains("parse error"), "{}", err.message);
+        let again = svc.call("rtl.infer", &bad);
+        assert!(!again.cached, "errors must not be cached");
+
+        let err = svc.call("rtl.infer", &params("{}")).result.unwrap_err();
+        assert_eq!(err.code, ERR_BAD_REQUEST);
+        assert!(err.message.contains("source"), "{}", err.message);
     }
 
     fn disk_config(tag: &str) -> (ServeConfig, PathBuf) {

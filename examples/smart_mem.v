@@ -1,0 +1,23 @@
+// 1024x16 single-port synchronous-read memory in the inferable subset:
+// one clocked write port behind a write enable, one registered read
+// port. `rtl.infer` turns this into a brick-backed smart memory and
+// runs it through the full physical flow:
+//
+//   lim-client --addr HOST:PORT --method rtl.infer \
+//     --source-file examples/smart_mem.v \
+//     --params '{"brick_words":[16,32,64]}'
+module smart_mem (
+  input  wire clk,
+  input  wire we,
+  input  wire [9:0] waddr,
+  input  wire [9:0] raddr,
+  input  wire [15:0] din,
+  output reg  [15:0] dout
+);
+  reg [15:0] mem [1023:0];
+  always @(posedge clk) begin
+    if (we)
+      mem[waddr] <= din;
+    dout <= mem[raddr];
+  end
+endmodule

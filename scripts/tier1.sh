@@ -87,6 +87,25 @@ client --method flow.run --params '{"words":32,"bits":10,"partitions":1,"brick_w
     >/dev/null
 client --method dse.explore --params '{"memories":[[128,16]],"brick_words":[16,32,64]}' \
     >/dev/null
+# RTL inference smoke: the committed example design must synthesize
+# end to end through rtl.infer, and a repeat must come out of the memo
+# byte-identical (cached flag aside).
+rtl_cold=$(client --method rtl.infer --source-file examples/smart_mem.v \
+    --params '{"brick_words":[16,32,64]}')
+echo "$rtl_cold" | grep -q '"cached":false' \
+    || { echo "rtl.infer cold run unexpectedly cached" >&2; exit 1; }
+echo "$rtl_cold" | grep -q '"module":"smart_mem"' \
+    || { echo "rtl.infer failed: $rtl_cold" >&2; exit 1; }
+echo "$rtl_cold" | grep -q '"entries":\["brick_8t_' \
+    || { echo "rtl.infer chose no brick entries: $rtl_cold" >&2; exit 1; }
+rtl_warm=$(client --method rtl.infer --source-file examples/smart_mem.v \
+    --params '{"brick_words":[16,32,64]}')
+[[ "$rtl_warm" == "${rtl_cold/\"cached\":false/\"cached\":true}" ]] \
+    || { echo "rtl.infer warm answer differs from cold compute" >&2; \
+         echo "cold: ${rtl_cold:0:400}" >&2; echo "warm: ${rtl_warm:0:400}" >&2; exit 1; }
+# The rtl.* obs counters must surface in server.stats.
+client --method server.stats | grep -q '"rtl.infer.memories"' \
+    || { echo "server.stats missing rtl.infer counters" >&2; exit 1; }
 # The repeated estimate must be served from the response memo.
 client --method brick.estimate --params '{"words":16,"bits":10,"stack":4}' \
     | grep -q '"cached":true'
@@ -194,6 +213,16 @@ direct=$(client_at "$single" --method batch --params "$cluster_batch")
 [[ "$routed" == "$direct" ]] \
     || { echo "router batch differs from lone shard" >&2; \
          echo "routed: $routed" >&2; echo "direct: $direct" >&2; exit 1; }
+# rtl.infer through the router must match the lone shard byte for
+# byte (deterministic DSE choice + flow on whichever shard it lands).
+rtl_routed=$(client_at "$router" --method rtl.infer --source-file examples/smart_mem.v \
+    --params '{"brick_words":[32,64]}')
+rtl_direct=$(client_at "$single" --method rtl.infer --source-file examples/smart_mem.v \
+    --params '{"brick_words":[32,64]}')
+[[ "$rtl_routed" == "$rtl_direct" ]] \
+    || { echo "routed rtl.infer differs from lone shard" >&2; \
+         echo "routed: ${rtl_routed:0:400}" >&2; \
+         echo "direct: ${rtl_direct:0:400}" >&2; exit 1; }
 # Router-less client-side routing over the same ring.
 cargo run --release --offline -q -p lim-serve --bin lim-client -- \
     --shards "$shard1,$shard2" \

@@ -251,6 +251,156 @@ fn pareto_front_members_are_not_dominated() {
     });
 }
 
+/// A random behavioral memory design inside the inferable RTL subset:
+/// power-of-two depth, random word width, optionally split into two
+/// byte-enable lanes. Returns the source plus (words, bits, lanes).
+fn any_mem_source(rng: &mut TestRng) -> (String, usize, usize, usize) {
+    let words = [8usize, 16, 32][rng.gen_range(0usize..3)];
+    let bits = rng.gen_range(2usize..=12);
+    let abits = words.trailing_zeros() as usize;
+    let split = rng.gen_bool(0.5).then(|| rng.gen_range(1..bits));
+    let lanes = if split.is_some() { 2 } else { 1 };
+    let we_decl = if lanes == 2 {
+        "input wire [1:0] we".to_owned()
+    } else {
+        "input wire we".to_owned()
+    };
+    let writes = match split {
+        Some(s) => format!(
+            "    if (we[0]) mem[waddr][{lo}:0] <= din[{lo}:0];\n\
+             \x20   if (we[1]) mem[waddr][{hi}:{s}] <= din[{hi}:{s}];\n",
+            lo = s - 1,
+            hi = bits - 1,
+        ),
+        None => "    if (we)\n      mem[waddr] <= din;\n".to_owned(),
+    };
+    let src = format!(
+        "module fuzzmem (\n\
+         \x20 input wire clk,\n\
+         \x20 {we_decl},\n\
+         \x20 input wire [{a}:0] waddr,\n\
+         \x20 input wire [{a}:0] raddr,\n\
+         \x20 input wire [{b}:0] din,\n\
+         \x20 output reg [{b}:0] dout\n\
+         );\n\
+         \x20 reg [{b}:0] mem [{d}:0];\n\
+         \x20 always @(posedge clk) begin\n\
+         {writes}\
+         \x20   dout <= mem[raddr];\n\
+         \x20 end\n\
+         endmodule\n",
+        a = abits - 1,
+        b = bits - 1,
+        d = words - 1,
+    );
+    (src, words, bits, lanes)
+}
+
+#[test]
+fn rtl_infer_roundtrip_is_cycle_exact() {
+    use lim_rtl::smartmem::{lower, MemLowering};
+    use std::collections::BTreeMap;
+
+    check("rtl_infer_roundtrip_is_cycle_exact", |rng| {
+        let (src, words, bits, lanes) = any_mem_source(rng);
+        let module = lim_rtl::parse(&src).expect("generated source is in the subset");
+        let inference = lim_rtl::infer::infer(&module);
+        assert!(
+            inference.rejected.is_empty(),
+            "generated design rejected: {:?}\n{src}",
+            inference.rejected
+        );
+        assert_eq!(inference.memories.len(), 1);
+        let mem = &inference.memories[0];
+        assert_eq!((mem.words, mem.bits, mem.lanes().len()), (words, bits, lanes));
+
+        // Any depth divisor is a valid decomposition for lowering; the
+        // cycle behavior must not depend on which one DSE would pick.
+        let brick_words = (words >> rng.gen_range(0usize..3)).max(2);
+        let stack = words / brick_words;
+        let plan = MemLowering {
+            brick_words,
+            entry_names: mem
+                .lanes()
+                .iter()
+                .map(|l| format!("brick_8t_{brick_words}_{}_x{stack}", l.width()))
+                .collect(),
+        };
+        let plans: BTreeMap<String, MemLowering> =
+            [(mem.name.clone(), plan)].into_iter().collect();
+        let netlist = lower(&module, &inference, &plans).expect("lowering succeeds");
+
+        let mut tb = lim_rtl::SmartMemTestbench::new(&netlist, &module, &inference).unwrap();
+        let mut gold = lim_rtl::BehavInterp::new(&module).unwrap();
+        for cycle in 0..16 {
+            let inputs: BTreeMap<String, u64> = [
+                ("we".to_owned(), rng.gen_range(0u64..(1 << lanes))),
+                ("waddr".to_owned(), rng.gen_range(0u64..words as u64)),
+                ("raddr".to_owned(), rng.gen_range(0u64..words as u64)),
+                ("din".to_owned(), rng.gen_range(0u64..(1 << bits))),
+            ]
+            .into_iter()
+            .collect();
+            let got = tb.cycle(&inputs).unwrap();
+            let want = gold.step(&inputs);
+            assert_eq!(
+                got, want,
+                "cycle {cycle} diverged on {inputs:?}\n{src}"
+            );
+        }
+    });
+}
+
+#[test]
+fn rtl_parser_survives_hostile_input() {
+    check("rtl_parser_survives_hostile_input", |rng| {
+        let input = match rng.gen_range(0usize..4) {
+            // Raw character soup, heavy on Verilog punctuation.
+            0 => {
+                let palette = [
+                    'm', 'o', 'd', 'u', 'l', 'e', 'r', 'g', 'b', 'i', 'n', '(', ')', '[', ']',
+                    ':', ';', ',', '@', '.', '<', '=', '/', '*', '0', '9', '_', ' ', '\n',
+                    '\u{0}', 'é',
+                ];
+                (0..rng.gen_range(0usize..96))
+                    .map(|_| palette[rng.gen_range(0..palette.len())])
+                    .collect()
+            }
+            // Valid designs truncated mid-flight.
+            1 => {
+                let (full, ..) = any_mem_source(rng);
+                let cut = rng.gen_range(0..=full.len());
+                full.chars().take(cut).collect()
+            }
+            // `if` nesting far past the parser's recursion bound.
+            2 => format!(
+                "module m (input clk, input a, output reg q);\n\
+                 always @(posedge clk) {}q <= a;\nendmodule",
+                "if (a) ".repeat(rng.gen_range(1usize..512))
+            ),
+            // Valid designs with one random character garbled.
+            _ => {
+                let (mut text, ..) = any_mem_source(rng);
+                let boundaries: Vec<usize> = text.char_indices().map(|(i, _)| i).collect();
+                let at = boundaries[rng.gen_range(0..boundaries.len())];
+                let garble = ['\\', '"', ']', 'x', '\u{7}', '<'][rng.gen_range(0usize..6)];
+                let tail: String = text[at..].chars().skip(1).collect();
+                text.truncate(at);
+                text.push(garble);
+                text.push_str(&tail);
+                text
+            }
+        };
+        // The property: parsing must return, never panic or overflow,
+        // and every diagnostic must carry a real source position.
+        if let Err(e) = lim_rtl::parse(&input) {
+            assert!(e.line >= 1, "{e}");
+            assert!(e.col >= 1, "{e}");
+            assert!(!e.msg.is_empty());
+        }
+    });
+}
+
 /// A random syntactically valid JSON document (bounded depth/width),
 /// used as raw material for truncation and mutation below.
 fn any_json_text(rng: &mut TestRng, depth: usize) -> String {
